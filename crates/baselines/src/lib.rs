@@ -1,0 +1,32 @@
+//! # socl-baselines — the paper's comparison algorithms
+//!
+//! Section V.A compares SoCL against three baselines; all three are
+//! implemented here from the paper's descriptions:
+//!
+//! * **RP — Random Provisioning** ([`rp`]): seeded random placement and
+//!   random routing. The paper: "random placement and routing strategy,
+//!   which led to highly unbalanced resource allocation".
+//! * **JDR — Joint Deployment and Routing** ([`jdr`], after ref. [11]):
+//!   classifies microservices into single-user and multi-user groups,
+//!   deploys single-user services next to their user and multi-user
+//!   services on high-capacity servers, spending the budget freely
+//!   ("by neglecting provisioning costs, JDR caused resource redundancy").
+//! * **GC-OG — Greedy Combine with Objective Gradient** ([`gcog`]): starts
+//!   from a demand-saturated placement and greedily removes the instance
+//!   whose removal best improves the full objective, re-evaluating every
+//!   candidate each round — good quality, exponential-ish search cost,
+//!   exactly the trade-off the paper reports.
+//!
+//! Every baseline returns a [`BaselineResult`] with its own routing policy
+//! applied (RP routes randomly, JDR and GC-OG route optimally), because the
+//! paper evaluates each algorithm end-to-end, routing included.
+
+pub mod common;
+pub mod gcog;
+pub mod jdr;
+pub mod rp;
+
+pub use common::BaselineResult;
+pub use gcog::gc_og;
+pub use jdr::jdr;
+pub use rp::random_provisioning;

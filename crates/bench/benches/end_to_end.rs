@@ -1,0 +1,41 @@
+//! Criterion benches comparing whole-algorithm runtimes — the runtime side
+//! of Figure 8 (SoCL vs the baselines) and of the online loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use socl::prelude::*;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+
+    for &users in &[40usize, 120] {
+        let sc = ScenarioConfig::paper(10, users).build(7);
+        group.bench_with_input(BenchmarkId::new("socl", users), &sc, |b, sc| {
+            b.iter(|| SoclSolver::new().solve(sc))
+        });
+        group.bench_with_input(BenchmarkId::new("rp", users), &sc, |b, sc| {
+            b.iter(|| random_provisioning(sc, 3))
+        });
+        group.bench_with_input(BenchmarkId::new("jdr", users), &sc, |b, sc| {
+            b.iter(|| jdr(sc))
+        });
+        group.bench_with_input(BenchmarkId::new("gc_og", users), &sc, |b, sc| {
+            b.iter(|| gc_og(sc))
+        });
+    }
+
+    // One full testbed-emulator run (the Fig. 9/10 measurement engine).
+    let sc = ScenarioConfig::paper(8, 50).build(9);
+    let placement = SoclSolver::new().solve(&sc).placement;
+    let tb = TestbedConfig {
+        epochs: 2,
+        ..TestbedConfig::default()
+    };
+    group.bench_function("testbed_2_epochs", |b| {
+        b.iter(|| run_testbed(&sc, &placement, &tb))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benches for the from-scratch LP/MILP solver: simplex pivots on
+//! random LPs and branch-and-bound on knapsacks plus the lowered SoCL ILP.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use socl::ilp::build_ilp;
+use socl::prelude::*;
+
+/// Deterministic pseudo-random knapsack of n binary items.
+fn knapsack(n: usize) -> Model {
+    let mut m = Model::new();
+    let vars: Vec<_> = (0..n)
+        .map(|i| m.add_binary(-((i * 7919 % 17 + 1) as f64)))
+        .collect();
+    m.add_constraint(
+        vars.iter()
+            .enumerate()
+            .map(|(i, &v)| (v, ((i * 104729) % 9 + 1) as f64)),
+        Relation::Le,
+        (2 * n) as f64 / 3.0,
+    );
+    m
+}
+
+fn bench_milp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("milp");
+    group.sample_size(15);
+
+    for &n in &[10usize, 16, 22] {
+        let model = knapsack(n);
+        group.bench_with_input(BenchmarkId::new("lp_relaxation", n), &model, |b, m| {
+            b.iter(|| socl::milp::solve_lp(m))
+        });
+        group.bench_with_input(BenchmarkId::new("branch_bound", n), &model, |b, m| {
+            b.iter(|| solve_milp(m, &MilpOptions::default()))
+        });
+    }
+
+    // ILP lowering of a tiny SoCL scenario: building and solving.
+    let mut cfg = ScenarioConfig::paper(3, 4);
+    cfg.requests.chain_len = (2, 3);
+    let sc = cfg.build(2);
+    group.bench_function("build_socl_ilp", |b| b.iter(|| build_ilp(&sc)));
+    group.bench_function("solve_socl_ilp", |b| {
+        b.iter(|| solve_ilp(&sc, &MilpOptions::default()))
+    });
+    group.bench_function("solve_socl_exact_bb", |b| {
+        b.iter(|| solve_exact(&sc, &ExactOptions::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_milp);
+criterion_main!(benches);

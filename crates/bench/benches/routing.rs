@@ -1,0 +1,46 @@
+//! Criterion benches for the routing engine: exact layered DP vs the myopic
+//! greedy, and the full-scenario evaluation path everything else sits on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use socl::model::{greedy_route, route_all};
+use socl::prelude::*;
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing");
+    group.sample_size(30);
+
+    for &nodes in &[10usize, 30] {
+        let sc = ScenarioConfig::paper(nodes, 60).build(5);
+        let placement = Placement::full(sc.services(), sc.nodes());
+        let req = &sc.requests[0];
+
+        group.bench_with_input(
+            BenchmarkId::new("optimal_route_one", nodes),
+            &sc,
+            |b, sc| b.iter(|| optimal_route(req, &placement, &sc.net, &sc.ap, &sc.catalog)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("greedy_route_one", nodes),
+            &sc,
+            |b, sc| b.iter(|| greedy_route(req, &placement, &sc.net, &sc.ap, &sc.catalog)),
+        );
+        group.bench_with_input(BenchmarkId::new("route_all_60", nodes), &sc, |b, sc| {
+            b.iter(|| route_all(&sc.requests, &placement, &sc.net, &sc.ap, &sc.catalog))
+        });
+        group.bench_with_input(BenchmarkId::new("evaluate", nodes), &sc, |b, sc| {
+            b.iter(|| evaluate(sc, &placement))
+        });
+    }
+
+    // All-pairs precomputation cost by topology size.
+    for &nodes in &[10usize, 30, 60] {
+        let net = TopologyConfig::paper(nodes).build(1);
+        group.bench_with_input(BenchmarkId::new("all_pairs", nodes), &net, |b, net| {
+            b.iter(|| AllPairs::compute(net))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion micro-benches for the three SoCL stages (CRIT index entry).
+//!
+//! Measures each stage in isolation on the paper's default scenario so
+//! regressions in any one stage are visible independently.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use socl::core::{initial_partition, preprovision, Combiner};
+use socl::prelude::*;
+
+fn bench_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stages");
+    group.sample_size(20);
+
+    for &users in &[40usize, 120] {
+        let sc = ScenarioConfig::paper(10, users).build(3);
+        let cfg = SoclConfig::default();
+
+        group.bench_with_input(
+            BenchmarkId::new("partition", users),
+            &sc,
+            |b, sc| b.iter(|| initial_partition(sc, &cfg)),
+        );
+
+        let parts = initial_partition(&sc, &cfg);
+        group.bench_with_input(
+            BenchmarkId::new("preprovision", users),
+            &sc,
+            |b, sc| b.iter(|| preprovision(sc, &parts, &cfg)),
+        );
+
+        let pre = preprovision(&sc, &parts, &cfg);
+        group.bench_with_input(BenchmarkId::new("combine", users), &sc, |b, sc| {
+            b.iter_batched(
+                || pre.placement.clone(),
+                |placement| Combiner::new(sc, &cfg, &parts, placement).run(),
+                BatchSize::SmallInput,
+            )
+        });
+
+        group.bench_with_input(BenchmarkId::new("full_pipeline", users), &sc, |b, sc| {
+            b.iter(|| SoclSolver::new().solve(sc))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

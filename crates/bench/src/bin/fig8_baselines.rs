@@ -1,0 +1,105 @@
+//! FIG8 — objective (cost & latency) against the baselines for user scales
+//! 80/120/160/200 on 10 servers (Figures 8a–8d).
+//!
+//! Paper shape to reproduce: SoCL lowest at every scale; RP worst and
+//! deteriorating fastest; JDR overspending (high cost, decent latency);
+//! GC-OG close on quality but increasingly slow.
+//!
+//! ```sh
+//! cargo run --release -p socl-bench --bin fig8_baselines
+//! ```
+
+use socl::prelude::*;
+use std::time::Instant;
+
+struct Row {
+    objective: f64,
+    cost: f64,
+    latency: f64,
+    seconds: f64,
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+fn main() {
+    let seeds: &[u64] = &[1, 2, 3];
+    let scales: &[usize] = &[80, 120, 160, 200];
+
+    println!("# FIG8: objective vs baselines (10 servers; median of {} seeds)", seeds.len());
+    println!("users,algo,objective,cost,latency_s,runtime_s");
+    let mut summary: Vec<(usize, String, f64)> = Vec::new();
+
+    for &users in scales {
+        let mut per_algo: Vec<(&str, Vec<Row>)> = vec![
+            ("SoCL", Vec::new()),
+            ("RP", Vec::new()),
+            ("JDR", Vec::new()),
+            ("GC-OG", Vec::new()),
+        ];
+        for &seed in seeds {
+            let sc = ScenarioConfig::paper(10, users).build(seed);
+
+            let t = Instant::now();
+            let socl = SoclSolver::new().solve(&sc);
+            per_algo[0].1.push(Row {
+                objective: socl.objective(),
+                cost: socl.evaluation.cost,
+                latency: socl.evaluation.total_latency,
+                seconds: t.elapsed().as_secs_f64(),
+            });
+
+            let rp = random_provisioning(&sc, seed ^ 0xBEEF);
+            per_algo[1].1.push(Row {
+                objective: rp.objective,
+                cost: rp.cost,
+                latency: rp.total_latency,
+                seconds: rp.elapsed.as_secs_f64(),
+            });
+
+            let j = jdr(&sc);
+            per_algo[2].1.push(Row {
+                objective: j.objective,
+                cost: j.cost,
+                latency: j.total_latency,
+                seconds: j.elapsed.as_secs_f64(),
+            });
+
+            let g = gc_og(&sc);
+            per_algo[3].1.push(Row {
+                objective: g.objective,
+                cost: g.cost,
+                latency: g.total_latency,
+                seconds: g.elapsed.as_secs_f64(),
+            });
+        }
+        for (name, rows) in &per_algo {
+            let obj = median(rows.iter().map(|r| r.objective).collect());
+            let cost = median(rows.iter().map(|r| r.cost).collect());
+            let lat = median(rows.iter().map(|r| r.latency).collect());
+            let secs = median(rows.iter().map(|r| r.seconds).collect());
+            println!("{users},{name},{obj:.1},{cost:.1},{lat:.2},{secs:.4}");
+            summary.push((users, name.to_string(), obj));
+        }
+        println!();
+    }
+
+    println!("# shape check (paper: SoCL < GC-OG/JDR < RP at every scale,");
+    println!("# RP growing fastest; SoCL growth modest)");
+    for &users in scales {
+        let get = |name: &str| {
+            summary
+                .iter()
+                .find(|(u, n, _)| *u == users && n == name)
+                .map(|(_, _, o)| *o)
+                .unwrap()
+        };
+        let (s, r, j, g) = (get("SoCL"), get("RP"), get("JDR"), get("GC-OG"));
+        println!(
+            "users={users}: SoCL {s:.0} | GC-OG {g:.0} | JDR {j:.0} | RP {r:.0}  (SoCL lowest: {})",
+            s <= r.min(j).min(g)
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! `socl` — command-line interface for the SoCL reproduction.
+//!
+//! ```text
+//! socl solve    [--nodes N] [--users U] [--seed S] [--budget B] [--lambda L]
+//!               [--algo socl|rp|jdr|gcog|opt] [--omega W] [--xi X] [--theta T]
+//! socl compare  [--nodes N] [--users U] [--seed S] [--budget B]
+//! socl simulate [--nodes N] [--users U] [--slots K] [--seed S]
+//!               [--policy socl|rp|jdr] [--fail-prob P]
+//! socl testbed  [--nodes N] [--users U] [--seed S] [--epochs E]
+//!               [--algo socl|rp|jdr]
+//! socl trace    [--seed S]
+//! ```
+//!
+//! Argument parsing is hand-rolled (`--key value` pairs) to keep the binary
+//! dependency-free; see [`args::Args`].
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = run(&argv);
+    std::process::exit(code);
+}
+
+fn run(argv: &[String]) -> i32 {
+    let Some((command, rest)) = argv.split_first() else {
+        eprintln!("{}", commands::USAGE);
+        return 2;
+    };
+    let args = match Args::parse(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::USAGE);
+            return 2;
+        }
+    };
+    let result = match command.as_str() {
+        "solve" => commands::solve(&args),
+        "compare" => commands::compare(&args),
+        "simulate" => commands::simulate(&args),
+        "testbed" => commands::testbed(&args),
+        "trace" => commands::trace(&args),
+        "resilience" => commands::resilience(&args),
+        "export" => commands::export(&args),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::USAGE);
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        assert_eq!(run(&[]), 2);
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        assert_eq!(run(&s(&["frobnicate"])), 2);
+    }
+
+    #[test]
+    fn help_succeeds() {
+        assert_eq!(run(&s(&["help"])), 0);
+    }
+
+    #[test]
+    fn solve_runs_tiny() {
+        assert_eq!(
+            run(&s(&["solve", "--nodes", "5", "--users", "8", "--seed", "1"])),
+            0
+        );
+    }
+
+    #[test]
+    fn bad_flag_value_rejected() {
+        assert_eq!(run(&s(&["solve", "--nodes", "banana"])), 2);
+    }
+}

@@ -1,0 +1,874 @@
+//! Stage 3 — multi-scale combination (Algorithms 3, 4 and 5).
+//!
+//! An *instance combination* merges two instances of the same microservice
+//! into one (removes one copy) to cut provisioning cost; the users that
+//! relied on the removed copy perform a *connection update* to the best
+//! remaining instance — preferably in the same stage-1 group, at the highest
+//! channel speed (the paper's three reconnection criteria). The resulting
+//! completion-time increase is the latency loss `ζ_{i,k}` (Definition 8).
+//!
+//! * **Large-scale (parallel) descent** — while the budget (Eq. 5) is
+//!   violated, evaluate `ζ` for every combinable instance (in parallel via
+//!   rayon), take the `ω`-fraction with the smallest losses, drop the
+//!   dependency-conflicted ones (keeping the smaller `ζ` of each conflicted
+//!   pair), and combine the whole batch at once.
+//! * **Small-scale (serial) descent** — combine one minimum-`ζ` instance at
+//!   a time, accept while the objective gradient `δ = Q′ − Q″ + Θ` stays
+//!   positive, run storage planning (Algorithm 5) after each step, and roll
+//!   back (re-add and lock the instance) when a completion-time bound
+//!   (Eq. 4) breaks.
+//! * **Storage planning** — per-node overflow resolution: evict the
+//!   instance with the lowest FuzzyAHP local demand factor `ρ`
+//!   (Definition 9) and migrate it to the nearest (fastest-channel) node
+//!   with room; if no node can take it, signal the caller to keep combining.
+
+use crate::config::{SoclConfig, StoragePolicy};
+use crate::fuzzy::{order_factor, rho_scores, RhoCriteria};
+use crate::partition::ServicePartitions;
+use rayon::prelude::*;
+use socl_model::{evaluate, Placement, Scenario, ServiceId};
+use socl_net::NodeId;
+
+/// Statistics of a combination run, used by tests and the bench harness.
+#[derive(Debug, Clone, Default)]
+pub struct CombineStats {
+    /// Large-scale (parallel) rounds executed.
+    pub large_rounds: usize,
+    /// Instances removed by the large-scale phase.
+    pub large_removed: usize,
+    /// Instances removed by the small-scale phase.
+    pub small_removed: usize,
+    /// Roll-backs triggered by completion-time violations.
+    pub rollbacks: usize,
+    /// Instance migrations performed by storage planning.
+    pub migrations: usize,
+    /// Objective after the large-scale (parallel) phase.
+    pub objective_after_large: f64,
+    /// Objective after the serial phase (before the final migration pass).
+    pub objective_after_serial: f64,
+    /// Final objective value.
+    pub final_objective: f64,
+}
+
+/// Signal from storage planning that total storage cannot host the current
+/// instance set — Algorithm 5 line 17: continue combining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsufficientStorage;
+
+/// The multi-scale combiner. Owns the evolving placement.
+pub struct Combiner<'a> {
+    sc: &'a Scenario,
+    cfg: &'a SoclConfig,
+    parts: &'a ServicePartitions,
+    placement: Placement,
+    /// Instances excluded from combination after a roll-back.
+    locked: Vec<bool>,
+    /// `(a, b)` service pairs adjacent in some user chain (symmetric).
+    conflicts: Vec<(ServiceId, ServiceId)>,
+    stats: CombineStats,
+}
+
+/// Per-user data volume consumed by a service: the incoming-edge flow, or
+/// the upload volume when the service heads the chain.
+fn inbound_data(req: &socl_model::UserRequest, service: ServiceId) -> f64 {
+    match req.position_of(service) {
+        Some(0) => req.r_in,
+        Some(j) => req.edge_data[j - 1],
+        None => 0.0,
+    }
+}
+
+impl<'a> Combiner<'a> {
+    /// Start from the stage-2 pre-provisioning.
+    pub fn new(
+        sc: &'a Scenario,
+        cfg: &'a SoclConfig,
+        parts: &'a ServicePartitions,
+        placement: Placement,
+    ) -> Self {
+        cfg.validate();
+        let mut conflicts = Vec::new();
+        for req in &sc.requests {
+            for (a, b, _) in req.edges() {
+                if !conflicts.contains(&(a, b)) {
+                    conflicts.push((a, b));
+                    conflicts.push((b, a));
+                }
+            }
+        }
+        let locked = vec![false; sc.services() * sc.nodes()];
+        Self {
+            sc,
+            cfg,
+            parts,
+            placement,
+            locked,
+            conflicts,
+            stats: CombineStats::default(),
+        }
+    }
+
+    fn lock_idx(&self, m: ServiceId, k: NodeId) -> usize {
+        m.idx() * self.sc.nodes() + k.idx()
+    }
+
+    /// The users currently relying on instance `(service, host)`: each user
+    /// requesting `service` relies on the instance minimizing its
+    /// transmission-computation cycle `r/b + q/c` (ties to the smaller node
+    /// id) — the same accounting `ψ` uses, so `ζ` measures real deltas.
+    fn reliers(&self, placement: &Placement, service: ServiceId, host: NodeId) -> Vec<usize> {
+        let hosts = placement.hosts_of(service);
+        self.sc
+            .requests
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.uses(service))
+            .filter(|(_, r)| {
+                self.best_host(&hosts, r.location, inbound_data(r, service), service)
+                    == Some(host)
+            })
+            .map(|(h, _)| h)
+            .collect()
+    }
+
+    /// Host minimizing the user's cycle cost `r/b(loc, host) + q/c(host)`
+    /// (the connection-update target selection).
+    fn best_host(
+        &self,
+        hosts: &[NodeId],
+        location: NodeId,
+        r: f64,
+        service: ServiceId,
+    ) -> Option<NodeId> {
+        let q = self.sc.catalog.compute(service);
+        hosts
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                let ca = r / self.sc.ap.best_speed(location, a).min(1e12)
+                    + q / self.sc.net.compute(a);
+                let cb = r / self.sc.ap.best_speed(location, b).min(1e12)
+                    + q / self.sc.net.compute(b);
+                ca.partial_cmp(&cb).unwrap().then(a.cmp(&b))
+            })
+    }
+
+    /// Connection-update target after removing `(service, removed)`:
+    /// prefer hosts in the user's stage-1 group (criteria 1–2), else any
+    /// remaining host (continuity fallback), always at max channel speed.
+    fn reconnect_target(
+        &self,
+        placement: &Placement,
+        service: ServiceId,
+        removed: NodeId,
+        location: NodeId,
+        r: f64,
+    ) -> Option<NodeId> {
+        let remaining: Vec<NodeId> = placement
+            .hosts_of(service)
+            .into_iter()
+            .filter(|&h| h != removed)
+            .collect();
+        if remaining.is_empty() {
+            return None;
+        }
+        if let Some(group) = self.parts.group_of(service, location) {
+            let in_group: Vec<NodeId> = remaining
+                .iter()
+                .copied()
+                .filter(|&h| self.parts.group_of(service, h) == Some(group))
+                .collect();
+            if let Some(t) = self.best_host(&in_group, location, r, service) {
+                return Some(t);
+            }
+        }
+        self.best_host(&remaining, location, r, service)
+    }
+
+    /// Latency loss `ζ_{i,k}` (Definition 8): completion-time increase when
+    /// `(service, host)` is removed and its reliers reconnect.
+    fn latency_loss(&self, placement: &Placement, service: ServiceId, host: NodeId) -> f64 {
+        let reliers = self.reliers(placement, service, host);
+        let q = self.sc.catalog.compute(service);
+        let mut before = 0.0;
+        let mut after = 0.0;
+        for h in reliers {
+            let req = &self.sc.requests[h];
+            let r = inbound_data(req, service);
+            let loc = req.location;
+            before += r / self.sc.ap.best_speed(loc, host).min(1e12)
+                + q / self.sc.net.compute(host);
+            match self.reconnect_target(placement, service, host, loc, r) {
+                Some(t) => {
+                    after += r / self.sc.ap.best_speed(loc, t).min(1e12)
+                        + q / self.sc.net.compute(t);
+                }
+                None => return f64::INFINITY, // last instance: never combined
+            }
+        }
+        after - before
+    }
+
+    /// Latency delta of `trial` relative to the cached per-request
+    /// latencies, re-routing only the requests whose chains use `affected`
+    /// — changing one service's hosts cannot alter any other request's
+    /// optimal route, so this is exact and ~|M|× cheaper than a full
+    /// evaluation.
+    fn latency_delta(
+        &self,
+        trial: &Placement,
+        affected: ServiceId,
+        current_per_req: &[f64],
+    ) -> f64 {
+        let mut delta = 0.0;
+        for (h, req) in self.sc.requests.iter().enumerate() {
+            if !req.uses(affected) {
+                continue;
+            }
+            let new_d = match socl_model::optimal_route(
+                req,
+                trial,
+                &self.sc.net,
+                &self.sc.ap,
+                &self.sc.catalog,
+            ) {
+                socl_model::RouteOutcome::Edge { breakdown, .. } => breakdown.total(),
+                socl_model::RouteOutcome::CloudFallback => self.sc.cloud_penalty,
+            };
+            delta += new_d - current_per_req[h];
+        }
+        delta
+    }
+
+    /// Exact combination gradient: the true *objective* delta under
+    /// chain-aware optimal routing when `(service, host)` is removed —
+    /// `(1−λ)·scale·Δlatency − λ·κ(service)`. This is the quantity the
+    /// multi-scale descent of Algorithm 3 actually minimizes (`Q″ − Q′`);
+    /// ranking by it makes each round remove the most cost-effective
+    /// instances first.
+    fn objective_delta_exact(
+        &self,
+        placement: &Placement,
+        current_per_req: &[f64],
+        service: ServiceId,
+        host: NodeId,
+    ) -> f64 {
+        let mut trial = placement.clone();
+        trial.set(service, host, false);
+        let d_latency = self.latency_delta(&trial, service, current_per_req);
+        (1.0 - self.sc.lambda) * self.sc.latency_scale * d_latency
+            - self.sc.lambda * self.sc.catalog.deploy_cost(service)
+    }
+
+    /// Algorithm 4: latency losses of every combinable instance, ascending.
+    /// Skips services with a single instance (continuity) and locked pairs.
+    fn update_instance_set(&self, placement: &Placement) -> Vec<(f64, ServiceId, NodeId)> {
+        let instances: Vec<(ServiceId, NodeId)> = placement
+            .iter_deployed()
+            .filter(|&(m, _)| placement.instance_count(m) > 1)
+            .filter(|&(m, k)| !self.locked[self.lock_idx(m, k)])
+            .collect();
+        let current_per_req: Vec<f64> = if self.cfg.exact_zeta {
+            evaluate(self.sc, placement).per_request
+        } else {
+            Vec::new()
+        };
+        let loss = |&(m, k): &(ServiceId, NodeId)| -> (f64, ServiceId, NodeId) {
+            let z = if self.cfg.exact_zeta {
+                self.objective_delta_exact(placement, &current_per_req, m, k)
+            } else {
+                self.latency_loss(placement, m, k)
+            };
+            (z, m, k)
+        };
+        let mut losses: Vec<(f64, ServiceId, NodeId)> = if self.cfg.parallel {
+            instances.par_iter().map(loss).collect()
+        } else {
+            instances.iter().map(loss).collect()
+        };
+        losses.retain(|(z, _, _)| z.is_finite());
+        losses.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then((a.1, a.2).cmp(&(b.1, b.2))));
+        losses
+    }
+
+    fn dependency_conflicted(&self, a: ServiceId, b: ServiceId) -> bool {
+        self.conflicts.contains(&(a, b))
+    }
+
+    /// Large-scale parallel descent (Algorithm 3 lines 1–5): combine
+    /// ω-batches of minimum-loss instances until the budget holds.
+    fn large_scale(&mut self) {
+        for _ in 0..self.cfg.max_rounds {
+            let cost = self.placement.deployment_cost(&self.sc.catalog);
+            if cost <= self.sc.budget {
+                break;
+            }
+            let losses = self.update_instance_set(&self.placement);
+            if losses.is_empty() {
+                break; // nothing combinable; budget cannot be met
+            }
+            self.stats.large_rounds += 1;
+            let batch = ((losses.len() as f64 * self.cfg.omega).ceil() as usize).max(1);
+            if std::env::var_os("SOCL_DEBUG_COMBINE").is_some() {
+                eprintln!(
+                    "[combine] round {}: cost {:.0}, top losses: {:?}",
+                    self.stats.large_rounds,
+                    cost,
+                    losses
+                        .iter()
+                        .take(4)
+                        .map(|(z, m, k)| format!("{m}@{k}:{z:.0}"))
+                        .collect::<Vec<_>>()
+                );
+            }
+
+            // Ω = the ω-minimal fraction of the loss list. Conflicted
+            // members are *discarded from Ω* (the batch shrinks — it is
+            // never refilled with worse-ranked candidates): (a) one
+            // combination per service per round — a combination merges two
+            // instances of one service, so simultaneous removals of the same
+            // service would invalidate each other's ζ; (b) the paper's
+            // dependency-conflict filter between chain-adjacent services,
+            // keeping the smaller-ζ member of each conflicted pair.
+            let mut accepted: Vec<(ServiceId, NodeId)> = Vec::with_capacity(batch);
+            for &(_, m, k) in losses.iter().take(batch) {
+                if accepted.iter().any(|&(a, _)| a == m) {
+                    continue;
+                }
+                if accepted
+                    .iter()
+                    .any(|&(a, _)| self.dependency_conflicted(a, m))
+                {
+                    continue;
+                }
+                accepted.push((m, k));
+            }
+
+            // Parallel combine: apply the batch, re-checking continuity
+            // (the batch may contain several instances of one service) and
+            // stopping as soon as the budget is met — removing beyond the
+            // constraint is the serial phase's decision, not this one's.
+            for (m, k) in accepted {
+                if self.placement.deployment_cost(&self.sc.catalog) <= self.sc.budget {
+                    break;
+                }
+                if self.placement.instance_count(m) > 1 {
+                    self.placement.set(m, k, false);
+                    self.stats.large_removed += 1;
+                }
+            }
+        }
+    }
+
+    /// Algorithm 5: resolve per-node storage overflows by migrating the
+    /// lowest-`ρ` instances to the fastest-channel node with room.
+    fn storage_plan(&mut self, placement: &mut Placement) -> Result<(), InsufficientStorage> {
+        // Aggregate capacity test (line 1).
+        let required: f64 = self
+            .sc
+            .catalog
+            .ids()
+            .map(|m| placement.instance_count(m) as f64 * self.sc.catalog.storage(m))
+            .sum();
+        if self.sc.net.total_storage() < required {
+            return Err(InsufficientStorage);
+        }
+
+        for k in self.sc.net.node_ids() {
+            let mut guard = 0;
+            while placement.storage_used(&self.sc.catalog, k) > self.sc.net.storage(k) + 1e-9 {
+                guard += 1;
+                assert!(guard <= self.sc.services() + 1, "storage planning stuck");
+                let services = placement.services_on(k);
+                let victim = self.pick_victim(&services, k);
+                let Some(victim) = victim else {
+                    return Err(InsufficientStorage);
+                };
+                // Targets ordered by descending channel speed from k.
+                let mut targets: Vec<NodeId> = self
+                    .sc
+                    .net
+                    .node_ids()
+                    .filter(|&q| q != k && !placement.get(victim, q))
+                    .collect();
+                targets.sort_by(|&a, &b| {
+                    self.sc
+                        .ap
+                        .best_speed(k, b)
+                        .partial_cmp(&self.sc.ap.best_speed(k, a))
+                        .unwrap()
+                        .then(a.cmp(&b))
+                });
+                let phi = self.sc.catalog.storage(victim);
+                let dest = targets.into_iter().find(|&q| {
+                    self.sc.net.storage(q) - placement.storage_used(&self.sc.catalog, q)
+                        >= phi - 1e-9
+                });
+                match dest {
+                    Some(q) => {
+                        placement.set(victim, k, false);
+                        placement.set(victim, q, true);
+                        self.stats.migrations += 1;
+                    }
+                    None => return Err(InsufficientStorage),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Least-important instance on `k` per the configured policy.
+    fn pick_victim(&self, services: &[ServiceId], k: NodeId) -> Option<ServiceId> {
+        if services.is_empty() {
+            return None;
+        }
+        match self.cfg.storage_policy {
+            StoragePolicy::CheapestOut => services
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    self.sc
+                        .catalog
+                        .deploy_cost(a)
+                        .partial_cmp(&self.sc.catalog.deploy_cost(b))
+                        .unwrap()
+                        .then(a.cmp(&b))
+                }),
+            StoragePolicy::FuzzyAhp => {
+                let criteria: Vec<RhoCriteria> = services
+                    .iter()
+                    .map(|&m| {
+                        let mut first = 0;
+                        let mut last = 0;
+                        let mut middle = 0;
+                        let mut demand = 0usize;
+                        for req in self.sc.users_at(k) {
+                            match req.position_of(m) {
+                                Some(0) if req.len() == 1 => {
+                                    first += 1;
+                                    demand += 1;
+                                }
+                                Some(0) => {
+                                    first += 1;
+                                    demand += 1;
+                                }
+                                Some(j) if j == req.len() - 1 => {
+                                    last += 1;
+                                    demand += 1;
+                                }
+                                Some(_) => {
+                                    middle += 1;
+                                    demand += 1;
+                                }
+                                None => {}
+                            }
+                        }
+                        RhoCriteria {
+                            demand: demand as f64,
+                            order: order_factor(first, last, middle),
+                            cost: self.sc.catalog.deploy_cost(m),
+                            storage: self.sc.catalog.storage(m),
+                        }
+                    })
+                    .collect();
+                let rho = rho_scores(&criteria);
+                services
+                    .iter()
+                    .copied()
+                    .zip(rho)
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+                    .map(|(m, _)| m)
+            }
+        }
+    }
+
+    /// Objective-guided migration (the serial stage's generalization of
+    /// Algorithm 5): hill-climb over single-instance moves `(m: k → q)` with
+    /// storage-feasible targets until no move improves the objective.
+    fn relocate_pass(&mut self) {
+        if !self.cfg.relocation {
+            return;
+        }
+        loop {
+            let current = evaluate(self.sc, &self.placement);
+            // Candidate moves: every deployed instance to every other node
+            // with room.
+            let moves: Vec<(ServiceId, NodeId, NodeId)> = self
+                .placement
+                .iter_deployed()
+                .flat_map(|(m, k)| {
+                    let phi = self.sc.catalog.storage(m);
+                    let placement = &self.placement;
+                    let sc = self.sc;
+                    sc.net
+                        .node_ids()
+                        .filter(move |&q| {
+                            q != k
+                                && !placement.get(m, q)
+                                && sc.net.storage(q) - placement.storage_used(&sc.catalog, q)
+                                    >= phi - 1e-9
+                        })
+                        .map(move |q| (m, k, q))
+                })
+                .collect();
+            // Moves keep the cost unchanged, so the objective delta is the
+            // (scaled) latency delta of the affected service's requests.
+            let score = |&(m, k, q): &(ServiceId, NodeId, NodeId)| {
+                let mut trial = self.placement.clone();
+                trial.set(m, k, false);
+                trial.set(m, q, true);
+                let d = self.latency_delta(&trial, m, &current.per_request);
+                (d, m, k, q)
+            };
+            let best = if self.cfg.parallel {
+                moves
+                    .par_iter()
+                    .map(score)
+                    .min_by(|a, b| a.partial_cmp(b).unwrap())
+            } else {
+                moves
+                    .iter()
+                    .map(score)
+                    .min_by(|a, b| a.partial_cmp(b).unwrap())
+            };
+            match best {
+                Some((d, m, k, q)) if d < -1e-12 => {
+                    self.placement.set(m, k, false);
+                    self.placement.set(m, q, true);
+                    self.stats.migrations += 1;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Small-scale serial descent (Algorithm 3 lines 6–15).
+    fn small_scale(&mut self) {
+        // Fix any storage violations inherited from pre-provisioning before
+        // measuring the starting objective, then repair unlucky stage-2
+        // positions with the migration pass.
+        let mut current = self.placement.clone();
+        let _ = self.storage_plan(&mut current);
+        self.placement = current;
+        self.relocate_pass();
+
+        for _ in 0..self.cfg.max_rounds {
+            let q_before = evaluate(self.sc, &self.placement).objective;
+            let losses = self.update_instance_set(&self.placement);
+            let Some(&(_, m, k)) = losses.first() else {
+                break;
+            };
+
+            // Trial combine + storage planning.
+            let mut trial = self.placement.clone();
+            trial.set(m, k, false);
+            let plan_failed = self.storage_plan(&mut trial).is_err();
+            if std::env::var_os("SOCL_DEBUG_COMBINE").is_some() {
+                eprintln!(
+                    "[serial] q_before {:.0}, candidate {m}@{k} z {:.0}, plan_failed {}",
+                    q_before, losses.first().unwrap().0, plan_failed
+                );
+            }
+            if plan_failed {
+                // Aggregate storage is insufficient: keep combining
+                // (Algorithm 5 line 17) — accept the removal regardless.
+                self.placement = trial;
+                self.stats.small_removed += 1;
+                continue;
+            }
+
+            let ev = evaluate(self.sc, &trial);
+            // Completion-time constraint (Eq. 4): roll back and lock.
+            let violated = ev
+                .per_request
+                .iter()
+                .zip(&self.sc.requests)
+                .any(|(d, r)| *d > r.d_max + 1e-9);
+            if violated {
+                let idx = self.lock_idx(m, k);
+                self.locked[idx] = true;
+                self.stats.rollbacks += 1;
+                continue;
+            }
+
+            // Gradient δ = Q′ − Q″ + Θ; stop when the objective rises by
+            // more than the disturbance tolerance.
+            let delta = q_before - ev.objective + self.cfg.theta;
+            if delta <= 0.0 {
+                break;
+            }
+            self.placement = trial;
+            self.stats.small_removed += 1;
+        }
+    }
+
+    /// Hard storage enforcement: after all descents, resolve any residual
+    /// per-node overload. Preference order per overloaded node: migrate the
+    /// lowest-`ρ` instance to the node with the most remaining room; if no
+    /// node fits it, *combine* it away when the service has another
+    /// instance; as a last resort (a service whose single instance fits
+    /// nowhere) drop it — requests then fall back to the cloud, which is
+    /// the honest semantics of an over-packed edge.
+    fn enforce_storage(&mut self) {
+        loop {
+            let violations = self
+                .placement
+                .storage_violations(&self.sc.catalog, &self.sc.net);
+            let Some(&(node, _)) = violations.first() else {
+                break;
+            };
+            let services = self.placement.services_on(node);
+            let Some(victim) = self.pick_victim(&services, node) else {
+                break;
+            };
+            let phi = self.sc.catalog.storage(victim);
+            let target = self
+                .sc
+                .net
+                .node_ids()
+                .filter(|&q| q != node && !self.placement.get(victim, q))
+                .map(|q| {
+                    let room =
+                        self.sc.net.storage(q) - self.placement.storage_used(&self.sc.catalog, q);
+                    (room, q)
+                })
+                .filter(|&(room, _)| room >= phi - 1e-9)
+                .max_by(|a, b| a.partial_cmp(b).unwrap());
+            self.placement.set(victim, node, false);
+            match target {
+                Some((_, q)) => {
+                    self.placement.set(victim, q, true);
+                    self.stats.migrations += 1;
+                }
+                None => {
+                    // Removed outright; counts as a (forced) combination.
+                    self.stats.small_removed += 1;
+                }
+            }
+        }
+    }
+
+    /// Run both descents and return the final placement and statistics.
+    pub fn run(mut self) -> (Placement, CombineStats) {
+        self.large_scale();
+        self.stats.objective_after_large = evaluate(self.sc, &self.placement).objective;
+        self.small_scale();
+        self.stats.objective_after_serial = evaluate(self.sc, &self.placement).objective;
+        // Final repair: combination may have stranded demand; one more
+        // migration pass converges to a move-stable local optimum, then
+        // storage is enforced unconditionally.
+        self.relocate_pass();
+        self.enforce_storage();
+        self.stats.final_objective = evaluate(self.sc, &self.placement).objective;
+        (self.placement, self.stats)
+    }
+
+    /// Read-only view of the current placement (for tests).
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::initial_partition;
+    use crate::preprovision::preprovision;
+    use socl_model::ScenarioConfig;
+
+    fn setup(seed: u64, users: usize) -> (Scenario, SoclConfig) {
+        let sc = ScenarioConfig::paper(10, users).build(seed);
+        let cfg = SoclConfig {
+            parallel: false,
+            ..SoclConfig::default()
+        };
+        (sc, cfg)
+    }
+
+    fn run(sc: &Scenario, cfg: &SoclConfig) -> (Placement, CombineStats) {
+        let parts = initial_partition(sc, cfg);
+        let pre = preprovision(sc, &parts, cfg);
+        Combiner::new(sc, cfg, &parts, pre.placement).run()
+    }
+
+    #[test]
+    fn final_placement_respects_budget_when_possible() {
+        let (sc, cfg) = setup(1, 40);
+        let (placement, _) = run(&sc, &cfg);
+        let cost = placement.deployment_cost(&sc.catalog);
+        // One instance of every requested service must fit in the paper's
+        // budgets; then the large-scale loop guarantees the bound.
+        let min_cost: f64 = sc
+            .requested_services()
+            .iter()
+            .map(|&m| sc.catalog.deploy_cost(m))
+            .sum();
+        assert!(min_cost <= sc.budget, "scenario sanity");
+        assert!(cost <= sc.budget + 1e-6, "cost {cost} > budget {}", sc.budget);
+    }
+
+    #[test]
+    fn service_continuity_is_preserved() {
+        let (sc, cfg) = setup(2, 40);
+        let (placement, _) = run(&sc, &cfg);
+        for m in sc.requested_services() {
+            assert!(
+                placement.instance_count(m) >= 1,
+                "{m} lost all instances during combination"
+            );
+        }
+        let ev = evaluate(&sc, &placement);
+        assert_eq!(ev.cloud_fallbacks, 0);
+    }
+
+    #[test]
+    fn storage_constraint_holds_at_the_end() {
+        let (sc, cfg) = setup(3, 50);
+        let (placement, _) = run(&sc, &cfg);
+        assert!(placement.storage_feasible(&sc.catalog, &sc.net));
+    }
+
+    #[test]
+    fn combination_improves_over_preprovisioning_objective() {
+        let (sc, cfg) = setup(4, 40);
+        let parts = initial_partition(&sc, &cfg);
+        let pre = preprovision(&sc, &parts, &cfg);
+        let before = evaluate(&sc, &pre.placement).objective;
+        let (placement, stats) = Combiner::new(&sc, &cfg, &parts, pre.placement).run();
+        let after = evaluate(&sc, &placement).objective;
+        // Combination trades latency for cost; with Θ tolerance the final
+        // objective may sit within Θ·removals of the pre-provisioned one,
+        // but in practice it improves. Allow the tolerance margin.
+        let slack = cfg.theta * (stats.small_removed as f64 + 1.0);
+        assert!(
+            after <= before + slack,
+            "after {after} vs before {before} (slack {slack})"
+        );
+    }
+
+    #[test]
+    fn latency_losses_are_finite_and_sorted() {
+        // ζ may be slightly negative (reconnection can land on a faster CPU
+        // because reliance picks by channel speed alone), but must be finite
+        // — infinite losses mark last-instance removals, which Algorithm 4
+        // filters out — and the list must come back in ascending order.
+        let (sc, cfg) = setup(5, 30);
+        let parts = initial_partition(&sc, &cfg);
+        let pre = preprovision(&sc, &parts, &cfg);
+        let combiner = Combiner::new(&sc, &cfg, &parts, pre.placement.clone());
+        let losses = combiner.update_instance_set(&pre.placement);
+        assert!(!losses.is_empty(), "expected combinable instances");
+        for w in losses.windows(2) {
+            assert!(w[0].0 <= w[1].0, "losses not sorted");
+        }
+        for (z, m, _) in &losses {
+            assert!(z.is_finite());
+            // Only multi-instance services are combinable.
+            assert!(pre.placement.instance_count(*m) > 1);
+        }
+    }
+
+    #[test]
+    fn unused_instance_has_zero_latency_loss() {
+        let (sc, cfg) = setup(5, 30);
+        let parts = initial_partition(&sc, &cfg);
+        let pre = preprovision(&sc, &parts, &cfg);
+        let combiner = Combiner::new(&sc, &cfg, &parts, pre.placement.clone());
+        // Find an instance no user relies on (if any) — its ζ must be 0.
+        for (m, k) in pre.placement.iter_deployed() {
+            if pre.placement.instance_count(m) > 1
+                && combiner.reliers(&pre.placement, m, k).is_empty()
+            {
+                let z = combiner.latency_loss(&pre.placement, m, k);
+                assert_eq!(z, 0.0, "{m}@{k} has no reliers but ζ = {z}");
+            }
+        }
+    }
+
+    #[test]
+    fn tight_latency_bounds_trigger_rollbacks() {
+        let (mut sc, cfg) = setup(6, 40);
+        // Bounds just above the pre-provisioned latency: most combinations
+        // should violate and roll back.
+        let parts = initial_partition(&sc, &cfg);
+        let pre = preprovision(&sc, &parts, &cfg);
+        let ev = evaluate(&sc, &pre.placement);
+        for (r, d) in sc.requests.iter_mut().zip(&ev.per_request) {
+            r.d_max = d * 1.02 + 1e-6;
+        }
+        let parts = initial_partition(&sc, &cfg);
+        let pre = preprovision(&sc, &parts, &cfg);
+        let (placement, stats) = Combiner::new(&sc, &cfg, &parts, pre.placement).run();
+        // Final latencies never exceed the bounds (unless the budget loop
+        // forced removals; with the default generous budget it does not).
+        if placement.deployment_cost(&sc.catalog) <= sc.budget {
+            let ev = evaluate(&sc, &placement);
+            let violations = ev
+                .per_request
+                .iter()
+                .zip(&sc.requests)
+                .filter(|(d, r)| **d > r.d_max + 1e-9)
+                .count();
+            // Large-scale phase does not check Eq. 4 (the paper defers that
+            // to the serial phase), so only require that serial roll-backs
+            // actually happened under these tight bounds.
+            assert!(
+                stats.rollbacks > 0 || violations == 0,
+                "no rollbacks and {violations} violations"
+            );
+        }
+    }
+
+    #[test]
+    fn omega_one_combines_aggressively() {
+        let (mut sc, _) = setup(7, 40);
+        sc.budget = sc.catalog.total_single_cost() * 1.2; // force combining
+        let slow = SoclConfig {
+            omega: 0.05,
+            parallel: false,
+            ..SoclConfig::default()
+        };
+        let fast = SoclConfig {
+            omega: 1.0,
+            parallel: false,
+            ..SoclConfig::default()
+        };
+        let parts = initial_partition(&sc, &slow);
+        let pre_a = preprovision(&sc, &parts, &slow);
+        let (_, stats_slow) = Combiner::new(&sc, &slow, &parts, pre_a.placement).run();
+        let pre_b = preprovision(&sc, &parts, &fast);
+        let (_, stats_fast) = Combiner::new(&sc, &fast, &parts, pre_b.placement).run();
+        if stats_slow.large_rounds > 0 && stats_fast.large_rounds > 0 {
+            assert!(stats_fast.large_rounds <= stats_slow.large_rounds);
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_runs_agree() {
+        let (sc, _) = setup(8, 40);
+        let serial = SoclConfig {
+            parallel: false,
+            ..SoclConfig::default()
+        };
+        let parallel = SoclConfig {
+            parallel: true,
+            ..SoclConfig::default()
+        };
+        let (pa, _) = run(&sc, &serial);
+        let (pb, _) = run(&sc, &parallel);
+        assert_eq!(pa, pb, "parallel evaluation changed the result");
+    }
+
+    #[test]
+    fn cheapest_out_policy_also_terminates_feasibly() {
+        let (sc, _) = setup(9, 50);
+        let cfg = SoclConfig {
+            storage_policy: StoragePolicy::CheapestOut,
+            parallel: false,
+            ..SoclConfig::default()
+        };
+        let (placement, _) = run(&sc, &cfg);
+        assert!(placement.storage_feasible(&sc.catalog, &sc.net));
+        assert!(placement.covers(&sc.requests));
+    }
+}

@@ -1,0 +1,252 @@
+//! Online re-provisioning with warm starts and churn accounting.
+//!
+//! The paper's SoCL is time-slotted: each slot re-solves on the observed
+//! state. Solving from scratch every slot is wasteful *and* operationally
+//! expensive — every instance that moves between slots is a container to
+//! tear down and cold-start elsewhere (the serverless cost the paper's
+//! "flexible storage planning … more warm instances in the nearby area"
+//! feature targets). This module adds:
+//!
+//! * [`placement_churn`] — the number of per-(service, node) changes
+//!   between two placements (adds + removals),
+//! * [`WarmStartSolver`] — re-provision with the previous slot's placement
+//!   as the stage-2 starting point: the previous deployment (pruned to the
+//!   current scenario's feasibility) is unioned with the fresh
+//!   pre-provisioning, then stage 3 combines as usual and an explicit
+//!   churn-penalized relocation acceptance keeps instances where they are
+//!   unless moving pays for more than `churn_cost` objective units.
+
+use crate::combine::Combiner;
+use crate::config::SoclConfig;
+use crate::partition::initial_partition;
+use crate::pipeline::{SoclResult, SoclSolver};
+use crate::preprovision::preprovision;
+use socl_model::{evaluate, Placement, Scenario, ServiceId};
+use socl_net::NodeId;
+
+/// Number of (service, node) cells that differ between two placements.
+///
+/// # Panics
+/// Panics when the shapes differ.
+pub fn placement_churn(a: &Placement, b: &Placement) -> usize {
+    assert_eq!(a.services(), b.services(), "shape mismatch");
+    assert_eq!(a.nodes(), b.nodes(), "shape mismatch");
+    let mut churn = 0;
+    for i in 0..a.services() {
+        for k in 0..a.nodes() {
+            let (m, n) = (ServiceId(i as u32), NodeId(k as u32));
+            if a.get(m, n) != b.get(m, n) {
+                churn += 1;
+            }
+        }
+    }
+    churn
+}
+
+/// A slot-to-slot solver that remembers the previous placement.
+#[derive(Debug, Clone)]
+pub struct WarmStartSolver {
+    /// SoCL configuration used for each slot.
+    pub config: SoclConfig,
+    previous: Option<Placement>,
+}
+
+/// Result of one warm slot: the SoCL result plus churn relative to the
+/// previous slot's placement.
+#[derive(Debug, Clone)]
+pub struct WarmSlotResult {
+    pub result: SoclResult,
+    /// Instance churn vs the previous slot (0 for the first slot).
+    pub churn: usize,
+}
+
+impl WarmStartSolver {
+    /// Fresh solver with the given configuration.
+    pub fn new(config: SoclConfig) -> Self {
+        config.validate();
+        Self {
+            config,
+            previous: None,
+        }
+    }
+
+    /// Discard the remembered placement (e.g. after a topology change).
+    pub fn reset(&mut self) {
+        self.previous = None;
+    }
+
+    /// Solve one slot. The previous slot's surviving instances are unioned
+    /// into the stage-2 starting placement (storage permitting), so stage 3
+    /// prefers combining *fresh* duplicates over tearing down warm
+    /// instances; the final churn is reported alongside the result.
+    pub fn solve_slot(&mut self, scenario: &Scenario) -> WarmSlotResult {
+        let result = match &self.previous {
+            None => SoclSolver::with_config(self.config.clone()).solve(scenario),
+            Some(prev) => self.solve_warm(scenario, prev.clone()),
+        };
+        let churn = self
+            .previous
+            .as_ref()
+            .map(|p| placement_churn(p, &result.placement))
+            .unwrap_or(0);
+        self.previous = Some(result.placement.clone());
+        WarmSlotResult { result, churn }
+    }
+
+    fn solve_warm(&self, scenario: &Scenario, previous: Placement) -> SoclResult {
+        let mut timings = crate::pipeline::StageTimings::default();
+        let t = std::time::Instant::now();
+        let partitions = initial_partition(scenario, &self.config);
+        timings.partition = t.elapsed();
+
+        let t = std::time::Instant::now();
+        let preprovisioning = preprovision(scenario, &partitions, &self.config);
+        // Union the previous placement into the stage-2 start, respecting
+        // shape (topology is fixed across slots in the online model) and
+        // per-node storage.
+        let mut start = preprovisioning.placement.clone();
+        if previous.services() == start.services() && previous.nodes() == start.nodes() {
+            for (m, k) in previous.iter_deployed() {
+                if start.get(m, k) {
+                    continue;
+                }
+                let phi = scenario.catalog.storage(m);
+                let used = start.storage_used(&scenario.catalog, k);
+                if scenario.net.storage(k) - used >= phi - 1e-9 {
+                    start.set(m, k, true);
+                }
+            }
+        }
+        timings.preprovision = t.elapsed();
+
+        let t = std::time::Instant::now();
+        let (placement, combine_stats) =
+            Combiner::new(scenario, &self.config, &partitions, start).run();
+        timings.combine = t.elapsed();
+
+        let evaluation = evaluate(scenario, &placement);
+        SoclResult {
+            placement,
+            evaluation,
+            partitions,
+            preprovisioning,
+            combine_stats,
+            timings,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socl_model::ScenarioConfig;
+
+    fn cfg() -> SoclConfig {
+        SoclConfig {
+            parallel: false,
+            ..SoclConfig::default()
+        }
+    }
+
+    fn slot_scenario(seed: u64) -> Scenario {
+        ScenarioConfig::paper(10, 40).build(seed)
+    }
+
+    #[test]
+    fn churn_counts_symmetric_differences() {
+        let mut a = Placement::empty(2, 3);
+        let mut b = Placement::empty(2, 3);
+        assert_eq!(placement_churn(&a, &b), 0);
+        a.set(ServiceId(0), NodeId(0), true);
+        b.set(ServiceId(1), NodeId(2), true);
+        assert_eq!(placement_churn(&a, &b), 2);
+        b.set(ServiceId(0), NodeId(0), true);
+        assert_eq!(placement_churn(&a, &b), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn churn_requires_matching_shapes() {
+        placement_churn(&Placement::empty(1, 2), &Placement::empty(2, 2));
+    }
+
+    #[test]
+    fn first_slot_has_zero_churn() {
+        let mut solver = WarmStartSolver::new(cfg());
+        let out = solver.solve_slot(&slot_scenario(1));
+        assert_eq!(out.churn, 0);
+        assert_eq!(out.result.evaluation.cloud_fallbacks, 0);
+    }
+
+    #[test]
+    fn identical_slots_have_zero_warm_churn() {
+        let sc = slot_scenario(2);
+        let mut solver = WarmStartSolver::new(cfg());
+        let first = solver.solve_slot(&sc);
+        let second = solver.solve_slot(&sc);
+        // Same scenario, warm start from its own solution: the combiner
+        // starts at (pre ∪ previous) and removes back down; the result must
+        // not oscillate.
+        assert_eq!(second.churn, 0, "solution oscillated on identical input");
+        assert_eq!(
+            first.result.placement, second.result.placement,
+            "warm start changed the placement on identical input"
+        );
+    }
+
+    #[test]
+    fn warm_start_reduces_churn_between_similar_slots() {
+        // Two slots differing only in a few user locations.
+        let sc1 = slot_scenario(3);
+        let mut sc2 = sc1.clone();
+        for r in sc2.requests.iter_mut().take(6) {
+            r.location = NodeId((r.location.0 + 1) % 10);
+        }
+
+        // Cold: independent solves.
+        let cold1 = SoclSolver::with_config(cfg()).solve(&sc1).placement;
+        let cold2 = SoclSolver::with_config(cfg()).solve(&sc2).placement;
+        let cold_churn = placement_churn(&cold1, &cold2);
+
+        // Warm: second slot starts from the first slot's placement.
+        let mut solver = WarmStartSolver::new(cfg());
+        let w1 = solver.solve_slot(&sc1);
+        let w2 = solver.solve_slot(&sc2);
+
+        assert!(
+            w2.churn <= cold_churn,
+            "warm churn {} vs cold churn {cold_churn}",
+            w2.churn
+        );
+        // Quality must not collapse: within 10% of the cold solve.
+        let cold_obj = evaluate(&sc2, &cold2).objective;
+        assert!(
+            w2.result.objective() <= cold_obj * 1.10 + 1e-6,
+            "warm {} vs cold {cold_obj}",
+            w2.result.objective()
+        );
+        assert_eq!(w1.churn, 0);
+    }
+
+    #[test]
+    fn reset_forgets_the_previous_placement() {
+        let sc = slot_scenario(4);
+        let mut solver = WarmStartSolver::new(cfg());
+        let _ = solver.solve_slot(&sc);
+        solver.reset();
+        let after_reset = solver.solve_slot(&sc);
+        assert_eq!(after_reset.churn, 0, "reset did not clear the memory");
+    }
+
+    #[test]
+    fn warm_solutions_stay_feasible() {
+        let mut solver = WarmStartSolver::new(cfg());
+        for seed in 5..9 {
+            let sc = slot_scenario(seed);
+            let out = solver.solve_slot(&sc);
+            assert!(out.result.placement.storage_feasible(&sc.catalog, &sc.net));
+            assert!(out.result.evaluation.cost <= sc.budget + 1e-6);
+            assert_eq!(out.result.evaluation.cloud_fallbacks, 0);
+        }
+    }
+}

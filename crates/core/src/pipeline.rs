@@ -1,0 +1,172 @@
+//! The assembled SoCL pipeline (Figure 5): partition → pre-provision →
+//! multi-scale combination, with per-stage wall-clock timings.
+
+use crate::combine::{CombineStats, Combiner};
+use crate::config::SoclConfig;
+use crate::partition::{initial_partition, ServicePartitions};
+use crate::preprovision::{preprovision, PreProvisioning};
+use socl_model::{evaluate, Evaluation, Placement, Scenario};
+use std::time::{Duration, Instant};
+
+/// Wall-clock time spent in each stage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    pub partition: Duration,
+    pub preprovision: Duration,
+    pub combine: Duration,
+}
+
+impl StageTimings {
+    /// End-to-end solve time.
+    pub fn total(&self) -> Duration {
+        self.partition + self.preprovision + self.combine
+    }
+}
+
+/// Everything SoCL produces for one scenario.
+#[derive(Debug, Clone)]
+pub struct SoclResult {
+    /// The final deployment decision `x`.
+    pub placement: Placement,
+    /// Full evaluation (optimal routing, cost, latency, objective).
+    pub evaluation: Evaluation,
+    /// Stage-1 output (kept for inspection/ablation).
+    pub partitions: ServicePartitions,
+    /// Stage-2 output.
+    pub preprovisioning: PreProvisioning,
+    /// Stage-3 statistics.
+    pub combine_stats: CombineStats,
+    /// Per-stage timings.
+    pub timings: StageTimings,
+}
+
+impl SoclResult {
+    /// The weighted objective `Q` (Eq. 8).
+    pub fn objective(&self) -> f64 {
+        self.evaluation.objective
+    }
+}
+
+/// The SoCL solver: a configuration plus `solve`.
+///
+/// ```
+/// use socl_core::{SoclConfig, SoclSolver};
+/// use socl_model::ScenarioConfig;
+///
+/// let scenario = ScenarioConfig::paper(8, 20).build(7);
+/// let result = SoclSolver::new().solve(&scenario);
+/// assert_eq!(result.evaluation.cloud_fallbacks, 0);
+/// assert!(result.evaluation.cost <= scenario.budget);
+///
+/// // Hyper-parameters are plain fields:
+/// let aggressive = SoclSolver::with_config(SoclConfig { omega: 0.5, ..SoclConfig::default() });
+/// assert!(aggressive.solve(&scenario).objective() > 0.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SoclSolver {
+    pub config: SoclConfig,
+}
+
+impl SoclSolver {
+    /// Solver with the paper's default hyper-parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Solver with a custom configuration.
+    pub fn with_config(config: SoclConfig) -> Self {
+        config.validate();
+        Self { config }
+    }
+
+    /// Run the three stages on `scenario`.
+    pub fn solve(&self, scenario: &Scenario) -> SoclResult {
+        let mut timings = StageTimings::default();
+
+        let t = Instant::now();
+        let partitions = initial_partition(scenario, &self.config);
+        timings.partition = t.elapsed();
+
+        let t = Instant::now();
+        let preprovisioning = preprovision(scenario, &partitions, &self.config);
+        timings.preprovision = t.elapsed();
+
+        let t = Instant::now();
+        let (placement, combine_stats) = Combiner::new(
+            scenario,
+            &self.config,
+            &partitions,
+            preprovisioning.placement.clone(),
+        )
+        .run();
+        timings.combine = t.elapsed();
+
+        let evaluation = evaluate(scenario, &placement);
+        SoclResult {
+            placement,
+            evaluation,
+            partitions,
+            preprovisioning,
+            combine_stats,
+            timings,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socl_model::ScenarioConfig;
+
+    #[test]
+    fn pipeline_produces_feasible_solutions() {
+        for seed in 0..4 {
+            let sc = ScenarioConfig::paper(10, 40).build(seed);
+            let res = SoclSolver::new().solve(&sc);
+            assert_eq!(res.evaluation.cloud_fallbacks, 0, "seed {seed}");
+            assert!(res.placement.storage_feasible(&sc.catalog, &sc.net));
+            assert!(
+                res.evaluation.cost <= sc.budget + 1e-6,
+                "seed {seed}: cost {} > budget {}",
+                res.evaluation.cost,
+                sc.budget
+            );
+            assert!(res.objective() > 0.0);
+        }
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let sc = ScenarioConfig::paper(10, 50).build(7);
+        let a = SoclSolver::new().solve(&sc);
+        let b = SoclSolver::new().solve(&sc);
+        assert_eq!(a.placement, b.placement);
+        assert_eq!(a.objective(), b.objective());
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let sc = ScenarioConfig::paper(10, 40).build(1);
+        let res = SoclSolver::new().solve(&sc);
+        assert!(res.timings.total() > Duration::ZERO);
+        assert_eq!(
+            res.timings.total(),
+            res.timings.partition + res.timings.preprovision + res.timings.combine
+        );
+    }
+
+    #[test]
+    fn scales_to_larger_instances_quickly() {
+        // 200 users / 10 nodes — the paper's largest Figure 8 scale — must
+        // complete in interactive time (the whole point of SoCL).
+        let sc = ScenarioConfig::paper(10, 200).build(2);
+        let t = Instant::now();
+        let res = SoclSolver::new().solve(&sc);
+        assert!(res.evaluation.cloud_fallbacks == 0);
+        assert!(
+            t.elapsed() < Duration::from_secs(30),
+            "SoCL took {:?} on 200 users",
+            t.elapsed()
+        );
+    }
+}

@@ -1,0 +1,476 @@
+//! Branch-and-bound over the LP relaxation.
+//!
+//! Best-first search: nodes are bound tightenings of integer variables,
+//! ordered by their parent relaxation value so the most promising subtree is
+//! expanded first. Branching selects the most fractional integer variable.
+//! The solver prunes on the incumbent, respects wall-clock and node limits,
+//! and reports the final optimality gap so callers can distinguish "proved
+//! optimal" from "ran out of budget" — exactly the behaviour the paper's
+//! Figure 2/7 runtime experiments need from their Gurobi stand-in.
+
+use crate::model::{Model, VarId};
+use crate::simplex::{solve_lp_with_limit, LpStatus};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+/// Termination status of a MILP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MilpStatus {
+    /// Proved optimal.
+    Optimal,
+    /// Proved infeasible.
+    Infeasible,
+    /// The LP relaxation is unbounded.
+    Unbounded,
+    /// Stopped at a limit with an incumbent (objective/gap are valid).
+    FeasibleLimit,
+    /// Stopped at a limit without any incumbent.
+    Limit,
+}
+
+/// Options controlling the search.
+#[derive(Debug, Clone)]
+pub struct MilpOptions {
+    /// Wall-clock budget.
+    pub time_limit: Option<Duration>,
+    /// Maximum number of branch-and-bound nodes.
+    pub node_limit: usize,
+    /// Absolute integrality tolerance.
+    pub int_tol: f64,
+    /// Stop when `incumbent - bound ≤ gap_abs`.
+    pub gap_abs: f64,
+    /// Pivot cap per LP solve.
+    pub lp_iter_limit: usize,
+    /// Run [`crate::presolve::presolve`] before the search (default true):
+    /// singleton rows become bounds, redundant rows are dropped, and
+    /// trivially infeasible models are rejected without touching the simplex.
+    pub presolve: bool,
+}
+
+impl Default for MilpOptions {
+    fn default() -> Self {
+        Self {
+            time_limit: None,
+            node_limit: 2_000_000,
+            int_tol: 1e-6,
+            gap_abs: 1e-6,
+            lp_iter_limit: 200_000,
+            presolve: true,
+        }
+    }
+}
+
+/// Result of a MILP solve.
+#[derive(Debug, Clone)]
+pub struct MilpSolution {
+    pub status: MilpStatus,
+    /// Incumbent objective (valid for `Optimal` / `FeasibleLimit`).
+    pub objective: f64,
+    /// Incumbent variable values.
+    pub values: Vec<f64>,
+    /// Best lower bound proved across the open tree.
+    pub bound: f64,
+    /// Nodes explored.
+    pub nodes: usize,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+impl MilpSolution {
+    /// Relative optimality gap `(incumbent - bound) / max(1, |incumbent|)`.
+    pub fn gap(&self) -> f64 {
+        if self.values.is_empty() {
+            f64::INFINITY
+        } else {
+            (self.objective - self.bound).max(0.0) / self.objective.abs().max(1.0)
+        }
+    }
+}
+
+/// A search node: a set of tightened bounds on integer variables.
+#[derive(Debug, Clone)]
+struct Node {
+    /// `(var, lower, upper)` overrides relative to the root model.
+    bounds: Vec<(VarId, f64, f64)>,
+    /// Parent LP relaxation value (priority).
+    relax: f64,
+}
+
+/// Max-heap by lowest relaxation value first (best-first for minimization).
+struct Prioritized(Node);
+
+impl PartialEq for Prioritized {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.relax == other.0.relax
+    }
+}
+impl Eq for Prioritized {}
+impl Ord for Prioritized {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .0
+            .relax
+            .partial_cmp(&self.0.relax)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+impl PartialOrd for Prioritized {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Solve `model` to integer optimality (or until a limit fires).
+pub fn solve_milp(model: &Model, options: &MilpOptions) -> MilpSolution {
+    let start = Instant::now();
+    // Presolve keeps variable indices stable, so the reduced model can be
+    // searched directly and its solutions are valid for the original.
+    let reduced;
+    let model = if options.presolve {
+        match crate::presolve::presolve(model) {
+            crate::presolve::PresolveResult::Infeasible => {
+                return MilpSolution {
+                    status: MilpStatus::Infeasible,
+                    objective: f64::INFINITY,
+                    values: Vec::new(),
+                    bound: f64::NEG_INFINITY,
+                    nodes: 0,
+                    elapsed: start.elapsed(),
+                }
+            }
+            crate::presolve::PresolveResult::Reduced(p) => {
+                reduced = p.model;
+                &reduced
+            }
+        }
+    } else {
+        model
+    };
+    let int_vars = model.integer_vars();
+    let mut nodes = 0usize;
+
+    let mut incumbent: Option<(f64, Vec<f64>)> = None;
+    let mut heap: BinaryHeap<Prioritized> = BinaryHeap::new();
+    heap.push(Prioritized(Node {
+        bounds: Vec::new(),
+        relax: f64::NEG_INFINITY,
+    }));
+
+    let mut working = model.clone();
+    let mut best_open_bound = f64::NEG_INFINITY;
+    let mut root_status: Option<LpStatus> = None;
+
+    while let Some(Prioritized(node)) = heap.pop() {
+        best_open_bound = node.relax;
+        // Incumbent prune (node.relax is a valid lower bound for the subtree).
+        if let Some((inc, _)) = &incumbent {
+            if node.relax >= *inc - options.gap_abs {
+                // Best-first order ⇒ all remaining nodes are ≥ this bound.
+                best_open_bound = node.relax;
+                break;
+            }
+        }
+        // Limits.
+        if nodes >= options.node_limit
+            || options.time_limit.is_some_and(|t| start.elapsed() >= t)
+        {
+            let status_on_limit = if incumbent.is_some() {
+                MilpStatus::FeasibleLimit
+            } else {
+                MilpStatus::Limit
+            };
+            return finish(
+                model,
+                incumbent,
+                best_open_bound,
+                nodes,
+                start,
+                status_on_limit,
+            );
+        }
+        nodes += 1;
+
+        // Apply node bounds on a fresh copy of the root bounds.
+        for v in &int_vars {
+            let (l, u) = model.bounds(*v);
+            working.set_bounds(*v, l, u);
+        }
+        let mut empty_domain = false;
+        for &(v, l, u) in &node.bounds {
+            if l > u {
+                empty_domain = true;
+                break;
+            }
+            working.set_bounds(v, l, u);
+        }
+        if empty_domain {
+            continue;
+        }
+
+        let lp = solve_lp_with_limit(&working, options.lp_iter_limit);
+        if root_status.is_none() {
+            root_status = Some(lp.status);
+        }
+        match lp.status {
+            LpStatus::Infeasible => continue,
+            LpStatus::Unbounded => {
+                // Only meaningful at the root; deeper nodes inherit it.
+                if nodes == 1 {
+                    return finish(model, None, f64::NEG_INFINITY, nodes, start, MilpStatus::Unbounded);
+                }
+                continue;
+            }
+            LpStatus::IterationLimit => continue,
+            LpStatus::Optimal => {}
+        }
+
+        // Prune on the fresh relaxation too.
+        if let Some((inc, _)) = &incumbent {
+            if lp.objective >= *inc - options.gap_abs {
+                continue;
+            }
+        }
+
+        // Find the most fractional integer variable.
+        let mut branch: Option<(VarId, f64)> = None;
+        let mut best_frac = options.int_tol;
+        for &v in &int_vars {
+            let x = lp.values[v.0];
+            let frac = (x - x.round()).abs();
+            if frac > best_frac {
+                best_frac = frac;
+                branch = Some((v, x));
+            }
+        }
+
+        match branch {
+            None => {
+                // Integral: candidate incumbent (round off tolerance noise).
+                let mut vals = lp.values.clone();
+                for &v in &int_vars {
+                    vals[v.0] = vals[v.0].round();
+                }
+                let obj = model.objective_value(&vals);
+                if model.is_feasible(&vals, 1e-6)
+                    && incumbent.as_ref().is_none_or(|(inc, _)| obj < *inc)
+                {
+                    incumbent = Some((obj, vals));
+                }
+            }
+            Some((v, x)) => {
+                let floor = x.floor();
+                let (root_l, root_u) = {
+                    // Effective bounds at this node.
+                    let mut l = model.bounds(v).0;
+                    let mut u = model.bounds(v).1;
+                    for &(bv, bl, bu) in &node.bounds {
+                        if bv == v {
+                            l = bl;
+                            u = bu;
+                        }
+                    }
+                    (l, u)
+                };
+                // Down child: v ≤ floor(x).
+                if floor >= root_l {
+                    let mut b = node.bounds.clone();
+                    b.retain(|&(bv, _, _)| bv != v);
+                    b.push((v, root_l, floor));
+                    heap.push(Prioritized(Node {
+                        bounds: b,
+                        relax: lp.objective,
+                    }));
+                }
+                // Up child: v ≥ ceil(x).
+                if floor + 1.0 <= root_u {
+                    let mut b = node.bounds.clone();
+                    b.retain(|&(bv, _, _)| bv != v);
+                    b.push((v, floor + 1.0, root_u));
+                    heap.push(Prioritized(Node {
+                        bounds: b,
+                        relax: lp.objective,
+                    }));
+                }
+            }
+        }
+    }
+
+    // Tree exhausted (or bound-closed).
+    let status = match (&incumbent, root_status) {
+        (Some(_), _) => MilpStatus::Optimal,
+        (None, Some(LpStatus::Unbounded)) => MilpStatus::Unbounded,
+        (None, _) => MilpStatus::Infeasible,
+    };
+    let bound = match &incumbent {
+        Some((inc, _)) => *inc, // closed: bound meets incumbent
+        None => best_open_bound,
+    };
+    finish(model, incumbent, bound, nodes, start, status)
+}
+
+fn finish(
+    _model: &Model,
+    incumbent: Option<(f64, Vec<f64>)>,
+    bound: f64,
+    nodes: usize,
+    start: Instant,
+    status: MilpStatus,
+) -> MilpSolution {
+    let (objective, values) = incumbent.unwrap_or((f64::INFINITY, Vec::new()));
+    MilpSolution {
+        status,
+        objective,
+        values,
+        bound,
+        nodes,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Relation, VarKind};
+
+    fn opts() -> MilpOptions {
+        MilpOptions::default()
+    }
+
+    #[test]
+    fn knapsack_small() {
+        // max 10a + 13b + 7c s.t. 3a + 4b + 2c ≤ 6, binary → a+c (17) vs b+c (20).
+        let mut m = Model::new();
+        let a = m.add_binary(-10.0);
+        let b = m.add_binary(-13.0);
+        let c = m.add_binary(-7.0);
+        m.add_constraint([(a, 3.0), (b, 4.0), (c, 2.0)], Relation::Le, 6.0);
+        let s = solve_milp(&m, &opts());
+        assert_eq!(s.status, MilpStatus::Optimal);
+        assert!((s.objective - -20.0).abs() < 1e-6, "obj {}", s.objective);
+        assert_eq!(s.values[a.0].round() as i32, 0);
+        assert_eq!(s.values[b.0].round() as i32, 1);
+        assert_eq!(s.values[c.0].round() as i32, 1);
+    }
+
+    #[test]
+    fn integer_rounding_matters() {
+        // max x + y s.t. 2x + 2y ≤ 3, integers → LP gives 1.5, ILP gives 1.
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 10.0, -1.0, VarKind::Integer);
+        let y = m.add_var(0.0, 10.0, -1.0, VarKind::Integer);
+        m.add_constraint([(x, 2.0), (y, 2.0)], Relation::Le, 3.0);
+        let s = solve_milp(&m, &opts());
+        assert_eq!(s.status, MilpStatus::Optimal);
+        assert!((s.objective - -1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn assignment_problem_exact() {
+        // 3×3 assignment, cost matrix with known optimum 5 (1+3+1... choose
+        // perm minimizing): C = [[4,1,3],[2,0,5],[3,2,2]] → 1 + 2 + 2 = 5.
+        let c = [[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]];
+        let mut m = Model::new();
+        let mut vars = [[VarId(0); 3]; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                vars[i][j] = m.add_binary(c[i][j]);
+            }
+        }
+        for i in 0..3 {
+            m.add_constraint((0..3).map(|j| (vars[i][j], 1.0)), Relation::Eq, 1.0);
+            m.add_constraint((0..3).map(|j| (vars[j][i], 1.0)), Relation::Eq, 1.0);
+        }
+        let s = solve_milp(&m, &opts());
+        assert_eq!(s.status, MilpStatus::Optimal);
+        assert!((s.objective - 5.0).abs() < 1e-6, "obj {}", s.objective);
+    }
+
+    #[test]
+    fn infeasible_milp() {
+        let mut m = Model::new();
+        let x = m.add_binary(1.0);
+        let y = m.add_binary(1.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Relation::Ge, 3.0);
+        let s = solve_milp(&m, &opts());
+        assert_eq!(s.status, MilpStatus::Infeasible);
+    }
+
+    #[test]
+    fn pure_lp_passes_through() {
+        let mut m = Model::new();
+        let x = m.add_continuous(4.0, -1.0);
+        m.add_constraint([(x, 1.0)], Relation::Le, 2.5);
+        let s = solve_milp(&m, &opts());
+        assert_eq!(s.status, MilpStatus::Optimal);
+        assert!((s.objective - -2.5).abs() < 1e-6);
+        assert_eq!(s.nodes, 1);
+    }
+
+    #[test]
+    fn node_limit_reports_limit_status() {
+        // A knapsack big enough to need > 1 node.
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..12)
+            .map(|i| m.add_binary(-((i % 5 + 1) as f64)))
+            .collect();
+        m.add_constraint(
+            vars.iter().enumerate().map(|(i, &v)| (v, (i % 3 + 1) as f64)),
+            Relation::Le,
+            7.0,
+        );
+        let s = solve_milp(
+            &m,
+            &MilpOptions {
+                node_limit: 1,
+                ..opts()
+            },
+        );
+        assert!(matches!(
+            s.status,
+            MilpStatus::Limit | MilpStatus::FeasibleLimit | MilpStatus::Optimal
+        ));
+    }
+
+    #[test]
+    fn gap_is_zero_when_proved_optimal() {
+        let mut m = Model::new();
+        let x = m.add_binary(-1.0);
+        let y = m.add_binary(-1.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Relation::Le, 1.0);
+        let s = solve_milp(&m, &opts());
+        assert_eq!(s.status, MilpStatus::Optimal);
+        assert!(s.gap() < 1e-6);
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // min -y s.t. y ≤ x + 0.5, x binary, y ∈ [0, 2] → x=1, y=1.5.
+        let mut m = Model::new();
+        let x = m.add_binary(0.0);
+        let y = m.add_var(0.0, 2.0, -1.0, VarKind::Continuous);
+        m.add_constraint([(y, 1.0), (x, -1.0)], Relation::Le, 0.5);
+        let s = solve_milp(&m, &opts());
+        assert_eq!(s.status, MilpStatus::Optimal);
+        assert!((s.objective - -1.5).abs() < 1e-6);
+        assert_eq!(s.values[x.0].round() as i32, 1);
+    }
+
+    #[test]
+    fn solution_is_integral_and_feasible() {
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..8).map(|i| m.add_binary(-(1.0 + i as f64 * 0.3))).collect();
+        m.add_constraint(
+            vars.iter().enumerate().map(|(i, &v)| (v, 1.0 + (i * i % 4) as f64)),
+            Relation::Le,
+            6.0,
+        );
+        m.add_constraint([(vars[0], 1.0), (vars[1], 1.0)], Relation::Le, 1.0);
+        let s = solve_milp(&m, &opts());
+        assert_eq!(s.status, MilpStatus::Optimal);
+        assert!(m.is_feasible(&s.values, 1e-6));
+        for &v in &s.values {
+            assert!((v - v.round()).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # socl-milp — a from-scratch LP/MILP solver
+//!
+//! The SoCL paper solves its ILP reformulation (Definition 4) with Gurobi.
+//! Mature MILP solvers are not available as pure-Rust crates, so this crate
+//! implements the required machinery from scratch:
+//!
+//! * a model-builder API ([`model::Model`]) with bounded continuous, integer
+//!   and binary variables and `≤ / = / ≥` linear constraints,
+//! * a dense two-phase primal simplex ([`simplex`]) for the LP relaxation,
+//! * a best-first branch-and-bound MILP solver ([`branch_bound`]) with
+//!   most-fractional branching, incumbent pruning, and node/time limits.
+//!
+//! The solver is exact on the instances the test-suite and the paper's
+//! small-scale experiments use; it intentionally favours clarity and
+//! robustness over large-scale performance (the paper's point is precisely
+//! that exact solving does not scale — our Figure 2/7 harnesses rely on that
+//! behaviour being reproduced, not avoided).
+
+pub mod branch_bound;
+pub mod model;
+pub mod presolve;
+pub mod simplex;
+
+pub use branch_bound::{solve_milp, MilpOptions, MilpSolution, MilpStatus};
+pub use model::{Constraint, Model, Relation, VarId, VarKind};
+pub use presolve::{presolve, Presolved, PresolveResult};
+pub use simplex::{solve_lp, LpSolution, LpStatus};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,292 @@
+//! Model-builder API for linear and mixed-integer programs.
+//!
+//! Minimization is canonical: `Model` always *minimizes* its objective
+//! (negate coefficients to maximize). Variables carry bounds and a kind
+//! (continuous / integer / binary); constraints are sparse linear rows.
+
+/// Handle to a model variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(pub usize);
+
+/// Domain of a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    /// Real-valued within its bounds.
+    Continuous,
+    /// Integer-valued within its bounds.
+    Integer,
+    /// Shorthand for integer in `[0, 1]`.
+    Binary,
+}
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+}
+
+/// A sparse linear constraint.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// `(variable, coefficient)` terms; one entry per variable at most.
+    pub terms: Vec<(VarId, f64)>,
+    pub relation: Relation,
+    pub rhs: f64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Variable {
+    pub lower: f64,
+    pub upper: f64,
+    pub obj: f64,
+    pub kind: VarKind,
+}
+
+/// A linear / mixed-integer program (always a minimization).
+///
+/// ```
+/// use socl_milp::{solve_milp, MilpOptions, MilpStatus, Model, Relation};
+///
+/// // max 10a + 13b + 7c  s.t.  3a + 4b + 2c ≤ 6,  a,b,c binary
+/// // (negate for minimization)
+/// let mut m = Model::new();
+/// let a = m.add_binary(-10.0);
+/// let b = m.add_binary(-13.0);
+/// let c = m.add_binary(-7.0);
+/// m.add_constraint([(a, 3.0), (b, 4.0), (c, 2.0)], Relation::Le, 6.0);
+///
+/// let sol = solve_milp(&m, &MilpOptions::default());
+/// assert_eq!(sol.status, MilpStatus::Optimal);
+/// assert!((sol.objective - -20.0).abs() < 1e-6); // b + c
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    pub(crate) vars: Vec<Variable>,
+    pub(crate) constraints: Vec<Constraint>,
+}
+
+impl Model {
+    /// Empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a variable with the given bounds, objective coefficient and kind.
+    ///
+    /// # Panics
+    /// Panics if `lower > upper` or a bound is NaN.
+    pub fn add_var(&mut self, lower: f64, upper: f64, obj: f64, kind: VarKind) -> VarId {
+        assert!(!lower.is_nan() && !upper.is_nan(), "NaN bound");
+        let (lower, upper) = match kind {
+            VarKind::Binary => (lower.max(0.0), upper.min(1.0)),
+            _ => (lower, upper),
+        };
+        assert!(lower <= upper, "empty domain [{lower}, {upper}]");
+        let id = VarId(self.vars.len());
+        self.vars.push(Variable {
+            lower,
+            upper,
+            obj,
+            kind,
+        });
+        id
+    }
+
+    /// Convenience: a binary variable with objective coefficient `obj`.
+    pub fn add_binary(&mut self, obj: f64) -> VarId {
+        self.add_var(0.0, 1.0, obj, VarKind::Binary)
+    }
+
+    /// Convenience: a non-negative continuous variable.
+    pub fn add_continuous(&mut self, upper: f64, obj: f64) -> VarId {
+        self.add_var(0.0, upper, obj, VarKind::Continuous)
+    }
+
+    /// Add a constraint `Σ aᵢxᵢ (≤|=|≥) rhs`. Terms with duplicate variables
+    /// are merged; zero coefficients are dropped.
+    ///
+    /// # Panics
+    /// Panics on out-of-range variable ids or NaN coefficients.
+    pub fn add_constraint(
+        &mut self,
+        terms: impl IntoIterator<Item = (VarId, f64)>,
+        relation: Relation,
+        rhs: f64,
+    ) {
+        assert!(!rhs.is_nan(), "NaN rhs");
+        let mut merged: Vec<(VarId, f64)> = Vec::new();
+        for (v, c) in terms {
+            assert!(v.0 < self.vars.len(), "variable {v:?} out of range");
+            assert!(!c.is_nan(), "NaN coefficient");
+            if let Some(e) = merged.iter_mut().find(|(mv, _)| *mv == v) {
+                e.1 += c;
+            } else {
+                merged.push((v, c));
+            }
+        }
+        merged.retain(|(_, c)| c.abs() > 1e-15);
+        self.constraints.push(Constraint {
+            terms: merged,
+            relation,
+            rhs,
+        });
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Variable ids of integer/binary variables.
+    pub fn integer_vars(&self) -> Vec<VarId> {
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| matches!(v.kind, VarKind::Integer | VarKind::Binary))
+            .map(|(i, _)| VarId(i))
+            .collect()
+    }
+
+    /// Bounds of a variable.
+    pub fn bounds(&self, v: VarId) -> (f64, f64) {
+        (self.vars[v.0].lower, self.vars[v.0].upper)
+    }
+
+    /// Objective coefficient of a variable.
+    pub fn objective_coeff(&self, v: VarId) -> f64 {
+        self.vars[v.0].obj
+    }
+
+    /// Tighten a variable's bounds (used by branch-and-bound).
+    ///
+    /// # Panics
+    /// Panics if the new interval is empty.
+    pub fn set_bounds(&mut self, v: VarId, lower: f64, upper: f64) {
+        assert!(lower <= upper, "empty domain for {v:?}");
+        self.vars[v.0].lower = lower;
+        self.vars[v.0].upper = upper;
+    }
+
+    /// Evaluate the objective at `x`.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.vars
+            .iter()
+            .zip(x)
+            .map(|(v, &xi)| v.obj * xi)
+            .sum()
+    }
+
+    /// Check whether `x` satisfies all constraints and bounds within `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.vars.len() {
+            return false;
+        }
+        for (v, &xi) in self.vars.iter().zip(x) {
+            if xi < v.lower - tol || xi > v.upper + tol {
+                return false;
+            }
+            if matches!(v.kind, VarKind::Integer | VarKind::Binary)
+                && (xi - xi.round()).abs() > tol
+            {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.terms.iter().map(|&(v, a)| a * x[v.0]).sum();
+            let ok = match c.relation {
+                Relation::Le => lhs <= c.rhs + tol,
+                Relation::Eq => (lhs - c.rhs).abs() <= tol,
+                Relation::Ge => lhs >= c.rhs - tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_var_and_bounds() {
+        let mut m = Model::new();
+        let x = m.add_var(-1.0, 5.0, 2.0, VarKind::Continuous);
+        assert_eq!(m.bounds(x), (-1.0, 5.0));
+        assert_eq!(m.objective_coeff(x), 2.0);
+        assert_eq!(m.num_vars(), 1);
+    }
+
+    #[test]
+    fn binary_bounds_are_clamped() {
+        let mut m = Model::new();
+        let b = m.add_var(-3.0, 9.0, 1.0, VarKind::Binary);
+        assert_eq!(m.bounds(b), (0.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn inverted_bounds_rejected() {
+        Model::new().add_var(2.0, 1.0, 0.0, VarKind::Continuous);
+    }
+
+    #[test]
+    fn duplicate_terms_are_merged() {
+        let mut m = Model::new();
+        let x = m.add_continuous(10.0, 1.0);
+        m.add_constraint([(x, 1.0), (x, 2.0)], Relation::Le, 6.0);
+        assert_eq!(m.constraints[0].terms, vec![(x, 3.0)]);
+    }
+
+    #[test]
+    fn zero_terms_are_dropped() {
+        let mut m = Model::new();
+        let x = m.add_continuous(10.0, 1.0);
+        let y = m.add_continuous(10.0, 1.0);
+        m.add_constraint([(x, 0.0), (y, 1.0)], Relation::Ge, 1.0);
+        assert_eq!(m.constraints[0].terms, vec![(y, 1.0)]);
+    }
+
+    #[test]
+    fn feasibility_checker() {
+        let mut m = Model::new();
+        let x = m.add_binary(1.0);
+        let y = m.add_continuous(10.0, 1.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Relation::Le, 5.0);
+        assert!(m.is_feasible(&[1.0, 3.0], 1e-9));
+        assert!(!m.is_feasible(&[1.0, 5.0], 1e-9)); // constraint violated
+        assert!(!m.is_feasible(&[0.5, 1.0], 1e-9)); // fractional binary
+        assert!(!m.is_feasible(&[0.0, -1.0], 1e-9)); // bound violated
+        assert!(!m.is_feasible(&[0.0], 1e-9)); // wrong arity
+    }
+
+    #[test]
+    fn objective_evaluation() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0, 3.0, VarKind::Continuous);
+        let _y = m.add_var(0.0, 1.0, -2.0, VarKind::Continuous);
+        assert_eq!(m.objective_value(&[1.0, 0.5]), 2.0);
+        assert_eq!(m.objective_coeff(x), 3.0);
+    }
+
+    #[test]
+    fn integer_vars_listing() {
+        let mut m = Model::new();
+        let _a = m.add_continuous(1.0, 0.0);
+        let b = m.add_binary(0.0);
+        let c = m.add_var(0.0, 7.0, 0.0, VarKind::Integer);
+        assert_eq!(m.integer_vars(), vec![b, c]);
+    }
+}

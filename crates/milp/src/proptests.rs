@@ -1,0 +1,180 @@
+//! Property tests: the simplex and branch-and-bound against brute force.
+
+use crate::branch_bound::{solve_milp, MilpOptions, MilpStatus};
+use crate::model::{Model, Relation, VarId};
+use crate::simplex::{solve_lp, LpStatus};
+use proptest::prelude::*;
+
+/// A random binary program with n ≤ 10 variables and a few knapsack-style
+/// rows, solvable by brute force.
+#[derive(Debug, Clone)]
+struct BinaryProgram {
+    n: usize,
+    obj: Vec<f64>,
+    rows: Vec<(Vec<f64>, f64)>, // Σ aᵢxᵢ ≤ b
+}
+
+fn arb_binary_program() -> impl Strategy<Value = BinaryProgram> {
+    (2usize..=9, 1usize..=3).prop_flat_map(|(n, m)| {
+        let obj = proptest::collection::vec(-10.0f64..10.0, n);
+        let rows = proptest::collection::vec(
+            (proptest::collection::vec(0.0f64..5.0, n), 2.0f64..12.0),
+            m,
+        );
+        (obj, rows).prop_map(move |(obj, rows)| BinaryProgram { n, obj, rows })
+    })
+}
+
+impl BinaryProgram {
+    fn to_model(&self) -> (Model, Vec<VarId>) {
+        let mut m = Model::new();
+        let vars: Vec<VarId> = self.obj.iter().map(|&c| m.add_binary(c)).collect();
+        for (coeffs, b) in &self.rows {
+            m.add_constraint(
+                vars.iter().zip(coeffs).map(|(&v, &a)| (v, a)),
+                Relation::Le,
+                *b,
+            );
+        }
+        (m, vars)
+    }
+
+    /// Brute-force optimum over all 2^n assignments (always feasible:
+    /// all-zero satisfies every row since a ≥ 0 and b > 0).
+    fn brute_force(&self) -> f64 {
+        let mut best = f64::INFINITY;
+        for mask in 0u32..(1 << self.n) {
+            let x: Vec<f64> = (0..self.n)
+                .map(|i| ((mask >> i) & 1) as f64)
+                .collect();
+            let ok = self.rows.iter().all(|(coeffs, b)| {
+                coeffs.iter().zip(&x).map(|(a, xi)| a * xi).sum::<f64>() <= *b + 1e-9
+            });
+            if ok {
+                let obj: f64 = self.obj.iter().zip(&x).map(|(c, xi)| c * xi).sum();
+                best = best.min(obj);
+            }
+        }
+        best
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Branch-and-bound matches exhaustive enumeration on binary programs.
+    #[test]
+    fn milp_matches_brute_force(bp in arb_binary_program()) {
+        let (m, _) = bp.to_model();
+        let sol = solve_milp(&m, &MilpOptions::default());
+        prop_assert_eq!(sol.status, MilpStatus::Optimal);
+        let exact = bp.brute_force();
+        prop_assert!((sol.objective - exact).abs() < 1e-5,
+            "bb {} vs brute {}", sol.objective, exact);
+        prop_assert!(m.is_feasible(&sol.values, 1e-6));
+    }
+
+    /// The LP relaxation lower-bounds the ILP optimum.
+    #[test]
+    fn lp_bounds_ilp(bp in arb_binary_program()) {
+        let (m, _) = bp.to_model();
+        let lp = solve_lp(&m);
+        prop_assert_eq!(lp.status, LpStatus::Optimal);
+        let exact = bp.brute_force();
+        prop_assert!(lp.objective <= exact + 1e-6,
+            "relaxation {} above integer optimum {}", lp.objective, exact);
+    }
+
+    /// The simplex solution satisfies all constraints and bounds.
+    #[test]
+    fn lp_solution_feasible(bp in arb_binary_program()) {
+        let (m, _) = bp.to_model();
+        let lp = solve_lp(&m);
+        prop_assert_eq!(lp.status, LpStatus::Optimal);
+        // Feasible ignoring integrality: check rows and [0,1] box manually.
+        for (v, &x) in lp.values.iter().enumerate() {
+            prop_assert!((-1e-6..=1.0 + 1e-6).contains(&x), "var {v} = {x}");
+        }
+        for (coeffs, b) in &bp.rows {
+            let lhs: f64 = coeffs.iter().zip(&lp.values).map(|(a, x)| a * x).sum();
+            prop_assert!(lhs <= b + 1e-6);
+        }
+    }
+
+    /// Solving twice gives identical results (determinism).
+    #[test]
+    fn deterministic(bp in arb_binary_program()) {
+        let (m, _) = bp.to_model();
+        let a = solve_milp(&m, &MilpOptions::default());
+        let b = solve_milp(&m, &MilpOptions::default());
+        prop_assert_eq!(a.status, b.status);
+        prop_assert_eq!(a.objective, b.objective);
+        prop_assert_eq!(a.nodes, b.nodes);
+    }
+
+    /// Presolve never changes the proven optimum.
+    #[test]
+    fn presolve_is_transparent(bp in arb_binary_program()) {
+        let (m, _) = bp.to_model();
+        let with = solve_milp(&m, &MilpOptions::default());
+        let without = solve_milp(&m, &MilpOptions { presolve: false, ..MilpOptions::default() });
+        prop_assert_eq!(with.status, without.status);
+        if with.status == MilpStatus::Optimal {
+            prop_assert!((with.objective - without.objective).abs() < 1e-6,
+                "presolve changed the optimum: {} vs {}", with.objective, without.objective);
+        }
+    }
+
+    /// Adding a redundant constraint never changes the optimum.
+    #[test]
+    fn redundant_row_invariance(bp in arb_binary_program()) {
+        let (m, vars) = bp.to_model();
+        let base = solve_milp(&m, &MilpOptions::default());
+        let mut m2 = m.clone();
+        // Σ xᵢ ≤ n is implied by binarity.
+        m2.add_constraint(vars.iter().map(|&v| (v, 1.0)), Relation::Le, bp.n as f64);
+        let with = solve_milp(&m2, &MilpOptions::default());
+        prop_assert!((base.objective - with.objective).abs() < 1e-6);
+    }
+}
+
+/// Equality-constrained integer program cross-check: exact cover style.
+#[test]
+fn equality_cover() {
+    // Choose exactly 2 of 4 items minimizing cost, with item pair conflicts.
+    let mut m = Model::new();
+    let costs = [5.0, 3.0, 4.0, 6.0];
+    let vars: Vec<VarId> = costs.iter().map(|&c| m.add_binary(c)).collect();
+    m.add_constraint(vars.iter().map(|&v| (v, 1.0)), Relation::Eq, 2.0);
+    // items 1 and 2 conflict
+    m.add_constraint([(vars[1], 1.0), (vars[2], 1.0)], Relation::Le, 1.0);
+    let sol = solve_milp(&m, &MilpOptions::default());
+    assert_eq!(sol.status, MilpStatus::Optimal);
+    // Best: {1, 0} = 8? options: {0,1}=8, {0,2}=9, {0,3}=11, {1,3}=9, {2,3}=10.
+    assert!((sol.objective - 8.0).abs() < 1e-6, "obj {}", sol.objective);
+}
+
+/// Timeout produces a limit status, not a wrong answer.
+#[test]
+fn time_limit_is_honored() {
+    use std::time::Duration;
+    // A 24-variable knapsack; with a zero time budget we must get a limit
+    // status immediately.
+    let mut m = Model::new();
+    let vars: Vec<VarId> = (0..24).map(|i| m.add_binary(-((i % 7 + 1) as f64))).collect();
+    m.add_constraint(
+        vars.iter()
+            .enumerate()
+            .map(|(i, &v)| (v, ((i * 13) % 5 + 1) as f64)),
+        Relation::Le,
+        20.0,
+    );
+    let sol = solve_milp(
+        &m,
+        &MilpOptions {
+            time_limit: Some(Duration::ZERO),
+            ..MilpOptions::default()
+        },
+    );
+    assert!(matches!(sol.status, MilpStatus::Limit | MilpStatus::FeasibleLimit));
+}

@@ -1,0 +1,181 @@
+//! The completion-time model `𝒟_h` (Section III.C, Eq. 2).
+//!
+//! For a request `u_h` whose chain positions are served by the node sequence
+//! `route = [loc(m_1), …, loc(m_n)]`:
+//!
+//! ```text
+//! 𝒟_h = d_in + Σ_j d_c(m_j) + Σ_j d_l(e_{m_j → m_{j+1}}) + d_out
+//! d_in  = 1[f(u)≠loc(m_1)] · r_in · w(f(u), loc(m_1))        (latency path)
+//! d_c   = q(m_j) / c(loc(m_j))
+//! d_l   = r_{j→j+1} · w(loc(m_j), loc(m_{j+1}))              (latency path)
+//! d_out = 1[loc(m_n)≠f(u)] · r_out · w*(loc(m_n), f(u))      (min-hop π*)
+//! ```
+//!
+//! where `w` is the per-GB weight of the latency-optimal path and `w*` the
+//! weight along the minimum-hop path (the paper's `π*` return route).
+//!
+//! Note on `d_out`: the paper's formula writes `π*(v_d, v_s)`; since `d_out`
+//! is described as "the time taken to return the results to the user", we
+//! return to the user's associated node `f(u_h)`, which coincides with the
+//! paper's notation whenever the user is attached at the chain head.
+
+use crate::request::UserRequest;
+use crate::service::ServiceCatalog;
+use socl_net::{AllPairs, EdgeNetwork, NodeId};
+
+/// The four additive components of `𝒟_h`, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CompletionBreakdown {
+    /// Upload delay `d_in`.
+    pub d_in: f64,
+    /// Total processing delay `Σ d_c`.
+    pub compute: f64,
+    /// Total inter-service transfer delay `Σ d_l`.
+    pub transfer: f64,
+    /// Result return delay `d_out`.
+    pub d_out: f64,
+}
+
+impl CompletionBreakdown {
+    /// The completion time `𝒟_h = d_in + Σd_c + Σd_l + d_out`.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.d_in + self.compute + self.transfer + self.d_out
+    }
+}
+
+/// Compute `𝒟_h` for `request` served along `route`.
+///
+/// `route` must contain one hosting node per chain position.
+///
+/// # Panics
+/// Panics if `route.len() != request.chain.len()`.
+pub fn completion_time(
+    request: &UserRequest,
+    route: &[NodeId],
+    net: &EdgeNetwork,
+    ap: &AllPairs,
+    catalog: &ServiceCatalog,
+) -> CompletionBreakdown {
+    assert_eq!(
+        route.len(),
+        request.chain.len(),
+        "route length must match chain length for {}",
+        request.id
+    );
+    let mut b = CompletionBreakdown::default();
+
+    // d_in: user node → first service host, latency-optimal path.
+    b.d_in = ap.transfer_time(request.location, route[0], request.r_in);
+
+    // Compute cycles.
+    for (j, &m) in request.chain.iter().enumerate() {
+        b.compute += catalog.compute(m) / net.compute(route[j]);
+    }
+
+    // Inter-service transfers.
+    for (j, &r) in request.edge_data.iter().enumerate() {
+        b.transfer += ap.transfer_time(route[j], route[j + 1], r);
+    }
+
+    // d_out: last service host → user node along the min-hop return path π*.
+    let last = *route.last().unwrap();
+    b.d_out = ap.return_time(last, request.location, request.r_out);
+
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::UserId;
+    use crate::service::{Microservice, ServiceId};
+    use socl_net::{EdgeServer, LinkParams};
+
+    /// Line v0 -10GB/s- v1 -20GB/s- v2; c(v0)=5, c(v1)=10, c(v2)=20.
+    fn fixture() -> (EdgeNetwork, AllPairs, ServiceCatalog) {
+        let mut net = EdgeNetwork::new();
+        net.push_server(EdgeServer::new(5.0, 8.0));
+        net.push_server(EdgeServer::new(10.0, 8.0));
+        net.push_server(EdgeServer::new(20.0, 8.0));
+        net.add_link(NodeId(0), NodeId(1), LinkParams::from_rate(10.0));
+        net.add_link(NodeId(1), NodeId(2), LinkParams::from_rate(20.0));
+        let ap = AllPairs::compute(&net);
+        let cat = ServiceCatalog::from_services(vec![
+            Microservice::new(100.0, 1.0, 2.0), // m0: q=2
+            Microservice::new(100.0, 1.0, 4.0), // m1: q=4
+        ]);
+        (net, ap, cat)
+    }
+
+    fn request() -> UserRequest {
+        UserRequest::new(
+            UserId(0),
+            NodeId(0),
+            vec![ServiceId(0), ServiceId(1)],
+            vec![2.0], // 2 GB between m0 and m1
+            1.0,       // 1 GB up
+            0.5,       // 0.5 GB down
+            10.0,
+        )
+    }
+
+    #[test]
+    fn all_local_has_no_network_delay() {
+        let (net, ap, cat) = fixture();
+        let req = request();
+        let b = completion_time(&req, &[NodeId(0), NodeId(0)], &net, &ap, &cat);
+        assert_eq!(b.d_in, 0.0);
+        assert_eq!(b.transfer, 0.0);
+        assert_eq!(b.d_out, 0.0);
+        // q/c: 2/5 + 4/5
+        assert!((b.compute - 1.2).abs() < 1e-12);
+        assert!((b.total() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remote_chain_accumulates_each_term() {
+        let (net, ap, cat) = fixture();
+        let req = request();
+        // m0 on v1, m1 on v2.
+        let b = completion_time(&req, &[NodeId(1), NodeId(2)], &net, &ap, &cat);
+        // d_in: 1 GB over v0→v1 at 10 GB/s = 0.1 s.
+        assert!((b.d_in - 0.1).abs() < 1e-12);
+        // compute: 2/10 + 4/20 = 0.4 s.
+        assert!((b.compute - 0.4).abs() < 1e-12);
+        // transfer: 2 GB over v1→v2 at 20 GB/s = 0.1 s.
+        assert!((b.transfer - 0.1).abs() < 1e-12);
+        // d_out: 0.5 GB back v2→v0: 0.5·(1/20+1/10) = 0.075 s.
+        assert!((b.d_out - 0.075).abs() < 1e-12);
+        assert!((b.total() - 0.675).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faster_server_reduces_compute_term() {
+        let (net, ap, cat) = fixture();
+        let req = request();
+        let slow = completion_time(&req, &[NodeId(0), NodeId(0)], &net, &ap, &cat);
+        // Same placement topology-wise (single node) but on the fast server:
+        let mut req2 = req.clone();
+        req2.location = NodeId(2);
+        let fast = completion_time(&req2, &[NodeId(2), NodeId(2)], &net, &ap, &cat);
+        assert!(fast.compute < slow.compute);
+    }
+
+    #[test]
+    #[should_panic(expected = "route length")]
+    fn mismatched_route_rejected() {
+        let (net, ap, cat) = fixture();
+        let req = request();
+        completion_time(&req, &[NodeId(0)], &net, &ap, &cat);
+    }
+
+    #[test]
+    fn breakdown_total_is_sum_of_parts() {
+        let (net, ap, cat) = fixture();
+        let req = request();
+        let b = completion_time(&req, &[NodeId(2), NodeId(1)], &net, &ap, &cat);
+        assert!((b.total() - (b.d_in + b.compute + b.transfer + b.d_out)).abs() < 1e-15);
+        assert!(b.total() > 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests spanning the model crate.
+
+use crate::objective::evaluate;
+use crate::placement::Placement;
+use crate::routing::{greedy_route, optimal_route, RouteOutcome};
+use crate::scenario::{Scenario, ScenarioConfig};
+use crate::service::ServiceId;
+use proptest::prelude::*;
+use socl_net::NodeId;
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (3usize..=10, 5usize..=25, any::<u64>())
+        .prop_map(|(nodes, users, seed)| ScenarioConfig::paper(nodes, users).build(seed))
+}
+
+/// Random placement with roughly `density` of all (service, node) pairs set,
+/// patched to cover all requested services.
+fn random_covering_placement(sc: &Scenario, density: f64, seed: u64) -> Placement {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = Placement::empty(sc.services(), sc.nodes());
+    for i in 0..sc.services() {
+        for k in 0..sc.nodes() {
+            if rng.gen::<f64>() < density {
+                p.set(ServiceId(i as u32), NodeId(k as u32), true);
+            }
+        }
+    }
+    for m in sc.requested_services() {
+        if p.instance_count(m) == 0 {
+            let k = rng.gen_range(0..sc.nodes());
+            p.set(m, NodeId(k as u32), true);
+        }
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// DP routing is never worse than greedy routing on any scenario.
+    #[test]
+    fn dp_dominates_greedy(sc in arb_scenario(), density in 0.2f64..0.9, pseed in any::<u64>()) {
+        let p = random_covering_placement(&sc, density, pseed);
+        for req in &sc.requests {
+            let o = optimal_route(req, &p, &sc.net, &sc.ap, &sc.catalog);
+            let g = greedy_route(req, &p, &sc.net, &sc.ap, &sc.catalog);
+            match (&o, &g) {
+                (RouteOutcome::Edge { breakdown: ob, .. }, RouteOutcome::Edge { breakdown: gb, .. }) => {
+                    prop_assert!(ob.total() <= gb.total() + 1e-9,
+                        "{}: dp {} > greedy {}", req.id, ob.total(), gb.total());
+                }
+                (RouteOutcome::CloudFallback, RouteOutcome::CloudFallback) => {}
+                _ => prop_assert!(false, "dp and greedy disagree on feasibility"),
+            }
+        }
+    }
+
+    /// Adding instances never increases any request's optimal latency
+    /// (monotonicity of the routing relaxation).
+    #[test]
+    fn more_instances_never_hurt_latency(sc in arb_scenario(), pseed in any::<u64>()) {
+        let small = random_covering_placement(&sc, 0.3, pseed);
+        let mut big = small.clone();
+        // Add instances everywhere for service 0 and on node 0 for all.
+        for k in 0..sc.nodes() {
+            big.set(ServiceId(0), NodeId(k as u32), true);
+        }
+        for i in 0..sc.services() {
+            big.set(ServiceId(i as u32), NodeId(0), true);
+        }
+        let ev_small = evaluate(&sc, &small);
+        let ev_big = evaluate(&sc, &big);
+        for (a, b) in ev_small.per_request.iter().zip(&ev_big.per_request) {
+            prop_assert!(b <= &(a + 1e-9), "latency rose after adding instances");
+        }
+        prop_assert!(ev_big.cost >= ev_small.cost);
+    }
+
+    /// Routing respects Eq. 9/10: exactly one node per chain position, every
+    /// node hosts the service it serves.
+    #[test]
+    fn routing_respects_decision_constraints(sc in arb_scenario(), pseed in any::<u64>()) {
+        let p = random_covering_placement(&sc, 0.4, pseed);
+        let ev = evaluate(&sc, &p);
+        prop_assert!(ev.assignment.consistent_with(&p, &sc.requests));
+        for (h, req) in sc.requests.iter().enumerate() {
+            if let Some(route) = ev.assignment.route(h) {
+                prop_assert_eq!(route.len(), req.chain.len());
+            }
+        }
+    }
+
+    /// The objective is exactly λ·cost + (1-λ)·scale·latency.
+    #[test]
+    fn objective_identity(sc in arb_scenario(), density in 0.2f64..0.9, pseed in any::<u64>()) {
+        let p = random_covering_placement(&sc, density, pseed);
+        let ev = evaluate(&sc, &p);
+        let manual = sc.lambda * ev.cost
+            + (1.0 - sc.lambda) * sc.latency_scale * ev.total_latency;
+        prop_assert!((ev.objective - manual).abs() < 1e-6);
+        prop_assert!((ev.per_request.iter().sum::<f64>() - ev.total_latency).abs() < 1e-6);
+    }
+
+    /// Evaluation is deterministic.
+    #[test]
+    fn evaluation_deterministic(sc in arb_scenario(), pseed in any::<u64>()) {
+        let p = random_covering_placement(&sc, 0.5, pseed);
+        let a = evaluate(&sc, &p);
+        let b = evaluate(&sc, &p);
+        prop_assert_eq!(a.objective, b.objective);
+        prop_assert_eq!(a.per_request, b.per_request);
+    }
+
+    /// Full placement gives per-request latencies that lower-bound every
+    /// covering placement's (the full placement is the latency-optimal
+    /// relaxation).
+    #[test]
+    fn full_placement_is_latency_lower_bound(sc in arb_scenario(), pseed in any::<u64>()) {
+        let full = Placement::full(sc.services(), sc.nodes());
+        let any = random_covering_placement(&sc, 0.35, pseed);
+        let ev_full = evaluate(&sc, &full);
+        let ev_any = evaluate(&sc, &any);
+        for (f, a) in ev_full.per_request.iter().zip(&ev_any.per_request) {
+            prop_assert!(f <= &(a + 1e-9));
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Routing: choosing the serving node for every chain position.
+//!
+//! Given a placement `x`, the latency-optimal assignment for one request is
+//! the solution of a layered shortest-path problem: layer `j` has one state
+//! per node hosting `chain[j]`, transition weights are the inter-service
+//! transfer delays, and terminal weights add the upload and return legs.
+//! [`optimal_route`] solves it exactly by dynamic programming in
+//! `O(|chain| · |V|²)`; this is the routing oracle used by the exact
+//! optimizer and by evaluation.
+//!
+//! [`greedy_route`] is the myopic alternative (always hop to the
+//! cheapest-next instance) that baselines like RP use; it is never better
+//! than the DP and the gap between the two is itself an interesting
+//! measurement (the paper's "conventional strategies ignore dependencies"
+//! motivation).
+
+use crate::latency::{completion_time, CompletionBreakdown};
+use crate::placement::{Assignment, Placement};
+use crate::request::UserRequest;
+use crate::service::ServiceCatalog;
+use socl_net::{AllPairs, EdgeNetwork, NodeId};
+
+/// Result of routing one request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouteOutcome {
+    /// Served from the edge along the given route with the given breakdown.
+    Edge {
+        route: Vec<NodeId>,
+        breakdown: CompletionBreakdown,
+    },
+    /// Some chain service has no edge instance: the request falls back to
+    /// the cloud (the objective charges [`crate::scenario::Scenario::cloud_penalty`]).
+    CloudFallback,
+}
+
+impl RouteOutcome {
+    /// The edge route, if any.
+    pub fn route(&self) -> Option<&[NodeId]> {
+        match self {
+            RouteOutcome::Edge { route, .. } => Some(route),
+            RouteOutcome::CloudFallback => None,
+        }
+    }
+
+    /// Completion time on the edge, if edge-served.
+    pub fn edge_time(&self) -> Option<f64> {
+        match self {
+            RouteOutcome::Edge { breakdown, .. } => Some(breakdown.total()),
+            RouteOutcome::CloudFallback => None,
+        }
+    }
+}
+
+/// Latency-optimal route for `request` under `placement` (exact DP).
+pub fn optimal_route(
+    request: &UserRequest,
+    placement: &Placement,
+    net: &EdgeNetwork,
+    ap: &AllPairs,
+    catalog: &ServiceCatalog,
+) -> RouteOutcome {
+    let n_layers = request.chain.len();
+    // Hosting sets per layer.
+    let mut layers: Vec<Vec<NodeId>> = Vec::with_capacity(n_layers);
+    for &m in &request.chain {
+        let hosts = placement.hosts_of(m);
+        if hosts.is_empty() {
+            return RouteOutcome::CloudFallback;
+        }
+        layers.push(hosts);
+    }
+
+    // DP forward pass. cost[j][s] = best accumulated delay ending with
+    // chain[j] served at layers[j][s].
+    let mut cost: Vec<Vec<f64>> = Vec::with_capacity(n_layers);
+    let mut back: Vec<Vec<usize>> = Vec::with_capacity(n_layers);
+
+    // Layer 0: upload + compute.
+    let first: Vec<f64> = layers[0]
+        .iter()
+        .map(|&k| {
+            ap.transfer_time(request.location, k, request.r_in)
+                + catalog.compute(request.chain[0]) / net.compute(k)
+        })
+        .collect();
+    cost.push(first);
+    back.push(vec![usize::MAX; layers[0].len()]);
+
+    for j in 1..n_layers {
+        let q = catalog.compute(request.chain[j]);
+        let r = request.edge_data[j - 1];
+        let mut row = Vec::with_capacity(layers[j].len());
+        let mut brow = Vec::with_capacity(layers[j].len());
+        for &k in &layers[j] {
+            let compute = q / net.compute(k);
+            let mut best = f64::INFINITY;
+            let mut arg = usize::MAX;
+            for (s, &p) in layers[j - 1].iter().enumerate() {
+                let c = cost[j - 1][s] + ap.transfer_time(p, k, r);
+                if c < best {
+                    best = c;
+                    arg = s;
+                }
+            }
+            row.push(best + compute);
+            brow.push(arg);
+        }
+        cost.push(row);
+        back.push(brow);
+    }
+
+    // Terminal: return leg along min-hop π*.
+    let (mut best_s, mut best_c) = (usize::MAX, f64::INFINITY);
+    for (s, &k) in layers[n_layers - 1].iter().enumerate() {
+        let c = cost[n_layers - 1][s] + ap.return_time(k, request.location, request.r_out);
+        if c < best_c {
+            best_c = c;
+            best_s = s;
+        }
+    }
+
+    // Backtrack.
+    let mut route = vec![NodeId(0); n_layers];
+    let mut s = best_s;
+    for j in (0..n_layers).rev() {
+        route[j] = layers[j][s];
+        s = back[j][s];
+    }
+
+    let breakdown = completion_time(request, &route, net, ap, catalog);
+    debug_assert!(
+        (breakdown.total() - best_c).abs() < 1e-6,
+        "DP cost {} disagrees with evaluation {}",
+        best_c,
+        breakdown.total()
+    );
+    RouteOutcome::Edge { route, breakdown }
+}
+
+/// Myopic routing: serve each chain position at the instance that minimizes
+/// the *local* cost (transfer from the previous position + compute), ignoring
+/// downstream consequences.
+pub fn greedy_route(
+    request: &UserRequest,
+    placement: &Placement,
+    net: &EdgeNetwork,
+    ap: &AllPairs,
+    catalog: &ServiceCatalog,
+) -> RouteOutcome {
+    let mut route = Vec::with_capacity(request.chain.len());
+    let mut prev = request.location;
+    for (j, &m) in request.chain.iter().enumerate() {
+        let r = if j == 0 {
+            request.r_in
+        } else {
+            request.edge_data[j - 1]
+        };
+        let hosts = placement.hosts_of(m);
+        if hosts.is_empty() {
+            return RouteOutcome::CloudFallback;
+        }
+        let q = catalog.compute(m);
+        let best = hosts
+            .into_iter()
+            .map(|k| {
+                let c = ap.transfer_time(prev, k, r) + q / net.compute(k);
+                (c, k)
+            })
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
+            .unwrap()
+            .1;
+        route.push(best);
+        prev = best;
+    }
+    let breakdown = completion_time(request, &route, net, ap, catalog);
+    RouteOutcome::Edge { route, breakdown }
+}
+
+/// Route every request optimally; returns the assignment (with `None` for
+/// cloud fallbacks).
+pub fn route_all(
+    requests: &[UserRequest],
+    placement: &Placement,
+    net: &EdgeNetwork,
+    ap: &AllPairs,
+    catalog: &ServiceCatalog,
+) -> Assignment {
+    Assignment::new(
+        requests
+            .iter()
+            .map(|r| {
+                optimal_route(r, placement, net, ap, catalog)
+                    .route()
+                    .map(<[NodeId]>::to_vec)
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::UserId;
+    use crate::service::{Microservice, ServiceId};
+    use socl_net::{EdgeServer, LinkParams};
+
+    /// Diamond with a trap: the greedy-first hop looks cheap but strands the
+    /// request far from the only host of the second service.
+    ///
+    /// v0 (user) — v1 (fast m0 host, dead end), v0 — v2 — v3; m0 on {v1,v2},
+    /// m1 only on v3.
+    fn trap() -> (EdgeNetwork, AllPairs, ServiceCatalog, Placement, UserRequest) {
+        let mut net = EdgeNetwork::new();
+        for c in [10.0, 100.0, 10.0, 10.0] {
+            net.push_server(EdgeServer::new(c, 8.0));
+        }
+        net.add_link(NodeId(0), NodeId(1), LinkParams::from_rate(80.0));
+        net.add_link(NodeId(0), NodeId(2), LinkParams::from_rate(40.0));
+        net.add_link(NodeId(2), NodeId(3), LinkParams::from_rate(80.0));
+        net.add_link(NodeId(1), NodeId(3), LinkParams::from_rate(0.5)); // trap exit: very slow
+        let ap = AllPairs::compute(&net);
+        let cat = ServiceCatalog::from_services(vec![
+            Microservice::new(1.0, 1.0, 1.0),
+            Microservice::new(1.0, 1.0, 1.0),
+        ]);
+        let mut p = Placement::empty(2, 4);
+        p.set(ServiceId(0), NodeId(1), true);
+        p.set(ServiceId(0), NodeId(2), true);
+        p.set(ServiceId(1), NodeId(3), true);
+        let req = UserRequest::new(
+            UserId(0),
+            NodeId(0),
+            vec![ServiceId(0), ServiceId(1)],
+            vec![4.0],
+            1.0,
+            0.1,
+            100.0,
+        );
+        (net, ap, cat, p, req)
+    }
+
+    #[test]
+    fn dp_avoids_the_greedy_trap() {
+        let (net, ap, cat, p, req) = trap();
+        let opt = optimal_route(&req, &p, &net, &ap, &cat);
+        let grd = greedy_route(&req, &p, &net, &ap, &cat);
+        let (o, g) = (opt.edge_time().unwrap(), grd.edge_time().unwrap());
+        assert!(o < g, "optimal {o} should beat greedy {g}");
+        // DP routes through v2 despite v1's faster CPU.
+        assert_eq!(opt.route().unwrap(), &[NodeId(2), NodeId(3)]);
+        assert_eq!(grd.route().unwrap(), &[NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn dp_is_never_worse_than_greedy() {
+        let (net, ap, cat, p, req) = trap();
+        for loc in net.node_ids() {
+            let mut r = req.clone();
+            r.location = loc;
+            let o = optimal_route(&r, &p, &net, &ap, &cat).edge_time().unwrap();
+            let g = greedy_route(&r, &p, &net, &ap, &cat).edge_time().unwrap();
+            assert!(o <= g + 1e-12);
+        }
+    }
+
+    #[test]
+    fn missing_instance_falls_back_to_cloud() {
+        let (net, ap, cat, mut p, req) = trap();
+        p.set(ServiceId(1), NodeId(3), false);
+        assert_eq!(
+            optimal_route(&req, &p, &net, &ap, &cat),
+            RouteOutcome::CloudFallback
+        );
+        assert_eq!(
+            greedy_route(&req, &p, &net, &ap, &cat),
+            RouteOutcome::CloudFallback
+        );
+    }
+
+    #[test]
+    fn route_all_respects_eq10() {
+        let (net, ap, cat, p, req) = trap();
+        let reqs = vec![req.clone(), {
+            let mut r = req;
+            r.id = UserId(1);
+            r.location = NodeId(3);
+            r
+        }];
+        let asg = route_all(&reqs, &p, &net, &ap, &cat);
+        assert_eq!(asg.len(), 2);
+        assert_eq!(asg.cloud_fallbacks(), 0);
+        assert!(asg.consistent_with(&p, &reqs));
+    }
+
+    #[test]
+    fn dp_matches_brute_force_enumeration() {
+        let (net, ap, cat, p, req) = trap();
+        // Enumerate all host combinations.
+        let hosts0 = p.hosts_of(ServiceId(0));
+        let hosts1 = p.hosts_of(ServiceId(1));
+        let mut best = f64::INFINITY;
+        for &a in &hosts0 {
+            for &b in &hosts1 {
+                let t = completion_time(&req, &[a, b], &net, &ap, &cat).total();
+                best = best.min(t);
+            }
+        }
+        let dp = optimal_route(&req, &p, &net, &ap, &cat).edge_time().unwrap();
+        assert!((dp - best).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_service_chain_picks_best_host() {
+        let (net, ap, cat, p, _) = trap();
+        let req = UserRequest::new(UserId(0), NodeId(0), vec![ServiceId(0)], vec![], 1.0, 0.1, 10.0);
+        let out = optimal_route(&req, &p, &net, &ap, &cat);
+        // v1: upload 1/80 + q/c 1/100 + return 0.1·(1/80) ≈ 0.0237
+        // v2: upload 1/40 + 1/10 + 0.1/40 = 0.1275 → v1 wins.
+        assert_eq!(out.route().unwrap(), &[NodeId(1)]);
+    }
+}

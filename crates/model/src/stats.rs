@@ -1,0 +1,86 @@
+//! Small statistics helpers shared by harnesses and reports.
+//!
+//! Kept in the model crate so downstream consumers (benches, simulator
+//! summaries, EXPERIMENTS.md generators) agree on one set of definitions.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Population standard deviation; 0 for fewer than two values.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+/// Median of a slice (not required to be sorted); 0 for an empty slice.
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// `p`-quantile (0 ≤ p ≤ 1) by nearest-rank on a copy; 0 for empty input.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = ((v.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
+    v[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        // Population σ of {2, 4, 4, 4, 5, 5, 7, 9} is 2.
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((std_dev(&v) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentile_bounds() {
+        let v = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile(&v, 0.0), 10.0);
+        assert_eq!(percentile(&v, 1.0), 50.0);
+        assert_eq!(percentile(&v, 0.5), 30.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn percentile_is_order_insensitive() {
+        let a = [5.0, 1.0, 9.0, 3.0];
+        let b = [9.0, 3.0, 5.0, 1.0];
+        assert_eq!(percentile(&a, 0.75), percentile(&b, 0.75));
+    }
+}

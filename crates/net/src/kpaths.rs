@@ -1,0 +1,251 @@
+//! K-shortest loopless paths (Yen's algorithm) under the latency metric.
+//!
+//! Multipath alternatives matter for two of this repository's consumers:
+//! the contention-aware router (an overloaded shortest path needs a ranked
+//! list of detours) and failure analysis (how much worse is the network when
+//! the best path dies). Paths are loopless and returned in non-decreasing
+//! weight order.
+
+use crate::graph::{EdgeNetwork, NodeId};
+use crate::paths::{PathMetric, ShortestPaths};
+
+/// One path with its accumulated latency weight (`Σ 1/b`, seconds per GB).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedPath {
+    pub nodes: Vec<NodeId>,
+    pub weight: f64,
+}
+
+/// Dijkstra restricted to a masked graph: `node_banned[v]` removes `v`,
+/// `edge_banned` removes specific directed (from, to) hops.
+fn shortest_masked(
+    net: &EdgeNetwork,
+    source: NodeId,
+    target: NodeId,
+    node_banned: &[bool],
+    edge_banned: &[(NodeId, NodeId)],
+) -> Option<WeightedPath> {
+    let n = net.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut pred: Vec<Option<NodeId>> = vec![None; n];
+    let mut done = vec![false; n];
+    if node_banned[source.idx()] || node_banned[target.idx()] {
+        return None;
+    }
+    dist[source.idx()] = 0.0;
+    // Simple O(V²) scan — the masked calls are small and frequent, and the
+    // networks are ≤ a few dozen nodes.
+    for _ in 0..n {
+        let mut u = usize::MAX;
+        let mut best = f64::INFINITY;
+        for v in 0..n {
+            if !done[v] && !node_banned[v] && dist[v] < best {
+                best = dist[v];
+                u = v;
+            }
+        }
+        if u == usize::MAX {
+            break;
+        }
+        done[u] = true;
+        let un = NodeId(u as u32);
+        for nb in net.neighbors(un) {
+            let v = nb.node.idx();
+            if done[v] || node_banned[v] {
+                continue;
+            }
+            if edge_banned.contains(&(un, nb.node)) {
+                continue;
+            }
+            let cand = dist[u] + 1.0 / nb.rate;
+            if cand < dist[v] {
+                dist[v] = cand;
+                pred[v] = Some(un);
+            }
+        }
+    }
+    if dist[target.idx()].is_infinite() {
+        return None;
+    }
+    let mut nodes = vec![target];
+    let mut cur = target;
+    while let Some(p) = pred[cur.idx()] {
+        nodes.push(p);
+        cur = p;
+    }
+    nodes.reverse();
+    Some(WeightedPath {
+        weight: dist[target.idx()],
+        nodes,
+    })
+}
+
+/// Yen's algorithm: up to `k` loopless latency-shortest paths `source → target`.
+///
+/// Returns fewer than `k` paths when the graph does not contain that many
+/// distinct loopless routes. `source == target` yields the single trivial
+/// path.
+pub fn k_shortest_paths(
+    net: &EdgeNetwork,
+    source: NodeId,
+    target: NodeId,
+    k: usize,
+) -> Vec<WeightedPath> {
+    if k == 0 {
+        return Vec::new();
+    }
+    if source == target {
+        return vec![WeightedPath {
+            nodes: vec![source],
+            weight: 0.0,
+        }];
+    }
+    let sp = ShortestPaths::compute(net, source, PathMetric::Latency);
+    let Some(first_nodes) = sp.path_to(target) else {
+        return Vec::new();
+    };
+    let mut accepted = vec![WeightedPath {
+        weight: sp.latency_weight(target),
+        nodes: first_nodes,
+    }];
+    let mut candidates: Vec<WeightedPath> = Vec::new();
+    let no_nodes = vec![false; net.node_count()];
+
+    while accepted.len() < k {
+        let last = accepted.last().unwrap().clone();
+        // Each prefix of the last accepted path spawns a spur.
+        for i in 0..last.nodes.len() - 1 {
+            let spur = last.nodes[i];
+            let root = &last.nodes[..=i];
+
+            // Ban edges leaving the spur node along any accepted path that
+            // shares this root.
+            let mut edge_banned: Vec<(NodeId, NodeId)> = Vec::new();
+            for p in &accepted {
+                if p.nodes.len() > i && p.nodes[..=i] == *root {
+                    edge_banned.push((p.nodes[i], p.nodes[i + 1]));
+                }
+            }
+            // Ban the root's interior nodes (looplessness).
+            let mut node_banned = no_nodes.clone();
+            for &v in &root[..i] {
+                node_banned[v.idx()] = true;
+            }
+
+            if let Some(tail) = shortest_masked(net, spur, target, &node_banned, &edge_banned) {
+                // Root weight.
+                let mut weight = tail.weight;
+                for w in root.windows(2) {
+                    weight += 1.0 / net.direct_rate(w[0], w[1]).expect("root uses real edges");
+                }
+                let mut nodes = root[..i].to_vec();
+                nodes.extend(tail.nodes);
+                let cand = WeightedPath { nodes, weight };
+                if !accepted.contains(&cand) && !candidates.contains(&cand) {
+                    candidates.push(cand);
+                }
+            }
+        }
+        // Promote the best candidate.
+        candidates.sort_by(|a, b| a.weight.partial_cmp(&b.weight).unwrap());
+        if candidates.is_empty() {
+            break;
+        }
+        accepted.push(candidates.remove(0));
+    }
+    accepted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{EdgeServer, LinkParams};
+    use crate::topology::TopologyConfig;
+
+    /// Diamond with three s→t routes of distinct weights.
+    fn diamond() -> EdgeNetwork {
+        let mut net = EdgeNetwork::new();
+        for _ in 0..4 {
+            net.push_server(EdgeServer::new(10.0, 8.0));
+        }
+        net.add_link(NodeId(0), NodeId(1), LinkParams::from_rate(100.0));
+        net.add_link(NodeId(1), NodeId(3), LinkParams::from_rate(100.0));
+        net.add_link(NodeId(0), NodeId(3), LinkParams::from_rate(10.0));
+        net.add_link(NodeId(0), NodeId(2), LinkParams::from_rate(5.0));
+        net.add_link(NodeId(2), NodeId(3), LinkParams::from_rate(5.0));
+        net
+    }
+
+    #[test]
+    fn finds_all_three_routes_in_order() {
+        let net = diamond();
+        let paths = k_shortest_paths(&net, NodeId(0), NodeId(3), 5);
+        assert_eq!(paths.len(), 3);
+        assert_eq!(paths[0].nodes, vec![NodeId(0), NodeId(1), NodeId(3)]);
+        assert!((paths[0].weight - 0.02).abs() < 1e-12);
+        assert_eq!(paths[1].nodes, vec![NodeId(0), NodeId(3)]);
+        assert!((paths[1].weight - 0.1).abs() < 1e-12);
+        assert_eq!(paths[2].nodes, vec![NodeId(0), NodeId(2), NodeId(3)]);
+        assert!((paths[2].weight - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_caps_the_result() {
+        let net = diamond();
+        assert_eq!(k_shortest_paths(&net, NodeId(0), NodeId(3), 2).len(), 2);
+        assert_eq!(k_shortest_paths(&net, NodeId(0), NodeId(3), 0).len(), 0);
+    }
+
+    #[test]
+    fn trivial_and_unreachable_cases() {
+        let mut net = diamond();
+        let lone = net.push_server(EdgeServer::new(1.0, 1.0));
+        let same = k_shortest_paths(&net, NodeId(0), NodeId(0), 3);
+        assert_eq!(same.len(), 1);
+        assert_eq!(same[0].weight, 0.0);
+        assert!(k_shortest_paths(&net, NodeId(0), lone, 3).is_empty());
+    }
+
+    #[test]
+    fn paths_are_loopless_and_weight_sorted() {
+        for seed in 0..5 {
+            let net = TopologyConfig::paper(12).build(seed);
+            let paths = k_shortest_paths(&net, NodeId(0), NodeId(11), 6);
+            for w in paths.windows(2) {
+                assert!(w[0].weight <= w[1].weight + 1e-12);
+            }
+            for p in &paths {
+                let mut seen = p.nodes.clone();
+                seen.sort();
+                seen.dedup();
+                assert_eq!(seen.len(), p.nodes.len(), "loop in {:?}", p.nodes);
+                // Edge-validity.
+                for w in p.nodes.windows(2) {
+                    assert!(net.direct_rate(w[0], w[1]).is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_path_matches_dijkstra() {
+        for seed in 0..5 {
+            let net = TopologyConfig::paper(10).build(seed);
+            let sp = ShortestPaths::compute(&net, NodeId(0), PathMetric::Latency);
+            let paths = k_shortest_paths(&net, NodeId(0), NodeId(7), 1);
+            assert_eq!(paths.len(), 1);
+            assert!((paths[0].weight - sp.latency_weight(NodeId(7))).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn all_returned_paths_are_distinct() {
+        let net = TopologyConfig::paper(10).build(3);
+        let paths = k_shortest_paths(&net, NodeId(0), NodeId(9), 8);
+        for i in 0..paths.len() {
+            for j in (i + 1)..paths.len() {
+                assert_ne!(paths[i].nodes, paths[j].nodes);
+            }
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! Shortest paths over the substrate network.
+//!
+//! Two metrics matter in the paper:
+//!
+//! * **Latency** — the time to push one data unit across a path,
+//!   `w(π) = Σ_{l ∈ π} 1/b(l)`. Transferring `r` GB along `π` takes `r·w(π)`
+//!   seconds, and the effective channel speed of the whole path is the
+//!   harmonic-style composition `𝔹 = 1/w(π)` used for virtual links.
+//! * **Hops** — the paper's `π*` return path is the minimum-hop path; we break
+//!   hop ties by latency so results are deterministic.
+//!
+//! [`ShortestPaths`] is a single-source Dijkstra tree; [`AllPairs`] caches the
+//! full matrix (the networks in the paper have ≤ 30 nodes, so `O(V·E log V)`
+//! precomputation is trivially cheap and every downstream query is O(1)).
+
+use crate::graph::{EdgeNetwork, NodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Which weight the shortest-path computation minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathMetric {
+    /// Minimize `Σ 1/b(l)` (transfer time per data unit).
+    Latency,
+    /// Minimize hop count, breaking ties by latency (the paper's `π*`).
+    Hops,
+}
+
+/// Max-heap entry ordered so the smallest key pops first.
+#[derive(PartialEq)]
+struct HeapEntry {
+    key: (f64, f64),
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want smallest key first.
+        other
+            .key
+            .partial_cmp(&self.key)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-source shortest-path tree.
+#[derive(Debug, Clone)]
+pub struct ShortestPaths {
+    source: NodeId,
+    metric: PathMetric,
+    /// Per node: accumulated latency `Σ 1/b` along the chosen path (seconds
+    /// per GB). `f64::INFINITY` for unreachable nodes.
+    latency: Vec<f64>,
+    /// Per node: hop count along the chosen path. `u32::MAX` if unreachable.
+    hops: Vec<u32>,
+    /// Predecessor on the chosen path (`None` for source / unreachable).
+    pred: Vec<Option<NodeId>>,
+}
+
+impl ShortestPaths {
+    /// Run Dijkstra from `source` under `metric`.
+    pub fn compute(net: &EdgeNetwork, source: NodeId, metric: PathMetric) -> Self {
+        let n = net.node_count();
+        assert!(source.idx() < n, "source {source} out of range");
+        let mut latency = vec![f64::INFINITY; n];
+        let mut hops = vec![u32::MAX; n];
+        let mut pred: Vec<Option<NodeId>> = vec![None; n];
+        let mut done = vec![false; n];
+
+        latency[source.idx()] = 0.0;
+        hops[source.idx()] = 0;
+
+        let key_of = |lat: f64, h: u32| -> (f64, f64) {
+            match metric {
+                PathMetric::Latency => (lat, h as f64),
+                PathMetric::Hops => (h as f64, lat),
+            }
+        };
+
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapEntry {
+            key: key_of(0.0, 0),
+            node: source,
+        });
+
+        while let Some(HeapEntry { node, key }) = heap.pop() {
+            let u = node.idx();
+            if done[u] {
+                continue;
+            }
+            // Stale entry check.
+            if key != key_of(latency[u], hops[u]) {
+                continue;
+            }
+            done[u] = true;
+            for nb in net.neighbors(node) {
+                let v = nb.node.idx();
+                if done[v] {
+                    continue;
+                }
+                let cand_lat = latency[u] + 1.0 / nb.rate;
+                let cand_hops = hops[u] + 1;
+                if key_of(cand_lat, cand_hops) < key_of(latency[v], hops[v]) {
+                    latency[v] = cand_lat;
+                    hops[v] = cand_hops;
+                    pred[v] = Some(node);
+                    heap.push(HeapEntry {
+                        key: key_of(cand_lat, cand_hops),
+                        node: nb.node,
+                    });
+                }
+            }
+        }
+
+        Self {
+            source,
+            metric,
+            latency,
+            hops,
+            pred,
+        }
+    }
+
+    /// The source node.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Metric this tree was computed under.
+    pub fn metric(&self) -> PathMetric {
+        self.metric
+    }
+
+    /// Accumulated `Σ 1/b` to `target` (seconds per GB), `INFINITY` if
+    /// unreachable, `0` for the source itself.
+    #[inline]
+    pub fn latency_weight(&self, target: NodeId) -> f64 {
+        self.latency[target.idx()]
+    }
+
+    /// Hop count to `target` (`u32::MAX` if unreachable).
+    #[inline]
+    pub fn hop_count(&self, target: NodeId) -> u32 {
+        self.hops[target.idx()]
+    }
+
+    /// Effective channel speed `𝔹` of the path to `target` in GB/s
+    /// (`1 / Σ 1/b`). Infinite for the source itself, zero if unreachable.
+    #[inline]
+    pub fn channel_speed(&self, target: NodeId) -> f64 {
+        let w = self.latency[target.idx()];
+        if w == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / w
+        }
+    }
+
+    /// Reconstruct the node sequence source → target (inclusive), or `None`
+    /// if unreachable.
+    pub fn path_to(&self, target: NodeId) -> Option<Vec<NodeId>> {
+        if self.latency[target.idx()].is_infinite() {
+            return None;
+        }
+        let mut path = vec![target];
+        let mut cur = target;
+        while let Some(p) = self.pred[cur.idx()] {
+            path.push(p);
+            cur = p;
+        }
+        debug_assert_eq!(cur, self.source);
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// All-pairs shortest paths under both metrics, precomputed once per topology.
+///
+/// `latency[a][b]` is the per-GB transfer weight of the latency-optimal path;
+/// `hop_latency[a][b]` is the per-GB weight along the *minimum-hop* path
+/// (the paper's `π*`, used for return transfers and virtual links built from
+/// `π*`); `hops[a][b]` is that path's hop count.
+#[derive(Debug, Clone)]
+pub struct AllPairs {
+    n: usize,
+    latency: Vec<f64>,
+    hop_latency: Vec<f64>,
+    hops: Vec<u32>,
+}
+
+impl AllPairs {
+    /// Precompute both metrics from every source.
+    pub fn compute(net: &EdgeNetwork) -> Self {
+        let n = net.node_count();
+        let mut latency = vec![f64::INFINITY; n * n];
+        let mut hop_latency = vec![f64::INFINITY; n * n];
+        let mut hops = vec![u32::MAX; n * n];
+        for s in net.node_ids() {
+            let lat_tree = ShortestPaths::compute(net, s, PathMetric::Latency);
+            let hop_tree = ShortestPaths::compute(net, s, PathMetric::Hops);
+            let row = s.idx() * n;
+            for t in 0..n {
+                latency[row + t] = lat_tree.latency_weight(NodeId(t as u32));
+                hop_latency[row + t] = hop_tree.latency_weight(NodeId(t as u32));
+                hops[row + t] = hop_tree.hop_count(NodeId(t as u32));
+            }
+        }
+        Self {
+            n,
+            latency,
+            hop_latency,
+            hops,
+        }
+    }
+
+    /// Number of nodes the matrix covers.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Per-GB weight `Σ 1/b` of the latency-optimal path `a → b`.
+    #[inline]
+    pub fn latency_weight(&self, a: NodeId, b: NodeId) -> f64 {
+        self.latency[a.idx() * self.n + b.idx()]
+    }
+
+    /// Per-GB weight along the minimum-hop path `π*(a, b)`.
+    #[inline]
+    pub fn hop_path_weight(&self, a: NodeId, b: NodeId) -> f64 {
+        self.hop_latency[a.idx() * self.n + b.idx()]
+    }
+
+    /// Hop count of `π*(a, b)`.
+    #[inline]
+    pub fn hop_count(&self, a: NodeId, b: NodeId) -> u32 {
+        self.hops[a.idx() * self.n + b.idx()]
+    }
+
+    /// Effective channel speed `𝔹(l'_{a,b})` of the virtual link riding the
+    /// minimum-hop shortest path, GB/s (Section IV.A). Infinite when `a == b`.
+    #[inline]
+    pub fn virtual_speed(&self, a: NodeId, b: NodeId) -> f64 {
+        let w = self.hop_path_weight(a, b);
+        if w == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / w
+        }
+    }
+
+    /// Effective channel speed of the latency-optimal path, GB/s. This is the
+    /// fastest achievable per-GB speed between `a` and `b` and is what the
+    /// routing engine uses for data transfers.
+    #[inline]
+    pub fn best_speed(&self, a: NodeId, b: NodeId) -> f64 {
+        let w = self.latency_weight(a, b);
+        if w == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / w
+        }
+    }
+
+    /// Time in seconds to move `r` GB from `a` to `b` along the
+    /// latency-optimal path (0 when `a == b`).
+    #[inline]
+    pub fn transfer_time(&self, a: NodeId, b: NodeId, r: f64) -> f64 {
+        if a == b {
+            0.0
+        } else {
+            r * self.latency_weight(a, b)
+        }
+    }
+
+    /// Time in seconds to move `r` GB along the minimum-hop return path `π*`.
+    #[inline]
+    pub fn return_time(&self, a: NodeId, b: NodeId, r: f64) -> f64 {
+        if a == b {
+            0.0
+        } else {
+            r * self.hop_path_weight(a, b)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{EdgeServer, LinkParams};
+
+    /// Diamond: v0-v1 fast-fast (2 hops), v0-v3 direct slow (1 hop).
+    ///
+    /// ```text
+    ///     v1
+    ///   /    \      v0-v1: 100, v1-v3: 100   (latency 0.02, 2 hops)
+    /// v0      v3    v0-v3: 10                (latency 0.1, 1 hop)
+    ///   \    /
+    ///     v2        v0-v2: 1, v2-v3: 1       (latency 2.0, 2 hops)
+    /// ```
+    fn diamond() -> EdgeNetwork {
+        let mut net = EdgeNetwork::new();
+        for _ in 0..4 {
+            net.push_server(EdgeServer::new(10.0, 8.0));
+        }
+        net.add_link(NodeId(0), NodeId(1), LinkParams::from_rate(100.0));
+        net.add_link(NodeId(1), NodeId(3), LinkParams::from_rate(100.0));
+        net.add_link(NodeId(0), NodeId(3), LinkParams::from_rate(10.0));
+        net.add_link(NodeId(0), NodeId(2), LinkParams::from_rate(1.0));
+        net.add_link(NodeId(2), NodeId(3), LinkParams::from_rate(1.0));
+        net
+    }
+
+    #[test]
+    fn latency_metric_prefers_fast_two_hop() {
+        let net = diamond();
+        let sp = ShortestPaths::compute(&net, NodeId(0), PathMetric::Latency);
+        assert!((sp.latency_weight(NodeId(3)) - 0.02).abs() < 1e-12);
+        assert_eq!(sp.hop_count(NodeId(3)), 2);
+        assert_eq!(
+            sp.path_to(NodeId(3)).unwrap(),
+            vec![NodeId(0), NodeId(1), NodeId(3)]
+        );
+    }
+
+    #[test]
+    fn hop_metric_prefers_direct_link() {
+        let net = diamond();
+        let sp = ShortestPaths::compute(&net, NodeId(0), PathMetric::Hops);
+        assert_eq!(sp.hop_count(NodeId(3)), 1);
+        assert!((sp.latency_weight(NodeId(3)) - 0.1).abs() < 1e-12);
+        assert_eq!(sp.path_to(NodeId(3)).unwrap(), vec![NodeId(0), NodeId(3)]);
+    }
+
+    #[test]
+    fn hop_metric_breaks_ties_by_latency() {
+        // Two 2-hop routes to v3; the faster one must win.
+        let mut net = EdgeNetwork::new();
+        for _ in 0..4 {
+            net.push_server(EdgeServer::new(10.0, 8.0));
+        }
+        net.add_link(NodeId(0), NodeId(1), LinkParams::from_rate(1.0));
+        net.add_link(NodeId(1), NodeId(3), LinkParams::from_rate(1.0));
+        net.add_link(NodeId(0), NodeId(2), LinkParams::from_rate(100.0));
+        net.add_link(NodeId(2), NodeId(3), LinkParams::from_rate(100.0));
+        let sp = ShortestPaths::compute(&net, NodeId(0), PathMetric::Hops);
+        assert_eq!(sp.hop_count(NodeId(3)), 2);
+        assert_eq!(
+            sp.path_to(NodeId(3)).unwrap(),
+            vec![NodeId(0), NodeId(2), NodeId(3)]
+        );
+    }
+
+    #[test]
+    fn unreachable_nodes_are_infinite() {
+        let mut net = diamond();
+        let lone = net.push_server(EdgeServer::new(1.0, 1.0));
+        let sp = ShortestPaths::compute(&net, NodeId(0), PathMetric::Latency);
+        assert!(sp.latency_weight(lone).is_infinite());
+        assert_eq!(sp.hop_count(lone), u32::MAX);
+        assert!(sp.path_to(lone).is_none());
+        assert_eq!(sp.channel_speed(lone), 0.0);
+    }
+
+    #[test]
+    fn source_has_zero_weight_and_infinite_speed() {
+        let net = diamond();
+        let sp = ShortestPaths::compute(&net, NodeId(0), PathMetric::Latency);
+        assert_eq!(sp.latency_weight(NodeId(0)), 0.0);
+        assert!(sp.channel_speed(NodeId(0)).is_infinite());
+        assert_eq!(sp.path_to(NodeId(0)).unwrap(), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn all_pairs_matches_single_source() {
+        let net = diamond();
+        let ap = AllPairs::compute(&net);
+        for s in net.node_ids() {
+            let lat = ShortestPaths::compute(&net, s, PathMetric::Latency);
+            let hop = ShortestPaths::compute(&net, s, PathMetric::Hops);
+            for t in net.node_ids() {
+                assert!((ap.latency_weight(s, t) - lat.latency_weight(t)).abs() < 1e-12);
+                assert_eq!(ap.hop_count(s, t), hop.hop_count(t));
+                assert!((ap.hop_path_weight(s, t) - hop.latency_weight(t)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn transfer_time_scales_linearly() {
+        let net = diamond();
+        let ap = AllPairs::compute(&net);
+        let t1 = ap.transfer_time(NodeId(0), NodeId(3), 1.0);
+        let t5 = ap.transfer_time(NodeId(0), NodeId(3), 5.0);
+        assert!((t5 - 5.0 * t1).abs() < 1e-12);
+        assert_eq!(ap.transfer_time(NodeId(2), NodeId(2), 100.0), 0.0);
+    }
+
+    #[test]
+    fn virtual_speed_is_harmonic_composition() {
+        // v0 -a- v1 -b- v2 line: 𝔹 = 1/(1/a + 1/b).
+        let mut net = EdgeNetwork::new();
+        for _ in 0..3 {
+            net.push_server(EdgeServer::new(10.0, 8.0));
+        }
+        net.add_link(NodeId(0), NodeId(1), LinkParams::from_rate(10.0));
+        net.add_link(NodeId(1), NodeId(2), LinkParams::from_rate(40.0));
+        let ap = AllPairs::compute(&net);
+        let expected = 1.0 / (1.0 / 10.0 + 1.0 / 40.0);
+        assert!((ap.virtual_speed(NodeId(0), NodeId(2)) - expected).abs() < 1e-9);
+        // The harmonic composition is below the slowest constituent link.
+        assert!(ap.virtual_speed(NodeId(0), NodeId(2)) < 10.0);
+    }
+
+    #[test]
+    fn symmetric_weights_on_undirected_graph() {
+        let net = diamond();
+        let ap = AllPairs::compute(&net);
+        for a in net.node_ids() {
+            for b in net.node_ids() {
+                assert!(
+                    (ap.latency_weight(a, b) - ap.latency_weight(b, a)).abs() < 1e-12,
+                    "asymmetric latency {a}->{b}"
+                );
+                assert_eq!(ap.hop_count(a, b), ap.hop_count(b, a));
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Property-based tests for the network substrate.
+
+use crate::graph::{EdgeNetwork, NodeId};
+use crate::paths::{AllPairs, PathMetric, ShortestPaths};
+use crate::topology::{TopologyConfig, TopologyKind};
+use crate::virtual_graph::VirtualGraph;
+use proptest::prelude::*;
+
+/// Strategy: a connected random topology (5..=20 nodes) plus its seed.
+fn arb_net() -> impl Strategy<Value = EdgeNetwork> {
+    (2usize..=20, any::<u64>(), 0usize..3).prop_map(|(n, seed, kind)| {
+        let kind = match kind {
+            0 => TopologyKind::UniformDisk,
+            1 => TopologyKind::Clustered { clusters: 3 },
+            _ => TopologyKind::RingWithChords,
+        };
+        TopologyConfig {
+            nodes: n,
+            kind,
+            ..TopologyConfig::default()
+        }
+        .build(seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Triangle inequality holds for shortest-path latency weights.
+    #[test]
+    fn triangle_inequality(net in arb_net()) {
+        let ap = AllPairs::compute(&net);
+        let n = net.node_count();
+        for a in 0..n {
+            for b in 0..n {
+                for c in 0..n {
+                    let (a, b, c) = (NodeId(a as u32), NodeId(b as u32), NodeId(c as u32));
+                    let direct = ap.latency_weight(a, c);
+                    let via = ap.latency_weight(a, b) + ap.latency_weight(b, c);
+                    prop_assert!(direct <= via + 1e-9,
+                        "triangle violated: {a}->{c} {direct} > {a}->{b}->{c} {via}");
+                }
+            }
+        }
+    }
+
+    /// The latency-metric path is never slower than the hop-metric path.
+    #[test]
+    fn latency_metric_dominates(net in arb_net()) {
+        let ap = AllPairs::compute(&net);
+        for a in net.node_ids() {
+            for b in net.node_ids() {
+                prop_assert!(ap.latency_weight(a, b) <= ap.hop_path_weight(a, b) + 1e-9);
+            }
+        }
+    }
+
+    /// Hop-metric distances match plain BFS hop counts.
+    #[test]
+    fn hop_counts_match_bfs(net in arb_net()) {
+        let ap = AllPairs::compute(&net);
+        for s in net.node_ids() {
+            // BFS.
+            let n = net.node_count();
+            let mut dist = vec![u32::MAX; n];
+            dist[s.idx()] = 0;
+            let mut queue = std::collections::VecDeque::from([s]);
+            while let Some(u) = queue.pop_front() {
+                for nb in net.neighbors(u) {
+                    if dist[nb.node.idx()] == u32::MAX {
+                        dist[nb.node.idx()] = dist[u.idx()] + 1;
+                        queue.push_back(nb.node);
+                    }
+                }
+            }
+            for t in net.node_ids() {
+                prop_assert_eq!(ap.hop_count(s, t), dist[t.idx()]);
+            }
+        }
+    }
+
+    /// Reconstructed paths are consistent: edge-connected, start/end correct,
+    /// and their accumulated weight equals the reported weight.
+    #[test]
+    fn paths_are_consistent(net in arb_net()) {
+        for s in net.node_ids() {
+            for metric in [PathMetric::Latency, PathMetric::Hops] {
+                let sp = ShortestPaths::compute(&net, s, metric);
+                for t in net.node_ids() {
+                    let Some(path) = sp.path_to(t) else { continue };
+                    prop_assert_eq!(path[0], s);
+                    prop_assert_eq!(*path.last().unwrap(), t);
+                    let mut acc = 0.0;
+                    for w in path.windows(2) {
+                        let rate = net.direct_rate(w[0], w[1]);
+                        prop_assert!(rate.is_some(), "path uses missing edge");
+                        acc += 1.0 / rate.unwrap();
+                    }
+                    // Accumulated weight can only be <= due to parallel-link max.
+                    prop_assert!(acc <= sp.latency_weight(t) + 1e-9);
+                    prop_assert_eq!(path.len() as u32 - 1, sp.hop_count(t));
+                }
+            }
+        }
+    }
+
+    /// Virtual-link speed never exceeds the slowest link of the underlying
+    /// shortest path (harmonic composition is dominated by its minimum), and
+    /// never exceeds any direct link's rate upper bound.
+    #[test]
+    fn virtual_speed_bounded_by_components(net in arb_net()) {
+        let ap = AllPairs::compute(&net);
+        let max_rate = net
+            .links()
+            .iter()
+            .map(|l| l.rate())
+            .fold(0.0_f64, f64::max);
+        for a in net.node_ids() {
+            for b in net.node_ids() {
+                if a == b { continue; }
+                let v = ap.virtual_speed(a, b);
+                prop_assert!(v <= max_rate + 1e-9,
+                    "virtual speed {v} exceeds fastest physical link {max_rate}");
+            }
+        }
+    }
+
+    /// Partition is a disjoint cover of the member set for any threshold.
+    #[test]
+    fn partition_is_disjoint_cover(net in arb_net(), xi in 0.0f64..100.0) {
+        let ap = AllPairs::compute(&net);
+        let members: Vec<NodeId> = net.node_ids().collect();
+        let vg = VirtualGraph::build(&members, &ap);
+        let parts = vg.partition(xi);
+        let mut seen = std::collections::HashSet::new();
+        for p in &parts {
+            prop_assert!(!p.is_empty());
+            for &n in p {
+                prop_assert!(seen.insert(n), "node {n} in two partitions");
+            }
+        }
+        prop_assert_eq!(seen.len(), members.len());
+    }
+
+    /// Raising the threshold never merges partitions (monotone refinement).
+    #[test]
+    fn partition_refines_monotonically(net in arb_net()) {
+        let ap = AllPairs::compute(&net);
+        let members: Vec<NodeId> = net.node_ids().collect();
+        let vg = VirtualGraph::build(&members, &ap);
+        let coarse = vg.partition(1.0);
+        let fine = vg.partition(10.0);
+        // Every fine partition must be contained in exactly one coarse one.
+        for f in &fine {
+            let container = coarse.iter().filter(|c| f.iter().all(|n| c.contains(n))).count();
+            prop_assert_eq!(container, 1, "fine part {:?} not nested in coarse", f);
+        }
+    }
+
+    /// Generated topology attribute ranges hold for arbitrary sizes/seeds.
+    #[test]
+    fn topology_ranges(n in 1usize..=25, seed in any::<u64>()) {
+        let net = TopologyConfig::paper(n).build(seed);
+        prop_assert!(net.is_connected());
+        for id in net.node_ids() {
+            let s = net.server(id);
+            prop_assert!((5.0..=20.0).contains(&s.compute_gflops));
+            prop_assert!((4.0..=8.0).contains(&s.storage_units));
+        }
+    }
+}
+
+/// Brute-force Bellman-Ford cross-check of Dijkstra on small graphs.
+#[test]
+fn dijkstra_matches_bellman_ford() {
+    for seed in 0..20 {
+        let net = TopologyConfig::paper(12).build(seed);
+        let n = net.node_count();
+        for s in net.node_ids() {
+            let sp = ShortestPaths::compute(&net, s, PathMetric::Latency);
+            // Bellman-Ford.
+            let mut dist = vec![f64::INFINITY; n];
+            dist[s.idx()] = 0.0;
+            for _ in 0..n {
+                let mut changed = false;
+                for l in net.links() {
+                    let w = 1.0 / l.rate();
+                    let (a, b) = (l.a.idx(), l.b.idx());
+                    if dist[a] + w < dist[b] - 1e-15 {
+                        dist[b] = dist[a] + w;
+                        changed = true;
+                    }
+                    if dist[b] + w < dist[a] - 1e-15 {
+                        dist[a] = dist[b] + w;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            for t in net.node_ids() {
+                assert!(
+                    (sp.latency_weight(t) - dist[t.idx()]).abs() < 1e-9,
+                    "seed={seed} s={s} t={t}: dijkstra {} vs bf {}",
+                    sp.latency_weight(t),
+                    dist[t.idx()]
+                );
+            }
+        }
+    }
+}

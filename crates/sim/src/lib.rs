@@ -1,0 +1,32 @@
+//! # socl-sim — simulation platform and testbed emulator
+//!
+//! Three pieces:
+//!
+//! * [`mobility`] — the user mobility model: between time slots users hop
+//!   between base stations (random-waypoint over the topology), reproducing
+//!   the paper's "users randomly moved among edge nodes" trace setup.
+//! * [`online`] — the time-slotted online simulator: per slot the user
+//!   distribution shifts, some users re-draw their service chains
+//!   ("stochastic service dependencies"), the configured policy (SoCL or a
+//!   baseline) re-provisions one-shot, and the slot is scored. Supports
+//!   node-failure injection between slots.
+//! * [`testbed`] — a discrete-event emulator standing in for the paper's
+//!   17-machine Kubernetes cluster (Section V.C): per-node FIFO CPU queues,
+//!   bandwidth-delayed transfers along the routed paths, serverless
+//!   cold-start penalties for instances that have gone cold, and per-request
+//!   end-to-end latency recording. Queueing contention is what makes RP's
+//!   unbalanced placements spike in Figure 10; the emulator reproduces that
+//!   mechanism.
+
+pub mod mobility;
+pub mod online;
+pub mod policy;
+pub mod testbed;
+
+pub use mobility::MobilityModel;
+pub use online::{OnlineConfig, OnlineSimulator, SlotRecord};
+pub use policy::Policy;
+pub use testbed::{run_testbed, TestbedConfig, TestbedResult};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,142 @@
+//! User mobility: random-waypoint hopping between base stations.
+//!
+//! Each slot, every user independently decides (with probability
+//! `move_prob`) to relocate. A relocating user prefers a *neighbor* of its
+//! current base station (locality of physical movement) with probability
+//! `local_bias`, otherwise jumps to a uniformly random station — the mix
+//! reproduces both gradual drift and the occasional long hop seen in the
+//! paper's trace analysis.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use socl_net::{EdgeNetwork, NodeId};
+
+/// Seeded mobility model over a fixed topology.
+#[derive(Debug, Clone)]
+pub struct MobilityModel {
+    /// Probability a user relocates in a given slot.
+    pub move_prob: f64,
+    /// Probability a relocating user moves to a neighbor station rather
+    /// than teleporting to a random one.
+    pub local_bias: f64,
+    rng: StdRng,
+}
+
+impl MobilityModel {
+    /// Model with the given parameters and seed.
+    pub fn new(move_prob: f64, local_bias: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&move_prob), "move_prob out of range");
+        assert!((0.0..=1.0).contains(&local_bias), "local_bias out of range");
+        Self {
+            move_prob,
+            local_bias,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Paper-like defaults: 40% of users move per 5-minute slot, 70% of
+    /// moves are to adjacent stations.
+    pub fn paper(seed: u64) -> Self {
+        Self::new(0.4, 0.7, seed)
+    }
+
+    /// Advance one slot: mutate `locations` in place.
+    pub fn step(&mut self, net: &EdgeNetwork, locations: &mut [NodeId]) {
+        let n = net.node_count() as u32;
+        if n <= 1 {
+            return;
+        }
+        for loc in locations.iter_mut() {
+            if self.rng.gen::<f64>() >= self.move_prob {
+                continue;
+            }
+            let neighbors = net.neighbors(*loc);
+            if !neighbors.is_empty() && self.rng.gen::<f64>() < self.local_bias {
+                let pick = self.rng.gen_range(0..neighbors.len());
+                *loc = neighbors[pick].node;
+            } else {
+                //
+
+                // Teleport anywhere (including possibly staying put).
+                *loc = NodeId(self.rng.gen_range(0..n));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socl_net::TopologyConfig;
+
+    #[test]
+    fn movement_respects_probability_extremes() {
+        let net = TopologyConfig::paper(10).build(1);
+        let start: Vec<NodeId> = (0..50).map(|i| NodeId(i % 10)).collect();
+
+        let mut frozen = MobilityModel::new(0.0, 0.5, 7);
+        let mut locs = start.clone();
+        frozen.step(&net, &mut locs);
+        assert_eq!(locs, start, "move_prob 0 must freeze everyone");
+
+        let mut always = MobilityModel::new(1.0, 0.0, 7);
+        let mut locs = start.clone();
+        always.step(&net, &mut locs);
+        // With teleportation some users almost surely moved.
+        assert_ne!(locs, start);
+    }
+
+    #[test]
+    fn locations_stay_in_range() {
+        let net = TopologyConfig::paper(8).build(2);
+        let mut model = MobilityModel::paper(3);
+        let mut locs: Vec<NodeId> = (0..40).map(|i| NodeId(i % 8)).collect();
+        for _ in 0..100 {
+            model.step(&net, &mut locs);
+            for l in &locs {
+                assert!(l.0 < 8);
+            }
+        }
+    }
+
+    #[test]
+    fn local_moves_land_on_neighbors() {
+        let net = TopologyConfig::paper(10).build(4);
+        let mut model = MobilityModel::new(1.0, 1.0, 5);
+        let mut locs: Vec<NodeId> = (0..30).map(|i| NodeId(i % 10)).collect();
+        let before = locs.clone();
+        model.step(&net, &mut locs);
+        for (b, a) in before.iter().zip(&locs) {
+            if a != b {
+                assert!(
+                    net.neighbors(*b).iter().any(|nb| nb.node == *a),
+                    "{b} -> {a} is not a neighbor hop"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mobility_is_seed_deterministic() {
+        let net = TopologyConfig::paper(10).build(6);
+        let run = |seed| {
+            let mut m = MobilityModel::paper(seed);
+            let mut locs: Vec<NodeId> = (0..20).map(|i| NodeId(i % 10)).collect();
+            for _ in 0..10 {
+                m.step(&net, &mut locs);
+            }
+            locs
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn single_node_topology_is_a_noop() {
+        let net = TopologyConfig::paper(1).build(0);
+        let mut model = MobilityModel::new(1.0, 0.5, 1);
+        let mut locs = vec![NodeId(0); 5];
+        model.step(&net, &mut locs);
+        assert!(locs.iter().all(|&l| l == NodeId(0)));
+    }
+}

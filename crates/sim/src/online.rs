@@ -1,0 +1,452 @@
+//! The time-slotted online simulator.
+//!
+//! SoCL "processes decisions in a time-slotted manner, where at each time
+//! slot it adapts to the observed system state and current user demand".
+//! The simulator realizes exactly that loop:
+//!
+//! 1. users move ([`MobilityModel`]), some re-draw their service chain,
+//! 2. the policy re-provisions one-shot on the observed state,
+//! 3. the slot is scored with exact routing (objective, mean/max latency),
+//! 4. optionally, a node fails or recovers (failure injection).
+//!
+//! Failure injection removes a node's instances and detours its users to the
+//! nearest alive station, exercising the re-provisioning and roll-back
+//! machinery under churn.
+
+use crate::mobility::MobilityModel;
+use crate::policy::Policy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use socl_model::{evaluate, DependencyDataset, EshopDataset, Scenario, ScenarioConfig, UserRequest};
+use socl_net::NodeId;
+use std::time::{Duration, Instant};
+
+/// Online simulation parameters.
+#[derive(Debug, Clone)]
+pub struct OnlineConfig {
+    /// Number of slots (the paper's 4-hour trace at 5-minute slots = 48).
+    pub slots: usize,
+    /// Users in the system.
+    pub users: usize,
+    /// Edge servers.
+    pub nodes: usize,
+    /// Probability a user re-draws its chain each slot
+    /// ("stochastic service dependencies").
+    pub rechain_prob: f64,
+    /// Mobility parameters.
+    pub move_prob: f64,
+    /// Base scenario knobs (budget, λ, ranges).
+    pub scenario: ScenarioConfig,
+    /// Per-slot probability that a random alive node fails (0 disables).
+    pub fail_prob: f64,
+    /// Per-slot probability that a failed node recovers.
+    pub recover_prob: f64,
+    /// Per-slot probability that a random alive link fails (0 disables).
+    /// Only links whose removal keeps the network connected are eligible —
+    /// the simulator models degradation, not partitions.
+    pub link_fail_prob: f64,
+    /// Per-slot probability that a failed link recovers.
+    pub link_recover_prob: f64,
+    /// Use the user-preference model (the paper's future-work feature):
+    /// chain churn re-draws follow each user's stable service affinities,
+    /// so successive requests of one user stay self-similar.
+    pub user_preferences: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        Self {
+            slots: 48,
+            users: 50,
+            nodes: 16,
+            rechain_prob: 0.3,
+            move_prob: 0.4,
+            scenario: ScenarioConfig::default(),
+            fail_prob: 0.0,
+            recover_prob: 0.5,
+            link_fail_prob: 0.0,
+            link_recover_prob: 0.5,
+            user_preferences: false,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-slot measurement record.
+#[derive(Debug, Clone)]
+pub struct SlotRecord {
+    pub slot: usize,
+    /// Weighted objective of the slot's placement.
+    pub objective: f64,
+    /// Deployment cost.
+    pub cost: f64,
+    /// Mean completion time across requests (seconds).
+    pub mean_latency: f64,
+    /// Maximum completion time (seconds).
+    pub max_latency: f64,
+    /// Requests that fell back to the cloud.
+    pub fallbacks: usize,
+    /// Policy solve time for the slot.
+    pub solve_time: Duration,
+    /// Nodes down during the slot.
+    pub failed_nodes: usize,
+}
+
+/// The simulator: owns the evolving user state.
+pub struct OnlineSimulator {
+    cfg: OnlineConfig,
+    dataset: DependencyDataset,
+    base: Scenario,
+    locations: Vec<NodeId>,
+    requests: Vec<UserRequest>,
+    mobility: MobilityModel,
+    rng: StdRng,
+    alive: Vec<bool>,
+    alive_links: Vec<bool>,
+    preferences: Option<socl_model::PreferenceModel>,
+}
+
+impl OnlineSimulator {
+    /// Build the simulator (topology and catalog are fixed across slots).
+    pub fn new(cfg: OnlineConfig) -> Self {
+        let dataset = EshopDataset::build();
+        let mut scenario_cfg = cfg.scenario.clone();
+        scenario_cfg.nodes = cfg.nodes;
+        scenario_cfg.users = cfg.users;
+        let base = scenario_cfg.build_with_dataset(&dataset, cfg.seed);
+        let locations = base.requests.iter().map(|r| r.location).collect();
+        let requests = base.requests.clone();
+        let mobility = MobilityModel::new(cfg.move_prob, 0.7, cfg.seed ^ 0xA5A5);
+        let rng = StdRng::seed_from_u64(cfg.seed ^ 0x5A5A_5A5A);
+        let alive = vec![true; cfg.nodes];
+        let alive_links = vec![true; base.net.link_count()];
+        let preferences = cfg.user_preferences.then(|| {
+            socl_model::PreferenceModel::sample(cfg.users, base.catalog.len(), cfg.seed)
+        });
+        Self {
+            cfg,
+            dataset,
+            base,
+            locations,
+            requests,
+            mobility,
+            rng,
+            alive,
+            alive_links,
+            preferences,
+        }
+    }
+
+    /// True when removing every currently-dead link *plus* `extra` keeps the
+    /// substrate connected.
+    fn connected_without(&self, extra: usize) -> bool {
+        let mut net = socl_net::EdgeNetwork::new();
+        for k in self.base.net.node_ids() {
+            net.push_server(self.base.net.server(k).clone());
+        }
+        for (idx, link) in self.base.net.links().iter().enumerate() {
+            if self.alive_links[idx] && idx != extra {
+                net.add_link(link.a, link.b, link.params);
+            }
+        }
+        net.is_connected()
+    }
+
+    /// The fixed substrate scenario (topology, catalog, knobs).
+    pub fn base(&self) -> &Scenario {
+        &self.base
+    }
+
+    /// Advance user state by one slot and return the slot's scenario.
+    fn advance(&mut self) -> Scenario {
+        // Failure injection.
+        if self.cfg.fail_prob > 0.0 {
+            let alive_count = self.alive.iter().filter(|&&a| a).count();
+            if alive_count > 1 && self.rng.gen::<f64>() < self.cfg.fail_prob {
+                let idx = loop {
+                    let i = self.rng.gen_range(0..self.cfg.nodes);
+                    if self.alive[i] {
+                        break i;
+                    }
+                };
+                self.alive[idx] = false;
+            }
+            for i in 0..self.cfg.nodes {
+                if !self.alive[i] && self.rng.gen::<f64>() < self.cfg.recover_prob {
+                    self.alive[i] = true;
+                }
+            }
+        }
+
+        // Link failure injection (degradation only — never a partition).
+        if self.cfg.link_fail_prob > 0.0 {
+            if self.rng.gen::<f64>() < self.cfg.link_fail_prob {
+                let n_links = self.alive_links.len();
+                if n_links > 0 {
+                    // Try a few random candidates; skip bridges.
+                    for _ in 0..8 {
+                        let idx = self.rng.gen_range(0..n_links);
+                        if self.alive_links[idx] && self.connected_without(idx) {
+                            self.alive_links[idx] = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            for idx in 0..self.alive_links.len() {
+                if !self.alive_links[idx] && self.rng.gen::<f64>() < self.cfg.link_recover_prob {
+                    self.alive_links[idx] = true;
+                }
+            }
+        }
+
+        // Mobility, detouring users away from dead stations.
+        self.mobility.step(&self.base.net, &mut self.locations);
+        for loc in &mut self.locations {
+            if !self.alive[loc.idx()] {
+                // Re-attach to the nearest alive station (max channel speed).
+                let target = self
+                    .base
+                    .net
+                    .node_ids()
+                    .filter(|k| self.alive[k.idx()])
+                    .max_by(|&a, &b| {
+                        self.base
+                            .ap
+                            .best_speed(*loc, a)
+                            .partial_cmp(&self.base.ap.best_speed(*loc, b))
+                            .unwrap()
+                    });
+                if let Some(t) = target {
+                    *loc = t;
+                }
+            }
+        }
+
+        // Chain churn + location update.
+        let req_cfg = &self.cfg.scenario.requests;
+        for (h, (req, &loc)) in self.requests.iter_mut().zip(&self.locations).enumerate() {
+            req.location = loc;
+            if self.rng.gen::<f64>() < self.cfg.rechain_prob {
+                let chain = match &self.preferences {
+                    Some(prefs) => prefs.sample_chain(
+                        &self.dataset,
+                        h,
+                        &mut self.rng,
+                        req_cfg.chain_len.0,
+                        req_cfg.chain_len.1,
+                    ),
+                    None => self.dataset.sample_chain(
+                        &mut self.rng,
+                        req_cfg.chain_len.0,
+                        req_cfg.chain_len.1,
+                    ),
+                };
+                let edge_data = (0..chain.len().saturating_sub(1))
+                    .map(|_| self.rng.gen_range(req_cfg.edge_data.0..=req_cfg.edge_data.1))
+                    .collect();
+                req.chain = chain;
+                req.edge_data = edge_data;
+            }
+        }
+
+        // Slot scenario: shrink dead nodes' storage to zero so no policy can
+        // place instances there; rebuild the substrate (and its path cache)
+        // when links are down.
+        let mut sc = self.base.clone();
+        sc.requests = self.requests.clone();
+        if self.alive_links.iter().any(|&a| !a) {
+            let mut net = socl_net::EdgeNetwork::new();
+            for k in self.base.net.node_ids() {
+                net.push_server(self.base.net.server(k).clone());
+            }
+            for (idx, link) in self.base.net.links().iter().enumerate() {
+                if self.alive_links[idx] {
+                    net.add_link(link.a, link.b, link.params);
+                }
+            }
+            sc.ap = socl_net::AllPairs::compute(&net);
+            sc.net = net;
+        }
+        for i in 0..self.cfg.nodes {
+            if !self.alive[i] {
+                sc.net.server_mut(NodeId(i as u32)).storage_units = 0.0;
+            }
+        }
+        sc
+    }
+
+    /// Run `policy` for the configured number of slots, scoring latency with
+    /// the exact (unloaded) routing model.
+    pub fn run(&mut self, policy: &Policy) -> Vec<SlotRecord> {
+        self.run_measured(policy, |_, _| None)
+    }
+
+    /// Like [`run`](Self::run), but lets the caller override the latency
+    /// measurement per slot — e.g. with the discrete-event testbed emulator,
+    /// which adds the queueing and cold-start effects a real cluster shows.
+    /// `measure(scenario, placement)` returns `Some((mean, max))` in seconds
+    /// to override, or `None` to keep the unloaded routing measurement.
+    pub fn run_measured<F>(&mut self, policy: &Policy, mut measure: F) -> Vec<SlotRecord>
+    where
+        F: FnMut(&Scenario, &socl_model::Placement) -> Option<(f64, f64)>,
+    {
+        let mut records = Vec::with_capacity(self.cfg.slots);
+        for slot in 0..self.cfg.slots {
+            let sc = self.advance();
+            let t = Instant::now();
+            let placement = policy.place(&sc, slot as u64);
+            let solve_time = t.elapsed();
+            let ev = evaluate(&sc, &placement);
+            let (mean_latency, max_latency) = measure(&sc, &placement)
+                .unwrap_or_else(|| (ev.mean_latency(), ev.max_latency()));
+            records.push(SlotRecord {
+                slot,
+                objective: ev.objective,
+                cost: ev.cost,
+                mean_latency,
+                max_latency,
+                fallbacks: ev.cloud_fallbacks,
+                solve_time,
+                failed_nodes: self.alive.iter().filter(|&&a| !a).count(),
+            });
+        }
+        records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socl_core::SoclConfig;
+
+    fn small_cfg(seed: u64) -> OnlineConfig {
+        OnlineConfig {
+            slots: 6,
+            users: 20,
+            nodes: 8,
+            seed,
+            ..OnlineConfig::default()
+        }
+    }
+
+    #[test]
+    fn simulation_produces_one_record_per_slot() {
+        let mut sim = OnlineSimulator::new(small_cfg(1));
+        let records = sim.run(&Policy::Socl(SoclConfig::default()));
+        assert_eq!(records.len(), 6);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.slot, i);
+            assert!(r.objective > 0.0);
+            assert!(r.mean_latency >= 0.0);
+            assert!(r.max_latency >= r.mean_latency);
+        }
+    }
+
+    #[test]
+    fn socl_serves_all_requests_each_slot() {
+        let mut sim = OnlineSimulator::new(small_cfg(2));
+        let records = sim.run(&Policy::Socl(SoclConfig::default()));
+        for r in &records {
+            assert_eq!(r.fallbacks, 0, "slot {} had fallbacks", r.slot);
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let run = |seed| {
+            let mut sim = OnlineSimulator::new(small_cfg(seed));
+            sim.run(&Policy::Jdr)
+                .iter()
+                .map(|r| r.objective)
+                .collect::<Vec<f64>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn user_state_evolves_across_slots() {
+        let mut sim = OnlineSimulator::new(small_cfg(5));
+        let first = sim.advance();
+        let second = sim.advance();
+        // With 20 users, 40% mobility and 30% chain churn, the request sets
+        // almost surely differ between consecutive slots.
+        assert_ne!(first.requests, second.requests);
+    }
+
+    #[test]
+    fn preference_mode_keeps_chains_self_similar() {
+        use socl_model::chain_similarity;
+        // Two simulators differing only in the preference flag; measure the
+        // mean similarity of each user's chain across consecutive slots.
+        let sim_mean = |prefs: bool| -> f64 {
+            let mut sim = OnlineSimulator::new(OnlineConfig {
+                rechain_prob: 1.0, // re-draw every chain every slot
+                user_preferences: prefs,
+                ..small_cfg(13)
+            });
+            let mut total = 0.0;
+            let mut n = 0.0;
+            let mut prev = sim.advance().requests;
+            for _ in 0..6 {
+                let cur = sim.advance().requests;
+                for (a, b) in prev.iter().zip(&cur) {
+                    total += chain_similarity(&a.chain, &b.chain);
+                    n += 1.0;
+                }
+                prev = cur;
+            }
+            total / n
+        };
+        let with = sim_mean(true);
+        let without = sim_mean(false);
+        assert!(
+            with > without,
+            "preference chains ({with:.3}) should be more self-similar than random ({without:.3})"
+        );
+    }
+
+    #[test]
+    fn link_failures_degrade_but_never_partition() {
+        let cfg = OnlineConfig {
+            link_fail_prob: 0.9,
+            link_recover_prob: 0.2,
+            ..small_cfg(11)
+        };
+        let mut sim = OnlineSimulator::new(cfg);
+        // Run several slots; the substrate must stay connected throughout
+        // and SoCL must keep serving from the edge.
+        for _ in 0..8 {
+            let sc = sim.advance();
+            assert!(sc.net.is_connected(), "link failure partitioned the net");
+            let placement = Policy::Socl(SoclConfig::default()).place(&sc, 0);
+            let ev = evaluate(&sc, &placement);
+            assert_eq!(ev.cloud_fallbacks, 0);
+        }
+        // Failures must actually have occurred at p = 0.9.
+        assert!(
+            sim.alive_links.iter().any(|&a| !a) || sim.base.net.link_count() == 0,
+            "no link ever failed at p=0.9"
+        );
+    }
+
+    #[test]
+    fn failure_injection_keeps_system_serving() {
+        let cfg = OnlineConfig {
+            fail_prob: 0.8,
+            recover_prob: 0.3,
+            ..small_cfg(6)
+        };
+        let mut sim = OnlineSimulator::new(cfg);
+        let records = sim.run(&Policy::Socl(SoclConfig::default()));
+        // Failures must actually occur…
+        assert!(records.iter().any(|r| r.failed_nodes > 0));
+        // …and SoCL must keep serving everyone from the remaining nodes.
+        for r in &records {
+            assert_eq!(r.fallbacks, 0, "slot {}: fallbacks under failure", r.slot);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests for the simulator and the testbed emulator.
+
+use crate::policy::Policy;
+use crate::testbed::{run_testbed, TestbedConfig};
+use proptest::prelude::*;
+use socl_core::SoclConfig;
+use socl_model::{evaluate, Scenario, ScenarioConfig};
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (6usize..=12, 10usize..=40, any::<u64>())
+        .prop_map(|(nodes, users, seed)| ScenarioConfig::paper(nodes, users).build(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Testbed latencies dominate unloaded DP latencies per request: the
+    /// emulator adds queueing and cold starts on top of the same routes, so
+    /// no request can finish faster than its unloaded completion time.
+    #[test]
+    fn testbed_dominates_unloaded_latency(sc in arb_scenario(), seed in any::<u64>()) {
+        let placement = Policy::Socl(SoclConfig::default()).place(&sc, 0);
+        let ev = evaluate(&sc, &placement);
+        let cfg = TestbedConfig { seed, ..TestbedConfig::default() };
+        let res = run_testbed(&sc, &placement, &cfg);
+        prop_assert_eq!(res.fallbacks, ev.cloud_fallbacks);
+        for (measured, unloaded) in res.per_request.iter().zip(&ev.per_request) {
+            if let Some(m) = measured {
+                prop_assert!(
+                    *m >= unloaded - 1e-9,
+                    "testbed {m} below unloaded bound {unloaded}"
+                );
+            }
+        }
+    }
+
+    /// Longer epochs (lighter load) can only reduce queueing: the mean
+    /// latency with double the epoch length is no larger.
+    #[test]
+    fn lighter_load_reduces_queueing(sc in arb_scenario()) {
+        let placement = Policy::Jdr.place(&sc, 0);
+        let tight = run_testbed(&sc, &placement, &TestbedConfig {
+            epoch_secs: 10.0, cold_start: 0.0, ..TestbedConfig::default()
+        });
+        let loose = run_testbed(&sc, &placement, &TestbedConfig {
+            epoch_secs: 1000.0, cold_start: 0.0, ..TestbedConfig::default()
+        });
+        prop_assert!(loose.mean <= tight.mean + 1e-9,
+            "spreading arrivals raised latency: {} vs {}", loose.mean, tight.mean);
+    }
+
+    /// Cold starts only ever add latency.
+    #[test]
+    fn cold_starts_only_add(sc in arb_scenario()) {
+        let placement = Policy::Socl(SoclConfig::default()).place(&sc, 0);
+        let with = run_testbed(&sc, &placement, &TestbedConfig {
+            cold_start: 1.0, keep_warm: 0.0, ..TestbedConfig::default()
+        });
+        let without = run_testbed(&sc, &placement, &TestbedConfig {
+            cold_start: 0.0, ..TestbedConfig::default()
+        });
+        prop_assert!(with.mean >= without.mean - 1e-9);
+        prop_assert!(with.cold_starts > 0);
+    }
+}

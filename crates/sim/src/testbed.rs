@@ -1,0 +1,362 @@
+//! Discrete-event testbed emulator (the Kubernetes-cluster stand-in).
+//!
+//! The paper's Section V.C runs RP/JDR/SoCL placements on a 17-machine
+//! cluster and records per-request latency. This emulator reproduces the
+//! measurement pipeline:
+//!
+//! * requests arrive with uniform jitter inside each epoch (the paper's
+//!   "users issued requests every 5 minutes on average"),
+//! * every chain stage queues FIFO on its host's CPU (service time
+//!   `q(m)/c(v)`, non-preemptive) — contention is real: two requests on one
+//!   node wait on each other, which is how unbalanced placements (RP) grow
+//!   latency spikes,
+//! * transfers between stages are delayed by the routed path's bandwidth,
+//! * serverless cold starts: an instance idle for longer than `keep_warm`
+//!   pays `cold_start` before serving (warm instances nearby — SoCL's
+//!   storage-planning goal — avoid this).
+//!
+//! Routing follows the exact per-request DP for the placement under test.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use socl_model::{optimal_route, Placement, RouteOutcome, Scenario};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Emulator parameters.
+#[derive(Debug, Clone)]
+pub struct TestbedConfig {
+    /// Number of epochs to run.
+    pub epochs: usize,
+    /// Epoch length in seconds (paper: 5 minutes).
+    pub epoch_secs: f64,
+    /// Cold-start penalty in seconds for an instance gone cold.
+    pub cold_start: f64,
+    /// Idle time after which an instance goes cold.
+    pub keep_warm: f64,
+    /// Arrival jitter seed.
+    pub seed: u64,
+}
+
+impl Default for TestbedConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 1,
+            epoch_secs: 300.0,
+            cold_start: 0.5,
+            keep_warm: 600.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Measured latencies.
+#[derive(Debug, Clone)]
+pub struct TestbedResult {
+    /// End-to-end latency per (epoch, request), seconds; `None` for cloud
+    /// fallbacks.
+    pub per_request: Vec<Option<f64>>,
+    /// Mean latency per epoch (fallbacks excluded).
+    pub per_epoch_mean: Vec<f64>,
+    /// Global mean and max.
+    pub mean: f64,
+    pub max: f64,
+    /// Cold starts incurred.
+    pub cold_starts: usize,
+    /// Requests that had no edge route.
+    pub fallbacks: usize,
+}
+
+impl TestbedResult {
+    /// `p`-quantile of served-request latencies (seconds); 0 when nothing
+    /// was served.
+    pub fn latency_percentile(&self, p: f64) -> f64 {
+        let served: Vec<f64> = self.per_request.iter().flatten().copied().collect();
+        socl_model::stats::percentile(&served, p)
+    }
+
+    /// Median served latency, seconds.
+    pub fn median(&self) -> f64 {
+        self.latency_percentile(0.5)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: f64,
+    /// Request index within the flattened (epoch × request) list.
+    job: usize,
+    /// Chain stage about to be *served* (arrival at the stage's node).
+    stage: usize,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.job == other.job && self.stage == other.stage
+    }
+}
+impl Eq for Event {}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by time, deterministic tie-breaks.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then(other.job.cmp(&self.job))
+            .then(other.stage.cmp(&self.stage))
+    }
+}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Run the emulator for `placement` on `scenario`.
+///
+/// ```
+/// use socl_core::SoclSolver;
+/// use socl_model::ScenarioConfig;
+/// use socl_sim::{run_testbed, TestbedConfig};
+///
+/// let sc = ScenarioConfig::paper(8, 20).build(3);
+/// let placement = SoclSolver::new().solve(&sc).placement;
+/// let measured = run_testbed(&sc, &placement, &TestbedConfig::default());
+/// assert_eq!(measured.fallbacks, 0);
+/// assert!(measured.mean > 0.0 && measured.max >= measured.mean);
+/// ```
+pub fn run_testbed(sc: &Scenario, placement: &Placement, cfg: &TestbedConfig) -> TestbedResult {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let users = sc.requests.len();
+
+    // Static routes per request (recomputed per epoch job set is identical —
+    // the placement and request set do not change inside one testbed run).
+    let routes: Vec<Option<Vec<socl_net::NodeId>>> = sc
+        .requests
+        .iter()
+        .map(|r| match optimal_route(r, placement, &sc.net, &sc.ap, &sc.catalog) {
+            RouteOutcome::Edge { route, .. } => Some(route),
+            RouteOutcome::CloudFallback => None,
+        })
+        .collect();
+
+    // Job list: one job per (epoch, user) with jittered arrival.
+    struct Job {
+        user: usize,
+        arrival: f64,
+        start: f64,
+    }
+    let mut jobs: Vec<Job> = Vec::with_capacity(cfg.epochs * users);
+    for e in 0..cfg.epochs {
+        let base = e as f64 * cfg.epoch_secs;
+        for u in 0..users {
+            let jitter = rng.gen_range(0.0..cfg.epoch_secs);
+            jobs.push(Job {
+                user: u,
+                arrival: base + jitter,
+                start: 0.0,
+            });
+        }
+    }
+
+    // Node CPU availability and per-instance warmth.
+    let mut node_free = vec![0.0f64; sc.nodes()];
+    let mut last_used = vec![f64::NEG_INFINITY; sc.services() * sc.nodes()];
+    let mut cold_starts = 0usize;
+
+    let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+    let mut per_request: Vec<Option<f64>> = vec![None; jobs.len()];
+    let mut fallbacks = 0usize;
+
+    // Seed events: arrival + upload transfer to the first stage's node.
+    for (j, job) in jobs.iter_mut().enumerate() {
+        let req = &sc.requests[job.user];
+        match &routes[job.user] {
+            None => {
+                fallbacks += 1;
+                per_request[j] = None;
+            }
+            Some(route) => {
+                job.start = job.arrival;
+                let t_arrive = job.arrival + sc.ap.transfer_time(req.location, route[0], req.r_in);
+                heap.push(Event {
+                    time: t_arrive,
+                    job: j,
+                    stage: 0,
+                });
+            }
+        }
+    }
+
+    // Event loop: chronological FIFO service at each node.
+    while let Some(Event { time, job, stage }) = heap.pop() {
+        let user = jobs[job].user;
+        let req = &sc.requests[user];
+        let route = routes[user].as_ref().expect("fallback jobs emit no events");
+        let node = route[stage];
+        let svc = req.chain[stage];
+
+        // Cold start if the instance went cold.
+        let warm_idx = svc.idx() * sc.nodes() + node.idx();
+        let mut service_time = sc.catalog.compute(svc) / sc.net.compute(node);
+        if time - last_used[warm_idx] > cfg.keep_warm {
+            service_time += cfg.cold_start;
+            cold_starts += 1;
+        }
+
+        let start = time.max(node_free[node.idx()]);
+        let done = start + service_time;
+        node_free[node.idx()] = done;
+        last_used[warm_idx] = done;
+
+        if stage + 1 < route.len() {
+            let t_next = done + sc.ap.transfer_time(node, route[stage + 1], req.edge_data[stage]);
+            heap.push(Event {
+                time: t_next,
+                job,
+                stage: stage + 1,
+            });
+        } else {
+            let finish = done + sc.ap.return_time(node, req.location, req.r_out);
+            per_request[job] = Some(finish - jobs[job].start);
+        }
+    }
+
+    // Aggregate.
+    let mut per_epoch_mean = Vec::with_capacity(cfg.epochs);
+    for e in 0..cfg.epochs {
+        let slice = &per_request[e * users..(e + 1) * users];
+        let served: Vec<f64> = slice.iter().flatten().copied().collect();
+        per_epoch_mean.push(if served.is_empty() {
+            0.0
+        } else {
+            served.iter().sum::<f64>() / served.len() as f64
+        });
+    }
+    let served: Vec<f64> = per_request.iter().flatten().copied().collect();
+    let mean = if served.is_empty() {
+        0.0
+    } else {
+        served.iter().sum::<f64>() / served.len() as f64
+    };
+    let max = served.iter().copied().fold(0.0, f64::max);
+
+    TestbedResult {
+        per_request,
+        per_epoch_mean,
+        mean,
+        max,
+        cold_starts,
+        fallbacks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socl_core::SoclSolver;
+    use socl_model::ScenarioConfig;
+
+    fn scenario(seed: u64) -> Scenario {
+        ScenarioConfig::paper(8, 30).build(seed)
+    }
+
+    #[test]
+    fn testbed_measures_every_served_request() {
+        let sc = scenario(1);
+        let placement = SoclSolver::new().solve(&sc).placement;
+        let res = run_testbed(&sc, &placement, &TestbedConfig::default());
+        assert_eq!(res.fallbacks, 0);
+        assert_eq!(res.per_request.len(), sc.users());
+        for lat in res.per_request.iter().flatten() {
+            assert!(*lat > 0.0);
+        }
+        assert!(res.max >= res.mean && res.mean > 0.0);
+    }
+
+    #[test]
+    fn queueing_makes_testbed_latency_at_least_unloaded_latency() {
+        let sc = scenario(2);
+        let placement = SoclSolver::new().solve(&sc).placement;
+        let ev = socl_model::evaluate(&sc, &placement);
+        let res = run_testbed(&sc, &placement, &TestbedConfig::default());
+        // Unloaded DP latency is a lower bound on the queued latency.
+        // (Same routes; the testbed adds waiting and cold starts.)
+        assert!(res.mean + 1e-9 >= ev.mean_latency() * 0.999,
+            "testbed mean {} below unloaded mean {}", res.mean, ev.mean_latency());
+    }
+
+    #[test]
+    fn empty_placement_all_fallbacks() {
+        let sc = scenario(3);
+        let placement = Placement::empty(sc.services(), sc.nodes());
+        let res = run_testbed(&sc, &placement, &TestbedConfig::default());
+        assert_eq!(res.fallbacks, sc.users());
+        assert!(res.per_request.iter().all(|r| r.is_none()));
+        assert_eq!(res.mean, 0.0);
+    }
+
+    #[test]
+    fn multiple_epochs_reuse_warm_instances() {
+        let sc = scenario(4);
+        let placement = SoclSolver::new().solve(&sc).placement;
+        let cfg = TestbedConfig {
+            epochs: 4,
+            ..TestbedConfig::default()
+        };
+        let res = run_testbed(&sc, &placement, &cfg);
+        assert_eq!(res.per_epoch_mean.len(), 4);
+        // Cold starts happen at most once per (instance, cold period); with
+        // keep_warm (600 s) > epoch (300 s), later epochs stay warm, so cold
+        // starts are far fewer than stage executions.
+        let total_stages: usize = sc.requests.iter().map(|r| r.len()).sum();
+        assert!(res.cold_starts <= total_stages, "{}", res.cold_starts);
+        assert!(res.cold_starts > 0);
+    }
+
+    #[test]
+    fn contention_raises_latency_versus_a_big_cluster() {
+        // The same workload on a placement spread across all nodes beats a
+        // single-node pile-up.
+        let sc = scenario(5);
+        let spread = Placement::full(sc.services(), sc.nodes());
+        let mut pile = Placement::empty(sc.services(), sc.nodes());
+        for m in sc.requested_services() {
+            pile.set(m, socl_net::NodeId(0), true);
+        }
+        let cfg = TestbedConfig::default();
+        let res_spread = run_testbed(&sc, &spread, &cfg);
+        let res_pile = run_testbed(&sc, &pile, &cfg);
+        assert!(
+            res_pile.mean > res_spread.mean,
+            "pile {} should exceed spread {}",
+            res_pile.mean,
+            res_spread.mean
+        );
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let sc = scenario(7);
+        let placement = SoclSolver::new().solve(&sc).placement;
+        let res = run_testbed(&sc, &placement, &TestbedConfig::default());
+        let p50 = res.latency_percentile(0.5);
+        let p95 = res.latency_percentile(0.95);
+        assert!(p50 > 0.0);
+        assert!(p95 >= p50);
+        assert!(res.max >= p95 - 1e-12);
+        assert_eq!(res.median(), p50);
+    }
+
+    #[test]
+    fn testbed_is_deterministic() {
+        let sc = scenario(6);
+        let placement = SoclSolver::new().solve(&sc).placement;
+        let cfg = TestbedConfig::default();
+        let a = run_testbed(&sc, &placement, &cfg);
+        let b = run_testbed(&sc, &placement, &cfg);
+        assert_eq!(a.per_request, b.per_request);
+        assert_eq!(a.cold_starts, b.cold_starts);
+    }
+}

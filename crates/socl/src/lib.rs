@@ -1,0 +1,60 @@
+//! # socl — facade crate for the SoCL reproduction
+//!
+//! Re-exports the public API of every subsystem so applications depend on a
+//! single crate:
+//!
+//! ```
+//! use socl::prelude::*;
+//!
+//! let scenario = ScenarioConfig::paper(10, 40).build(7);
+//! let result = SoclSolver::new().solve(&scenario);
+//! assert_eq!(result.evaluation.cloud_fallbacks, 0);
+//! ```
+//!
+//! Subsystem map (see DESIGN.md for the full inventory):
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`net`] | socl-net | edge topology, shortest paths, virtual graphs |
+//! | [`model`] | socl-model | workload, cost/latency models, routing DP |
+//! | [`milp`] | socl-milp | from-scratch simplex + branch-and-bound |
+//! | [`ilp`] | socl-ilp | exact optimizer (Gurobi stand-in) |
+//! | [`core`] | socl-core | the SoCL three-stage pipeline |
+//! | [`baselines`] | socl-baselines | RP, JDR, GC-OG |
+//! | [`sim`] | socl-sim | online simulator + testbed emulator |
+//! | [`trace`] | socl-trace | synthetic Alibaba-like traces |
+
+pub use socl_baselines as baselines;
+pub use socl_core as core;
+pub use socl_ilp as ilp;
+pub use socl_milp as milp;
+pub use socl_model as model;
+pub use socl_net as net;
+pub use socl_sim as sim;
+pub use socl_trace as trace;
+
+/// One-stop imports for applications and examples.
+pub mod prelude {
+    pub use socl_baselines::{gc_og, jdr, random_provisioning, BaselineResult};
+    pub use socl_core::{SoclConfig, SoclResult, SoclSolver, StoragePolicy};
+    pub use socl_ilp::{solve_exact, solve_ilp, ExactOptions, ExactSolution};
+    pub use socl_milp::{solve_milp, MilpOptions, Model, Relation, VarKind};
+    pub use socl_model::{
+        link_loads, route_all_contention_aware, ContentionReport, LinkLoads, SockShopDataset,
+        TrainTicketDataset,
+        evaluate, optimal_route, Assignment, EshopDataset, Evaluation, Microservice, Placement,
+        RequestConfig, Scenario, ScenarioConfig, ServiceCatalog, ServiceId, UserId, UserRequest,
+    };
+    pub use socl_net::{
+        AllPairs, EdgeNetwork, EdgeServer, LinkParams, NodeId, PathMetric, ShortestPaths,
+        TopologyConfig, TopologyKind,
+    };
+    pub use socl_sim::{
+        run_testbed, MobilityModel, OnlineConfig, OnlineSimulator, Policy, SlotRecord,
+        TestbedConfig, TestbedResult,
+    };
+    pub use socl_trace::{
+        cosine_similarity, jaccard_similarity, similarity_matrix, TemporalConfig,
+        TemporalWorkload, TraceConfig, TraceGenerator,
+    };
+}

@@ -1,0 +1,142 @@
+//! Time-series metrics for workload characterization (Figure 4 analysis).
+//!
+//! The paper's claim is qualitative ("significant temporal fluctuations and
+//! recurring peaks"); these metrics make it checkable: autocorrelation
+//! reveals the recurrence, the coefficient of variation and peak-to-mean
+//! quantify the fluctuation, and the burst count measures how often the
+//! series crosses a high-water mark.
+
+/// Sample autocorrelation of `series` at `lag` (biased estimator, the usual
+/// choice for ACF plots). Returns 0 for degenerate inputs.
+pub fn autocorrelation(series: &[f64], lag: usize) -> f64 {
+    let n = series.len();
+    if n < 2 || lag >= n {
+        return 0.0;
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let var: f64 = series.iter().map(|v| (v - mean).powi(2)).sum();
+    if var <= 0.0 {
+        return 0.0;
+    }
+    let cov: f64 = (0..n - lag)
+        .map(|i| (series[i] - mean) * (series[i + lag] - mean))
+        .sum();
+    cov / var
+}
+
+/// Full ACF up to `max_lag` (inclusive); index 0 is always 1 for
+/// non-degenerate series.
+pub fn acf(series: &[f64], max_lag: usize) -> Vec<f64> {
+    (0..=max_lag).map(|l| autocorrelation(series, l)).collect()
+}
+
+/// Coefficient of variation `σ/μ`; 0 for flat or empty series.
+pub fn coefficient_of_variation(series: &[f64]) -> f64 {
+    let n = series.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = series.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+    var.sqrt() / mean
+}
+
+/// Number of maximal runs where the series exceeds `threshold × mean`
+/// (each run counts once, however long).
+pub fn burst_count(series: &[f64], threshold: f64) -> usize {
+    let n = series.len();
+    if n == 0 {
+        return 0;
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let bar = threshold * mean;
+    let mut bursts = 0;
+    let mut inside = false;
+    for &v in series {
+        if v > bar && !inside {
+            bursts += 1;
+            inside = true;
+        } else if v <= bar {
+            inside = false;
+        }
+    }
+    bursts
+}
+
+/// Dominant recurrence lag: the lag (in `1..=max_lag`) with maximal ACF.
+/// `None` for series shorter than 3 samples.
+pub fn dominant_period(series: &[f64], max_lag: usize) -> Option<usize> {
+    if series.len() < 3 || max_lag == 0 {
+        return None;
+    }
+    (1..=max_lag.min(series.len() - 1))
+        .map(|l| (l, autocorrelation(series, l)))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .map(|(l, _)| l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::temporal::{TemporalConfig, TemporalWorkload};
+
+    #[test]
+    fn acf_lag_zero_is_one() {
+        let s = [1.0, 3.0, 2.0, 5.0, 4.0];
+        assert!((autocorrelation(&s, 0) - 1.0).abs() < 1e-12);
+        let a = acf(&s, 3);
+        assert_eq!(a.len(), 4);
+        assert!((a[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acf_detects_periodicity() {
+        // Period-4 square wave: ACF at lag 4 ≈ 1, at lag 2 strongly negative.
+        let s: Vec<f64> = (0..40).map(|i| if (i / 2) % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!(autocorrelation(&s, 4) > 0.8);
+        assert!(autocorrelation(&s, 2) < -0.5);
+        assert_eq!(dominant_period(&s, 6), Some(4));
+    }
+
+    #[test]
+    fn flat_series_is_degenerate() {
+        let s = [5.0; 10];
+        assert_eq!(autocorrelation(&s, 1), 0.0);
+        assert_eq!(coefficient_of_variation(&s), 0.0);
+        assert_eq!(burst_count(&s, 1.5), 0);
+    }
+
+    #[test]
+    fn cv_matches_hand_computation() {
+        // {2, 4}: μ=3, σ=1 → cv = 1/3.
+        let s = [2.0, 4.0];
+        assert!((coefficient_of_variation(&s) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bursts_count_runs_not_samples() {
+        // mean = 1; threshold 2 → bar 2. Two separate excursions above 2.
+        let s = [0.0, 3.0, 3.0, 0.0, 0.0, 4.0, 0.0, 0.0, 0.0, 0.0];
+        assert_eq!(burst_count(&s, 2.0), 2);
+    }
+
+    #[test]
+    fn synthetic_workload_is_bursty_and_structured() {
+        let w = TemporalWorkload::generate(&TemporalConfig::default(), 11);
+        // Fluctuation: CV comfortably above a flat series.
+        assert!(coefficient_of_variation(&w.volumes) > 0.2);
+        // Recurring peaks: at least one burst region.
+        assert!(burst_count(&w.volumes, 1.5) >= 1);
+    }
+
+    #[test]
+    fn edge_cases_do_not_panic() {
+        assert_eq!(autocorrelation(&[], 0), 0.0);
+        assert_eq!(autocorrelation(&[1.0], 1), 0.0);
+        assert_eq!(dominant_period(&[1.0, 2.0], 5), None);
+        assert_eq!(burst_count(&[], 2.0), 0);
+    }
+}

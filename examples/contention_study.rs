@@ -1,0 +1,83 @@
+//! Contention study: the paper's intro argues that uncoordinated routing
+//! creates "path conflicts and network contention". This example quantifies
+//! that on a sparse placement — selfish (per-request-optimal) routing vs the
+//! congestion-priced router — and shows the price of anarchy in hotspot load.
+//!
+//! ```sh
+//! cargo run --release -p socl --example contention_study
+//! ```
+
+use socl::model::contention::{link_loads, route_all_contention_aware, ContentionReport};
+use socl::model::route_all;
+use socl::prelude::*;
+
+fn main() {
+    let sc = ScenarioConfig::paper(12, 80).build(17);
+
+    // Each service gets three replicas (its top-demand nodes): the
+    // congestion-priced router steers requests *between* replicas, which is
+    // where coordination pays — with a single instance per service the
+    // endpoints are fixed and no router can help.
+    let mut placement = Placement::empty(sc.services(), sc.nodes());
+    for m in sc.requested_services() {
+        let mut nodes: Vec<NodeId> = sc.net.node_ids().collect();
+        nodes.sort_by_key(|&k| std::cmp::Reverse(sc.demand(m, k)));
+        for &k in nodes.iter().take(3) {
+            placement.set(m, k, true);
+        }
+    }
+
+    println!("contention study: 12 nodes, 80 users, three replicas per service\n");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>12}",
+        "router", "peak GB", "total GB", "fairness", "latency (ms)"
+    );
+
+    let selfish = route_all(&sc.requests, &placement, &sc.net, &sc.ap, &sc.catalog);
+    let loads = link_loads(&sc, &selfish);
+    let mean_latency = |asg: &Assignment| -> f64 {
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for (h, req) in sc.requests.iter().enumerate() {
+            if let Some(route) = asg.route(h) {
+                total +=
+                    socl::model::completion_time(req, route, &sc.net, &sc.ap, &sc.catalog).total();
+                n += 1;
+            }
+        }
+        total / n.max(1) as f64
+    };
+    println!(
+        "{:<22} {:>10.1} {:>10.1} {:>10.3} {:>12.2}",
+        "selfish (optimal)",
+        loads.hottest().map_or(0.0, |(_, g)| g),
+        loads.total(),
+        loads.fairness(),
+        mean_latency(&selfish) * 1e3
+    );
+
+    for alpha in [0.5, 2.0, 10.0] {
+        let aware = route_all_contention_aware(&sc, &placement, alpha);
+        let l = link_loads(&sc, &aware);
+        println!(
+            "{:<22} {:>10.1} {:>10.1} {:>10.3} {:>12.2}",
+            format!("priced (α = {alpha})"),
+            l.hottest().map_or(0.0, |(_, g)| g),
+            l.total(),
+            l.fairness(),
+            mean_latency(&aware) * 1e3
+        );
+    }
+
+    // Hotspot report for the selfish routing at a 5-minute slot.
+    let report = ContentionReport::new(&sc, link_loads(&sc, &selfish), 300.0, 0.001);
+    println!(
+        "\nselfish routing: {} hotspot links above 0.1% slot utilization, peak {:.4}%",
+        report.hotspots.len(),
+        report.peak_utilization() * 100.0
+    );
+    println!("\nTakeaway: a moderate congestion price (α ≈ 0.5) flattens the hottest");
+    println!("link at a sub-1% latency premium — the coordination the paper's intro");
+    println!("motivates. Over-pricing (α = 10) scatters traffic and re-creates");
+    println!("hotspots elsewhere: the penalty is a knob, not a free lunch.");
+}

@@ -1,0 +1,73 @@
+//! Domain scenario: provisioning the eshopOnContainers storefront across a
+//! metro edge, sweeping the cost/latency trade-off λ and the budget — the
+//! decision a service operator actually faces.
+//!
+//! ```sh
+//! cargo run --release -p socl --example eshop_provisioning
+//! ```
+
+use socl::prelude::*;
+
+fn main() {
+    println!("eshopOnContainers provisioning study (20 nodes, 120 users)\n");
+
+    // λ sweep: how the trade-off weight steers deployments.
+    println!("-- lambda sweep (budget 6000) --");
+    println!(
+        "{:>6} {:>10} {:>10} {:>12} {:>10}",
+        "λ", "objective", "cost", "latency(ms)", "instances"
+    );
+    for lambda in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        let mut cfg = ScenarioConfig::paper(20, 120);
+        cfg.lambda = lambda;
+        let sc = cfg.build(11);
+        let res = SoclSolver::new().solve(&sc);
+        println!(
+            "{:>6.1} {:>10.1} {:>10.1} {:>12.1} {:>10}",
+            lambda,
+            res.objective(),
+            res.evaluation.cost,
+            res.evaluation.total_latency * 1e3,
+            res.placement.total_instances()
+        );
+    }
+
+    // Budget sweep: the paper's 5000–8000 range.
+    println!("\n-- budget sweep (λ = 0.5) --");
+    println!(
+        "{:>8} {:>10} {:>10} {:>12} {:>10}",
+        "budget", "objective", "cost", "latency(ms)", "instances"
+    );
+    for budget in [5000.0, 6000.0, 7000.0, 8000.0] {
+        let mut cfg = ScenarioConfig::paper(20, 120);
+        cfg.budget = budget;
+        let sc = cfg.build(11);
+        let res = SoclSolver::new().solve(&sc);
+        println!(
+            "{:>8.0} {:>10.1} {:>10.1} {:>12.1} {:>10}",
+            budget,
+            res.objective(),
+            res.evaluation.cost,
+            res.evaluation.total_latency * 1e3,
+            res.placement.total_instances()
+        );
+    }
+
+    // Where did the storefront's services land?
+    let sc = ScenarioConfig::paper(20, 120).build(11);
+    let res = SoclSolver::new().solve(&sc);
+    println!("\n-- final deployment map (budget 6000, λ = 0.5) --");
+    for m in sc.catalog.ids() {
+        let hosts = res.placement.hosts_of(m);
+        if hosts.is_empty() {
+            continue;
+        }
+        let hosts: Vec<String> = hosts.iter().map(|k| k.to_string()).collect();
+        println!(
+            "{:<22} x{:<2} on {}",
+            sc.catalog.get(m).name,
+            hosts.len(),
+            hosts.join(", ")
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Quickstart: provision microservices on a 10-node edge network and compare
+//! SoCL against the baselines on one scenario.
+//!
+//! ```sh
+//! cargo run --release -p socl --example quickstart
+//! ```
+
+use socl::prelude::*;
+
+fn main() {
+    // The paper's default setup: 10 edge servers, 40 users, eshopOnContainers
+    // service chains, budget 6000, λ = 0.5.
+    let scenario = ScenarioConfig::paper(10, 40).build(42);
+    println!(
+        "scenario: {} nodes, {} users, {} microservices, budget {}",
+        scenario.nodes(),
+        scenario.users(),
+        scenario.services(),
+        scenario.budget
+    );
+
+    // Run SoCL.
+    let result = SoclSolver::new().solve(&scenario);
+    println!("\n== SoCL ==");
+    println!(
+        "objective {:.1}  cost {:.1}  mean latency {:.1} ms  instances {}",
+        result.objective(),
+        result.evaluation.cost,
+        result.evaluation.mean_latency() * 1e3,
+        result.placement.total_instances()
+    );
+    println!(
+        "stages: partition {:?}, pre-provision {:?}, combine {:?}",
+        result.timings.partition, result.timings.preprovision, result.timings.combine
+    );
+    println!(
+        "combine: {} large-scale removals, {} serial removals, {} rollbacks, {} migrations",
+        result.combine_stats.large_removed,
+        result.combine_stats.small_removed,
+        result.combine_stats.rollbacks,
+        result.combine_stats.migrations
+    );
+
+    // Baselines.
+    println!("\n== baselines ==");
+    for res in [
+        random_provisioning(&scenario, 7),
+        jdr(&scenario),
+        gc_og(&scenario),
+    ] {
+        println!(
+            "{:<6} objective {:>9.1}  cost {:>8.1}  latency {:>8.1} ms  ({:?})",
+            res.name,
+            res.objective,
+            res.cost,
+            res.total_latency * 1e3,
+            res.elapsed
+        );
+    }
+
+    // Per-request routing detail for the first three users.
+    println!("\n== example routes ==");
+    for (h, req) in scenario.requests.iter().take(3).enumerate() {
+        if let Some(route) = result.evaluation.assignment.route(h) {
+            let chain: Vec<String> = req
+                .chain
+                .iter()
+                .zip(route)
+                .map(|(m, k)| format!("{}@{k}", scenario.catalog.get(*m).name))
+                .collect();
+            println!(
+                "{} at {}: {} ({:.1} ms)",
+                req.id,
+                req.location,
+                chain.join(" -> "),
+                result.evaluation.per_request[h] * 1e3
+            );
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Constraint semantics across the whole stack (Eqs. 4–6, 9–11).
+
+use socl::prelude::*;
+
+#[test]
+fn budget_constraint_binds_socl() {
+    // Shrinking the budget forces cheaper deployments, monotonically.
+    let mut costs = Vec::new();
+    for budget in [8000.0, 6500.0, 5000.0] {
+        let mut cfg = ScenarioConfig::paper(10, 80);
+        cfg.budget = budget;
+        let sc = cfg.build(1);
+        let res = SoclSolver::new().solve(&sc);
+        assert!(res.evaluation.cost <= budget + 1e-6);
+        costs.push(res.evaluation.cost);
+    }
+    assert!(
+        costs[0] >= costs[2] - 1e-6,
+        "cost under generous budget {} below tight-budget cost {}",
+        costs[0],
+        costs[2]
+    );
+}
+
+#[test]
+fn storage_constraint_binds_everywhere() {
+    // Squeeze node storage and verify every algorithm still respects Eq. 6.
+    let mut cfg = ScenarioConfig::paper(10, 50);
+    cfg.topology.storage_units = (2.0, 3.0); // much tighter than [4, 8]
+    let sc = cfg.build(2);
+    let placements = [
+        ("SoCL", SoclSolver::new().solve(&sc).placement),
+        ("RP", random_provisioning(&sc, 3).placement),
+        ("JDR", jdr(&sc).placement),
+        ("GC-OG", gc_og(&sc).placement),
+    ];
+    for (name, p) in placements {
+        assert!(
+            p.storage_feasible(&sc.catalog, &sc.net),
+            "{name} violated storage under tight capacities"
+        );
+    }
+}
+
+#[test]
+fn latency_bound_rollback_produces_compliant_solutions() {
+    // With achievable-but-tight latency bounds, SoCL's serial descent must
+    // roll back violating combinations and end compliant.
+    let sc0 = ScenarioConfig::paper(10, 40).build(4);
+    let generous = SoclSolver::new().solve(&sc0);
+    let mut sc = sc0.clone();
+    for (req, &d) in sc.requests.iter_mut().zip(&generous.evaluation.per_request) {
+        req.d_max = (d * 1.5).max(0.05);
+    }
+    let res = SoclSolver::new().solve(&sc);
+    let violations = res
+        .evaluation
+        .per_request
+        .iter()
+        .zip(&sc.requests)
+        .filter(|(d, r)| **d > r.d_max + 1e-9)
+        .count();
+    assert_eq!(
+        violations, 0,
+        "final solution violates {} latency bounds",
+        violations
+    );
+}
+
+#[test]
+fn assignment_uniqueness_and_consistency() {
+    // Eq. 9: one node per chain position; Eq. 10: y ≤ x.
+    let sc = ScenarioConfig::paper(10, 60).build(5);
+    let res = SoclSolver::new().solve(&sc);
+    assert!(res
+        .evaluation
+        .assignment
+        .consistent_with(&res.placement, &sc.requests));
+    for (h, req) in sc.requests.iter().enumerate() {
+        let route = res.evaluation.assignment.route(h).expect("edge-served");
+        assert_eq!(route.len(), req.chain.len(), "Eq. 9 violated for {}", req.id);
+    }
+}
+
+#[test]
+fn infeasible_budget_is_handled_gracefully() {
+    // A budget below one-instance-per-service: SoCL cannot meet Eq. 5 but
+    // must not panic, must keep serving (continuity beats budget in the
+    // implementation, mirroring Algorithm 4's service-continuity rule).
+    let mut cfg = ScenarioConfig::paper(8, 30);
+    cfg.budget = 100.0; // absurdly small
+    let sc = cfg.build(6);
+    let res = SoclSolver::new().solve(&sc);
+    assert_eq!(res.evaluation.cloud_fallbacks, 0);
+    // Cost is the irreducible one-instance-per-service floor.
+    let floor: f64 = sc
+        .requested_services()
+        .iter()
+        .map(|&m| sc.catalog.deploy_cost(m))
+        .sum();
+    assert!(res.evaluation.cost <= floor + 1e-6);
+}
+
+#[test]
+fn cloud_penalty_dominates_any_edge_latency() {
+    // The penalty must exceed every achievable edge completion time so that
+    // "serve from the edge" is always preferred — otherwise the objective
+    // would quietly favour dropping users.
+    let sc = ScenarioConfig::paper(10, 50).build(7);
+    let full = Placement::full(sc.services(), sc.nodes());
+    let ev = evaluate(&sc, &full);
+    assert!(
+        ev.max_latency() < sc.cloud_penalty,
+        "edge latency {} exceeds the cloud penalty {}",
+        ev.max_latency(),
+        sc.cloud_penalty
+    );
+}

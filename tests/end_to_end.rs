@@ -1,0 +1,104 @@
+//! End-to-end integration: the full SoCL pipeline against every subsystem.
+
+use socl::prelude::*;
+
+#[test]
+fn socl_end_to_end_on_paper_scales() {
+    // Paper scales: 10 nodes with users 10..60.
+    for users in [10, 20, 30, 40, 50, 60] {
+        let sc = ScenarioConfig::paper(10, users).build(users as u64);
+        let res = SoclSolver::new().solve(&sc);
+        assert_eq!(res.evaluation.cloud_fallbacks, 0, "users={users}");
+        assert!(res.evaluation.cost <= sc.budget + 1e-6, "users={users}");
+        assert!(res.placement.storage_feasible(&sc.catalog, &sc.net));
+        // Objective grows with load but stays finite and positive.
+        assert!(res.objective() > 0.0 && res.objective().is_finite());
+    }
+}
+
+#[test]
+fn socl_objective_grows_moderately_with_users() {
+    // The paper: from 80 to 200 users SoCL's objective grows from ~4.7k to
+    // ~7.6k — far sub-linear in users. Check the growth factor shape.
+    let sc80 = ScenarioConfig::paper(10, 80).build(1);
+    let sc200 = ScenarioConfig::paper(10, 200).build(1);
+    let r80 = SoclSolver::new().solve(&sc80);
+    let r200 = SoclSolver::new().solve(&sc200);
+    let growth = r200.objective() / r80.objective();
+    assert!(
+        growth < 200.0 / 80.0,
+        "objective growth {growth:.2} should be sub-linear in users"
+    );
+}
+
+#[test]
+fn pipeline_stage_outputs_connect() {
+    let sc = ScenarioConfig::paper(12, 50).build(9);
+    let res = SoclSolver::new().solve(&sc);
+    // Stage 1 covered every requested service.
+    let requested = sc.requested_services();
+    for m in &requested {
+        assert!(res.partitions.partitions_of(*m).is_some());
+    }
+    // Stage 2 produced at least one instance per service and stage 3 only
+    // ever removed instances: final hosts ⊆ stage-2 hosts ∪ migrations. At
+    // minimum, coverage survives.
+    for m in &requested {
+        assert!(res.placement.instance_count(*m) >= 1);
+    }
+    // The evaluation's assignment is consistent with the placement (Eq. 10).
+    assert!(res
+        .evaluation
+        .assignment
+        .consistent_with(&res.placement, &sc.requests));
+}
+
+#[test]
+fn facade_reexports_compose() {
+    // Build a custom scenario by hand through the facade: tiny topology,
+    // custom catalog, explicit requests.
+    let mut net = EdgeNetwork::new();
+    let a = net.push_server(EdgeServer::new(10.0, 8.0));
+    let b = net.push_server(EdgeServer::new(20.0, 8.0));
+    net.add_link(a, b, LinkParams::from_rate(50.0));
+
+    let mut catalog = ServiceCatalog::new();
+    let m0 = catalog.push(Microservice::named("frontend", 300.0, 1.0, 2.0));
+    let m1 = catalog.push(Microservice::named("backend", 400.0, 1.5, 3.0));
+
+    let requests = vec![
+        UserRequest::new(UserId(0), a, vec![m0, m1], vec![1.0], 0.5, 0.2, 10.0),
+        UserRequest::new(UserId(1), b, vec![m0, m1], vec![1.0], 0.5, 0.2, 10.0),
+    ];
+    let sc = ScenarioConfig {
+        budget: 2000.0,
+        ..ScenarioConfig::default()
+    }
+    .assemble(net, catalog, requests);
+
+    let res = SoclSolver::new().solve(&sc);
+    assert_eq!(res.evaluation.cloud_fallbacks, 0);
+    // With two users on two nodes and plenty of budget, both services end up
+    // deployed (possibly replicated).
+    assert!(res.placement.instance_count(m0) >= 1);
+    assert!(res.placement.instance_count(m1) >= 1);
+}
+
+#[test]
+fn all_algorithms_agree_on_feasibility_semantics() {
+    let sc = ScenarioConfig::paper(10, 60).build(17);
+    let socl = SoclSolver::new().solve(&sc);
+    let rp = random_provisioning(&sc, 1);
+    let j = jdr(&sc);
+    let g = gc_og(&sc);
+    for (name, placement, cost) in [
+        ("SoCL", &socl.placement, socl.evaluation.cost),
+        ("RP", &rp.placement, rp.cost),
+        ("JDR", &j.placement, j.cost),
+        ("GC-OG", &g.placement, g.cost),
+    ] {
+        assert!(placement.covers(&sc.requests), "{name} does not cover");
+        assert!(placement.storage_feasible(&sc.catalog, &sc.net), "{name}");
+        assert!(cost <= sc.budget + 1e-6, "{name} over budget: {cost}");
+    }
+}
