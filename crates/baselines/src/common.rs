@@ -67,9 +67,7 @@ pub fn ensure_coverage(sc: &Scenario, placement: &mut Placement) {
         let candidate = sc
             .net
             .node_ids()
-            .filter(|&k| {
-                sc.net.storage(k) - placement.storage_used(&sc.catalog, k) >= phi - 1e-9
-            })
+            .filter(|&k| sc.net.storage(k) - placement.storage_used(&sc.catalog, k) >= phi - 1e-9)
             .max_by_key(|&k| sc.demand(m, k));
         if let Some(k) = candidate {
             placement.set(m, k, true);
@@ -87,9 +85,8 @@ mod tests {
         let sc = ScenarioConfig::paper(8, 20).build(3);
         let placement = Placement::full(sc.services(), sc.nodes());
         let asg = route_all(&sc.requests, &placement, &sc.net, &sc.ap, &sc.catalog);
-        let (obj, cost, lat, fb) = evaluate_with_routes(&sc, &placement, |h| {
-            asg.route(h).map(|r| r.to_vec())
-        });
+        let (obj, cost, lat, fb) =
+            evaluate_with_routes(&sc, &placement, |h| asg.route(h).map(|r| r.to_vec()));
         let ev = evaluate(&sc, &placement);
         assert!((obj - ev.objective).abs() < 1e-9);
         assert!((cost - ev.cost).abs() < 1e-9);

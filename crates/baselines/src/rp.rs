@@ -38,7 +38,8 @@ pub fn random_provisioning(sc: &Scenario, seed: u64) -> BaselineResult {
     let target = placement.deployment_cost(&sc.catalog)
         + rng.gen_range(0.3..0.9) * (sc.budget - placement.deployment_cost(&sc.catalog)).max(0.0);
     let mut attempts = 0;
-    while placement.deployment_cost(&sc.catalog) < target && attempts < 10 * sc.nodes() * requested.len()
+    while placement.deployment_cost(&sc.catalog) < target
+        && attempts < 10 * sc.nodes() * requested.len()
     {
         attempts += 1;
         let m = *requested.as_slice().choose(&mut rng).unwrap();

@@ -19,11 +19,9 @@ fn bench_routing(c: &mut Criterion) {
             &sc,
             |b, sc| b.iter(|| optimal_route(req, &placement, &sc.net, &sc.ap, &sc.catalog)),
         );
-        group.bench_with_input(
-            BenchmarkId::new("greedy_route_one", nodes),
-            &sc,
-            |b, sc| b.iter(|| greedy_route(req, &placement, &sc.net, &sc.ap, &sc.catalog)),
-        );
+        group.bench_with_input(BenchmarkId::new("greedy_route_one", nodes), &sc, |b, sc| {
+            b.iter(|| greedy_route(req, &placement, &sc.net, &sc.ap, &sc.catalog))
+        });
         group.bench_with_input(BenchmarkId::new("route_all_60", nodes), &sc, |b, sc| {
             b.iter(|| route_all(&sc.requests, &placement, &sc.net, &sc.ap, &sc.catalog))
         });

@@ -15,18 +15,14 @@ fn bench_stages(c: &mut Criterion) {
         let sc = ScenarioConfig::paper(10, users).build(3);
         let cfg = SoclConfig::default();
 
-        group.bench_with_input(
-            BenchmarkId::new("partition", users),
-            &sc,
-            |b, sc| b.iter(|| initial_partition(sc, &cfg)),
-        );
+        group.bench_with_input(BenchmarkId::new("partition", users), &sc, |b, sc| {
+            b.iter(|| initial_partition(sc, &cfg))
+        });
 
         let parts = initial_partition(&sc, &cfg);
-        group.bench_with_input(
-            BenchmarkId::new("preprovision", users),
-            &sc,
-            |b, sc| b.iter(|| preprovision(sc, &parts, &cfg)),
-        );
+        group.bench_with_input(BenchmarkId::new("preprovision", users), &sc, |b, sc| {
+            b.iter(|| preprovision(sc, &parts, &cfg))
+        });
 
         let pre = preprovision(&sc, &parts, &cfg);
         group.bench_with_input(BenchmarkId::new("combine", users), &sc, |b, sc| {

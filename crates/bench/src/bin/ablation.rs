@@ -34,7 +34,13 @@ fn sweep(tag: &str, base: &SoclConfig, seeds: &[u64]) {
     println!("{tag}/baseline,{o:.1},{s:.4}");
 
     for omega in [0.05, 0.2, 0.5, 1.0] {
-        let (o, s) = score(SoclConfig { omega, ..base.clone() }, seeds);
+        let (o, s) = score(
+            SoclConfig {
+                omega,
+                ..base.clone()
+            },
+            seeds,
+        );
         println!("{tag}/omega={omega},{o:.1},{s:.4}");
     }
     for xi in [2.0, 30.0, 50.0, 100.0] {
@@ -42,7 +48,13 @@ fn sweep(tag: &str, base: &SoclConfig, seeds: &[u64]) {
         println!("{tag}/xi={xi},{o:.1},{s:.4}");
     }
     for theta in [0.0, 10.0, 100.0] {
-        let (o, s) = score(SoclConfig { theta, ..base.clone() }, seeds);
+        let (o, s) = score(
+            SoclConfig {
+                theta,
+                ..base.clone()
+            },
+            seeds,
+        );
         println!("{tag}/theta={theta},{o:.1},{s:.4}");
     }
     let (o, s) = score(
@@ -81,7 +93,10 @@ fn sweep(tag: &str, base: &SoclConfig, seeds: &[u64]) {
 
 fn main() {
     let seeds: &[u64] = &[1, 2, 3];
-    println!("# ABLATIONS (10 nodes, 100 users, mean of {} seeds)", seeds.len());
+    println!(
+        "# ABLATIONS (10 nodes, 100 users, mean of {} seeds)",
+        seeds.len()
+    );
     println!("# The relocation pass is a strong equalizer: it converges to similar");
     println!("# local optima from different descent paths, masking the other knobs.");
     println!("# Both pipelines are therefore swept: with and without relocation.");

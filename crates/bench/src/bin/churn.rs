@@ -37,7 +37,6 @@ fn main() {
     let mut obj_ratio_sum = 0.0;
 
     // Reuse the simulator's state evolution via run_measured's callback.
-    let mut slot_idx = 0usize;
     let records: Vec<(usize, usize, f64, f64)> = {
         let mut rows = Vec::new();
         sim.run_measured(&Policy::Jdr, |sc, _| {
@@ -58,24 +57,19 @@ fn main() {
         });
         rows
     };
-    for (cold_churn, warm_churn, cold_obj, warm_obj) in records {
+    for (slot_idx, (cold_churn, warm_churn, cold_obj, warm_obj)) in records.into_iter().enumerate()
+    {
         println!("{slot_idx},{cold_churn},{warm_churn},{cold_obj:.1},{warm_obj:.1}");
         totals.0 += cold_churn;
         totals.1 += warm_churn;
         if cold_obj > 0.0 {
             obj_ratio_sum += warm_obj / cold_obj;
         }
-        slot_idx += 1;
     }
 
     println!("\n# summary over {slots} slots");
     println!("total_cold_churn,{}", totals.0);
     println!("total_warm_churn,{}", totals.1);
-    println!(
-        "warm_objective_vs_cold,{:.3}",
-        obj_ratio_sum / slots as f64
-    );
-    println!(
-        "# shape check: warm churn should be well below cold churn at ~equal objective"
-    );
+    println!("warm_objective_vs_cold,{:.3}", obj_ratio_sum / slots as f64);
+    println!("# shape check: warm churn should be well below cold churn at ~equal objective");
 }

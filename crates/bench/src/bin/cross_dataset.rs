@@ -25,7 +25,9 @@ fn run_dataset(name: &str, dataset: &DependencyDataset, users: usize, seeds: &[u
         cfg.budget = 6000.0 * (dataset.len() as f64 / 12.0);
         let sc = cfg.build_with_dataset(dataset, seed);
         rows[0].1.push(SoclSolver::new().solve(&sc).objective());
-        rows[1].1.push(random_provisioning(&sc, seed ^ 0xF00D).objective);
+        rows[1]
+            .1
+            .push(random_provisioning(&sc, seed ^ 0xF00D).objective);
         rows[2].1.push(jdr(&sc).objective);
         rows[3].1.push(gc_og(&sc).objective);
     }
@@ -53,7 +55,10 @@ fn run_dataset(name: &str, dataset: &DependencyDataset, users: usize, seeds: &[u
 
 fn main() {
     let seeds: &[u64] = &[1, 2, 3];
-    println!("# cross-dataset comparison (10 servers, median of {} seeds)", seeds.len());
+    println!(
+        "# cross-dataset comparison (10 servers, median of {} seeds)",
+        seeds.len()
+    );
     println!("dataset,users,algo,objective");
     for users in [60usize, 120] {
         run_dataset("eshop", &EshopDataset::build(), users, seeds);

@@ -23,7 +23,11 @@ fn main() {
 
     let mean = workload.mean();
     let max = workload.volumes.iter().copied().fold(0.0, f64::max);
-    let min = workload.volumes.iter().copied().fold(f64::INFINITY, f64::min);
+    let min = workload
+        .volumes
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
     println!("\n# summary");
     println!("mean,{mean:.1}");
     println!("max,{max:.1}");

@@ -42,7 +42,11 @@ fn run_point(nodes: usize, users: usize, cap: Duration, seed: u64) {
         socl.objective(),
         opt.elapsed.as_secs_f64(),
         socl_secs,
-        if opt.proved_optimal { "optimal" } else { "capped" }
+        if opt.proved_optimal {
+            "optimal"
+        } else {
+            "capped"
+        }
     );
 }
 

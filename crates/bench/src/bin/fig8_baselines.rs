@@ -28,7 +28,10 @@ fn main() {
     let seeds: &[u64] = &[1, 2, 3];
     let scales: &[usize] = &[80, 120, 160, 200];
 
-    println!("# FIG8: objective vs baselines (10 servers; median of {} seeds)", seeds.len());
+    println!(
+        "# FIG8: objective vs baselines (10 servers; median of {} seeds)",
+        seeds.len()
+    );
     println!("users,algo,objective,cost,latency_s,runtime_s");
     let mut summary: Vec<(usize, String, f64)> = Vec::new();
 

@@ -35,7 +35,10 @@ impl Args {
 
     /// String value with a default.
     pub fn get_str(&self, key: &str, default: &str) -> String {
-        self.map.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.map
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// Typed value with a default; errors on unparsable input.

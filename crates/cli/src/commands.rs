@@ -14,10 +14,14 @@ USAGE:
   socl compare  [--nodes N] [--users U] [--seed S] [--budget B]
   socl simulate [--nodes N] [--users U] [--slots K] [--seed S]
                 [--policy socl|rp|jdr] [--fail-prob P]
+                [--mid-slot-fail-prob P] [--recover-prob P] [--repair]
   socl testbed  [--nodes N] [--users U] [--seed S] [--epochs E]
-                [--algo socl|rp|jdr]
+                [--algo socl|rp|jdr] [--fault-intensity F]
+                [--schedule targeted|noncritical|random] [--retries R]
+                [--timeout SECS] [--hedge SECS] [--no-degrade]
   socl trace    [--seed S]
   socl resilience [--nodes N] [--seed S] [--top K]
+                [--schedule targeted|noncritical|random]
   socl export   [--nodes N] [--users U] [--seed S] [--solve]
   socl help
 
@@ -119,15 +123,33 @@ pub fn solve(args: &Args) -> Result<(), String> {
         }
         "rp" => {
             let res = random_provisioning(&sc, args.get("seed", 42)?);
-            print_summary("RP", res.objective, res.cost, res.total_latency, t.elapsed().as_secs_f64());
+            print_summary(
+                "RP",
+                res.objective,
+                res.cost,
+                res.total_latency,
+                t.elapsed().as_secs_f64(),
+            );
         }
         "jdr" => {
             let res = jdr(&sc);
-            print_summary("JDR", res.objective, res.cost, res.total_latency, t.elapsed().as_secs_f64());
+            print_summary(
+                "JDR",
+                res.objective,
+                res.cost,
+                res.total_latency,
+                t.elapsed().as_secs_f64(),
+            );
         }
         "gcog" => {
             let res = gc_og(&sc);
-            print_summary("GC-OG", res.objective, res.cost, res.total_latency, t.elapsed().as_secs_f64());
+            print_summary(
+                "GC-OG",
+                res.objective,
+                res.cost,
+                res.total_latency,
+                t.elapsed().as_secs_f64(),
+            );
         }
         "opt" => {
             let cap: u64 = args.get("time-limit", 60)?;
@@ -140,9 +162,7 @@ pub fn solve(args: &Args) -> Result<(), String> {
             );
             let secs = t.elapsed().as_secs_f64();
             match &res.evaluation {
-                Some(ev) => {
-                    print_summary("OPT", res.objective, ev.cost, ev.total_latency, secs)
-                }
+                Some(ev) => print_summary("OPT", res.objective, ev.cost, ev.total_latency, secs),
                 None => println!("OPT found no feasible solution within the limits"),
             }
             println!(
@@ -212,29 +232,36 @@ pub fn simulate(args: &Args) -> Result<(), String> {
         nodes: args.get("nodes", 16)?,
         seed: args.get("seed", 42)?,
         fail_prob: args.get("fail-prob", 0.0)?,
+        mid_slot_fail_prob: args.get("mid-slot-fail-prob", 0.0)?,
+        recover_prob: args.get("recover-prob", 0.5)?,
+        repair: args.flag("repair"),
         ..OnlineConfig::default()
     };
     println!(
-        "online simulation: {} nodes, {} users, {} slots, policy {}",
+        "online simulation: {} nodes, {} users, {} slots, policy {}{}",
         cfg.nodes,
         cfg.users,
         cfg.slots,
-        policy.name()
+        policy.name(),
+        if cfg.repair { " (repair on)" } else { "" }
     );
     println!(
-        "{:>4} {:>10} {:>9} {:>10} {:>10} {:>5}",
-        "slot", "objective", "cost", "mean(ms)", "max(ms)", "down"
+        "{:>4} {:>10} {:>9} {:>10} {:>10} {:>5} {:>5} {:>5} {:>5}",
+        "slot", "objective", "cost", "mean(ms)", "max(ms)", "down", "fb", "crash", "churn"
     );
     let mut sim = OnlineSimulator::new(cfg);
     for r in sim.run(&policy) {
         println!(
-            "{:>4} {:>10.1} {:>9.1} {:>10.2} {:>10.2} {:>5}",
+            "{:>4} {:>10.1} {:>9.1} {:>10.2} {:>10.2} {:>5} {:>5} {:>5} {:>5}",
             r.slot,
             r.objective,
             r.cost,
             r.mean_latency * 1e3,
             r.max_latency * 1e3,
-            r.failed_nodes
+            r.failed_nodes,
+            r.fallbacks,
+            r.mid_slot_failures,
+            r.repair_churn
         );
     }
     Ok(())
@@ -260,10 +287,35 @@ pub fn testbed(args: &Args) -> Result<(), String> {
         "jdr" => jdr(&sc).placement,
         other => return Err(format!("unknown --algo `{other}`")),
     };
+    let epochs: usize = args.get("epochs", 4)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let intensity: f64 = args.get("fault-intensity", 0.0)?;
+    let base = TestbedConfig::default();
+    // Validate --schedule even when faults are off, so a typo never
+    // silently runs a fault-free replay.
+    let targeting = parse_targeting(&args.get_str("schedule", "random"))?;
+    let faults = if intensity > 0.0 {
+        let horizon = epochs as f64 * base.epoch_secs;
+        FaultPlan::at_intensity(horizon, intensity)
+            .with_targeting(targeting)
+            .generate(&sc.net, &placement, sc.users(), seed)
+    } else {
+        FaultSchedule::empty()
+    };
+    let hedge: f64 = args.get("hedge", 0.0)?;
+    let retry = RetryPolicy {
+        max_retries: args.get("retries", 0)?,
+        timeout: args.get("timeout", f64::INFINITY)?,
+        hedge_after: (hedge > 0.0).then_some(hedge),
+        ..RetryPolicy::default()
+    };
     let cfg = TestbedConfig {
-        epochs: args.get("epochs", 4)?,
-        seed: args.get("seed", 42)?,
-        ..TestbedConfig::default()
+        epochs,
+        seed,
+        faults,
+        retry,
+        degrade_to_cloud: !args.flag("no-degrade"),
+        ..base
     };
     let res = run_testbed(&sc, &placement, &cfg);
     println!(
@@ -279,10 +331,38 @@ pub fn testbed(args: &Args) -> Result<(), String> {
         res.cold_starts,
         res.fallbacks
     );
+    if !cfg.faults.is_empty() || !cfg.retry.is_disabled() {
+        let st = cfg.faults.stats();
+        println!(
+            "faults: {} crashes, {} link degrades, {} instance kills, {} losses (mttr {:.1} s)",
+            st.node_crashes, st.link_degrades, st.instance_kills, st.request_losses, res.mttr
+        );
+        println!(
+            "availability {:.4} | retried {} hedged {} timeouts {} | degraded {} dropped {} | effective mean {:.2} ms",
+            res.availability,
+            res.retried,
+            res.hedged,
+            res.timeouts,
+            res.degraded,
+            res.dropped,
+            res.effective_mean(sc.cloud_penalty) * 1e3
+        );
+    }
     for (e, m) in res.per_epoch_mean.iter().enumerate() {
         println!("  epoch {e}: mean {:.2} ms", m * 1e3);
     }
     Ok(())
+}
+
+fn parse_targeting(s: &str) -> Result<Targeting, String> {
+    match s {
+        "random" => Ok(Targeting::Random),
+        "targeted" | "critical" => Ok(Targeting::Critical),
+        "noncritical" => Ok(Targeting::NonCritical),
+        other => Err(format!(
+            "unknown --schedule `{other}` (expected targeted|noncritical|random)"
+        )),
+    }
 }
 
 fn argish(args: &Args, key: &str) -> bool {
@@ -343,6 +423,48 @@ pub fn resilience(args: &Args) -> Result<(), String> {
             i.component, i.partitions, i.mean_stretch, i.max_stretch
         );
     }
+
+    // With --schedule, turn the criticality ranking into a fault schedule
+    // and replay it on the testbed with the dispatcher's retries off/on.
+    let sched = args.get_str("schedule", "");
+    if !sched.is_empty() && sched != "\u{0}" {
+        let targeting = parse_targeting(&sched)?;
+        let users: usize = args.get("users", 40)?;
+        let sc = ScenarioConfig::paper(nodes, users).build(seed);
+        let placement = SoclSolver::new().solve(&sc).placement;
+        let epochs = 4usize;
+        let base = TestbedConfig::default();
+        let faults = FaultPlan::moderate(epochs as f64 * base.epoch_secs)
+            .with_targeting(targeting)
+            .generate(&sc.net, &placement, users, seed);
+        let st = faults.stats();
+        println!(
+            "\n{sched} fault schedule: {} crashes, {} link degrades, {} instance kills, {} losses",
+            st.node_crashes, st.link_degrades, st.instance_kills, st.request_losses
+        );
+        for (label, retry) in [
+            ("retries off", RetryPolicy::default()),
+            ("retries on ", RetryPolicy::resilient()),
+        ] {
+            let res = run_testbed(
+                &sc,
+                &placement,
+                &TestbedConfig {
+                    epochs,
+                    faults: faults.clone(),
+                    retry,
+                    ..base.clone()
+                },
+            );
+            println!(
+                "  {label}: availability {:.4}, effective mean {:.1} ms, degraded {}, retried {}",
+                res.availability,
+                res.effective_mean(sc.cloud_penalty) * 1e3,
+                res.degraded,
+                res.retried
+            );
+        }
+    }
     Ok(())
 }
 
@@ -395,6 +517,60 @@ mod tests {
     }
 
     #[test]
+    fn testbed_runs_with_faults_and_retries() {
+        testbed(&args(&[
+            "--users",
+            "10",
+            "--epochs",
+            "2",
+            "--seed",
+            "4",
+            "--fault-intensity",
+            "1.0",
+            "--schedule",
+            "targeted",
+            "--retries",
+            "2",
+            "--timeout",
+            "30",
+            "--hedge",
+            "2",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn testbed_rejects_unknown_schedule() {
+        assert!(testbed(&args(&[
+            "--users",
+            "10",
+            "--fault-intensity",
+            "1.0",
+            "--schedule",
+            "chaotic",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn simulate_runs_with_mid_slot_repair() {
+        simulate(&args(&[
+            "--nodes",
+            "6",
+            "--users",
+            "10",
+            "--slots",
+            "2",
+            "--seed",
+            "3",
+            "--mid-slot-fail-prob",
+            "0.9",
+            "--repair",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
     fn trace_runs() {
         trace(&args(&["--seed", "5"])).unwrap();
     }
@@ -402,6 +578,23 @@ mod tests {
     #[test]
     fn resilience_runs_small() {
         resilience(&args(&["--nodes", "6", "--seed", "6", "--top", "3"])).unwrap();
+    }
+
+    #[test]
+    fn resilience_runs_a_schedule_replay() {
+        resilience(&args(&[
+            "--nodes",
+            "6",
+            "--users",
+            "10",
+            "--seed",
+            "6",
+            "--top",
+            "2",
+            "--schedule",
+            "noncritical",
+        ]))
+        .unwrap();
     }
 
     #[test]

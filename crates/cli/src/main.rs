@@ -6,9 +6,14 @@
 //! socl compare  [--nodes N] [--users U] [--seed S] [--budget B]
 //! socl simulate [--nodes N] [--users U] [--slots K] [--seed S]
 //!               [--policy socl|rp|jdr] [--fail-prob P]
+//!               [--mid-slot-fail-prob P] [--recover-prob P] [--repair]
 //! socl testbed  [--nodes N] [--users U] [--seed S] [--epochs E]
-//!               [--algo socl|rp|jdr]
+//!               [--algo socl|rp|jdr] [--fault-intensity F]
+//!               [--schedule targeted|noncritical|random] [--retries R]
+//!               [--timeout SECS] [--hedge SECS] [--no-degrade]
 //! socl trace    [--seed S]
+//! socl resilience [--nodes N] [--seed S] [--top K]
+//!               [--schedule targeted|noncritical|random]
 //! ```
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs) to keep the binary
@@ -88,7 +93,9 @@ mod tests {
     #[test]
     fn solve_runs_tiny() {
         assert_eq!(
-            run(&s(&["solve", "--nodes", "5", "--users", "8", "--seed", "1"])),
+            run(&s(&[
+                "solve", "--nodes", "5", "--users", "8", "--seed", "1"
+            ])),
             0
         );
     }

@@ -124,8 +124,7 @@ impl<'a> Combiner<'a> {
             .enumerate()
             .filter(|(_, r)| r.uses(service))
             .filter(|(_, r)| {
-                self.best_host(&hosts, r.location, inbound_data(r, service), service)
-                    == Some(host)
+                self.best_host(&hosts, r.location, inbound_data(r, service), service) == Some(host)
             })
             .map(|(h, _)| h)
             .collect()
@@ -141,16 +140,11 @@ impl<'a> Combiner<'a> {
         service: ServiceId,
     ) -> Option<NodeId> {
         let q = self.sc.catalog.compute(service);
-        hosts
-            .iter()
-            .copied()
-            .min_by(|&a, &b| {
-                let ca = r / self.sc.ap.best_speed(location, a).min(1e12)
-                    + q / self.sc.net.compute(a);
-                let cb = r / self.sc.ap.best_speed(location, b).min(1e12)
-                    + q / self.sc.net.compute(b);
-                ca.partial_cmp(&cb).unwrap().then(a.cmp(&b))
-            })
+        hosts.iter().copied().min_by(|&a, &b| {
+            let ca = r / self.sc.ap.best_speed(location, a).min(1e12) + q / self.sc.net.compute(a);
+            let cb = r / self.sc.ap.best_speed(location, b).min(1e12) + q / self.sc.net.compute(b);
+            ca.total_cmp(&cb).then(a.cmp(&b))
+        })
     }
 
     /// Connection-update target after removing `(service, removed)`:
@@ -196,12 +190,12 @@ impl<'a> Combiner<'a> {
             let req = &self.sc.requests[h];
             let r = inbound_data(req, service);
             let loc = req.location;
-            before += r / self.sc.ap.best_speed(loc, host).min(1e12)
-                + q / self.sc.net.compute(host);
+            before +=
+                r / self.sc.ap.best_speed(loc, host).min(1e12) + q / self.sc.net.compute(host);
             match self.reconnect_target(placement, service, host, loc, r) {
                 Some(t) => {
-                    after += r / self.sc.ap.best_speed(loc, t).min(1e12)
-                        + q / self.sc.net.compute(t);
+                    after +=
+                        r / self.sc.ap.best_speed(loc, t).min(1e12) + q / self.sc.net.compute(t);
                 }
                 None => return f64::INFINITY, // last instance: never combined
             }
@@ -287,7 +281,7 @@ impl<'a> Combiner<'a> {
             instances.iter().map(loss).collect()
         };
         losses.retain(|(z, _, _)| z.is_finite());
-        losses.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then((a.1, a.2).cmp(&(b.1, b.2))));
+        losses.sort_by(|a, b| a.0.total_cmp(&b.0).then((a.1, a.2).cmp(&(b.1, b.2))));
         losses
     }
 
@@ -395,8 +389,7 @@ impl<'a> Combiner<'a> {
                     self.sc
                         .ap
                         .best_speed(k, b)
-                        .partial_cmp(&self.sc.ap.best_speed(k, a))
-                        .unwrap()
+                        .total_cmp(&self.sc.ap.best_speed(k, a))
                         .then(a.cmp(&b))
                 });
                 let phi = self.sc.catalog.storage(victim);
@@ -423,17 +416,13 @@ impl<'a> Combiner<'a> {
             return None;
         }
         match self.cfg.storage_policy {
-            StoragePolicy::CheapestOut => services
-                .iter()
-                .copied()
-                .min_by(|&a, &b| {
-                    self.sc
-                        .catalog
-                        .deploy_cost(a)
-                        .partial_cmp(&self.sc.catalog.deploy_cost(b))
-                        .unwrap()
-                        .then(a.cmp(&b))
-                }),
+            StoragePolicy::CheapestOut => services.iter().copied().min_by(|&a, &b| {
+                self.sc
+                    .catalog
+                    .deploy_cost(a)
+                    .total_cmp(&self.sc.catalog.deploy_cost(b))
+                    .then(a.cmp(&b))
+            }),
             StoragePolicy::FuzzyAhp => {
                 let criteria: Vec<RhoCriteria> = services
                     .iter()
@@ -476,7 +465,7 @@ impl<'a> Combiner<'a> {
                     .iter()
                     .copied()
                     .zip(rho)
-                    .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+                    .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
                     .map(|(m, _)| m)
             }
         }
@@ -520,16 +509,15 @@ impl<'a> Combiner<'a> {
                 let d = self.latency_delta(&trial, m, &current.per_request);
                 (d, m, k, q)
             };
+            let by_delta = |a: &(f64, ServiceId, NodeId, NodeId),
+                            b: &(f64, ServiceId, NodeId, NodeId)| {
+                a.0.total_cmp(&b.0)
+                    .then((a.1, a.2, a.3).cmp(&(b.1, b.2, b.3)))
+            };
             let best = if self.cfg.parallel {
-                moves
-                    .par_iter()
-                    .map(score)
-                    .min_by(|a, b| a.partial_cmp(b).unwrap())
+                moves.par_iter().map(score).min_by(by_delta)
             } else {
-                moves
-                    .iter()
-                    .map(score)
-                    .min_by(|a, b| a.partial_cmp(b).unwrap())
+                moves.iter().map(score).min_by(by_delta)
             };
             match best {
                 Some((d, m, k, q)) if d < -1e-12 => {
@@ -555,7 +543,7 @@ impl<'a> Combiner<'a> {
         for _ in 0..self.cfg.max_rounds {
             let q_before = evaluate(self.sc, &self.placement).objective;
             let losses = self.update_instance_set(&self.placement);
-            let Some(&(_, m, k)) = losses.first() else {
+            let Some(&(z, m, k)) = losses.first() else {
                 break;
             };
 
@@ -566,7 +554,7 @@ impl<'a> Combiner<'a> {
             if std::env::var_os("SOCL_DEBUG_COMBINE").is_some() {
                 eprintln!(
                     "[serial] q_before {:.0}, candidate {m}@{k} z {:.0}, plan_failed {}",
-                    q_before, losses.first().unwrap().0, plan_failed
+                    q_before, z, plan_failed
                 );
             }
             if plan_failed {
@@ -633,7 +621,7 @@ impl<'a> Combiner<'a> {
                     (room, q)
                 })
                 .filter(|&(room, _)| room >= phi - 1e-9)
-                .max_by(|a, b| a.partial_cmp(b).unwrap());
+                .max_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             self.placement.set(victim, node, false);
             match target {
                 Some((_, q)) => {
@@ -704,7 +692,11 @@ mod tests {
             .map(|&m| sc.catalog.deploy_cost(m))
             .sum();
         assert!(min_cost <= sc.budget, "scenario sanity");
-        assert!(cost <= sc.budget + 1e-6, "cost {cost} > budget {}", sc.budget);
+        assert!(
+            cost <= sc.budget + 1e-6,
+            "cost {cost} > budget {}",
+            sc.budget
+        );
     }
 
     #[test]

@@ -76,7 +76,11 @@ impl SoclConfig {
             self.omega
         );
         assert!(self.xi >= 0.0, "ξ must be non-negative, got {}", self.xi);
-        assert!(self.theta >= 0.0, "Θ must be non-negative, got {}", self.theta);
+        assert!(
+            self.theta >= 0.0,
+            "Θ must be non-negative, got {}",
+            self.theta
+        );
         assert!(self.max_rounds > 0, "max_rounds must be positive");
     }
 }

@@ -40,16 +40,6 @@ impl TriangularFuzzy {
         Self::new(v, v, v)
     }
 
-    /// Fuzzy addition (component-wise).
-    pub fn add(self, o: Self) -> Self {
-        Self::new(self.l + o.l, self.m + o.m, self.u + o.u)
-    }
-
-    /// Fuzzy multiplication (approximate, component-wise; standard in AHP).
-    pub fn mul(self, o: Self) -> Self {
-        Self::new(self.l * o.l, self.m * o.m, self.u * o.u)
-    }
-
     /// Reciprocal `(1/u, 1/m, 1/l)`.
     ///
     /// # Panics
@@ -68,6 +58,22 @@ impl TriangularFuzzy {
         } else {
             (o.l - self.u) / ((self.m - self.u) - (o.m - o.l))
         }
+    }
+}
+
+/// Fuzzy addition (component-wise).
+impl std::ops::Add for TriangularFuzzy {
+    type Output = Self;
+    fn add(self, o: Self) -> Self {
+        Self::new(self.l + o.l, self.m + o.m, self.u + o.u)
+    }
+}
+
+/// Fuzzy multiplication (approximate, component-wise; standard in AHP).
+impl std::ops::Mul for TriangularFuzzy {
+    type Output = Self;
+    fn mul(self, o: Self) -> Self {
+        Self::new(self.l * o.l, self.m * o.m, self.u * o.u)
     }
 }
 
@@ -135,19 +141,19 @@ impl FuzzyAhp {
             .map(|i| {
                 let prod = (0..n)
                     .map(|j| self.matrix[i * n + j])
-                    .fold(TriangularFuzzy::crisp(1.0), TriangularFuzzy::mul);
+                    .fold(TriangularFuzzy::crisp(1.0), |a, b| a * b);
                 TriangularFuzzy::new(prod.l.powf(exp), prod.m.powf(exp), prod.u.powf(exp))
             })
             .collect();
         let total = geo
             .iter()
             .copied()
-            .fold(TriangularFuzzy::crisp(0.0), TriangularFuzzy::add);
+            .fold(TriangularFuzzy::crisp(0.0), |a, b| a + b);
         // w̃_i = geo_i ⊘ total, centroid-defuzzified.
         let crisp: Vec<f64> = geo
             .iter()
             .map(|g| {
-                let w = g.mul(total.recip());
+                let w = *g * total.recip();
                 (w.l + w.m + w.u) / 3.0
             })
             .collect();
@@ -216,8 +222,8 @@ mod tests {
     fn tfn_arithmetic() {
         let a = TriangularFuzzy::new(1.0, 2.0, 3.0);
         let b = TriangularFuzzy::new(2.0, 3.0, 4.0);
-        assert_eq!(a.add(b), TriangularFuzzy::new(3.0, 5.0, 7.0));
-        assert_eq!(a.mul(b), TriangularFuzzy::new(2.0, 6.0, 12.0));
+        assert_eq!(a + b, TriangularFuzzy::new(3.0, 5.0, 7.0));
+        assert_eq!(a * b, TriangularFuzzy::new(2.0, 6.0, 12.0));
         let r = a.recip();
         assert!((r.l - 1.0 / 3.0).abs() < 1e-12);
         assert!((r.u - 1.0).abs() < 1e-12);
@@ -293,10 +299,7 @@ mod tests {
             cost: 300.0,
             storage: 1.5,
         };
-        let hi = RhoCriteria {
-            demand: 9.0,
-            ..lo
-        };
+        let hi = RhoCriteria { demand: 9.0, ..lo };
         let rho = rho_scores(&[lo, hi]);
         assert!(rho[1] > rho[0], "{rho:?}");
     }

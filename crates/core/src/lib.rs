@@ -33,7 +33,9 @@ pub mod preprovision;
 pub use combine::{CombineStats, Combiner};
 pub use config::{SoclConfig, StoragePolicy};
 pub use fuzzy::{FuzzyAhp, TriangularFuzzy};
-pub use online::{placement_churn, WarmSlotResult, WarmStartSolver};
+pub use online::{
+    placement_churn, repair_placement, RepairReport, WarmSlotResult, WarmStartSolver,
+};
 pub use partition::{initial_partition, ServicePartitions};
 pub use pipeline::{SoclResult, SoclSolver, StageTimings};
 pub use preprovision::{preprovision, PreProvisioning};

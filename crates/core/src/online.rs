@@ -14,7 +14,12 @@
 //!   current scenario's feasibility) is unioned with the fresh
 //!   pre-provisioning, then stage 3 combines as usual and an explicit
 //!   churn-penalized relocation acceptance keeps instances where they are
-//!   unless moving pays for more than `churn_cost` objective units.
+//!   unless moving pays for more than `churn_cost` objective units,
+//! * [`repair_placement`] — *failure-triggered* repair: when nodes die
+//!   mid-slot, prune the instances they hosted and greedily re-provision
+//!   only the affected services on alive nodes. Orders of magnitude cheaper
+//!   than a full re-solve, because the untouched services keep their warm
+//!   instances (zero churn outside the blast radius).
 
 use crate::combine::Combiner;
 use crate::config::SoclConfig;
@@ -41,6 +46,151 @@ pub fn placement_churn(a: &Placement, b: &Placement) -> usize {
         }
     }
     churn
+}
+
+/// Result of a failure-triggered repair pass.
+#[derive(Debug, Clone)]
+pub struct RepairReport {
+    /// The repaired placement.
+    pub placement: Placement,
+    /// Instances pruned from dead (storage-infeasible) nodes.
+    pub pruned: usize,
+    /// Requested services that lost at least one instance.
+    pub repaired_services: Vec<ServiceId>,
+    /// Replicas added back on alive nodes.
+    pub replicas_added: usize,
+    /// Total cell churn vs the broken placement (prunes + adds).
+    pub churn: usize,
+}
+
+impl RepairReport {
+    /// True when nothing was broken and nothing changed.
+    pub fn is_noop(&self) -> bool {
+        self.churn == 0
+    }
+}
+
+/// Failure-triggered repair: prune instances stranded on dead nodes, then
+/// greedily re-provision *only the affected services* on alive nodes.
+///
+/// A node counts as dead when its instances no longer fit its storage —
+/// the online simulator models a crash by zeroing the victim's storage, so
+/// every hosted instance becomes infeasible at once. For each requested
+/// service that lost an instance, replicas are added back one at a time on
+/// the alive node that minimizes the evaluated objective, until no addition
+/// improves it (cloud fallbacks are charged `cloud_penalty`, so restoring
+/// lost coverage always pays first). Services outside the blast radius are
+/// never touched, which is what keeps repair cheap and churn low.
+pub fn repair_placement(scenario: &Scenario, broken: &Placement) -> RepairReport {
+    let mut placement = broken.clone();
+
+    // 1. Prune: drop every instance on a node whose deployment no longer
+    //    fits (the node died or shrank under its load).
+    let mut pruned = 0usize;
+    let mut affected: Vec<ServiceId> = Vec::new();
+    for k in scenario.net.node_ids() {
+        let used = placement.storage_used(&scenario.catalog, k);
+        if used <= scenario.net.storage(k) + 1e-9 {
+            continue;
+        }
+        for i in 0..placement.services() {
+            let m = ServiceId(i as u32);
+            if placement.get(m, k) {
+                placement.set(m, k, false);
+                pruned += 1;
+                if !affected.contains(&m) {
+                    affected.push(m);
+                }
+            }
+        }
+    }
+
+    // Only requested services are worth re-provisioning.
+    let requested = scenario.requested_services();
+    affected.retain(|m| requested.contains(m));
+    affected.sort_by_key(|m| m.0);
+
+    // 2. Re-provision the blast radius: per affected service, add replicas
+    //    greedily while they improve the objective.
+    let mut replicas_added = 0usize;
+    if !affected.is_empty() {
+        // 2a. Coverage first: a chain falls back to the cloud when *any*
+        //     stage is missing, so a lone replica of one stranded service
+        //     may show no objective gain until its chain-mates are also
+        //     restored. Give every stranded service its best feasible
+        //     replica unconditionally before gating on improvement.
+        for &m in &affected {
+            if placement.instance_count(m) > 0 {
+                continue;
+            }
+            let phi = scenario.catalog.storage(m);
+            let mut winner: Option<(f64, NodeId)> = None;
+            for k in scenario.net.node_ids() {
+                let used = placement.storage_used(&scenario.catalog, k);
+                if scenario.net.storage(k) - used < phi - 1e-9 {
+                    continue;
+                }
+                placement.set(m, k, true);
+                let obj = evaluate(scenario, &placement).objective;
+                placement.set(m, k, false);
+                let better = match winner {
+                    None => true,
+                    Some((w, _)) => obj < w - 1e-12,
+                };
+                if better {
+                    winner = Some((obj, k));
+                }
+            }
+            if let Some((_, k)) = winner {
+                placement.set(m, k, true);
+                replicas_added += 1;
+            }
+        }
+        // 2b. Then add further replicas wherever they keep improving.
+        let mut best = evaluate(scenario, &placement).objective;
+        for &m in &affected {
+            loop {
+                let phi = scenario.catalog.storage(m);
+                let mut winner: Option<(f64, NodeId)> = None;
+                for k in scenario.net.node_ids() {
+                    if placement.get(m, k) {
+                        continue;
+                    }
+                    let used = placement.storage_used(&scenario.catalog, k);
+                    if scenario.net.storage(k) - used < phi - 1e-9 {
+                        continue;
+                    }
+                    placement.set(m, k, true);
+                    let obj = evaluate(scenario, &placement).objective;
+                    placement.set(m, k, false);
+                    let better = match winner {
+                        None => obj < best - 1e-9,
+                        Some((w, _)) => obj < w - 1e-12,
+                    };
+                    if better {
+                        winner = Some((obj, k));
+                    }
+                }
+                match winner {
+                    Some((obj, k)) => {
+                        placement.set(m, k, true);
+                        best = obj;
+                        replicas_added += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+
+    let churn = placement_churn(broken, &placement);
+    RepairReport {
+        placement,
+        pruned,
+        repaired_services: affected,
+        replicas_added,
+        churn,
+    }
 }
 
 /// A slot-to-slot solver that remembers the previous placement.
@@ -236,6 +386,90 @@ mod tests {
         solver.reset();
         let after_reset = solver.solve_slot(&sc);
         assert_eq!(after_reset.churn, 0, "reset did not clear the memory");
+    }
+
+    #[test]
+    fn repair_is_a_noop_on_a_healthy_cluster() {
+        let sc = slot_scenario(10);
+        let placement = SoclSolver::with_config(cfg()).solve(&sc).placement;
+        let report = repair_placement(&sc, &placement);
+        assert!(report.is_noop());
+        assert_eq!(report.placement, placement);
+        assert_eq!(report.pruned, 0);
+        assert!(report.repaired_services.is_empty());
+    }
+
+    /// Kill `node` the way the online simulator does: zero its storage.
+    fn kill_node(sc: &mut Scenario, node: NodeId) {
+        sc.net.server_mut(node).storage_units = 0.0;
+    }
+
+    /// A node that hosts at least one instance of the placement.
+    fn loaded_node(sc: &Scenario, p: &Placement) -> NodeId {
+        sc.net
+            .node_ids()
+            .find(|&k| p.storage_used(&sc.catalog, k) > 0.0)
+            .expect("placement deploys nothing")
+    }
+
+    #[test]
+    fn repair_restores_coverage_after_a_node_death() {
+        let mut sc = slot_scenario(11);
+        let placement = SoclSolver::with_config(cfg()).solve(&sc).placement;
+        assert_eq!(evaluate(&sc, &placement).cloud_fallbacks, 0);
+
+        let victim = loaded_node(&sc, &placement);
+        kill_node(&mut sc, victim);
+        let report = repair_placement(&sc, &placement);
+
+        assert!(report.pruned > 0, "the victim hosted instances");
+        assert!(!report.repaired_services.is_empty());
+        // No instance may remain on the dead node…
+        for i in 0..report.placement.services() {
+            assert!(!report.placement.get(ServiceId(i as u32), victim));
+        }
+        // …the repaired placement is feasible and at least as good as the
+        // pruned-but-unrepaired one.
+        assert!(report.placement.storage_feasible(&sc.catalog, &sc.net));
+        let mut pruned_only = placement.clone();
+        for i in 0..pruned_only.services() {
+            pruned_only.set(ServiceId(i as u32), victim, false);
+        }
+        let unrepaired = evaluate(&sc, &pruned_only).objective;
+        let repaired = evaluate(&sc, &report.placement).objective;
+        assert!(
+            repaired <= unrepaired + 1e-9,
+            "repair made things worse: {repaired} vs {unrepaired}"
+        );
+        assert_eq!(report.churn, report.pruned + report.replicas_added);
+    }
+
+    #[test]
+    fn repair_never_touches_unaffected_services() {
+        let mut sc = slot_scenario(12);
+        let placement = SoclSolver::with_config(cfg()).solve(&sc).placement;
+        let victim = loaded_node(&sc, &placement);
+        kill_node(&mut sc, victim);
+        let report = repair_placement(&sc, &placement);
+        for i in 0..placement.services() {
+            let m = ServiceId(i as u32);
+            if report.repaired_services.contains(&m) {
+                continue;
+            }
+            for k in 0..placement.nodes() {
+                let n = NodeId(k as u32);
+                // Unrequested services can still be pruned off dead nodes;
+                // everything else must be untouched.
+                if n == victim {
+                    continue;
+                }
+                assert_eq!(
+                    placement.get(m, n),
+                    report.placement.get(m, n),
+                    "repair touched unaffected service {m:?} on node {n:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -76,12 +76,7 @@ fn admit_candidates(
 
     // In-partition alternatives ordered by ascending χ (line 12).
     let mut alternatives: Vec<NodeId> = demand.iter().map(|&(v, _)| v).collect();
-    alternatives.sort_by(|&a, &b| {
-        chi[a.idx()]
-            .partial_cmp(&chi[b.idx()])
-            .unwrap()
-            .then(a.cmp(&b))
-    });
+    alternatives.sort_by(|&a, &b| chi[a.idx()].total_cmp(&chi[b.idx()]).then(a.cmp(&b)));
 
     // Total remote-access delay if the instance lives on `host`.
     // A node serving itself contributes zero (requests are local).
@@ -112,9 +107,7 @@ fn admit_candidates(
         }
         // Check Δ = term1 − term2 against alternatives in ascending χ,
         // stopping at the first success (lines 11–14).
-        let qualifies = alternatives
-            .iter()
-            .any(|&a| term1 - total_delay(a) < 0.0);
+        let qualifies = alternatives.iter().any(|&a| term1 - total_delay(a) < 0.0);
         if qualifies {
             partition.push(eta);
             added += 1;
@@ -138,11 +131,7 @@ pub fn initial_partition(sc: &Scenario, cfg: &SoclConfig) -> ServicePartitions {
         let hosts = sc.request_nodes(service);
         let vg = VirtualGraph::build(&hosts, &sc.ap);
         let mut partitions = vg.partition(cfg.xi);
-        let outside: Vec<NodeId> = sc
-            .net
-            .node_ids()
-            .filter(|k| !hosts.contains(k))
-            .collect();
+        let outside: Vec<NodeId> = sc.net.node_ids().filter(|k| !hosts.contains(k)).collect();
         let mut added = 0;
         for p in &mut partitions {
             added += admit_candidates(sc, service, p, &outside, &chi, cfg.candidate_filter);
@@ -271,9 +260,8 @@ mod tests {
                 ..SoclConfig::default()
             },
         );
-        let count = |p: &ServicePartitions| -> usize {
-            p.per_service.iter().map(|(_, ps)| ps.len()).sum()
-        };
+        let count =
+            |p: &ServicePartitions| -> usize { p.per_service.iter().map(|(_, ps)| ps.len()).sum() };
         assert!(count(&fine) >= count(&coarse));
     }
 

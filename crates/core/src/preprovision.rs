@@ -85,11 +85,7 @@ fn instance_contribution(
 /// always starts from a feasible deployment (Eq. 6 holds throughout the
 /// pipeline; Algorithm 5 only has to act when combination migrations are
 /// later forced).
-pub fn preprovision(
-    sc: &Scenario,
-    parts: &ServicePartitions,
-    cfg: &SoclConfig,
-) -> PreProvisioning {
+pub fn preprovision(sc: &Scenario, parts: &ServicePartitions, cfg: &SoclConfig) -> PreProvisioning {
     cfg.validate();
     let mut placement = Placement::empty(sc.services(), sc.nodes());
     let mut per_partition = Vec::with_capacity(parts.per_service.len());
@@ -130,7 +126,7 @@ pub fn preprovision(
                 .iter()
                 .map(|&v| (instance_contribution(sc, service, p, v), v))
                 .collect();
-            scored.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             let count = if quota >= p.len() as f64 {
                 // Quota covers the whole partition: provision everywhere
                 // (storage permitting).
@@ -156,7 +152,7 @@ pub fn preprovision(
                 if let Some(&v) = p.iter().max_by(|&&a, &&b| {
                     let ra = sc.net.storage(a) - used[a.idx()];
                     let rb = sc.net.storage(b) - used[b.idx()];
-                    ra.partial_cmp(&rb).unwrap().then(b.cmp(&a))
+                    ra.total_cmp(&rb).then(b.cmp(&a))
                 }) {
                     chosen.push(v);
                     used[v.idx()] += phi;

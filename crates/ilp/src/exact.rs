@@ -427,7 +427,11 @@ mod tests {
         let sol = solve_exact(&sc, &ExactOptions::default());
         let mut seed = Placement::empty(sc.services(), sc.nodes());
         for svc in sc.requested_services() {
-            let best = sc.net.node_ids().max_by_key(|&k| sc.demand(svc, k)).unwrap();
+            let best = sc
+                .net
+                .node_ids()
+                .max_by_key(|&k| sc.demand(svc, k))
+                .unwrap();
             seed.set(svc, best, true);
         }
         let ev_seed = evaluate(&sc, &seed);

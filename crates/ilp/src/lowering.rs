@@ -103,6 +103,7 @@ pub fn build_ilp(sc: &Scenario) -> (Model, IlpArtifacts) {
     }
 
     // Eq. 6: per-node storage.
+    #[allow(clippy::needless_range_loop)]
     for k in 0..n {
         m.add_constraint(
             services
@@ -130,6 +131,7 @@ pub fn build_ilp(sc: &Scenario) -> (Model, IlpArtifacts) {
         let mut latency_terms: Vec<(VarId, f64)> = Vec::new();
         let last = req.chain.len() - 1;
         for (j, &svc) in req.chain.iter().enumerate() {
+            #[allow(clippy::needless_range_loop)]
             for k in 0..n {
                 let node = NodeId(k as u32);
                 let mut secs = sc.catalog.compute(svc) / sc.net.compute(node);
@@ -149,9 +151,7 @@ pub fn build_ilp(sc: &Scenario) -> (Model, IlpArtifacts) {
                     if k == k2 {
                         continue; // zero transfer cost, z would be 0 anyway
                     }
-                    let secs = sc
-                        .ap
-                        .transfer_time(NodeId(k as u32), NodeId(k2 as u32), r);
+                    let secs = sc.ap.transfer_time(NodeId(k as u32), NodeId(k2 as u32), r);
                     if secs <= 0.0 {
                         continue;
                     }

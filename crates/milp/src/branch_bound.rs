@@ -172,9 +172,7 @@ pub fn solve_milp(model: &Model, options: &MilpOptions) -> MilpSolution {
             }
         }
         // Limits.
-        if nodes >= options.node_limit
-            || options.time_limit.is_some_and(|t| start.elapsed() >= t)
-        {
+        if nodes >= options.node_limit || options.time_limit.is_some_and(|t| start.elapsed() >= t) {
             let status_on_limit = if incumbent.is_some() {
                 MilpStatus::FeasibleLimit
             } else {
@@ -217,7 +215,14 @@ pub fn solve_milp(model: &Model, options: &MilpOptions) -> MilpSolution {
             LpStatus::Unbounded => {
                 // Only meaningful at the root; deeper nodes inherit it.
                 if nodes == 1 {
-                    return finish(model, None, f64::NEG_INFINITY, nodes, start, MilpStatus::Unbounded);
+                    return finish(
+                        model,
+                        None,
+                        f64::NEG_INFINITY,
+                        nodes,
+                        start,
+                        MilpStatus::Unbounded,
+                    );
                 }
                 continue;
             }
@@ -377,8 +382,8 @@ mod tests {
                 vars[i][j] = m.add_binary(c[i][j]);
             }
         }
-        for i in 0..3 {
-            m.add_constraint((0..3).map(|j| (vars[i][j], 1.0)), Relation::Eq, 1.0);
+        for (i, row) in vars.iter().enumerate() {
+            m.add_constraint(row.iter().map(|&v| (v, 1.0)), Relation::Eq, 1.0);
             m.add_constraint((0..3).map(|j| (vars[j][i], 1.0)), Relation::Eq, 1.0);
         }
         let s = solve_milp(&m, &opts());
@@ -415,7 +420,9 @@ mod tests {
             .map(|i| m.add_binary(-((i % 5 + 1) as f64)))
             .collect();
         m.add_constraint(
-            vars.iter().enumerate().map(|(i, &v)| (v, (i % 3 + 1) as f64)),
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, (i % 3 + 1) as f64)),
             Relation::Le,
             7.0,
         );
@@ -459,9 +466,13 @@ mod tests {
     #[test]
     fn solution_is_integral_and_feasible() {
         let mut m = Model::new();
-        let vars: Vec<_> = (0..8).map(|i| m.add_binary(-(1.0 + i as f64 * 0.3))).collect();
+        let vars: Vec<_> = (0..8)
+            .map(|i| m.add_binary(-(1.0 + i as f64 * 0.3)))
+            .collect();
         m.add_constraint(
-            vars.iter().enumerate().map(|(i, &v)| (v, 1.0 + (i * i % 4) as f64)),
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 1.0 + (i * i % 4) as f64)),
             Relation::Le,
             6.0,
         );

@@ -23,7 +23,7 @@ pub mod simplex;
 
 pub use branch_bound::{solve_milp, MilpOptions, MilpSolution, MilpStatus};
 pub use model::{Constraint, Model, Relation, VarId, VarKind};
-pub use presolve::{presolve, Presolved, PresolveResult};
+pub use presolve::{presolve, PresolveResult, Presolved};
 pub use simplex::{solve_lp, LpSolution, LpStatus};
 
 #[cfg(test)]

@@ -179,11 +179,7 @@ impl Model {
 
     /// Evaluate the objective at `x`.
     pub fn objective_value(&self, x: &[f64]) -> f64 {
-        self.vars
-            .iter()
-            .zip(x)
-            .map(|(v, &xi)| v.obj * xi)
-            .sum()
+        self.vars.iter().zip(x).map(|(v, &xi)| v.obj * xi).sum()
     }
 
     /// Check whether `x` satisfies all constraints and bounds within `tol`.
@@ -195,8 +191,7 @@ impl Model {
             if xi < v.lower - tol || xi > v.upper + tol {
                 return false;
             }
-            if matches!(v.kind, VarKind::Integer | VarKind::Binary)
-                && (xi - xi.round()).abs() > tol
+            if matches!(v.kind, VarKind::Integer | VarKind::Binary) && (xi - xi.round()).abs() > tol
             {
                 return false;
             }

@@ -73,10 +73,7 @@ pub fn presolve(model: &Model) -> PresolveResult {
                 }
             }
             // Integer variables can round the bounds inward.
-            if matches!(
-                model.vars[v.0].kind,
-                VarKind::Integer | VarKind::Binary
-            ) {
+            if matches!(model.vars[v.0].kind, VarKind::Integer | VarKind::Binary) {
                 lo = lo.ceil();
                 hi = hi.floor();
             }
@@ -240,11 +237,7 @@ mod tests {
     fn presolve_preserves_milp_optimum() {
         let mut m = Model::new();
         let vars: Vec<_> = (0..6).map(|i| m.add_binary(-(1.0 + i as f64))).collect();
-        m.add_constraint(
-            vars.iter().map(|&v| (v, 1.0)),
-            Relation::Le,
-            3.0,
-        );
+        m.add_constraint(vars.iter().map(|&v| (v, 1.0)), Relation::Le, 3.0);
         m.add_constraint([(vars[0], 1.0)], Relation::Le, 0.0); // fixes v0 = 0
         let before = solve_milp(&m, &MilpOptions::default());
         let PresolveResult::Reduced(p) = presolve(&m) else {

@@ -17,10 +17,8 @@ struct BinaryProgram {
 fn arb_binary_program() -> impl Strategy<Value = BinaryProgram> {
     (2usize..=9, 1usize..=3).prop_flat_map(|(n, m)| {
         let obj = proptest::collection::vec(-10.0f64..10.0, n);
-        let rows = proptest::collection::vec(
-            (proptest::collection::vec(0.0f64..5.0, n), 2.0f64..12.0),
-            m,
-        );
+        let rows =
+            proptest::collection::vec((proptest::collection::vec(0.0f64..5.0, n), 2.0f64..12.0), m);
         (obj, rows).prop_map(move |(obj, rows)| BinaryProgram { n, obj, rows })
     })
 }
@@ -44,9 +42,7 @@ impl BinaryProgram {
     fn brute_force(&self) -> f64 {
         let mut best = f64::INFINITY;
         for mask in 0u32..(1 << self.n) {
-            let x: Vec<f64> = (0..self.n)
-                .map(|i| ((mask >> i) & 1) as f64)
-                .collect();
+            let x: Vec<f64> = (0..self.n).map(|i| ((mask >> i) & 1) as f64).collect();
             let ok = self.rows.iter().all(|(coeffs, b)| {
                 coeffs.iter().zip(&x).map(|(a, xi)| a * xi).sum::<f64>() <= *b + 1e-9
             });
@@ -161,7 +157,9 @@ fn time_limit_is_honored() {
     // A 24-variable knapsack; with a zero time budget we must get a limit
     // status immediately.
     let mut m = Model::new();
-    let vars: Vec<VarId> = (0..24).map(|i| m.add_binary(-((i % 7 + 1) as f64))).collect();
+    let vars: Vec<VarId> = (0..24)
+        .map(|i| m.add_binary(-((i % 7 + 1) as f64)))
+        .collect();
     m.add_constraint(
         vars.iter()
             .enumerate()
@@ -176,5 +174,8 @@ fn time_limit_is_honored() {
             ..MilpOptions::default()
         },
     );
-    assert!(matches!(sol.status, MilpStatus::Limit | MilpStatus::FeasibleLimit));
+    assert!(matches!(
+        sol.status,
+        MilpStatus::Limit | MilpStatus::FeasibleLimit
+    ));
 }

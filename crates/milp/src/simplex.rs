@@ -117,16 +117,16 @@ impl Tableau {
             let use_bland = stall > bland_after;
             let mut enter: Option<usize> = None;
             if use_bland {
-                for c in 0..self.n {
-                    if allowed[c] && self.cost[c] < -EPS {
+                for (c, &ok) in allowed.iter().enumerate().take(self.n) {
+                    if ok && self.cost[c] < -EPS {
                         enter = Some(c);
                         break;
                     }
                 }
             } else {
                 let mut best = -EPS;
-                for c in 0..self.n {
-                    if allowed[c] && self.cost[c] < best {
+                for (c, &ok) in allowed.iter().enumerate().take(self.n) {
+                    if ok && self.cost[c] < best {
                         best = self.cost[c];
                         enter = Some(c);
                     }
@@ -183,7 +183,9 @@ pub fn solve_lp_with_limit(model: &Model, max_iter: usize) -> LpSolution {
     }
 
     // Shift by lower bounds; collect objective constant.
-    let lowers: Vec<f64> = (0..nv).map(|i| model.bounds(crate::model::VarId(i)).0).collect();
+    let lowers: Vec<f64> = (0..nv)
+        .map(|i| model.bounds(crate::model::VarId(i)).0)
+        .collect();
     let obj_const: f64 = (0..nv)
         .map(|i| model.objective_coeff(crate::model::VarId(i)) * lowers[i])
         .sum();
@@ -296,8 +298,8 @@ pub fn solve_lp_with_limit(model: &Model, max_iter: usize) -> LpSolution {
     // Phase-2 cost (structural objective), canonical from the start because
     // the initial basis has zero structural cost.
     let mut cost2 = vec![0.0; n];
-    for i in 0..nv {
-        cost2[i] = model.objective_coeff(crate::model::VarId(i));
+    for (i, c) in cost2.iter_mut().enumerate().take(nv) {
+        *c = model.objective_coeff(crate::model::VarId(i));
     }
 
     let mut t = Tableau {

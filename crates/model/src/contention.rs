@@ -78,10 +78,8 @@ fn add_path_load(sc: &Scenario, loads: &mut LinkLoads, a: NodeId, b: NodeId, gb:
             // Find the (fastest) connecting link index.
             let mut best: Option<(usize, f64)> = None;
             for nb in sc.net.neighbors(w[0]) {
-                if nb.node == w[1] {
-                    if best.is_none_or(|(_, r)| nb.rate > r) {
-                        best = Some((nb.link, nb.rate));
-                    }
+                if nb.node == w[1] && best.is_none_or(|(_, r)| nb.rate > r) {
+                    best = Some((nb.link, nb.rate));
                 }
             }
             if let Some((idx, _)) = best {
@@ -160,11 +158,7 @@ impl ContentionReport {
 /// The per-link weight used for request `h` is
 /// `(1/b) · (1 + alpha · load_gb(l))` — a linear congestion price. With
 /// `alpha = 0` this reduces to the selfish optimum of [`crate::routing::route_all`].
-pub fn route_all_contention_aware(
-    sc: &Scenario,
-    placement: &Placement,
-    alpha: f64,
-) -> Assignment {
+pub fn route_all_contention_aware(sc: &Scenario, placement: &Placement, alpha: f64) -> Assignment {
     assert!(alpha >= 0.0, "alpha must be non-negative");
     let mut loads = LinkLoads::zero(sc.net.link_count());
     let mut routes: Vec<Option<Vec<NodeId>>> = Vec::with_capacity(sc.users());
@@ -178,7 +172,13 @@ pub fn route_all_contention_aware(
             for (j, &r) in req.edge_data.iter().enumerate() {
                 add_path_load(sc, &mut tmp, route[j], route[j + 1], r);
             }
-            add_path_load(sc, &mut tmp, *route.last().unwrap(), req.location, req.r_out);
+            add_path_load(
+                sc,
+                &mut tmp,
+                *route.last().unwrap(),
+                req.location,
+                req.r_out,
+            );
             for (l, g) in loads.gb.iter_mut().zip(&tmp.gb) {
                 *l += g;
             }

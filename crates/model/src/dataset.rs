@@ -272,7 +272,9 @@ pub fn linear_dataset(n: usize) -> DependencyDataset {
     ];
     assert!(n >= 1 && n <= NAMES.len());
     let names = NAMES[..n].to_vec();
-    let edges = (0..n.saturating_sub(1) as u32).map(|i| (i, i + 1)).collect();
+    let edges = (0..n.saturating_sub(1) as u32)
+        .map(|i| (i, i + 1))
+        .collect();
     DependencyDataset::new(names, edges, vec![0])
 }
 

@@ -35,14 +35,22 @@ impl ScenarioSnapshot {
     pub fn capture(sc: &Scenario) -> Self {
         Self {
             version: 1,
-            servers: sc.net.node_ids().map(|k| sc.net.server(k).clone()).collect(),
+            servers: sc
+                .net
+                .node_ids()
+                .map(|k| sc.net.server(k).clone())
+                .collect(),
             links: sc
                 .net
                 .links()
                 .iter()
                 .map(|l| (l.a.0, l.b.0, l.params))
                 .collect(),
-            catalog: sc.catalog.ids().map(|m| sc.catalog.get(m).clone()).collect(),
+            catalog: sc
+                .catalog
+                .ids()
+                .map(|m| sc.catalog.get(m).clone())
+                .collect(),
             requests: sc.requests.clone(),
             lambda: sc.lambda,
             budget: sc.budget,
@@ -208,7 +216,8 @@ mod tests {
         assert!(ScenarioSnapshot::from_json("{not json").is_err());
         let sc = ScenarioConfig::paper(4, 5).build(6);
         let mut snap = ScenarioSnapshot::capture(&sc);
-        snap.links.push((0, 99, socl_net::LinkParams::from_rate(1.0)));
+        snap.links
+            .push((0, 99, socl_net::LinkParams::from_rate(1.0)));
         assert!(snap.restore().is_err());
 
         let mut psnap = PlacementSnapshot::capture(&Placement::empty(2, 2));

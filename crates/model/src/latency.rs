@@ -63,10 +63,11 @@ pub fn completion_time(
         "route length must match chain length for {}",
         request.id
     );
-    let mut b = CompletionBreakdown::default();
-
     // d_in: user node → first service host, latency-optimal path.
-    b.d_in = ap.transfer_time(request.location, route[0], request.r_in);
+    let mut b = CompletionBreakdown {
+        d_in: ap.transfer_time(request.location, route[0], request.r_in),
+        ..CompletionBreakdown::default()
+    };
 
     // Compute cycles.
     for (j, &m) in request.chain.iter().enumerate() {

@@ -34,9 +34,7 @@ pub mod scenario;
 pub mod service;
 pub mod stats;
 
-pub use contention::{
-    link_loads, route_all_contention_aware, ContentionReport, LinkLoads,
-};
+pub use contention::{link_loads, route_all_contention_aware, ContentionReport, LinkLoads};
 pub use dataset::{DependencyDataset, EshopDataset};
 pub use datasets_extra::{SockShopDataset, TrainTicketDataset};
 pub use io::{PlacementSnapshot, ScenarioSnapshot};

@@ -56,7 +56,13 @@ pub fn evaluate(scenario: &Scenario, placement: &Placement) -> Evaluation {
     let mut routes = Vec::with_capacity(scenario.users());
     let mut fallbacks = 0;
     for req in &scenario.requests {
-        match optimal_route(req, placement, &scenario.net, &scenario.ap, &scenario.catalog) {
+        match optimal_route(
+            req,
+            placement,
+            &scenario.net,
+            &scenario.ap,
+            &scenario.catalog,
+        ) {
             RouteOutcome::Edge { route, breakdown } => {
                 per_request.push(breakdown.total());
                 routes.push(Some(route));
@@ -70,8 +76,8 @@ pub fn evaluate(scenario: &Scenario, placement: &Placement) -> Evaluation {
     }
     let total_latency: f64 = per_request.iter().sum();
     let cost = placement.deployment_cost(&scenario.catalog);
-    let objective = scenario.lambda * cost
-        + (1.0 - scenario.lambda) * scenario.latency_scale * total_latency;
+    let objective =
+        scenario.lambda * cost + (1.0 - scenario.lambda) * scenario.latency_scale * total_latency;
     Evaluation {
         cost,
         total_latency,
@@ -175,8 +181,7 @@ mod tests {
         let sc = scenario();
         let p = Placement::full(sc.services(), sc.nodes());
         let ev = evaluate(&sc, &p);
-        let manual =
-            sc.lambda * ev.cost + (1.0 - sc.lambda) * sc.latency_scale * ev.total_latency;
+        let manual = sc.lambda * ev.cost + (1.0 - sc.lambda) * sc.latency_scale * ev.total_latency;
         assert!((ev.objective - manual).abs() < 1e-9);
 
         let mut sc1 = sc.clone();
@@ -221,11 +226,7 @@ mod tests {
         // practice for this seed.
         let mut p = Placement::empty(sc.services(), sc.nodes());
         for m in sc.requested_services() {
-            let best = sc
-                .net
-                .node_ids()
-                .max_by_key(|&k| sc.demand(m, k))
-                .unwrap();
+            let best = sc.net.node_ids().max_by_key(|&k| sc.demand(m, k)).unwrap();
             p.set(m, best, true);
         }
         let ev = evaluate(&sc, &p);

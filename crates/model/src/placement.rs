@@ -288,7 +288,15 @@ mod tests {
         );
         assert!(p.covers(&[req]));
         let empty = Placement::empty(2, 2);
-        let req2 = UserRequest::new(UserId(1), NodeId(0), vec![ServiceId(0)], vec![], 0.1, 0.1, 1.0);
+        let req2 = UserRequest::new(
+            UserId(1),
+            NodeId(0),
+            vec![ServiceId(0)],
+            vec![],
+            0.1,
+            0.1,
+            1.0,
+        );
         assert!(!empty.covers(&[req2]));
     }
 
@@ -296,11 +304,19 @@ mod tests {
     fn assignment_consistency_checks_eq10() {
         let mut p = Placement::empty(2, 2);
         p.set(ServiceId(0), NodeId(1), true);
-        let req = UserRequest::new(UserId(0), NodeId(0), vec![ServiceId(0)], vec![], 0.1, 0.1, 1.0);
+        let req = UserRequest::new(
+            UserId(0),
+            NodeId(0),
+            vec![ServiceId(0)],
+            vec![],
+            0.1,
+            0.1,
+            1.0,
+        );
         let good = Assignment::new(vec![Some(vec![NodeId(1)])]);
-        assert!(good.consistent_with(&p, &[req.clone()]));
+        assert!(good.consistent_with(&p, std::slice::from_ref(&req)));
         let bad = Assignment::new(vec![Some(vec![NodeId(0)])]);
-        assert!(!bad.consistent_with(&p, &[req.clone()]));
+        assert!(!bad.consistent_with(&p, std::slice::from_ref(&req)));
         let cloud = Assignment::new(vec![None]);
         assert!(cloud.consistent_with(&p, &[req]));
         assert_eq!(cloud.cloud_fallbacks(), 1);

@@ -209,7 +209,13 @@ mod tests {
     ///
     /// v0 (user) — v1 (fast m0 host, dead end), v0 — v2 — v3; m0 on {v1,v2},
     /// m1 only on v3.
-    fn trap() -> (EdgeNetwork, AllPairs, ServiceCatalog, Placement, UserRequest) {
+    fn trap() -> (
+        EdgeNetwork,
+        AllPairs,
+        ServiceCatalog,
+        Placement,
+        UserRequest,
+    ) {
         let mut net = EdgeNetwork::new();
         for c in [10.0, 100.0, 10.0, 10.0] {
             net.push_server(EdgeServer::new(c, 8.0));
@@ -305,14 +311,24 @@ mod tests {
                 best = best.min(t);
             }
         }
-        let dp = optimal_route(&req, &p, &net, &ap, &cat).edge_time().unwrap();
+        let dp = optimal_route(&req, &p, &net, &ap, &cat)
+            .edge_time()
+            .unwrap();
         assert!((dp - best).abs() < 1e-12);
     }
 
     #[test]
     fn single_service_chain_picks_best_host() {
         let (net, ap, cat, p, _) = trap();
-        let req = UserRequest::new(UserId(0), NodeId(0), vec![ServiceId(0)], vec![], 1.0, 0.1, 10.0);
+        let req = UserRequest::new(
+            UserId(0),
+            NodeId(0),
+            vec![ServiceId(0)],
+            vec![],
+            1.0,
+            0.1,
+            10.0,
+        );
         let out = optimal_route(&req, &p, &net, &ap, &cat);
         // v1: upload 1/80 + q/c 1/100 + return 0.1·(1/80) ≈ 0.0237
         // v2: upload 1/40 + 1/10 + 0.1/40 = 0.1275 → v1 wins.

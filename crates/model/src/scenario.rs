@@ -61,7 +61,11 @@ impl Scenario {
     }
 
     /// `𝕌_{v_k}^{m_i}`: requests located at `k` whose chain invokes `m`.
-    pub fn users_requesting(&self, m: ServiceId, k: NodeId) -> impl Iterator<Item = &UserRequest> + '_ {
+    pub fn users_requesting(
+        &self,
+        m: ServiceId,
+        k: NodeId,
+    ) -> impl Iterator<Item = &UserRequest> + '_ {
         self.users_at(k).filter(move |r| r.uses(m))
     }
 
@@ -167,7 +171,8 @@ impl ScenarioConfig {
         topo.nodes = self.nodes;
         let net = topo.build(seed);
         let ap = AllPairs::compute(&net);
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1));
+        let mut rng =
+            StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1));
         let catalog = dataset.catalog(&mut rng);
         let requests = dataset.sample_requests(&mut rng, self.users, self.nodes, &self.requests);
         Scenario {

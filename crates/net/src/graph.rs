@@ -176,8 +176,16 @@ impl EdgeNetwork {
         let link = Link { a, b, params };
         let rate = link.rate();
         self.links.push(link);
-        self.adjacency[a.idx()].push(Neighbor { node: b, rate, link: idx });
-        self.adjacency[b.idx()].push(Neighbor { node: a, rate, link: idx });
+        self.adjacency[a.idx()].push(Neighbor {
+            node: b,
+            rate,
+            link: idx,
+        });
+        self.adjacency[b.idx()].push(Neighbor {
+            node: a,
+            rate,
+            link: idx,
+        });
         idx
     }
 

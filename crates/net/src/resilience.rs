@@ -233,7 +233,12 @@ mod tests {
     fn stretch_is_at_least_one() {
         let net = TopologyConfig::paper(10).build(9);
         for i in link_criticality(&net) {
-            assert!(i.mean_stretch >= 1.0 - 1e-12, "{}: {}", i.component, i.mean_stretch);
+            assert!(
+                i.mean_stretch >= 1.0 - 1e-12,
+                "{}: {}",
+                i.component,
+                i.mean_stretch
+            );
             assert!(i.max_stretch >= i.mean_stretch - 1e-12);
         }
     }

@@ -183,7 +183,11 @@ impl TopologyConfig {
                     let a = rng.gen_range(0..n);
                     let off = rng.gen_range(2..n - 1);
                     let b = (a + off) % n;
-                    if a != b && net.direct_rate(NodeId(a as u32), NodeId(b as u32)).is_none() {
+                    if a != b
+                        && net
+                            .direct_rate(NodeId(a as u32), NodeId(b as u32))
+                            .is_none()
+                    {
                         let p = self.random_link_params(rng);
                         net.add_link(NodeId(a as u32), NodeId(b as u32), p);
                     }

@@ -100,9 +100,9 @@ impl VirtualGraph {
             let mut stack = vec![start];
             comp[start] = id;
             while let Some(u) = stack.pop() {
-                for v in 0..n {
-                    if comp[v] == usize::MAX && self.speed(u, v) > xi {
-                        comp[v] = id;
+                for (v, cv) in comp.iter_mut().enumerate() {
+                    if *cv == usize::MAX && self.speed(u, v) > xi {
+                        *cv = id;
                         stack.push(v);
                     }
                 }

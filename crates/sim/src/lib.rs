@@ -1,6 +1,6 @@
 //! # socl-sim — simulation platform and testbed emulator
 //!
-//! Three pieces:
+//! Four pieces:
 //!
 //! * [`mobility`] — the user mobility model: between time slots users hop
 //!   between base stations (random-waypoint over the topology), reproducing
@@ -9,24 +9,35 @@
 //!   distribution shifts, some users re-draw their service chains
 //!   ("stochastic service dependencies"), the configured policy (SoCL or a
 //!   baseline) re-provisions one-shot, and the slot is scored. Supports
-//!   node-failure injection between slots.
+//!   node-failure injection between slots, mid-slot instance kills, and
+//!   failure-triggered warm repair (`socl-core::online::repair_placement`).
+//! * [`faults`] — deterministic, seedable fault schedules (node crash and
+//!   recovery, link degradation, instance cold-kills, in-flight request
+//!   loss) with random and criticality-targeted generators driven by the
+//!   `socl-net::resilience` rankings.
 //! * [`testbed`] — a discrete-event emulator standing in for the paper's
 //!   17-machine Kubernetes cluster (Section V.C): per-node FIFO CPU queues,
 //!   bandwidth-delayed transfers along the routed paths, serverless
 //!   cold-start penalties for instances that have gone cold, and per-request
 //!   end-to-end latency recording. Queueing contention is what makes RP's
 //!   unbalanced placements spike in Figure 10; the emulator reproduces that
-//!   mechanism.
+//!   mechanism. A [`faults::FaultSchedule`] can be replayed mid-run, with a
+//!   configurable [`testbed::RetryPolicy`] (timeouts, bounded backoff
+//!   retries, hedged duplicates) and graceful cloud degradation.
 
+pub mod faults;
 pub mod mobility;
 pub mod online;
 pub mod policy;
 pub mod testbed;
 
+pub use faults::{
+    FaultEvent, FaultKind, FaultPlan, FaultSchedule, FaultStats, FaultTimeline, Targeting,
+};
 pub use mobility::MobilityModel;
 pub use online::{OnlineConfig, OnlineSimulator, SlotRecord};
 pub use policy::Policy;
-pub use testbed::{run_testbed, TestbedConfig, TestbedResult};
+pub use testbed::{run_testbed, RetryPolicy, TestbedConfig, TestbedResult};
 
 #[cfg(test)]
 mod proptests;

@@ -6,18 +6,26 @@
 //!
 //! 1. users move ([`MobilityModel`]), some re-draw their service chain,
 //! 2. the policy re-provisions one-shot on the observed state,
-//! 3. the slot is scored with exact routing (objective, mean/max latency),
-//! 4. optionally, a node fails or recovers (failure injection).
+//! 3. optionally a node crashes *mid-slot* — after the policy committed its
+//!    placement — stranding the instances it hosted; with `repair` on, a
+//!    failure-triggered [`socl_core::repair_placement`] pass re-provisions
+//!    only the affected services (repair latency and churn are recorded),
+//! 4. the slot is scored with exact routing (objective, mean/max latency),
+//! 5. optionally, a node fails or recovers between slots (failure
+//!    injection).
 //!
-//! Failure injection removes a node's instances and detours its users to the
-//! nearest alive station, exercising the re-provisioning and roll-back
-//! machinery under churn.
+//! Between-slot failure injection removes a node's instances and detours its
+//! users to the nearest alive station, exercising the re-provisioning and
+//! roll-back machinery under churn; mid-slot crashes exercise the *repair*
+//! path, where a full re-solve is not an option.
 
 use crate::mobility::MobilityModel;
 use crate::policy::Policy;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use socl_model::{evaluate, DependencyDataset, EshopDataset, Scenario, ScenarioConfig, UserRequest};
+use socl_model::{
+    evaluate, DependencyDataset, EshopDataset, Scenario, ScenarioConfig, UserRequest,
+};
 use socl_net::NodeId;
 use std::time::{Duration, Instant};
 
@@ -51,6 +59,15 @@ pub struct OnlineConfig {
     /// chain churn re-draws follow each user's stable service affinities,
     /// so successive requests of one user stay self-similar.
     pub user_preferences: bool,
+    /// Per-slot probability that an alive node crashes *mid-slot*, after
+    /// the policy has committed its placement (0 disables). The victim is
+    /// the alive node hosting the most instances — the worst-case crash —
+    /// and stays down going into following slots until it recovers.
+    pub mid_slot_fail_prob: f64,
+    /// Failure-triggered repair: when a mid-slot crash strands instances,
+    /// re-provision only the affected services instead of serving the slot
+    /// broken. Repair latency and churn are recorded per slot.
+    pub repair: bool,
     /// Master seed.
     pub seed: u64,
 }
@@ -69,6 +86,8 @@ impl Default for OnlineConfig {
             link_fail_prob: 0.0,
             link_recover_prob: 0.5,
             user_preferences: false,
+            mid_slot_fail_prob: 0.0,
+            repair: false,
             seed: 0,
         }
     }
@@ -92,6 +111,12 @@ pub struct SlotRecord {
     pub solve_time: Duration,
     /// Nodes down during the slot.
     pub failed_nodes: usize,
+    /// Nodes that crashed mid-slot (after the placement was committed).
+    pub mid_slot_failures: usize,
+    /// Failure-triggered repair latency (zero when no repair ran).
+    pub repair_time: Duration,
+    /// Instance churn caused by the repair pass (prunes + adds).
+    pub repair_churn: usize,
 }
 
 /// The simulator: owns the evolving user state.
@@ -122,9 +147,9 @@ impl OnlineSimulator {
         let rng = StdRng::seed_from_u64(cfg.seed ^ 0x5A5A_5A5A);
         let alive = vec![true; cfg.nodes];
         let alive_links = vec![true; base.net.link_count()];
-        let preferences = cfg.user_preferences.then(|| {
-            socl_model::PreferenceModel::sample(cfg.users, base.catalog.len(), cfg.seed)
-        });
+        let preferences = cfg
+            .user_preferences
+            .then(|| socl_model::PreferenceModel::sample(cfg.users, base.catalog.len(), cfg.seed));
         Self {
             cfg,
             dataset,
@@ -173,6 +198,9 @@ impl OnlineSimulator {
                 };
                 self.alive[idx] = false;
             }
+        }
+        // Recovery also covers nodes crashed mid-slot by `run_measured`.
+        if self.cfg.fail_prob > 0.0 || self.cfg.mid_slot_fail_prob > 0.0 {
             for i in 0..self.cfg.nodes {
                 if !self.alive[i] && self.rng.gen::<f64>() < self.cfg.recover_prob {
                     self.alive[i] = true;
@@ -216,8 +244,7 @@ impl OnlineSimulator {
                         self.base
                             .ap
                             .best_speed(*loc, a)
-                            .partial_cmp(&self.base.ap.best_speed(*loc, b))
-                            .unwrap()
+                            .total_cmp(&self.base.ap.best_speed(*loc, b))
                     });
                 if let Some(t) = target {
                     *loc = t;
@@ -245,7 +272,10 @@ impl OnlineSimulator {
                     ),
                 };
                 let edge_data = (0..chain.len().saturating_sub(1))
-                    .map(|_| self.rng.gen_range(req_cfg.edge_data.0..=req_cfg.edge_data.1))
+                    .map(|_| {
+                        self.rng
+                            .gen_range(req_cfg.edge_data.0..=req_cfg.edge_data.1)
+                    })
                     .collect();
                 req.chain = chain;
                 req.edge_data = edge_data;
@@ -295,13 +325,60 @@ impl OnlineSimulator {
     {
         let mut records = Vec::with_capacity(self.cfg.slots);
         for slot in 0..self.cfg.slots {
-            let sc = self.advance();
+            let mut sc = self.advance();
             let t = Instant::now();
-            let placement = policy.place(&sc, slot as u64);
+            let mut placement = policy.place(&sc, slot as u64);
             let solve_time = t.elapsed();
+
+            // Mid-slot crash: a node dies *after* the policy committed its
+            // placement, stranding every instance it hosted.
+            let mut mid_slot_failures = 0usize;
+            let mut repair_time = Duration::ZERO;
+            let mut repair_churn = 0usize;
+            if self.cfg.mid_slot_fail_prob > 0.0 {
+                let alive_count = self.alive.iter().filter(|&&a| a).count();
+                if alive_count > 1 && self.rng.gen::<f64>() < self.cfg.mid_slot_fail_prob {
+                    // Crash where it hurts: the alive node hosting the most
+                    // instances of the committed placement (lowest index on
+                    // ties). Deterministic given the slot's placement, so
+                    // repair-on and repair-off runs see the same victims.
+                    let mut victim = usize::MAX;
+                    let mut most = 0usize;
+                    for i in 0..self.cfg.nodes {
+                        if !self.alive[i] {
+                            continue;
+                        }
+                        let hosted = placement.services_on(NodeId(i as u32)).len();
+                        if victim == usize::MAX || hosted > most {
+                            victim = i;
+                            most = hosted;
+                        }
+                    }
+                    // The victim stays down into following slots until the
+                    // between-slot recovery process revives it.
+                    self.alive[victim] = false;
+                    let v = NodeId(victim as u32);
+                    sc.net.server_mut(v).storage_units = 0.0;
+                    mid_slot_failures = 1;
+                    if self.cfg.repair {
+                        let t = Instant::now();
+                        let report = socl_core::repair_placement(&sc, &placement);
+                        repair_time = t.elapsed();
+                        repair_churn = report.churn;
+                        placement = report.placement;
+                    } else {
+                        // Unrepaired: the stranded instances are simply
+                        // gone and the slot is served without them.
+                        for i in 0..placement.services() {
+                            placement.set(socl_model::ServiceId(i as u32), v, false);
+                        }
+                    }
+                }
+            }
+
             let ev = evaluate(&sc, &placement);
-            let (mean_latency, max_latency) = measure(&sc, &placement)
-                .unwrap_or_else(|| (ev.mean_latency(), ev.max_latency()));
+            let (mean_latency, max_latency) =
+                measure(&sc, &placement).unwrap_or_else(|| (ev.mean_latency(), ev.max_latency()));
             records.push(SlotRecord {
                 slot,
                 objective: ev.objective,
@@ -311,6 +388,9 @@ impl OnlineSimulator {
                 fallbacks: ev.cloud_fallbacks,
                 solve_time,
                 failed_nodes: self.alive.iter().filter(|&&a| !a).count(),
+                mid_slot_failures,
+                repair_time,
+                repair_churn,
             });
         }
         records
@@ -431,6 +511,66 @@ mod tests {
             sim.alive_links.iter().any(|&a| !a) || sim.base.net.link_count() == 0,
             "no link ever failed at p=0.9"
         );
+    }
+
+    #[test]
+    fn mid_slot_crashes_with_repair_keep_serving() {
+        let cfg = OnlineConfig {
+            mid_slot_fail_prob: 0.8,
+            recover_prob: 0.4,
+            repair: true,
+            slots: 8,
+            ..small_cfg(7)
+        };
+        let mut sim = OnlineSimulator::new(cfg);
+        let records = sim.run(&Policy::Socl(SoclConfig::default()));
+        // Crashes must actually land mid-slot…
+        assert!(records.iter().any(|r| r.mid_slot_failures > 0));
+        // …repair must have done work at least once…
+        assert!(records.iter().any(|r| r.repair_churn > 0));
+        // …and at least one crashed slot must end up fully restored (the
+        // crash takes out the *most-loaded* node, so with several nodes
+        // already down the survivors cannot always absorb everything).
+        assert!(
+            records
+                .iter()
+                .any(|r| r.mid_slot_failures > 0 && r.fallbacks == 0),
+            "repair never fully restored a crashed slot: {records:?}"
+        );
+    }
+
+    #[test]
+    fn repair_never_serves_worse_than_no_repair() {
+        let run = |repair: bool| {
+            let cfg = OnlineConfig {
+                mid_slot_fail_prob: 0.8,
+                recover_prob: 0.4,
+                repair,
+                slots: 8,
+                ..small_cfg(8)
+            };
+            OnlineSimulator::new(cfg).run(&Policy::Socl(SoclConfig::default()))
+        };
+        let with = run(true);
+        let without = run(false);
+        // Identical seeds drive identical crash sequences, so the records
+        // pair up slot by slot; repair can only remove fallbacks.
+        let fb_with: usize = with.iter().map(|r| r.fallbacks).sum();
+        let fb_without: usize = without.iter().map(|r| r.fallbacks).sum();
+        assert!(
+            fb_with <= fb_without,
+            "repair increased fallbacks: {fb_with} vs {fb_without}"
+        );
+        // Repair reports latency only on the slots where it ran.
+        for r in &with {
+            if r.mid_slot_failures == 0 {
+                assert_eq!(r.repair_churn, 0);
+                assert!(r.repair_time.is_zero());
+            }
+        }
+        for r in &without {
+            assert_eq!(r.repair_churn, 0);
+        }
     }
 
     #[test]

@@ -1,14 +1,36 @@
 //! Property tests for the simulator and the testbed emulator.
 
+use crate::faults::{FaultPlan, FaultSchedule, Targeting};
 use crate::policy::Policy;
-use crate::testbed::{run_testbed, TestbedConfig};
+use crate::testbed::{run_testbed, RetryPolicy, TestbedConfig};
 use proptest::prelude::*;
 use socl_core::SoclConfig;
-use socl_model::{evaluate, Scenario, ScenarioConfig};
+use socl_model::{evaluate, Placement, Scenario, ScenarioConfig};
 
 fn arb_scenario() -> impl Strategy<Value = Scenario> {
     (6usize..=12, 10usize..=40, any::<u64>())
         .prop_map(|(nodes, users, seed)| ScenarioConfig::paper(nodes, users).build(seed))
+}
+
+/// A fault schedule of arbitrary intensity and targeting against the
+/// given scenario/placement pair.
+fn arb_faults(
+    sc: &Scenario,
+    placement: &Placement,
+    epochs: usize,
+    seed: u64,
+    level: f64,
+    mode: u8,
+) -> FaultSchedule {
+    let horizon = epochs as f64 * TestbedConfig::default().epoch_secs;
+    let targeting = match mode % 3 {
+        0 => Targeting::Random,
+        1 => Targeting::Critical,
+        _ => Targeting::NonCritical,
+    };
+    FaultPlan::at_intensity(horizon, level)
+        .with_targeting(targeting)
+        .generate(&sc.net, placement, sc.users(), seed)
 }
 
 proptest! {
@@ -47,6 +69,67 @@ proptest! {
         });
         prop_assert!(loose.mean <= tight.mean + 1e-9,
             "spreading arrivals raised latency: {} vs {}", loose.mean, tight.mean);
+    }
+
+    /// Conservation: every issued request ends in exactly one outcome —
+    /// completed, degraded to the cloud mid-chain, dropped, or a cloud
+    /// fallback — under any fault schedule, targeting, and retry policy.
+    #[test]
+    fn faults_conserve_requests(
+        sc in arb_scenario(),
+        fseed in any::<u64>(),
+        tseed in any::<u64>(),
+        level in 0.0f64..=2.0,
+        mode in any::<u8>(),
+        retries in any::<bool>(),
+        degrade in any::<bool>(),
+    ) {
+        let placement = Policy::Jdr.place(&sc, 0);
+        let epochs = 2usize;
+        let cfg = TestbedConfig {
+            epochs,
+            seed: tseed,
+            faults: arb_faults(&sc, &placement, epochs, fseed, level, mode),
+            retry: if retries { RetryPolicy::resilient() } else { RetryPolicy::default() },
+            degrade_to_cloud: degrade,
+            ..TestbedConfig::default()
+        };
+        let res = run_testbed(&sc, &placement, &cfg);
+        prop_assert_eq!(
+            res.completed + res.degraded + res.dropped + res.fallbacks,
+            res.issued,
+            "conservation violated: {} + {} + {} + {} != {}",
+            res.completed, res.degraded, res.dropped, res.fallbacks, res.issued
+        );
+        prop_assert!(res.availability >= 0.0 && res.availability <= 1.0);
+        // Measured latencies are only recorded for requests that ran.
+        let measured = res.per_request.iter().filter(|r| r.is_some()).count();
+        prop_assert!(measured <= res.issued);
+    }
+
+    /// Determinism: the same scenario, placement, fault schedule, and seed
+    /// reproduce the identical result, field for field — retries, hedging
+    /// jitter, and fault timing all draw from the run's seeded RNG.
+    #[test]
+    fn faulted_runs_are_deterministic(
+        sc in arb_scenario(),
+        fseed in any::<u64>(),
+        tseed in any::<u64>(),
+        level in 0.0f64..=1.5,
+        mode in any::<u8>(),
+    ) {
+        let placement = Policy::Socl(SoclConfig::default()).place(&sc, 0);
+        let epochs = 2usize;
+        let cfg = TestbedConfig {
+            epochs,
+            seed: tseed,
+            faults: arb_faults(&sc, &placement, epochs, fseed, level, mode),
+            retry: RetryPolicy::resilient(),
+            ..TestbedConfig::default()
+        };
+        let a = run_testbed(&sc, &placement, &cfg);
+        let b = run_testbed(&sc, &placement, &cfg);
+        prop_assert_eq!(a, b);
     }
 
     /// Cold starts only ever add latency.

@@ -15,13 +15,102 @@
 //!   pays `cold_start` before serving (warm instances nearby — SoCL's
 //!   storage-planning goal — avoid this).
 //!
-//! Routing follows the exact per-request DP for the placement under test.
+//! Routing follows the exact per-request DP for the placement under test;
+//! with the default (fault-free) configuration the emulator behaves exactly
+//! as the original pipeline.
+//!
+//! # Fault injection, retries, hedging
+//!
+//! A [`FaultSchedule`] can be replayed mid-run: node crashes wipe the
+//! victim's queue and fail its in-flight work (the radio keeps forwarding —
+//! only the compute is lost), link degradations stretch transfer times (the
+//! all-pairs paths are re-derived at every link-state change), instance
+//! cold-kills force the next request to pay the cold start again, and
+//! request losses drop an in-flight transfer.
+//!
+//! The dispatcher reacts through a [`RetryPolicy`]: per-stage attempt
+//! timeouts, bounded retries with exponential backoff and deterministic
+//! jitter, and hedged dispatch — when the chosen replica's predicted
+//! completion exceeds `hedge_after`, the dispatcher dry-runs a duplicate on
+//! the next-best replica and commits whichever copy is predicted to win
+//! (an analytic stand-in for racing both copies that avoids double queue
+//! occupancy; the duplicate's dispatch is delayed by the hedge threshold,
+//! as a real hedger only fires after waiting that long). Attempt 0 follows
+//! the DP-optimal route blindly — liveness is only discovered when the data
+//! arrives, as on a real cluster — so *retries are the failover mechanism*:
+//! they re-dispatch to the best alive replica by predicted completion.
+//! A scheduled request loss claims the victim user's next transfer at or
+//! after the loss instant (each loss fails exactly one attempt).
+//!
+//! When every replica of a service is dead, or retries are exhausted, the
+//! request degrades to the cloud (counted, never silently lost) unless
+//! `degrade_to_cloud` is off, in which case it is dropped. Every issued
+//! request ends in exactly one outcome and the conservation identity
+//! `completed + degraded + dropped + fallbacks == issued` is enforced by
+//! property tests.
 
+use crate::faults::{FaultSchedule, FaultTimeline};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use socl_model::{optimal_route, Placement, RouteOutcome, Scenario};
+use socl_net::{AllPairs, NodeId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Dispatcher policy for failed or slow stage attempts.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Per-attempt timeout in seconds, measured from dispatch to stage
+    /// completion (transfer + queue + service). `f64::INFINITY` disables.
+    pub timeout: f64,
+    /// Retries allowed per stage after the first attempt (0 disables).
+    pub max_retries: usize,
+    /// Base backoff delay in seconds before the first retry.
+    pub backoff_base: f64,
+    /// Multiplicative backoff growth per attempt.
+    pub backoff_factor: f64,
+    /// Uniform jitter fraction applied to each backoff (0 = none). Drawn
+    /// from the run's seeded RNG, so runs stay deterministic.
+    pub jitter: f64,
+    /// Hedged dispatch: when the chosen replica's predicted completion lies
+    /// more than this many seconds after dispatch, dry-run a duplicate on
+    /// the next-best replica and commit the predicted winner. `None`
+    /// disables.
+    pub hedge_after: Option<f64>,
+}
+
+impl Default for RetryPolicy {
+    /// Everything disabled — the fault-free testbed behaves exactly as the
+    /// original (pre-fault) emulator.
+    fn default() -> Self {
+        Self {
+            timeout: f64::INFINITY,
+            max_retries: 0,
+            backoff_base: 0.05,
+            backoff_factor: 2.0,
+            jitter: 0.2,
+            hedge_after: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A production-ish policy: 3 retries, 30 s attempt timeout, hedging
+    /// after 2 s.
+    pub fn resilient() -> Self {
+        Self {
+            timeout: 30.0,
+            max_retries: 3,
+            hedge_after: Some(2.0),
+            ..Self::default()
+        }
+    }
+
+    /// True when neither timeouts, retries, nor hedging are active.
+    pub fn is_disabled(&self) -> bool {
+        self.timeout.is_infinite() && self.max_retries == 0 && self.hedge_after.is_none()
+    }
+}
 
 /// Emulator parameters.
 #[derive(Debug, Clone)]
@@ -36,6 +125,14 @@ pub struct TestbedConfig {
     pub keep_warm: f64,
     /// Arrival jitter seed.
     pub seed: u64,
+    /// Mid-run fault schedule (empty = the original fault-free emulator).
+    pub faults: FaultSchedule,
+    /// Dispatcher retry/timeout/hedging policy.
+    pub retry: RetryPolicy,
+    /// Graceful degradation: when a request's next stage has no alive
+    /// replica (or retries are exhausted), serve it from the cloud at the
+    /// scenario's `cloud_penalty` instead of dropping it.
+    pub degrade_to_cloud: bool,
 }
 
 impl Default for TestbedConfig {
@@ -46,25 +143,47 @@ impl Default for TestbedConfig {
             cold_start: 0.5,
             keep_warm: 600.0,
             seed: 0,
+            faults: FaultSchedule::empty(),
+            retry: RetryPolicy::default(),
+            degrade_to_cloud: true,
         }
     }
 }
 
-/// Measured latencies.
-#[derive(Debug, Clone)]
+/// Measured latencies and per-request outcome accounting.
+#[derive(Debug, Clone, PartialEq)]
 pub struct TestbedResult {
     /// End-to-end latency per (epoch, request), seconds; `None` for cloud
-    /// fallbacks.
+    /// fallbacks and for requests degraded or dropped mid-flight.
     pub per_request: Vec<Option<f64>>,
-    /// Mean latency per epoch (fallbacks excluded).
+    /// Mean latency per epoch (fallbacks/degraded/dropped excluded).
     pub per_epoch_mean: Vec<f64>,
-    /// Global mean and max.
+    /// Global mean and max over edge-served requests.
     pub mean: f64,
     pub max: f64,
     /// Cold starts incurred.
     pub cold_starts: usize,
-    /// Requests that had no edge route.
+    /// Requests that had no edge route at issue time (placement gap).
     pub fallbacks: usize,
+    /// Requests issued in total (epochs × users).
+    pub issued: usize,
+    /// Requests served end-to-end on the edge.
+    pub completed: usize,
+    /// Stage retry attempts dispatched.
+    pub retried: usize,
+    /// Hedged duplicates that were committed over the primary.
+    pub hedged: usize,
+    /// Attempts abandoned on timeout.
+    pub timeouts: usize,
+    /// Requests that fell back to the cloud mid-flight (dead replicas or
+    /// exhausted retries, with `degrade_to_cloud` on).
+    pub degraded: usize,
+    /// Requests lost outright (`degrade_to_cloud` off).
+    pub dropped: usize,
+    /// Fraction of issued requests served end-to-end on the edge.
+    pub availability: f64,
+    /// Mean node outage duration within the run horizon, seconds.
+    pub mttr: f64,
 }
 
 impl TestbedResult {
@@ -79,20 +198,45 @@ impl TestbedResult {
     pub fn median(&self) -> f64 {
         self.latency_percentile(0.5)
     }
+
+    /// Mean completion time with degraded and dropped requests charged
+    /// `cloud_penalty` seconds each — the delay a user actually experiences
+    /// under faults (0 when nothing beyond fallbacks was issued).
+    pub fn effective_mean(&self, cloud_penalty: f64) -> f64 {
+        let served: f64 = self.per_request.iter().flatten().sum();
+        let charged = self.completed + self.degraded + self.dropped;
+        if charged == 0 {
+            return 0.0;
+        }
+        (served + (self.degraded + self.dropped) as f64 * cloud_penalty) / charged as f64
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
 struct Event {
+    /// Arrival of the stage's input data at `node`.
     time: f64,
     /// Request index within the flattened (epoch × request) list.
     job: usize,
-    /// Chain stage about to be *served* (arrival at the stage's node).
+    /// Chain stage about to be *served*.
     stage: usize,
+    /// Attempt number for this stage (0 = first).
+    attempt: usize,
+    /// Serving node for this attempt.
+    node: u32,
+    /// Node (or user location) the data was sent from.
+    from: u32,
+    /// Time the attempt was dispatched (timeout baseline).
+    dispatch: f64,
 }
 
 impl PartialEq for Event {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.job == other.job && self.stage == other.stage
+        self.time == other.time
+            && self.job == other.job
+            && self.stage == other.stage
+            && self.attempt == other.attempt
+            && self.node == other.node
     }
 }
 impl Eq for Event {}
@@ -101,15 +245,372 @@ impl Ord for Event {
         // Min-heap by time, deterministic tie-breaks.
         other
             .time
-            .partial_cmp(&self.time)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.time)
             .then(other.job.cmp(&self.job))
             .then(other.stage.cmp(&self.stage))
+            .then(other.attempt.cmp(&self.attempt))
+            .then(other.node.cmp(&self.node))
     }
 }
 impl PartialOrd for Event {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
+    }
+}
+
+/// Terminal outcome of one issued request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Fallback,
+    Completed,
+    Degraded,
+    Dropped,
+}
+
+/// Why a serve attempt failed.
+#[derive(Debug, Clone, Copy)]
+enum FailReason {
+    /// In-flight transfer lost (consumes the indexed RequestLoss fault).
+    Loss(usize),
+    /// Serving node down on arrival, or crashed while queued/serving;
+    /// carries the recovery time (∞ if it never comes back).
+    NodeDown { recover_at: f64 },
+    /// Attempt exceeded the per-stage timeout.
+    Timeout,
+}
+
+/// Result of assessing one serve attempt (pure — nothing committed).
+struct Assessment {
+    done: f64,
+    cold: bool,
+    /// `Some((detect_time, reason))` when the attempt fails.
+    fail: Option<(f64, FailReason)>,
+}
+
+struct Job {
+    user: usize,
+    arrival: f64,
+    start: f64,
+}
+
+struct Engine<'a> {
+    sc: &'a Scenario,
+    placement: &'a Placement,
+    cfg: &'a TestbedConfig,
+    timeline: FaultTimeline,
+    /// Link-state snapshots: `(valid_from, all_pairs)` sorted by time.
+    aps: Vec<(f64, AllPairs)>,
+    routes: Vec<Option<Vec<NodeId>>>,
+    jobs: Vec<Job>,
+    heap: BinaryHeap<Event>,
+    rng: StdRng,
+    node_free: Vec<f64>,
+    last_used: Vec<f64>,
+    loss_used: Vec<bool>,
+    outcome: Vec<Option<Outcome>>,
+    frontier: Vec<usize>,
+    per_request: Vec<Option<f64>>,
+    cold_starts: usize,
+    retried: usize,
+    hedged: usize,
+    timeouts: usize,
+}
+
+impl<'a> Engine<'a> {
+    /// The all-pairs snapshot in force at time `t`.
+    fn ap_at(&self, t: f64) -> &AllPairs {
+        let mut best = &self.aps[0].1;
+        for (from, ap) in &self.aps {
+            if *from <= t {
+                best = ap;
+            } else {
+                break;
+            }
+        }
+        best
+    }
+
+    fn service_of(&self, job: usize, stage: usize) -> socl_model::ServiceId {
+        self.sc.requests[self.jobs[job].user].chain[stage]
+    }
+
+    /// Payload size entering `stage` of `job`'s chain.
+    fn stage_data(&self, job: usize, stage: usize) -> f64 {
+        let req = &self.sc.requests[self.jobs[job].user];
+        if stage == 0 {
+            req.r_in
+        } else {
+            req.edge_data[stage - 1]
+        }
+    }
+
+    /// Nominal service time (no cold start) of `stage` on `node`.
+    fn exec_time(&self, job: usize, stage: usize, node: NodeId) -> f64 {
+        self.sc.catalog.compute(self.service_of(job, stage)) / self.sc.net.compute(node)
+    }
+
+    /// First unconsumed RequestLoss for `user` scheduled at or before
+    /// `t1`: a loss claims the user's next transfer after its instant.
+    fn find_loss(&self, user: usize, t1: f64) -> Option<usize> {
+        self.timeline
+            .losses()
+            .iter()
+            .enumerate()
+            .find(|&(i, &(t, u))| !self.loss_used[i] && u == user && t <= t1)
+            .map(|(i, _)| i)
+    }
+
+    /// Pure assessment of serving `stage` of `job` on `node`, with data
+    /// dispatched at `dispatch` and arriving at `arrival`.
+    fn assess(
+        &self,
+        job: usize,
+        stage: usize,
+        node: NodeId,
+        dispatch: f64,
+        arrival: f64,
+    ) -> Assessment {
+        let user = self.jobs[job].user;
+        if let Some(idx) = self.find_loss(user, arrival) {
+            // The packet vanishes in flight; the failure is only detected
+            // at the expected arrival time.
+            return Assessment {
+                done: arrival,
+                cold: false,
+                fail: Some((arrival, FailReason::Loss(idx))),
+            };
+        }
+        let svc = self.service_of(job, stage);
+        let wi = svc.idx() * self.sc.nodes() + node.idx();
+        let last = self.last_used[wi];
+        let cold = arrival - last > self.cfg.keep_warm
+            || self.timeline.killed_between(svc, node, last, arrival)
+            || self
+                .timeline
+                .down_overlap(node, last.max(0.0), arrival)
+                .is_some();
+        if self.timeline.is_down(node, arrival) {
+            return Assessment {
+                done: arrival,
+                cold,
+                fail: Some((
+                    arrival,
+                    FailReason::NodeDown {
+                        recover_at: self.timeline.next_up(node, arrival),
+                    },
+                )),
+            };
+        }
+        let mut service_time = self.exec_time(job, stage, node);
+        if cold {
+            service_time += self.cfg.cold_start;
+        }
+        let start = arrival.max(self.node_free[node.idx()]);
+        let done = start + service_time;
+        let crash = self
+            .timeline
+            .down_overlap(node, arrival, done)
+            .map(|(a, b)| (arrival.max(a), b));
+        let timeout_at = dispatch + self.cfg.retry.timeout;
+        let fail = match (crash, done > timeout_at) {
+            (Some((at, rec)), true) if at <= timeout_at => {
+                Some((at, FailReason::NodeDown { recover_at: rec }))
+            }
+            (_, true) => Some((timeout_at, FailReason::Timeout)),
+            (Some((at, rec)), false) => Some((at, FailReason::NodeDown { recover_at: rec })),
+            (None, false) => None,
+        };
+        Assessment { done, cold, fail }
+    }
+
+    /// Commit a successful attempt: consume the queue slot and warmth.
+    fn commit(&mut self, job: usize, stage: usize, node: NodeId, a: &Assessment) {
+        let svc = self.service_of(job, stage);
+        let wi = svc.idx() * self.sc.nodes() + node.idx();
+        self.node_free[node.idx()] = a.done;
+        self.last_used[wi] = a.done;
+        if a.cold {
+            self.cold_starts += 1;
+        }
+    }
+
+    /// Alive replicas of `stage`'s service at time `t`, ordered by
+    /// predicted completion from `from` (transfer + queue wait + service),
+    /// node index tie-break. Used for retry failover and hedge backups.
+    fn candidates(&self, job: usize, stage: usize, from: NodeId, t: f64) -> Vec<NodeId> {
+        let svc = self.service_of(job, stage);
+        let r = self.stage_data(job, stage);
+        let ap = self.ap_at(t);
+        let mut alive: Vec<(f64, u32)> = self
+            .placement
+            .hosts_of(svc)
+            .into_iter()
+            .filter(|&k| !self.timeline.is_down(k, t))
+            .map(|k| {
+                let arr = t + ap.transfer_time(from, k, r);
+                let wait = (self.node_free[k.idx()] - arr).max(0.0);
+                (arr + wait + self.exec_time(job, stage, k), k.0)
+            })
+            .collect();
+        alive.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        alive.into_iter().map(|(_, k)| NodeId(k)).collect()
+    }
+
+    /// Resolve a request that can no longer be served from the edge.
+    fn resolve_unservable(&mut self, job: usize) {
+        self.outcome[job] = Some(if self.cfg.degrade_to_cloud {
+            Outcome::Degraded
+        } else {
+            Outcome::Dropped
+        });
+    }
+
+    fn backoff_delay(&mut self, attempt: usize) -> f64 {
+        let p = &self.cfg.retry;
+        let base = p.backoff_base * p.backoff_factor.powi(attempt as i32);
+        if p.jitter > 0.0 {
+            let u: f64 = self.rng.gen::<f64>();
+            base * (1.0 + p.jitter * (2.0 * u - 1.0))
+        } else {
+            base
+        }
+    }
+
+    /// Handle a failed attempt: back off and retry, or give up.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_failure(
+        &mut self,
+        job: usize,
+        stage: usize,
+        node: NodeId,
+        from: NodeId,
+        attempt: usize,
+        fail_time: f64,
+        reason: FailReason,
+    ) {
+        match reason {
+            FailReason::Loss(idx) => self.loss_used[idx] = true,
+            FailReason::Timeout => self.timeouts += 1,
+            FailReason::NodeDown { recover_at } => {
+                // The crash wiped the victim's queue: it restarts idle once
+                // it recovers, so nothing can start on it before then.
+                if recover_at.is_finite() {
+                    self.node_free[node.idx()] = self.node_free[node.idx()].max(recover_at);
+                }
+            }
+        }
+        if attempt >= self.cfg.retry.max_retries {
+            self.resolve_unservable(job);
+            return;
+        }
+        self.retried += 1;
+        let t = fail_time + self.backoff_delay(attempt);
+        self.dispatch(job, stage, from, t, attempt + 1);
+    }
+
+    /// Dispatch `stage` of `job` from `from` at time `t`. Attempt 0 follows
+    /// the static DP route blindly — liveness is only discovered when the
+    /// data arrives — while retries fail over to the best alive replica.
+    /// Hedging dry-runs a duplicate when the chosen target looks slow or
+    /// doomed. Resolves the request when a failover finds no alive replica.
+    fn dispatch(&mut self, job: usize, stage: usize, from: NodeId, t: f64, attempt: usize) {
+        let target0 = if attempt == 0 {
+            self.routes[self.jobs[job].user].as_ref().map(|r| r[stage])
+        } else {
+            self.candidates(job, stage, from, t).first().copied()
+        };
+        let Some(primary) = target0 else {
+            self.resolve_unservable(job);
+            return;
+        };
+        let r = self.stage_data(job, stage);
+        let arr = t + self.ap_at(t).transfer_time(from, primary, r);
+
+        let mut target = primary;
+        let mut dispatch_t = t;
+        let mut arrive_t = arr;
+        if let Some(h) = self.cfg.retry.hedge_after {
+            let pa = self.assess(job, stage, primary, t, arr);
+            let slow = pa.fail.is_some() || pa.done - t > h;
+            if slow {
+                let backup = self
+                    .candidates(job, stage, from, t)
+                    .into_iter()
+                    .find(|&k| k != primary);
+                if let Some(backup) = backup {
+                    let t2 = t + h; // a real hedger fires only after waiting h
+                    let arr2 = t2 + self.ap_at(t2).transfer_time(from, backup, r);
+                    let ba = self.assess(job, stage, backup, t2, arr2);
+                    let backup_wins = match (&pa.fail, &ba.fail) {
+                        (Some(_), None) => true,
+                        (None, None) => ba.done < pa.done,
+                        _ => false,
+                    };
+                    if backup_wins {
+                        self.hedged += 1;
+                        target = backup;
+                        dispatch_t = t2;
+                        arrive_t = arr2;
+                    }
+                }
+            }
+        }
+
+        self.heap.push(Event {
+            time: arrive_t,
+            job,
+            stage,
+            attempt,
+            node: target.0,
+            from: from.0,
+            dispatch: dispatch_t,
+        });
+    }
+
+    /// Stage `stage` finished on `node` at `done`: dispatch the next stage
+    /// or close out the request.
+    fn advance_job(&mut self, job: usize, stage: usize, node: NodeId, done: f64) {
+        self.frontier[job] = stage + 1;
+        let user = self.jobs[job].user;
+        let req = &self.sc.requests[user];
+        if stage + 1 < req.chain.len() {
+            self.dispatch(job, stage + 1, node, done, 0);
+        } else {
+            let finish = done + self.ap_at(done).return_time(node, req.location, req.r_out);
+            debug_assert!(
+                finish >= self.jobs[job].start,
+                "job {job} finished before it started"
+            );
+            self.per_request[job] = Some(finish - self.jobs[job].start);
+            self.outcome[job] = Some(Outcome::Completed);
+        }
+    }
+
+    fn run(&mut self) {
+        while let Some(ev) = self.heap.pop() {
+            if self.outcome[ev.job].is_some() || self.frontier[ev.job] != ev.stage {
+                continue; // stale: the request was already resolved
+            }
+            let node = NodeId(ev.node);
+            let a = self.assess(ev.job, ev.stage, node, ev.dispatch, ev.time);
+            match a.fail {
+                Some((at, reason)) => {
+                    self.handle_failure(
+                        ev.job,
+                        ev.stage,
+                        node,
+                        NodeId(ev.from),
+                        ev.attempt,
+                        at,
+                        reason,
+                    );
+                }
+                None => {
+                    self.commit(ev.job, ev.stage, node, &a);
+                    self.advance_job(ev.job, ev.stage, node, a.done);
+                }
+            }
+        }
     }
 }
 
@@ -124,29 +625,28 @@ impl PartialOrd for Event {
 /// let placement = SoclSolver::new().solve(&sc).placement;
 /// let measured = run_testbed(&sc, &placement, &TestbedConfig::default());
 /// assert_eq!(measured.fallbacks, 0);
+/// assert_eq!(measured.completed + measured.fallbacks, measured.issued);
 /// assert!(measured.mean > 0.0 && measured.max >= measured.mean);
 /// ```
 pub fn run_testbed(sc: &Scenario, placement: &Placement, cfg: &TestbedConfig) -> TestbedResult {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let users = sc.requests.len();
+    let horizon = cfg.epochs as f64 * cfg.epoch_secs;
 
-    // Static routes per request (recomputed per epoch job set is identical —
-    // the placement and request set do not change inside one testbed run).
-    let routes: Vec<Option<Vec<socl_net::NodeId>>> = sc
+    // Static DP routes per request — the dispatcher's nominal plan; under
+    // faults it deviates to the best alive replica.
+    let routes: Vec<Option<Vec<NodeId>>> = sc
         .requests
         .iter()
-        .map(|r| match optimal_route(r, placement, &sc.net, &sc.ap, &sc.catalog) {
-            RouteOutcome::Edge { route, .. } => Some(route),
-            RouteOutcome::CloudFallback => None,
-        })
+        .map(
+            |r| match optimal_route(r, placement, &sc.net, &sc.ap, &sc.catalog) {
+                RouteOutcome::Edge { route, .. } => Some(route),
+                RouteOutcome::CloudFallback => None,
+            },
+        )
         .collect();
 
     // Job list: one job per (epoch, user) with jittered arrival.
-    struct Job {
-        user: usize,
-        arrival: f64,
-        start: f64,
-    }
     let mut jobs: Vec<Job> = Vec::with_capacity(cfg.epochs * users);
     for e in 0..cfg.epochs {
         let base = e as f64 * cfg.epoch_secs;
@@ -160,70 +660,74 @@ pub fn run_testbed(sc: &Scenario, placement: &Placement, cfg: &TestbedConfig) ->
         }
     }
 
-    // Node CPU availability and per-instance warmth.
-    let mut node_free = vec![0.0f64; sc.nodes()];
-    let mut last_used = vec![f64::NEG_INFINITY; sc.services() * sc.nodes()];
-    let mut cold_starts = 0usize;
+    let timeline = FaultTimeline::build(&cfg.faults, sc.nodes());
 
-    let mut heap: BinaryHeap<Event> = BinaryHeap::new();
-    let mut per_request: Vec<Option<f64>> = vec![None; jobs.len()];
+    // All-pairs snapshots: rebuild the path metrics at every link-state
+    // change point (degradations compound until restored).
+    let mut aps: Vec<(f64, AllPairs)> = vec![(f64::NEG_INFINITY, sc.ap.clone())];
+    if !timeline.link_changes().is_empty() {
+        let mut factors: Vec<f64> = vec![1.0; sc.net.link_count()];
+        for &(t, link, change) in timeline.link_changes() {
+            if link >= factors.len() {
+                continue;
+            }
+            factors[link] = change.unwrap_or(1.0).max(1.0);
+            let mut net = socl_net::EdgeNetwork::new();
+            for k in sc.net.node_ids() {
+                net.push_server(sc.net.server(k).clone());
+            }
+            for (idx, l) in sc.net.links().iter().enumerate() {
+                let mut params = l.params;
+                params.bandwidth /= factors[idx];
+                net.add_link(l.a, l.b, params);
+            }
+            aps.push((t, AllPairs::compute(&net)));
+        }
+    }
+
+    let n_jobs = jobs.len();
+    let loss_count = timeline.losses().len();
+    let mut engine = Engine {
+        sc,
+        placement,
+        cfg,
+        timeline,
+        aps,
+        routes,
+        jobs,
+        heap: BinaryHeap::new(),
+        rng,
+        node_free: vec![0.0f64; sc.nodes()],
+        last_used: vec![f64::NEG_INFINITY; sc.services() * sc.nodes()],
+        loss_used: vec![false; loss_count],
+        outcome: vec![None; n_jobs],
+        frontier: vec![0usize; n_jobs],
+        per_request: vec![None; n_jobs],
+        cold_starts: 0,
+        retried: 0,
+        hedged: 0,
+        timeouts: 0,
+    };
+
+    // Seed dispatches: upload from each user's station to the first stage.
     let mut fallbacks = 0usize;
-
-    // Seed events: arrival + upload transfer to the first stage's node.
-    for (j, job) in jobs.iter_mut().enumerate() {
-        let req = &sc.requests[job.user];
-        match &routes[job.user] {
-            None => {
-                fallbacks += 1;
-                per_request[j] = None;
-            }
-            Some(route) => {
-                job.start = job.arrival;
-                let t_arrive = job.arrival + sc.ap.transfer_time(req.location, route[0], req.r_in);
-                heap.push(Event {
-                    time: t_arrive,
-                    job: j,
-                    stage: 0,
-                });
-            }
+    for j in 0..n_jobs {
+        let user = engine.jobs[j].user;
+        if engine.routes[user].is_none() {
+            fallbacks += 1;
+            engine.outcome[j] = Some(Outcome::Fallback);
+            continue;
         }
+        let arrival = engine.jobs[j].arrival;
+        engine.jobs[j].start = arrival;
+        let loc = sc.requests[user].location;
+        engine.dispatch(j, 0, loc, arrival, 0);
     }
 
-    // Event loop: chronological FIFO service at each node.
-    while let Some(Event { time, job, stage }) = heap.pop() {
-        let user = jobs[job].user;
-        let req = &sc.requests[user];
-        let route = routes[user].as_ref().expect("fallback jobs emit no events");
-        let node = route[stage];
-        let svc = req.chain[stage];
-
-        // Cold start if the instance went cold.
-        let warm_idx = svc.idx() * sc.nodes() + node.idx();
-        let mut service_time = sc.catalog.compute(svc) / sc.net.compute(node);
-        if time - last_used[warm_idx] > cfg.keep_warm {
-            service_time += cfg.cold_start;
-            cold_starts += 1;
-        }
-
-        let start = time.max(node_free[node.idx()]);
-        let done = start + service_time;
-        node_free[node.idx()] = done;
-        last_used[warm_idx] = done;
-
-        if stage + 1 < route.len() {
-            let t_next = done + sc.ap.transfer_time(node, route[stage + 1], req.edge_data[stage]);
-            heap.push(Event {
-                time: t_next,
-                job,
-                stage: stage + 1,
-            });
-        } else {
-            let finish = done + sc.ap.return_time(node, req.location, req.r_out);
-            per_request[job] = Some(finish - jobs[job].start);
-        }
-    }
+    engine.run();
 
     // Aggregate.
+    let per_request = engine.per_request;
     let mut per_epoch_mean = Vec::with_capacity(cfg.epochs);
     for e in 0..cfg.epochs {
         let slice = &per_request[e * users..(e + 1) * users];
@@ -242,19 +746,53 @@ pub fn run_testbed(sc: &Scenario, placement: &Placement, cfg: &TestbedConfig) ->
     };
     let max = served.iter().copied().fold(0.0, f64::max);
 
+    let mut completed = 0usize;
+    let mut degraded = 0usize;
+    let mut dropped = 0usize;
+    for out in engine.outcome.iter() {
+        match out {
+            Some(Outcome::Completed) => completed += 1,
+            Some(Outcome::Degraded) => degraded += 1,
+            Some(Outcome::Dropped) => dropped += 1,
+            Some(Outcome::Fallback) => {}
+            None => {
+                // Every dispatched request must resolve; a hole here would
+                // be an emulator bug. Surface it loudly in debug builds and
+                // fold it into `dropped` so accounting still conserves.
+                debug_assert!(false, "request left unresolved by the event loop");
+                dropped += 1;
+            }
+        }
+    }
+    let issued = n_jobs;
+
     TestbedResult {
         per_request,
         per_epoch_mean,
         mean,
         max,
-        cold_starts,
+        cold_starts: engine.cold_starts,
         fallbacks,
+        issued,
+        completed,
+        retried: engine.retried,
+        hedged: engine.hedged,
+        timeouts: engine.timeouts,
+        degraded,
+        dropped,
+        availability: if issued == 0 {
+            1.0
+        } else {
+            completed as f64 / issued as f64
+        },
+        mttr: engine.timeline.mttr(horizon),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{FaultEvent, FaultKind, FaultPlan, Targeting};
     use socl_core::SoclSolver;
     use socl_model::ScenarioConfig;
 
@@ -273,6 +811,9 @@ mod tests {
             assert!(*lat > 0.0);
         }
         assert!(res.max >= res.mean && res.mean > 0.0);
+        assert_eq!(res.completed, sc.users());
+        assert_eq!(res.availability, 1.0);
+        assert_eq!(res.mttr, 0.0);
     }
 
     #[test]
@@ -283,8 +824,12 @@ mod tests {
         let res = run_testbed(&sc, &placement, &TestbedConfig::default());
         // Unloaded DP latency is a lower bound on the queued latency.
         // (Same routes; the testbed adds waiting and cold starts.)
-        assert!(res.mean + 1e-9 >= ev.mean_latency() * 0.999,
-            "testbed mean {} below unloaded mean {}", res.mean, ev.mean_latency());
+        assert!(
+            res.mean + 1e-9 >= ev.mean_latency() * 0.999,
+            "testbed mean {} below unloaded mean {}",
+            res.mean,
+            ev.mean_latency()
+        );
     }
 
     #[test]
@@ -295,6 +840,10 @@ mod tests {
         assert_eq!(res.fallbacks, sc.users());
         assert!(res.per_request.iter().all(|r| r.is_none()));
         assert_eq!(res.mean, 0.0);
+        assert_eq!(
+            res.completed + res.degraded + res.dropped + res.fallbacks,
+            res.issued
+        );
     }
 
     #[test]
@@ -358,5 +907,235 @@ mod tests {
         let b = run_testbed(&sc, &placement, &cfg);
         assert_eq!(a.per_request, b.per_request);
         assert_eq!(a.cold_starts, b.cold_starts);
+    }
+
+    // ---- fault-injection behavior ---------------------------------------
+
+    /// A schedule crashing `node` over `[t0, t1)`.
+    fn crash(node: u32, t0: f64, t1: f64) -> FaultSchedule {
+        FaultSchedule::from_events(vec![
+            FaultEvent {
+                time: t0,
+                kind: FaultKind::NodeCrash(NodeId(node)),
+            },
+            FaultEvent {
+                time: t1,
+                kind: FaultKind::NodeRecover(NodeId(node)),
+            },
+        ])
+    }
+
+    #[test]
+    fn crash_without_retries_degrades_requests() {
+        let sc = scenario(8);
+        // Single-node pile-up: crashing node 0 takes every replica down.
+        let mut pile = Placement::empty(sc.services(), sc.nodes());
+        for m in sc.requested_services() {
+            pile.set(m, NodeId(0), true);
+        }
+        let cfg = TestbedConfig {
+            faults: crash(0, 0.0, 300.0),
+            ..TestbedConfig::default()
+        };
+        let res = run_testbed(&sc, &pile, &cfg);
+        assert_eq!(res.completed, 0, "node 0 was down the whole run");
+        assert_eq!(res.degraded + res.fallbacks, res.issued);
+        assert!(res.availability < 1.0);
+        assert!(res.mttr > 0.0);
+        // Degraded requests are charged the cloud penalty.
+        assert!(res.effective_mean(sc.cloud_penalty) > 0.0);
+    }
+
+    #[test]
+    fn no_degrade_means_dropped() {
+        let sc = scenario(8);
+        let mut pile = Placement::empty(sc.services(), sc.nodes());
+        for m in sc.requested_services() {
+            pile.set(m, NodeId(0), true);
+        }
+        let cfg = TestbedConfig {
+            faults: crash(0, 0.0, 300.0),
+            degrade_to_cloud: false,
+            ..TestbedConfig::default()
+        };
+        let res = run_testbed(&sc, &pile, &cfg);
+        assert_eq!(res.degraded, 0);
+        assert_eq!(res.dropped + res.fallbacks, res.issued);
+    }
+
+    #[test]
+    fn retries_reroute_around_a_crashed_node() {
+        let sc = scenario(9);
+        // Full placement: every node hosts every service, so a single crash
+        // always leaves alive replicas for the dispatcher to fall over to.
+        let placement = Placement::full(sc.services(), sc.nodes());
+        let cfg = TestbedConfig {
+            faults: crash(0, 0.0, 400.0),
+            retry: RetryPolicy {
+                max_retries: 3,
+                ..RetryPolicy::default()
+            },
+            ..TestbedConfig::default()
+        };
+        let res = run_testbed(&sc, &placement, &cfg);
+        assert_eq!(
+            res.completed + res.fallbacks,
+            res.issued,
+            "with replicas everywhere and retries on, nothing degrades: {res:?}"
+        );
+        assert_eq!(res.degraded + res.dropped, 0);
+    }
+
+    #[test]
+    fn faulted_run_is_deterministic_and_conserves_requests() {
+        let sc = scenario(10);
+        let placement = SoclSolver::new().solve(&sc).placement;
+        let plan = FaultPlan::moderate(300.0).with_targeting(Targeting::Critical);
+        let cfg = TestbedConfig {
+            faults: plan.generate(&sc.net, &placement, sc.users(), 5),
+            retry: RetryPolicy {
+                max_retries: 2,
+                timeout: 60.0,
+                ..RetryPolicy::default()
+            },
+            ..TestbedConfig::default()
+        };
+        let a = run_testbed(&sc, &placement, &cfg);
+        let b = run_testbed(&sc, &placement, &cfg);
+        assert_eq!(a, b, "same seed + schedule must reproduce exactly");
+        assert_eq!(a.completed + a.degraded + a.dropped + a.fallbacks, a.issued);
+    }
+
+    #[test]
+    fn hedging_commits_duplicates_when_the_primary_is_slow() {
+        let sc = scenario(11);
+        let placement = Placement::full(sc.services(), sc.nodes());
+        // An aggressive hedge threshold forces duplicates: any stage slower
+        // than a microsecond hedges, and the backup replica often wins on a
+        // full placement.
+        let cfg = TestbedConfig {
+            retry: RetryPolicy {
+                hedge_after: Some(1e-6),
+                ..RetryPolicy::default()
+            },
+            ..TestbedConfig::default()
+        };
+        let res = run_testbed(&sc, &placement, &cfg);
+        assert!(res.hedged > 0, "expected hedged duplicates, got {res:?}");
+        assert_eq!(res.completed + res.fallbacks, res.issued);
+    }
+
+    #[test]
+    fn tight_timeouts_count_and_still_conserve() {
+        let sc = scenario(12);
+        let placement = SoclSolver::new().solve(&sc).placement;
+        let cfg = TestbedConfig {
+            retry: RetryPolicy {
+                timeout: 1e-4, // unmeetable: every attempt times out
+                max_retries: 1,
+                ..RetryPolicy::default()
+            },
+            ..TestbedConfig::default()
+        };
+        let res = run_testbed(&sc, &placement, &cfg);
+        assert!(res.timeouts > 0);
+        assert!(res.retried > 0);
+        assert_eq!(
+            res.completed + res.degraded + res.dropped + res.fallbacks,
+            res.issued
+        );
+    }
+
+    #[test]
+    fn link_degradation_slows_transfers() {
+        let sc = scenario(13);
+        let placement = SoclSolver::new().solve(&sc).placement;
+        let mut events = Vec::new();
+        for link in 0..sc.net.link_count() {
+            events.push(FaultEvent {
+                time: 0.0,
+                kind: FaultKind::LinkDegrade { link, factor: 50.0 },
+            });
+        }
+        let cfg = TestbedConfig {
+            faults: FaultSchedule::from_events(events),
+            ..TestbedConfig::default()
+        };
+        let slow = run_testbed(&sc, &placement, &cfg);
+        let fast = run_testbed(&sc, &placement, &TestbedConfig::default());
+        assert!(
+            slow.mean > fast.mean,
+            "degraded links ({}) should beat nominal ({})",
+            slow.mean,
+            fast.mean
+        );
+    }
+
+    #[test]
+    fn instance_kills_cause_extra_cold_starts() {
+        let sc = scenario(14);
+        let placement = SoclSolver::new().solve(&sc).placement;
+        let baseline = run_testbed(&sc, &placement, &TestbedConfig::default());
+        let mut events = Vec::new();
+        for (m, k) in placement.iter_deployed() {
+            events.push(FaultEvent {
+                time: 150.0,
+                kind: FaultKind::InstanceKill {
+                    service: m,
+                    node: k,
+                },
+            });
+        }
+        let cfg = TestbedConfig {
+            faults: FaultSchedule::from_events(events),
+            ..TestbedConfig::default()
+        };
+        let killed = run_testbed(&sc, &placement, &cfg);
+        assert!(
+            killed.cold_starts > baseline.cold_starts,
+            "cold-kills should add cold starts ({} vs {})",
+            killed.cold_starts,
+            baseline.cold_starts
+        );
+    }
+
+    #[test]
+    fn request_loss_is_retried_or_degraded() {
+        let sc = scenario(15);
+        let placement = SoclSolver::new().solve(&sc).placement;
+        // Lose every user's first transfer window; without retries those
+        // requests degrade, with retries they recover.
+        let events: Vec<FaultEvent> = (0..sc.users())
+            .map(|u| FaultEvent {
+                time: 150.0,
+                kind: FaultKind::RequestLoss { user: u },
+            })
+            .collect();
+        let faults = FaultSchedule::from_events(events);
+        let no_retry = run_testbed(
+            &sc,
+            &placement,
+            &TestbedConfig {
+                faults: faults.clone(),
+                ..TestbedConfig::default()
+            },
+        );
+        let with_retry = run_testbed(
+            &sc,
+            &placement,
+            &TestbedConfig {
+                faults,
+                retry: RetryPolicy {
+                    max_retries: 2,
+                    ..RetryPolicy::default()
+                },
+                ..TestbedConfig::default()
+            },
+        );
+        assert!(with_retry.completed >= no_retry.completed);
+        assert_eq!(
+            with_retry.completed + with_retry.degraded + with_retry.fallbacks,
+            with_retry.issued
+        );
     }
 }

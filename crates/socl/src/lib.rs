@@ -36,25 +36,29 @@ pub use socl_trace as trace;
 /// One-stop imports for applications and examples.
 pub mod prelude {
     pub use socl_baselines::{gc_og, jdr, random_provisioning, BaselineResult};
-    pub use socl_core::{SoclConfig, SoclResult, SoclSolver, StoragePolicy};
+    pub use socl_core::{
+        placement_churn, repair_placement, RepairReport, SoclConfig, SoclResult, SoclSolver,
+        StoragePolicy, WarmSlotResult, WarmStartSolver,
+    };
     pub use socl_ilp::{solve_exact, solve_ilp, ExactOptions, ExactSolution};
     pub use socl_milp::{solve_milp, MilpOptions, Model, Relation, VarKind};
     pub use socl_model::{
-        link_loads, route_all_contention_aware, ContentionReport, LinkLoads, SockShopDataset,
-        TrainTicketDataset,
-        evaluate, optimal_route, Assignment, EshopDataset, Evaluation, Microservice, Placement,
-        RequestConfig, Scenario, ScenarioConfig, ServiceCatalog, ServiceId, UserId, UserRequest,
+        evaluate, link_loads, optimal_route, route_all_contention_aware, Assignment,
+        ContentionReport, EshopDataset, Evaluation, LinkLoads, Microservice, Placement,
+        RequestConfig, Scenario, ScenarioConfig, ServiceCatalog, ServiceId, SockShopDataset,
+        TrainTicketDataset, UserId, UserRequest,
     };
     pub use socl_net::{
         AllPairs, EdgeNetwork, EdgeServer, LinkParams, NodeId, PathMetric, ShortestPaths,
         TopologyConfig, TopologyKind,
     };
     pub use socl_sim::{
-        run_testbed, MobilityModel, OnlineConfig, OnlineSimulator, Policy, SlotRecord,
+        run_testbed, FaultEvent, FaultKind, FaultPlan, FaultSchedule, FaultStats, FaultTimeline,
+        MobilityModel, OnlineConfig, OnlineSimulator, Policy, RetryPolicy, SlotRecord, Targeting,
         TestbedConfig, TestbedResult,
     };
     pub use socl_trace::{
-        cosine_similarity, jaccard_similarity, similarity_matrix, TemporalConfig,
-        TemporalWorkload, TraceConfig, TraceGenerator,
+        cosine_similarity, jaccard_similarity, similarity_matrix, TemporalConfig, TemporalWorkload,
+        TraceConfig, TraceGenerator,
     };
 }

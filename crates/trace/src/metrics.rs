@@ -95,7 +95,9 @@ mod tests {
     #[test]
     fn acf_detects_periodicity() {
         // Period-4 square wave: ACF at lag 4 ≈ 1, at lag 2 strongly negative.
-        let s: Vec<f64> = (0..40).map(|i| if (i / 2) % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let s: Vec<f64> = (0..40)
+            .map(|i| if (i / 2) % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(autocorrelation(&s, 4) > 0.8);
         assert!(autocorrelation(&s, 2) < -0.5);
         assert_eq!(dominant_period(&s, 6), Some(4));

@@ -138,7 +138,10 @@ mod tests {
             .map(|(_, &v)| v)
             .fold(f64::INFINITY, f64::min);
         let hi = offdiag_max(&mu, 10);
-        assert!(hi - lo > 0.2, "service similarities not heterogeneous: [{lo}, {hi}]");
+        assert!(
+            hi - lo > 0.2,
+            "service similarities not heterogeneous: [{lo}, {hi}]"
+        );
     }
 
     #[test]

@@ -171,6 +171,6 @@ mod tests {
         assert!(counts.iter().all(|&c| (10..=60).contains(&c)));
         // The clamp must actually bind at the top for the default config
         // (peaks exceed 60 requests).
-        assert!(counts.iter().any(|&c| c == 60));
+        assert!(counts.contains(&60));
     }
 }

@@ -78,7 +78,12 @@ fn assignment_uniqueness_and_consistency() {
         .consistent_with(&res.placement, &sc.requests));
     for (h, req) in sc.requests.iter().enumerate() {
         let route = res.evaluation.assignment.route(h).expect("edge-served");
-        assert_eq!(route.len(), req.chain.len(), "Eq. 9 violated for {}", req.id);
+        assert_eq!(
+            route.len(),
+            req.chain.len(),
+            "Eq. 9 violated for {}",
+            req.id
+        );
     }
 }
 

@@ -37,7 +37,10 @@ fn socl_runs_on_every_embedded_dataset() {
         let res = SoclSolver::new().solve(&sc);
         assert_eq!(res.evaluation.cloud_fallbacks, 0, "{name}");
         assert!(res.evaluation.cost <= sc.budget + 1e-6, "{name}");
-        assert!(res.placement.storage_feasible(&sc.catalog, &sc.net), "{name}");
+        assert!(
+            res.placement.storage_feasible(&sc.catalog, &sc.net),
+            "{name}"
+        );
     }
 }
 
@@ -120,5 +123,8 @@ fn warm_start_tracks_a_drifting_system() {
     // The drifting system forces some churn but the warm start keeps it far
     // below a full redeploy per slot (placements have ~15 instances; 4
     // transitions × 2·15 would be a full swap every slot).
-    assert!(total_churn < 4 * 30, "churn {total_churn} looks like full redeploys");
+    assert!(
+        total_churn < 4 * 30,
+        "churn {total_churn} looks like full redeploys"
+    );
 }
