@@ -1,0 +1,290 @@
+//! HOTPATH — serial vs parallel vs incremental wall-clock trajectory.
+//!
+//! Measures the three hot-path engines on the paper's topology generator:
+//!
+//! * **APSP construction** — `AllPairs::compute_serial` vs the fan-out over
+//!   sources (`compute_with_threads`) at V ∈ {50, 100, 200},
+//! * **incremental invalidation** — post-fault recompute through
+//!   [`ApspCache`] vs a from-scratch rebuild (single-link degradations,
+//!   averaged over faults spread across the topology),
+//! * **routing-DP evaluation** — `evaluate` with 1 thread vs the worker
+//!   pool, at V ∈ {50, 100, 200} × chains ∈ {10, 50}.
+//!
+//! Every measured pair is also cross-checked for bit-identical output, so
+//! the bench doubles as an end-to-end determinism smoke test.
+//!
+//! ```sh
+//! cargo run --release -p socl-bench --bin hotpath                # measure + write BENCH_hotpath.json
+//! cargo run --release -p socl-bench --bin hotpath -- --check     # compare against committed JSON
+//! ```
+//!
+//! `--check` re-measures and fails (exit 1) when a summary speedup regressed
+//! by more than 25% relative to the committed baseline. Speedups are
+//! machine-relative ratios, so the check is meaningful across runners — but
+//! it is skipped (with a note) when the core count differs from the
+//! baseline's, because parallel speedup scales with cores.
+
+use socl::prelude::*;
+use std::time::Instant;
+
+const BASELINE: &str = "BENCH_hotpath.json";
+const SIZES: [usize; 3] = [50, 100, 200];
+const CHAINS: [usize; 2] = [10, 50];
+const THREADS: usize = 4;
+const REPS: usize = 3;
+
+fn best_ms<R>(mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        out = Some(r);
+    }
+    (best, out.unwrap())
+}
+
+struct ApspPoint {
+    nodes: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+    incremental_ms: f64,
+    rebuild_ms: f64,
+}
+
+struct RoutingPoint {
+    nodes: usize,
+    chains: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+}
+
+fn bench_apsp(nodes: usize) -> ApspPoint {
+    let net = TopologyConfig::paper(nodes).build(7);
+    let (serial_ms, serial) = best_ms(|| AllPairs::compute_serial(&net));
+    let (parallel_ms, parallel) = best_ms(|| AllPairs::compute_with_threads(&net, THREADS));
+    assert!(parallel.identical(&serial), "parallel APSP diverged");
+
+    // Incremental: degrade + restore faults spread across the link set,
+    // timed through the cache; the rebuild reference recomputes everything.
+    let mut cache = ApspCache::new(&net);
+    let faults = 8.min(net.link_count());
+    let mut incremental_total = 0.0;
+    for f in 0..faults {
+        let idx = f * net.link_count() / faults;
+        let base = cache.base_rate(idx);
+        let t = Instant::now();
+        cache.set_link_rate(idx, base * 0.3);
+        incremental_total += t.elapsed().as_secs_f64() * 1e3;
+        let t = Instant::now();
+        cache.set_link_rate(idx, base);
+        incremental_total += t.elapsed().as_secs_f64() * 1e3;
+    }
+    let incremental_ms = incremental_total / (2 * faults) as f64;
+    cache.set_link_rate(0, cache.base_rate(0) * 0.3);
+    let (rebuild_ms, rebuilt) = best_ms(|| AllPairs::compute_serial(cache.network()));
+    assert!(
+        cache.all_pairs().identical(&rebuilt),
+        "incremental APSP diverged"
+    );
+
+    ApspPoint {
+        nodes,
+        serial_ms,
+        parallel_ms,
+        incremental_ms,
+        rebuild_ms,
+    }
+}
+
+fn bench_routing(nodes: usize, chains: usize) -> RoutingPoint {
+    let sc = ScenarioConfig::paper(nodes, chains).build(9);
+    let placement = Placement::full(sc.services(), sc.nodes());
+    set_threads(1);
+    let (serial_ms, serial) = best_ms(|| evaluate(&sc, &placement));
+    set_threads(THREADS);
+    let (parallel_ms, parallel) = best_ms(|| evaluate(&sc, &placement));
+    set_threads(0);
+    assert_eq!(
+        serial.objective.to_bits(),
+        parallel.objective.to_bits(),
+        "parallel evaluation diverged"
+    );
+    RoutingPoint {
+        nodes,
+        chains,
+        serial_ms,
+        parallel_ms,
+    }
+}
+
+fn render_json(cores: usize, apsp: &[ApspPoint], routing: &[RoutingPoint]) -> String {
+    let apsp_entries: Vec<String> = apsp
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"nodes\": {}, \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \
+                 \"parallel_speedup\": {:.3}, \"incremental_ms\": {:.4}, \
+                 \"rebuild_ms\": {:.3}, \"incremental_speedup\": {:.3}}}",
+                p.nodes,
+                p.serial_ms,
+                p.parallel_ms,
+                p.serial_ms / p.parallel_ms,
+                p.incremental_ms,
+                p.rebuild_ms,
+                p.rebuild_ms / p.incremental_ms
+            )
+        })
+        .collect();
+    let routing_entries: Vec<String> = routing
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"nodes\": {}, \"chains\": {}, \"serial_ms\": {:.3}, \
+                 \"parallel_ms\": {:.3}, \"parallel_speedup\": {:.3}}}",
+                p.nodes,
+                p.chains,
+                p.serial_ms,
+                p.parallel_ms,
+                p.serial_ms / p.parallel_ms
+            )
+        })
+        .collect();
+    let largest = apsp.last().expect("apsp matrix is non-empty");
+    let inc_min = apsp
+        .iter()
+        .map(|p| p.rebuild_ms / p.incremental_ms)
+        .fold(f64::INFINITY, f64::min);
+    let routing_largest = routing.last().expect("routing matrix is non-empty");
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"hotpath\",\n");
+    out.push_str(&format!("  \"cores\": {cores},\n"));
+    out.push_str(&format!("  \"threads\": {THREADS},\n"));
+    out.push_str(&format!(
+        "  \"apsp\": [\n{}\n  ],\n",
+        apsp_entries.join(",\n")
+    ));
+    out.push_str(&format!(
+        "  \"routing\": [\n{}\n  ],\n",
+        routing_entries.join(",\n")
+    ));
+    out.push_str("  \"summary\": {\n");
+    out.push_str(&format!(
+        "    \"apsp_parallel_speedup_largest\": {:.3},\n",
+        largest.serial_ms / largest.parallel_ms
+    ));
+    out.push_str(&format!(
+        "    \"apsp_incremental_speedup_min\": {inc_min:.3},\n"
+    ));
+    out.push_str(&format!(
+        "    \"routing_parallel_speedup_largest\": {:.3}\n",
+        routing_largest.serial_ms / routing_largest.parallel_ms
+    ));
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Extract the number following `"key":` in a flat JSON text.
+fn find_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn measure() -> (usize, Vec<ApspPoint>, Vec<RoutingPoint>) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("# HOTPATH: serial vs parallel vs incremental ({cores} cores, {THREADS} threads)");
+    println!("section,nodes,chains,serial_ms,parallel_ms,speedup,incremental_ms,rebuild_ms,incremental_speedup");
+    let mut apsp = Vec::new();
+    for &v in &SIZES {
+        let p = bench_apsp(v);
+        println!(
+            "apsp,{v},,{:.3},{:.3},{:.3},{:.4},{:.3},{:.3}",
+            p.serial_ms,
+            p.parallel_ms,
+            p.serial_ms / p.parallel_ms,
+            p.incremental_ms,
+            p.rebuild_ms,
+            p.rebuild_ms / p.incremental_ms
+        );
+        apsp.push(p);
+    }
+    let mut routing = Vec::new();
+    for &v in &SIZES {
+        for &c in &CHAINS {
+            let p = bench_routing(v, c);
+            println!(
+                "routing,{v},{c},{:.3},{:.3},{:.3},,,",
+                p.serial_ms,
+                p.parallel_ms,
+                p.serial_ms / p.parallel_ms
+            );
+            routing.push(p);
+        }
+    }
+    (cores, apsp, routing)
+}
+
+fn check(baseline_path: &str) -> i32 {
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            return 1;
+        }
+    };
+    let (cores, apsp, routing) = measure();
+    let current = render_json(cores, &apsp, &routing);
+    let baseline_cores = find_number(&baseline, "cores").unwrap_or(0.0) as usize;
+    if baseline_cores != cores {
+        println!(
+            "check: baseline ran on {baseline_cores} cores, this machine has {cores} — \
+             parallel speedups are not comparable, skipping enforcement"
+        );
+        return 0;
+    }
+    let mut failed = false;
+    for key in [
+        "apsp_parallel_speedup_largest",
+        "apsp_incremental_speedup_min",
+        "routing_parallel_speedup_largest",
+    ] {
+        let (Some(base), Some(now)) = (find_number(&baseline, key), find_number(&current, key))
+        else {
+            eprintln!("check: key {key} missing from baseline or current run");
+            failed = true;
+            continue;
+        };
+        let floor = base * 0.75;
+        let ok = now >= floor;
+        println!(
+            "check: {key} baseline {base:.3} current {now:.3} floor {floor:.3} -> {}",
+            if ok { "ok" } else { "REGRESSED" }
+        );
+        failed |= !ok;
+    }
+    i32::from(failed)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--check") {
+        let path = args
+            .iter()
+            .position(|a| a == "--check")
+            .and_then(|i| args.get(i + 1))
+            .filter(|a| !a.starts_with('-'))
+            .map_or(BASELINE, String::as_str);
+        std::process::exit(check(path));
+    }
+    let (cores, apsp, routing) = measure();
+    let json = render_json(cores, &apsp, &routing);
+    std::fs::write(BASELINE, &json).expect("write BENCH_hotpath.json");
+    println!("wrote {BASELINE}");
+}

@@ -25,6 +25,10 @@ USAGE:
   socl export   [--nodes N] [--users U] [--seed S] [--solve]
   socl help
 
+Global flags (any command):
+  --threads N   worker threads for the parallel hot paths (0 = auto, 1 = serial;
+                output is identical for every thread count)
+
 Defaults follow the paper's setup: 10 nodes, 40 users, budget 6000, λ=0.5.
 `export` prints a scenario snapshot as JSON to stdout (add --solve to append
 the SoCL placement snapshot).";

@@ -16,6 +16,10 @@
 //!               [--schedule targeted|noncritical|random]
 //! ```
 //!
+//! Every command additionally accepts the global `--threads N` flag, which
+//! sizes the worker pool of the parallel hot paths (0 = auto-detect, 1 =
+//! fully serial). Results are identical for every thread count.
+//!
 //! Argument parsing is hand-rolled (`--key value` pairs) to keep the binary
 //! dependency-free; see [`args::Args`].
 
@@ -43,6 +47,15 @@ fn run(argv: &[String]) -> i32 {
             return 2;
         }
     };
+    // Global flag: worker threads for the parallel hot paths (0 = auto).
+    match args.get::<usize>("threads", 0) {
+        Ok(threads) => socl::net::set_threads(threads),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::USAGE);
+            return 2;
+        }
+    }
     let result = match command.as_str() {
         "solve" => commands::solve(&args),
         "compare" => commands::compare(&args),
@@ -103,5 +116,25 @@ mod tests {
     #[test]
     fn bad_flag_value_rejected() {
         assert_eq!(run(&s(&["solve", "--nodes", "banana"])), 2);
+    }
+
+    #[test]
+    fn threads_flag_is_accepted_and_validated() {
+        assert_eq!(
+            run(&s(&[
+                "solve",
+                "--nodes",
+                "5",
+                "--users",
+                "8",
+                "--seed",
+                "1",
+                "--threads",
+                "2"
+            ])),
+            0
+        );
+        assert_eq!(run(&s(&["solve", "--threads", "lots"])), 2);
+        socl::net::set_threads(0);
     }
 }

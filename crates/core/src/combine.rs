@@ -8,8 +8,8 @@
 //! completion-time increase is the latency loss `ζ_{i,k}` (Definition 8).
 //!
 //! * **Large-scale (parallel) descent** — while the budget (Eq. 5) is
-//!   violated, evaluate `ζ` for every combinable instance (in parallel via
-//!   rayon), take the `ω`-fraction with the smallest losses, drop the
+//!   violated, evaluate `ζ` for every combinable instance (fanned out over
+//!   the thread pool), take the `ω`-fraction with the smallest losses, drop the
 //!   dependency-conflicted ones (keeping the smaller `ζ` of each conflicted
 //!   pair), and combine the whole batch at once.
 //! * **Small-scale (serial) descent** — combine one minimum-`ζ` instance at
@@ -25,7 +25,6 @@
 use crate::config::{SoclConfig, StoragePolicy};
 use crate::fuzzy::{order_factor, rho_scores, RhoCriteria};
 use crate::partition::ServicePartitions;
-use rayon::prelude::*;
 use socl_model::{evaluate, Placement, Scenario, ServiceId};
 use socl_net::NodeId;
 
@@ -275,8 +274,9 @@ impl<'a> Combiner<'a> {
             };
             (z, m, k)
         };
+        // Order-preserving fan-out: identical output for any thread count.
         let mut losses: Vec<(f64, ServiceId, NodeId)> = if self.cfg.parallel {
-            instances.par_iter().map(loss).collect()
+            socl_net::par::par_map(&instances, loss)
         } else {
             instances.iter().map(loss).collect()
         };
@@ -514,8 +514,12 @@ impl<'a> Combiner<'a> {
                 a.0.total_cmp(&b.0)
                     .then((a.1, a.2, a.3).cmp(&(b.1, b.2, b.3)))
             };
+            // min_by over the order-preserved fan-out ties exactly like the
+            // serial scan (by_delta is a total order over the move tuple).
             let best = if self.cfg.parallel {
-                moves.par_iter().map(score).min_by(by_delta)
+                socl_net::par::par_map(&moves, score)
+                    .into_iter()
+                    .min_by(|a, b| by_delta(a, b))
             } else {
                 moves.iter().map(score).min_by(by_delta)
             };

@@ -23,11 +23,11 @@
 
 use crate::combine::Combiner;
 use crate::config::SoclConfig;
-use crate::partition::initial_partition;
+use crate::partition::initial_partition_cached;
 use crate::pipeline::{SoclResult, SoclSolver};
 use crate::preprovision::preprovision;
 use socl_model::{evaluate, Placement, Scenario, ServiceId};
-use socl_net::NodeId;
+use socl_net::{NodeId, VgCache};
 
 /// Number of (service, node) cells that differ between two placements.
 ///
@@ -193,12 +193,15 @@ pub fn repair_placement(scenario: &Scenario, broken: &Placement) -> RepairReport
     }
 }
 
-/// A slot-to-slot solver that remembers the previous placement.
+/// A slot-to-slot solver that remembers the previous placement and memoizes
+/// virtual-graph builds across slots (the memo self-invalidates when the
+/// substrate fingerprint changes, so crashes and degradations stay correct).
 #[derive(Debug, Clone)]
 pub struct WarmStartSolver {
     /// SoCL configuration used for each slot.
     pub config: SoclConfig,
     previous: Option<Placement>,
+    vg_cache: VgCache,
 }
 
 /// Result of one warm slot: the SoCL result plus churn relative to the
@@ -217,12 +220,19 @@ impl WarmStartSolver {
         Self {
             config,
             previous: None,
+            vg_cache: VgCache::new(),
         }
     }
 
     /// Discard the remembered placement (e.g. after a topology change).
+    /// The virtual-graph memo is generation-keyed and needs no flush.
     pub fn reset(&mut self) {
         self.previous = None;
+    }
+
+    /// The cross-slot virtual-graph memo (hit/miss counters for telemetry).
+    pub fn vg_cache(&self) -> &VgCache {
+        &self.vg_cache
     }
 
     /// Solve one slot. The previous slot's surviving instances are unioned
@@ -230,9 +240,10 @@ impl WarmStartSolver {
     /// prefers combining *fresh* duplicates over tearing down warm
     /// instances; the final churn is reported alongside the result.
     pub fn solve_slot(&mut self, scenario: &Scenario) -> WarmSlotResult {
-        let result = match &self.previous {
-            None => SoclSolver::with_config(self.config.clone()).solve(scenario),
-            Some(prev) => self.solve_warm(scenario, prev.clone()),
+        let result = match self.previous.clone() {
+            None => SoclSolver::with_config(self.config.clone())
+                .solve_with_vg_cache(scenario, &mut self.vg_cache),
+            Some(prev) => self.solve_warm(scenario, prev),
         };
         let churn = self
             .previous
@@ -243,10 +254,10 @@ impl WarmStartSolver {
         WarmSlotResult { result, churn }
     }
 
-    fn solve_warm(&self, scenario: &Scenario, previous: Placement) -> SoclResult {
+    fn solve_warm(&mut self, scenario: &Scenario, previous: Placement) -> SoclResult {
         let mut timings = crate::pipeline::StageTimings::default();
         let t = std::time::Instant::now();
-        let partitions = initial_partition(scenario, &self.config);
+        let partitions = initial_partition_cached(scenario, &self.config, &mut self.vg_cache);
         timings.partition = t.elapsed();
 
         let t = std::time::Instant::now();
@@ -376,6 +387,34 @@ mod tests {
             w2.result.objective()
         );
         assert_eq!(w1.churn, 0);
+    }
+
+    #[test]
+    fn warm_slots_reuse_virtual_graph_builds() {
+        let sc = slot_scenario(13);
+        let mut solver = WarmStartSolver::new(cfg());
+        let _ = solver.solve_slot(&sc);
+        let builds = solver.vg_cache().misses();
+        assert!(builds > 0);
+        let _ = solver.solve_slot(&sc);
+        // Same topology and hosting sets: the second slot builds no G′.
+        assert_eq!(
+            solver.vg_cache().misses(),
+            builds,
+            "warm slot rebuilt virtual graphs"
+        );
+        assert!(solver.vg_cache().hits() >= builds);
+        // A topology change invalidates the memo rather than serving stale
+        // graphs: degrade one link and solve again.
+        let mut degraded = sc.clone();
+        let rate = degraded.net.links()[0].rate();
+        degraded.net.override_link_rate(0, rate * 0.25);
+        degraded.ap = socl_net::AllPairs::compute(&degraded.net);
+        let _ = solver.solve_slot(&degraded);
+        assert!(
+            solver.vg_cache().misses() > builds,
+            "memo served stale graphs across a topology change"
+        );
     }
 
     #[test]

@@ -16,9 +16,9 @@
 //!    lines 8–14 of Algorithm 1 prescribe.
 
 use crate::config::SoclConfig;
-use rayon::prelude::*;
 use socl_model::{Scenario, ServiceId};
-use socl_net::{communication_intensity, NodeId, Partition, VirtualGraph};
+use socl_net::{communication_intensity, NodeId, Partition, VgCache, VirtualGraph};
+use std::sync::Arc;
 
 /// The output of stage 1: partitions per requested service.
 #[derive(Debug, Clone)]
@@ -118,6 +118,21 @@ fn admit_candidates(
 
 /// Run Algorithm 1 for every requested service.
 pub fn initial_partition(sc: &Scenario, cfg: &SoclConfig) -> ServicePartitions {
+    initial_partition_cached(sc, cfg, &mut VgCache::new())
+}
+
+/// [`initial_partition`] with a caller-owned virtual-graph memo.
+///
+/// The virtual graph `G′(m_i)` depends only on the substrate and the hosting
+/// set `V(m_i)`, so services sharing a hosting set — and, across slots, any
+/// service whose hosting set and topology did not change — share one build.
+/// The memo is keyed by [`EdgeNetwork::fingerprint`](socl_net::EdgeNetwork::fingerprint),
+/// so a topology change (crash, degradation, repair) invalidates it wholesale.
+pub fn initial_partition_cached(
+    sc: &Scenario,
+    cfg: &SoclConfig,
+    vg_cache: &mut VgCache,
+) -> ServicePartitions {
     cfg.validate();
     let services = sc.requested_services();
     // Communication intensity χ per node, shared across services.
@@ -127,22 +142,34 @@ pub fn initial_partition(sc: &Scenario, cfg: &SoclConfig) -> ServicePartitions {
         .map(|k| communication_intensity(&sc.ap, k))
         .collect();
 
-    let run_one = |&service: &ServiceId| -> (ServiceId, Vec<Partition>, usize) {
-        let hosts = sc.request_nodes(service);
-        let vg = VirtualGraph::build(&hosts, &sc.ap);
+    // Resolve every service's virtual graph up front, through the memo.
+    let generation = sc.net.fingerprint();
+    let prepared: Vec<(ServiceId, Vec<NodeId>, Arc<VirtualGraph>)> = services
+        .iter()
+        .map(|&service| {
+            let hosts = sc.request_nodes(service);
+            let vg = vg_cache.get(generation, &hosts, &sc.ap);
+            (service, hosts, vg)
+        })
+        .collect();
+
+    type Prepared = (ServiceId, Vec<NodeId>, Arc<VirtualGraph>);
+    let run_one = |(service, hosts, vg): &Prepared| -> (ServiceId, Vec<Partition>, usize) {
         let mut partitions = vg.partition(cfg.xi);
         let outside: Vec<NodeId> = sc.net.node_ids().filter(|k| !hosts.contains(k)).collect();
         let mut added = 0;
         for p in &mut partitions {
-            added += admit_candidates(sc, service, p, &outside, &chi, cfg.candidate_filter);
+            added += admit_candidates(sc, *service, p, &outside, &chi, cfg.candidate_filter);
         }
-        (service, partitions, added)
+        (*service, partitions, added)
     };
 
+    // Services are independent; fan out over the thread pool when enabled.
+    // par_map reassembles in service order, so output is identical to serial.
     let results: Vec<(ServiceId, Vec<Partition>, usize)> = if cfg.parallel {
-        services.par_iter().map(run_one).collect()
+        socl_net::par::par_map(&prepared, run_one)
     } else {
-        services.iter().map(run_one).collect()
+        prepared.iter().map(run_one).collect()
     };
 
     let candidates_added = results.iter().map(|(_, _, a)| a).sum();
@@ -296,6 +323,23 @@ mod tests {
             }
         }
         assert_eq!(parts.group_of(ServiceId(0), NodeId(999)), None);
+    }
+
+    #[test]
+    fn vg_memo_is_transparent_and_reused_across_calls() {
+        let sc = scenario(8);
+        let cold = initial_partition(&sc, &cfg());
+        let mut cache = VgCache::new();
+        let first = initial_partition_cached(&sc, &cfg(), &mut cache);
+        let builds = cache.misses();
+        assert!(builds > 0);
+        let second = initial_partition_cached(&sc, &cfg(), &mut cache);
+        // Unchanged topology and hosting sets: the second call builds nothing.
+        assert_eq!(cache.misses(), builds, "memo missed on identical input");
+        assert!(cache.hits() >= builds);
+        // The memo never changes the output.
+        assert_eq!(cold.per_service, first.per_service);
+        assert_eq!(first.per_service, second.per_service);
     }
 
     #[test]

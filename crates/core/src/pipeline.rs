@@ -3,9 +3,10 @@
 
 use crate::combine::{CombineStats, Combiner};
 use crate::config::SoclConfig;
-use crate::partition::{initial_partition, ServicePartitions};
+use crate::partition::{initial_partition_cached, ServicePartitions};
 use crate::preprovision::{preprovision, PreProvisioning};
 use socl_model::{evaluate, Evaluation, Placement, Scenario};
+use socl_net::VgCache;
 use std::time::{Duration, Instant};
 
 /// Wall-clock time spent in each stage.
@@ -81,10 +82,18 @@ impl SoclSolver {
 
     /// Run the three stages on `scenario`.
     pub fn solve(&self, scenario: &Scenario) -> SoclResult {
+        self.solve_with_vg_cache(scenario, &mut VgCache::new())
+    }
+
+    /// Like [`solve`](Self::solve), but stage 1 resolves virtual graphs
+    /// through a caller-owned memo. Callers that solve a sequence of related
+    /// scenarios (the online layers) keep one [`VgCache`] alive so slots with
+    /// unchanged topology and hosting sets skip the `G′(m_i)` rebuilds.
+    pub fn solve_with_vg_cache(&self, scenario: &Scenario, vg_cache: &mut VgCache) -> SoclResult {
         let mut timings = StageTimings::default();
 
         let t = Instant::now();
-        let partitions = initial_partition(scenario, &self.config);
+        let partitions = initial_partition_cached(scenario, &self.config, vg_cache);
         timings.partition = t.elapsed();
 
         let t = Instant::now();

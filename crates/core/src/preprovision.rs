@@ -92,7 +92,30 @@ pub fn preprovision(sc: &Scenario, parts: &ServicePartitions, cfg: &SoclConfig) 
     let mut bounds = Vec::with_capacity(parts.per_service.len());
     let mut used = vec![0.0f64; sc.nodes()];
 
-    for (service, partitions) in &parts.per_service {
+    // Instance contributions are pure functions of the scenario, so the
+    // scoring (the expensive part: one virtual-speed scan per candidate) fans
+    // out over services; the storage-accounting sweep below stays sequential
+    // because `used` threads through every choice.
+    let score_service = |(service, partitions): &(ServiceId, Vec<Vec<NodeId>>)| {
+        partitions
+            .iter()
+            .map(|p| {
+                let mut scored: Vec<(f64, NodeId)> = p
+                    .iter()
+                    .map(|&v| (instance_contribution(sc, *service, p, v), v))
+                    .collect();
+                scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                scored
+            })
+            .collect::<Vec<_>>()
+    };
+    let scored_all: Vec<Vec<Vec<(f64, NodeId)>>> = if cfg.parallel {
+        socl_net::par::par_map(&parts.per_service, score_service)
+    } else {
+        parts.per_service.iter().map(score_service).collect()
+    };
+
+    for ((service, partitions), scored_parts) in parts.per_service.iter().zip(&scored_all) {
         let service = *service;
         // Budget-based bound 𝒩̄(m_i).
         let kappa = sc.catalog.deploy_cost(service);
@@ -110,7 +133,7 @@ pub fn preprovision(sc: &Scenario, parts: &ServicePartitions, cfg: &SoclConfig) 
         let total_demand: f64 = demands.iter().sum();
 
         let mut provisioned_parts: Vec<Vec<NodeId>> = Vec::with_capacity(partitions.len());
-        for (p, &part_demand) in partitions.iter().zip(&demands) {
+        for ((p, &part_demand), scored) in partitions.iter().zip(&demands).zip(scored_parts) {
             let epsilon = if total_demand > 0.0 {
                 part_demand / total_demand
             } else {
@@ -119,14 +142,9 @@ pub fn preprovision(sc: &Scenario, parts: &ServicePartitions, cfg: &SoclConfig) 
             let quota = epsilon * bound as f64;
             let phi = sc.catalog.storage(service);
             let fits = |v: NodeId, used: &[f64]| sc.net.storage(v) - used[v.idx()] >= phi - 1e-9;
-            // Nodes by ascending instance contribution (used by both
-            // branches: the whole-partition branch also needs an order when
-            // storage rejects some members).
-            let mut scored: Vec<(f64, NodeId)> = p
-                .iter()
-                .map(|&v| (instance_contribution(sc, service, p, v), v))
-                .collect();
-            scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            // Nodes come pre-sorted by ascending instance contribution (used
+            // by both branches: the whole-partition branch also needs an
+            // order when storage rejects some members).
             let count = if quota >= p.len() as f64 {
                 // Quota covers the whole partition: provision everywhere
                 // (storage permitting).
@@ -135,7 +153,7 @@ pub fn preprovision(sc: &Scenario, parts: &ServicePartitions, cfg: &SoclConfig) 
                 (quota.ceil() as usize).clamp(1, p.len())
             };
             let mut chosen: Vec<NodeId> = Vec::with_capacity(count);
-            for &(_, v) in &scored {
+            for &(_, v) in scored.iter() {
                 if chosen.len() >= count {
                     break;
                 }

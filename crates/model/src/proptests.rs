@@ -127,3 +127,153 @@ proptest! {
         }
     }
 }
+
+/// Small routing instance for exhaustive oracle checks: a connected random
+/// topology with ≤ 6 nodes, a chain of ≤ 5 distinct services, and a random
+/// covering placement.
+fn small_instance(
+    nodes: usize,
+    chain_len: usize,
+    seed: u64,
+) -> (Scenario, Placement, crate::request::UserRequest) {
+    use crate::request::{UserId, UserRequest};
+    use crate::service::{Microservice, ServiceCatalog};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use socl_net::TopologyConfig;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let net = TopologyConfig::paper(nodes).build(seed);
+    let catalog = ServiceCatalog::from_services(
+        (0..chain_len)
+            .map(|_| {
+                Microservice::new(
+                    rng.gen_range(0.5..3.0),
+                    rng.gen_range(0.5..2.0),
+                    rng.gen_range(1.0..3.0),
+                )
+            })
+            .collect(),
+    );
+    let chain: Vec<ServiceId> = (0..chain_len as u32).map(ServiceId).collect();
+    let edge_data: Vec<f64> = (1..chain_len).map(|_| rng.gen_range(0.1..4.0)).collect();
+    let req = UserRequest::new(
+        UserId(0),
+        NodeId(rng.gen_range(0..nodes) as u32),
+        chain,
+        edge_data,
+        rng.gen_range(0.1..4.0),
+        rng.gen_range(0.05..1.0),
+        1e9,
+    );
+    let mut placement = Placement::empty(chain_len, nodes);
+    for i in 0..chain_len {
+        for k in 0..nodes {
+            if rng.gen::<f64>() < 0.55 {
+                placement.set(ServiceId(i as u32), NodeId(k as u32), true);
+            }
+        }
+        if placement.instance_count(ServiceId(i as u32)) == 0 {
+            placement.set(
+                ServiceId(i as u32),
+                NodeId(rng.gen_range(0..nodes) as u32),
+                true,
+            );
+        }
+    }
+    let scenario = ScenarioConfig::paper(nodes, 1).assemble(net, catalog, vec![req.clone()]);
+    (scenario, placement, req)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Brute-force oracle: on small instances, enumerating every assignment
+    /// `Y` (one host per chain position) exhaustively must not find anything
+    /// better than the layered DP — and the DP's claimed cost must be
+    /// realized by its own route.
+    #[test]
+    fn dp_is_latency_optimal_against_exhaustive_enumeration(
+        nodes in 2usize..=6,
+        chain_len in 1usize..=5,
+        seed in any::<u64>(),
+    ) {
+        use crate::latency::completion_time;
+
+        let (sc, placement, req) = small_instance(nodes, chain_len, seed);
+        let layers: Vec<Vec<NodeId>> = req.chain.iter().map(|&m| placement.hosts_of(m)).collect();
+        prop_assert!(layers.iter().all(|l| !l.is_empty()));
+
+        let out = optimal_route(&req, &placement, &sc.net, &sc.ap, &sc.catalog);
+        let RouteOutcome::Edge { route, breakdown } = out else {
+            panic!("covering placement must route on the edge");
+        };
+        let dp_cost = breakdown.total();
+
+        // Odometer over the full assignment space (≤ 6^5 combinations).
+        let mut idx = vec![0usize; layers.len()];
+        let mut best = f64::INFINITY;
+        let mut best_route = Vec::new();
+        loop {
+            let candidate: Vec<NodeId> =
+                idx.iter().zip(&layers).map(|(&i, l)| l[i]).collect();
+            let t = completion_time(&req, &candidate, &sc.net, &sc.ap, &sc.catalog).total();
+            if t < best {
+                best = t;
+                best_route = candidate;
+            }
+            let mut j = 0;
+            loop {
+                if j == layers.len() {
+                    break;
+                }
+                idx[j] += 1;
+                if idx[j] < layers[j].len() {
+                    break;
+                }
+                idx[j] = 0;
+                j += 1;
+            }
+            if j == layers.len() {
+                break;
+            }
+        }
+
+        prop_assert!(
+            (dp_cost - best).abs() < 1e-9,
+            "DP {dp_cost} vs exhaustive {best} (dp route {route:?}, best {best_route:?})"
+        );
+        // The DP's route itself achieves the optimum.
+        let realized = completion_time(&req, &route, &sc.net, &sc.ap, &sc.catalog).total();
+        prop_assert!((realized - best).abs() < 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Parallel chain evaluation is bit-identical to serial: same objective
+    /// bits, `total_cmp`-equal per-request latencies, identical routes. The
+    /// scenario is sized so the fan-out threshold genuinely engages.
+    #[test]
+    fn parallel_evaluation_identical_to_serial(seed in any::<u64>(), pseed in any::<u64>()) {
+        let sc = ScenarioConfig::paper(30, 120).build(seed);
+        let p = random_covering_placement(&sc, 0.4, pseed);
+        socl_net::set_threads(1);
+        let serial = evaluate(&sc, &p);
+        socl_net::set_threads(4);
+        let parallel = evaluate(&sc, &p);
+        socl_net::set_threads(0);
+        prop_assert_eq!(serial.objective.to_bits(), parallel.objective.to_bits());
+        prop_assert_eq!(serial.cost.to_bits(), parallel.cost.to_bits());
+        prop_assert_eq!(serial.total_latency.to_bits(), parallel.total_latency.to_bits());
+        prop_assert_eq!(serial.cloud_fallbacks, parallel.cloud_fallbacks);
+        prop_assert_eq!(serial.per_request.len(), parallel.per_request.len());
+        for (a, b) in serial.per_request.iter().zip(&parallel.per_request) {
+            prop_assert!(a.total_cmp(b) == std::cmp::Ordering::Equal);
+        }
+        for h in 0..sc.requests.len() {
+            prop_assert_eq!(serial.assignment.route(h), parallel.assignment.route(h));
+        }
+    }
+}

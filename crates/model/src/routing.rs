@@ -178,6 +178,10 @@ pub fn greedy_route(
 
 /// Route every request optimally; returns the assignment (with `None` for
 /// cloud fallbacks).
+///
+/// Requests are routed independently and fan out over the thread pool when
+/// the workload warrants it; results keep request order, so the assignment is
+/// identical for any thread count.
 pub fn route_all(
     requests: &[UserRequest],
     placement: &Placement,
@@ -185,16 +189,17 @@ pub fn route_all(
     ap: &AllPairs,
     catalog: &ServiceCatalog,
 ) -> Assignment {
-    Assignment::new(
-        requests
-            .iter()
-            .map(|r| {
-                optimal_route(r, placement, net, ap, catalog)
-                    .route()
-                    .map(<[NodeId]>::to_vec)
-            })
-            .collect(),
-    )
+    let unit = net.node_count() * net.node_count() * 8;
+    let threads = if socl_net::parallel_worthwhile(requests.len(), unit) {
+        socl_net::effective_threads()
+    } else {
+        1
+    };
+    Assignment::new(socl_net::par::par_map_with(requests, threads, |r| {
+        optimal_route(r, placement, net, ap, catalog)
+            .route()
+            .map(<[NodeId]>::to_vec)
+    }))
 }
 
 #[cfg(test)]

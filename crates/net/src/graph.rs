@@ -292,6 +292,58 @@ impl EdgeNetwork {
         let pb = self.servers[b.idx()].position;
         ((pa.0 - pb.0).powi(2) + (pa.1 - pb.1).powi(2)).sqrt()
     }
+
+    /// Override the effective rate of link `idx` as seen by shortest-path
+    /// computations (both adjacency directions). A rate of `0.0` masks the
+    /// link out entirely: Dijkstra skips zero-rate edges, so a masked network
+    /// is path-identical to one rebuilt without the link — which is what lets
+    /// the incremental APSP cache model crashes and degradations without
+    /// reallocating the topology.
+    pub fn override_link_rate(&mut self, idx: usize, rate: f64) {
+        let Link { a, b, .. } = self.links[idx];
+        for nb in self.adjacency[a.idx()].iter_mut() {
+            if nb.link == idx {
+                nb.rate = rate;
+            }
+        }
+        for nb in self.adjacency[b.idx()].iter_mut() {
+            if nb.link == idx {
+                nb.rate = rate;
+            }
+        }
+    }
+
+    /// Current effective rate of link `idx` as seen by shortest paths
+    /// (respects any [`override_link_rate`](Self::override_link_rate)).
+    pub fn effective_rate(&self, idx: usize) -> f64 {
+        let a = self.links[idx].a;
+        self.adjacency[a.idx()]
+            .iter()
+            .find(|nb| nb.link == idx)
+            .map(|nb| nb.rate)
+            .unwrap_or(0.0)
+    }
+
+    /// Structural fingerprint of the topology: node count, link endpoints and
+    /// current *effective* rates (FNV-1a over their bit patterns). Two
+    /// networks with equal fingerprints produce identical shortest paths, so
+    /// caches keyed on it (e.g. memoized virtual graphs) survive across slots
+    /// whose topology did not change.
+    pub fn fingerprint(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mix = |h: &mut u64, v: u64| {
+            *h ^= v;
+            *h = h.wrapping_mul(PRIME);
+        };
+        mix(&mut h, self.servers.len() as u64);
+        for (idx, l) in self.links.iter().enumerate() {
+            mix(&mut h, u64::from(l.a.0));
+            mix(&mut h, u64::from(l.b.0));
+            mix(&mut h, self.effective_rate(idx).to_bits());
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -383,5 +435,34 @@ mod tests {
     fn total_storage_sums() {
         let net = line3();
         assert!((net.total_storage() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn override_masks_both_directions_and_restores() {
+        let mut net = line3();
+        assert_eq!(net.effective_rate(0), 10.0);
+        net.override_link_rate(0, 0.0);
+        assert_eq!(net.effective_rate(0), 0.0);
+        assert!(net.neighbors(NodeId(0)).iter().all(|nb| nb.rate == 0.0));
+        assert!(net
+            .neighbors(NodeId(1))
+            .iter()
+            .find(|nb| nb.link == 0)
+            .is_some_and(|nb| nb.rate == 0.0));
+        net.override_link_rate(0, 10.0);
+        assert_eq!(net.effective_rate(0), 10.0);
+        assert_eq!(net.direct_rate(NodeId(0), NodeId(1)), Some(10.0));
+    }
+
+    #[test]
+    fn fingerprint_tracks_effective_rates() {
+        let mut net = line3();
+        let base = net.fingerprint();
+        assert_eq!(base, line3().fingerprint());
+        net.override_link_rate(1, 2.5);
+        let degraded = net.fingerprint();
+        assert_ne!(base, degraded);
+        net.override_link_rate(1, 20.0);
+        assert_eq!(net.fingerprint(), base);
     }
 }

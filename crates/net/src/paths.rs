@@ -38,10 +38,15 @@ impl Eq for HeapEntry {}
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: BinaryHeap is a max-heap, we want smallest key first.
+        // `total_cmp` on each key component gives a NaN-safe *total* order
+        // (a NaN key sorts above every finite key instead of collapsing the
+        // comparison to Equal, which under `partial_cmp().unwrap_or(Equal)`
+        // silently corrupted heap invariants for degenerate link rates).
         other
             .key
-            .partial_cmp(&self.key)
-            .unwrap_or(Ordering::Equal)
+            .0
+            .total_cmp(&self.key.0)
+            .then_with(|| other.key.1.total_cmp(&self.key.1))
             .then_with(|| other.node.0.cmp(&self.node.0))
     }
 }
@@ -107,6 +112,11 @@ impl ShortestPaths {
                 if done[v] {
                     continue;
                 }
+                // Masked-out links (rate overridden to 0 by the incremental
+                // cache layer) behave exactly like removed links.
+                if nb.rate <= 0.0 {
+                    continue;
+                }
                 let cand_lat = latency[u] + 1.0 / nb.rate;
                 let cand_hops = hops[u] + 1;
                 if key_of(cand_lat, cand_hops) < key_of(latency[v], hops[v]) {
@@ -165,6 +175,13 @@ impl ShortestPaths {
         }
     }
 
+    /// Predecessor of `target` on the chosen path (`None` for the source
+    /// itself and for unreachable nodes).
+    #[inline]
+    pub fn predecessor(&self, target: NodeId) -> Option<NodeId> {
+        self.pred[target.idx()]
+    }
+
     /// Reconstruct the node sequence source → target (inclusive), or `None`
     /// if unreachable.
     pub fn path_to(&self, target: NodeId) -> Option<Vec<NodeId>> {
@@ -195,36 +212,608 @@ pub struct AllPairs {
     latency: Vec<f64>,
     hop_latency: Vec<f64>,
     hops: Vec<u32>,
+    /// Predecessor matrices (`u32::MAX` = none): `pred_lat[a·n + b]` is the
+    /// node before `b` on the latency-optimal path `a → b`; `pred_hop` the
+    /// same for the minimum-hop path `π*`. They make path reconstruction
+    /// O(hops) and are what lets the incremental cache decide which source
+    /// trees a topology change can actually touch.
+    pred_lat: Vec<u32>,
+    pred_hop: Vec<u32>,
+}
+
+/// One source's worth of all-pairs data (both metrics), as produced by the
+/// per-source Dijkstra fan-out.
+pub(crate) struct SourceRow {
+    latency: Vec<f64>,
+    hop_latency: Vec<f64>,
+    hops: Vec<u32>,
+    pred_lat: Vec<u32>,
+    pred_hop: Vec<u32>,
+}
+
+/// The latency-metric half of a source row (distances + predecessors).
+pub(crate) struct LatHalf {
+    latency: Vec<f64>,
+    pred_lat: Vec<u32>,
+}
+
+/// The hop-metric half of a source row.
+pub(crate) struct HopHalf {
+    hop_latency: Vec<f64>,
+    hops: Vec<u32>,
+    pred_hop: Vec<u32>,
+}
+
+fn compute_lat_half(net: &EdgeNetwork, s: NodeId) -> LatHalf {
+    let n = net.node_count();
+    let tree = ShortestPaths::compute(net, s, PathMetric::Latency);
+    let mut half = LatHalf {
+        latency: Vec::with_capacity(n),
+        pred_lat: Vec::with_capacity(n),
+    };
+    for t in 0..n {
+        let t = NodeId(t as u32);
+        half.latency.push(tree.latency_weight(t));
+        half.pred_lat
+            .push(tree.predecessor(t).map_or(u32::MAX, |p| p.0));
+    }
+    half
+}
+
+fn compute_hop_half(net: &EdgeNetwork, s: NodeId) -> HopHalf {
+    let n = net.node_count();
+    let tree = ShortestPaths::compute(net, s, PathMetric::Hops);
+    let mut half = HopHalf {
+        hop_latency: Vec::with_capacity(n),
+        hops: Vec::with_capacity(n),
+        pred_hop: Vec::with_capacity(n),
+    };
+    for t in 0..n {
+        let t = NodeId(t as u32);
+        half.hop_latency.push(tree.latency_weight(t));
+        half.hops.push(tree.hop_count(t));
+        half.pred_hop
+            .push(tree.predecessor(t).map_or(u32::MAX, |p| p.0));
+    }
+    half
+}
+
+/// Depth of every reachable node in a predecessor tree (`u32::MAX` for
+/// unreachable ones). Because Dijkstra's relaxation writes latency and hop
+/// count together, the pred-tree depth *is* the hop count of the chosen path
+/// — this recovers the latency tree's secondary key, which `AllPairs` does
+/// not store.
+fn depths_from_preds(lat: &[f64], pred: &[u32]) -> Vec<u32> {
+    let n = pred.len();
+    let mut depth = vec![u32::MAX; n];
+    let mut chain: Vec<u32> = Vec::new();
+    for v0 in 0..n {
+        if depth[v0] != u32::MAX || lat[v0].is_infinite() {
+            continue;
+        }
+        chain.clear();
+        let mut cur = v0 as u32;
+        let base;
+        loop {
+            if depth[cur as usize] != u32::MAX {
+                base = depth[cur as usize];
+                break;
+            }
+            let p = pred[cur as usize];
+            if p == u32::MAX {
+                depth[cur as usize] = 0; // the source
+                base = 0;
+                break;
+            }
+            chain.push(cur);
+            cur = p;
+        }
+        for (i, &v) in chain.iter().rev().enumerate() {
+            depth[v as usize] = base + i as u32 + 1;
+        }
+    }
+    depth
+}
+
+/// Repair one metric half of a source row after weight **increases** on
+/// `changed` edges, recomputing only the affected subtrees.
+///
+/// Only descendants (in the stored predecessor tree) of a changed tree
+/// edge's child endpoint can change: every other node's path avoids all
+/// changed edges, so its key is still optimal, and its predecessor cannot
+/// silently flip either — a pred pointing into the affected region would
+/// make the node itself affected. The affected region is re-run through a
+/// Dijkstra seeded with every unaffected neighbor of the region at its
+/// (unchanged) final key. That reproduces the full run's pop order — the
+/// heap comparator is a total order on `(key, node)` and stale entries only
+/// ever pop late — so relaxation order, and with it every tie-broken
+/// predecessor, is bit-identical to a from-scratch rebuild.
+fn repaired_half_increase(
+    net: &EdgeNetwork,
+    metric: PathMetric,
+    cur_lat: &[f64],
+    cur_hops: &[u32],
+    cur_pred: &[u32],
+    changed: &[(NodeId, NodeId)],
+) -> (Vec<f64>, Vec<u32>, Vec<u32>) {
+    let n = cur_pred.len();
+    let mut lat = cur_lat.to_vec();
+    let mut hops = cur_hops.to_vec();
+    let mut pred = cur_pred.to_vec();
+
+    // Affected = descendants of the child endpoint of each changed tree edge.
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (v, &p) in pred.iter().enumerate() {
+        if p != u32::MAX {
+            children[p as usize].push(v as u32);
+        }
+    }
+    let mut stack: Vec<u32> = Vec::new();
+    for &(a, b) in changed {
+        if pred[b.idx()] == a.0 {
+            stack.push(b.0);
+        } else if pred[a.idx()] == b.0 {
+            stack.push(a.0);
+        }
+    }
+    let mut affected = vec![false; n];
+    while let Some(v) = stack.pop() {
+        if affected[v as usize] {
+            continue;
+        }
+        affected[v as usize] = true;
+        stack.extend(children[v as usize].iter().copied());
+    }
+
+    let key_of = |l: f64, h: u32| -> (f64, f64) {
+        match metric {
+            PathMetric::Latency => (l, h as f64),
+            PathMetric::Hops => (h as f64, l),
+        }
+    };
+
+    let mut done = vec![true; n];
+    let mut heap = BinaryHeap::new();
+    for v in 0..n {
+        if affected[v] {
+            lat[v] = f64::INFINITY;
+            hops[v] = u32::MAX;
+            pred[v] = u32::MAX;
+            done[v] = false;
+        }
+    }
+    for u in 0..n {
+        if affected[u] || lat[u].is_infinite() {
+            continue;
+        }
+        let unode = NodeId(u as u32);
+        if net
+            .neighbors(unode)
+            .iter()
+            .any(|nb| affected[nb.node.idx()] && nb.rate > 0.0)
+        {
+            done[u] = false;
+            heap.push(HeapEntry {
+                key: key_of(lat[u], hops[u]),
+                node: unode,
+            });
+        }
+    }
+    while let Some(HeapEntry { node, key }) = heap.pop() {
+        let u = node.idx();
+        if done[u] || key != key_of(lat[u], hops[u]) {
+            continue;
+        }
+        done[u] = true;
+        for nb in net.neighbors(node) {
+            let v = nb.node.idx();
+            if done[v] || nb.rate <= 0.0 {
+                continue;
+            }
+            let cand_lat = lat[u] + 1.0 / nb.rate;
+            let cand_hops = hops[u] + 1;
+            if key_of(cand_lat, cand_hops) < key_of(lat[v], hops[v]) {
+                lat[v] = cand_lat;
+                hops[v] = cand_hops;
+                pred[v] = node.0;
+                heap.push(HeapEntry {
+                    key: key_of(cand_lat, cand_hops),
+                    node: nb.node,
+                });
+            }
+        }
+    }
+    (lat, hops, pred)
+}
+
+/// Repair one metric half of a source row after weight **decreases** on
+/// `changed` edges (restore / repair faults).
+///
+/// Distances: stored keys stay upper bounds when weights only decrease, so a
+/// Dijkstra seeded with the one-step improvements the cheaper edges offer
+/// (and propagating only strict improvements, in key order) settles every
+/// node at its new optimal key — nodes it never touches are provably
+/// unchanged.
+///
+/// Predecessors: the full algorithm's final `pred[v]` is a *pointwise*
+/// function of final keys — the first neighbor in pop order
+/// `(key.0, key.1, node id)` whose offer `key(u) ⊕ w(u,v)` attains `key(v)`
+/// (candidate preds all pop before `v`, offers arrive in pop order, and only
+/// the first offer attaining the minimum survives the strict-`<` relaxation).
+/// So predecessors are re-derived by that argmin exactly where an input
+/// changed: improved nodes, their neighbors, and the changed edges'
+/// endpoints. Everything else is bit-identical to a full rebuild.
+fn repaired_half_decrease(
+    net: &EdgeNetwork,
+    metric: PathMetric,
+    source: NodeId,
+    cur_lat: &[f64],
+    cur_hops: &[u32],
+    cur_pred: &[u32],
+    changed: &[(NodeId, NodeId)],
+) -> (Vec<f64>, Vec<u32>, Vec<u32>) {
+    let n = cur_pred.len();
+    let mut lat = cur_lat.to_vec();
+    let mut hops = cur_hops.to_vec();
+    let mut pred = cur_pred.to_vec();
+
+    let key_of = |l: f64, h: u32| -> (f64, f64) {
+        match metric {
+            PathMetric::Latency => (l, h as f64),
+            PathMetric::Hops => (h as f64, l),
+        }
+    };
+
+    // Seed with the direct one-step improvements across the cheaper edges
+    // (all parallel links, both directions); chains propagate below.
+    let mut affected = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    for &(a, b) in changed {
+        for (x, y) in [(a, b), (b, a)] {
+            for nb in net.neighbors(x) {
+                if nb.node != y || nb.rate <= 0.0 || lat[x.idx()].is_infinite() {
+                    continue;
+                }
+                let v = y.idx();
+                let cand_lat = lat[x.idx()] + 1.0 / nb.rate;
+                let cand_hops = hops[x.idx()] + 1;
+                let ck = key_of(cand_lat, cand_hops);
+                if ck < key_of(lat[v], hops[v]) {
+                    lat[v] = cand_lat;
+                    hops[v] = cand_hops;
+                    affected[v] = true;
+                    heap.push(HeapEntry { key: ck, node: y });
+                }
+            }
+        }
+    }
+    // Pops are monotone non-decreasing (seeds are all in already, relaxation
+    // pushes keys above the popped one), so each node settles at its final
+    // key the first time its live entry pops.
+    let mut done = vec![false; n];
+    while let Some(HeapEntry { node, key }) = heap.pop() {
+        let u = node.idx();
+        if done[u] || key != key_of(lat[u], hops[u]) {
+            continue;
+        }
+        done[u] = true;
+        for nb in net.neighbors(node) {
+            let v = nb.node.idx();
+            if done[v] || nb.rate <= 0.0 {
+                continue;
+            }
+            let cand_lat = lat[u] + 1.0 / nb.rate;
+            let cand_hops = hops[u] + 1;
+            let ck = key_of(cand_lat, cand_hops);
+            if ck < key_of(lat[v], hops[v]) {
+                lat[v] = cand_lat;
+                hops[v] = cand_hops;
+                affected[v] = true;
+                heap.push(HeapEntry {
+                    key: ck,
+                    node: nb.node,
+                });
+            }
+        }
+    }
+
+    // Re-derive predecessors wherever an argmin input could have changed.
+    let mut rederive = vec![false; n];
+    for v in 0..n {
+        if affected[v] {
+            rederive[v] = true;
+            for nb in net.neighbors(NodeId(v as u32)) {
+                rederive[nb.node.idx()] = true;
+            }
+        }
+    }
+    for &(a, b) in changed {
+        rederive[a.idx()] = true;
+        rederive[b.idx()] = true;
+    }
+    rederive[source.idx()] = false;
+    for v in 0..n {
+        if !rederive[v] || lat[v].is_infinite() {
+            continue;
+        }
+        let kv = key_of(lat[v], hops[v]);
+        let mut best_id = u32::MAX;
+        let mut best_key = (f64::INFINITY, f64::INFINITY);
+        for nb in net.neighbors(NodeId(v as u32)) {
+            let u = nb.node.idx();
+            if nb.rate <= 0.0 || lat[u].is_infinite() {
+                continue;
+            }
+            let cand = key_of(lat[u] + 1.0 / nb.rate, hops[u] + 1);
+            if cand == kv {
+                let ku = key_of(lat[u], hops[u]);
+                if best_id == u32::MAX || ku < best_key || (ku == best_key && nb.node.0 < best_id) {
+                    best_key = ku;
+                    best_id = nb.node.0;
+                }
+            }
+        }
+        pred[v] = best_id;
+    }
+    (lat, hops, pred)
+}
+
+fn compute_row(net: &EdgeNetwork, s: NodeId) -> SourceRow {
+    let n = net.node_count();
+    let lat_tree = ShortestPaths::compute(net, s, PathMetric::Latency);
+    let hop_tree = ShortestPaths::compute(net, s, PathMetric::Hops);
+    let mut row = SourceRow {
+        latency: Vec::with_capacity(n),
+        hop_latency: Vec::with_capacity(n),
+        hops: Vec::with_capacity(n),
+        pred_lat: Vec::with_capacity(n),
+        pred_hop: Vec::with_capacity(n),
+    };
+    for t in 0..n {
+        let t = NodeId(t as u32);
+        row.latency.push(lat_tree.latency_weight(t));
+        row.hop_latency.push(hop_tree.latency_weight(t));
+        row.hops.push(hop_tree.hop_count(t));
+        row.pred_lat
+            .push(lat_tree.predecessor(t).map_or(u32::MAX, |p| p.0));
+        row.pred_hop
+            .push(hop_tree.predecessor(t).map_or(u32::MAX, |p| p.0));
+    }
+    row
 }
 
 impl AllPairs {
-    /// Precompute both metrics from every source.
+    /// Precompute both metrics from every source, fanning the per-source
+    /// Dijkstra trees out over the configured thread pool. Results are
+    /// bit-identical to [`AllPairs::compute_serial`] for any thread count.
     pub fn compute(net: &EdgeNetwork) -> Self {
         let n = net.node_count();
-        let mut latency = vec![f64::INFINITY; n * n];
-        let mut hop_latency = vec![f64::INFINITY; n * n];
-        let mut hops = vec![u32::MAX; n * n];
-        for s in net.node_ids() {
-            let lat_tree = ShortestPaths::compute(net, s, PathMetric::Latency);
-            let hop_tree = ShortestPaths::compute(net, s, PathMetric::Hops);
-            let row = s.idx() * n;
-            for t in 0..n {
-                latency[row + t] = lat_tree.latency_weight(NodeId(t as u32));
-                hop_latency[row + t] = hop_tree.latency_weight(NodeId(t as u32));
-                hops[row + t] = hop_tree.hop_count(NodeId(t as u32));
-            }
-        }
-        Self {
+        // Dijkstra from one source is O(E log V); below ~64 nodes the whole
+        // matrix is cheaper than spawning workers.
+        let threads = if n < 64 {
+            1
+        } else {
+            crate::par::effective_threads()
+        };
+        Self::compute_with_threads(net, threads)
+    }
+
+    /// Serial reference implementation (also the fallback for tiny graphs).
+    pub fn compute_serial(net: &EdgeNetwork) -> Self {
+        Self::compute_with_threads(net, 1)
+    }
+
+    /// Precompute on an explicit number of worker threads (no size heuristic —
+    /// equivalence tests use this to force real fan-out on small graphs).
+    pub fn compute_with_threads(net: &EdgeNetwork, threads: usize) -> Self {
+        let n = net.node_count();
+        let rows =
+            crate::par::par_map_indexed_with(n, threads, |s| compute_row(net, NodeId(s as u32)));
+        let mut ap = Self {
             n,
-            latency,
+            latency: Vec::with_capacity(n * n),
+            hop_latency: Vec::with_capacity(n * n),
+            hops: Vec::with_capacity(n * n),
+            pred_lat: Vec::with_capacity(n * n),
+            pred_hop: Vec::with_capacity(n * n),
+        };
+        for mut row in rows {
+            ap.latency.append(&mut row.latency);
+            ap.hop_latency.append(&mut row.hop_latency);
+            ap.hops.append(&mut row.hops);
+            ap.pred_lat.append(&mut row.pred_lat);
+            ap.pred_hop.append(&mut row.pred_hop);
+        }
+        ap
+    }
+
+    /// Compute only the latency half of row `s` (parallel-safe).
+    pub(crate) fn fresh_lat_half(net: &EdgeNetwork, s: NodeId) -> LatHalf {
+        compute_lat_half(net, s)
+    }
+
+    /// Compute only the hop half of row `s` (parallel-safe).
+    pub(crate) fn fresh_hop_half(net: &EdgeNetwork, s: NodeId) -> HopHalf {
+        compute_hop_half(net, s)
+    }
+
+    /// Repair the latency half of row `s` after weight **increases** on
+    /// `changed` edges, recomputing only the subtrees hanging off changed
+    /// tree edges (parallel-safe; bit-identical to [`Self::fresh_lat_half`]).
+    pub(crate) fn repaired_lat_half_increase(
+        &self,
+        net: &EdgeNetwork,
+        s: NodeId,
+        changed: &[(NodeId, NodeId)],
+    ) -> LatHalf {
+        let base = s.idx() * self.n;
+        let row_lat = &self.latency[base..base + self.n];
+        let row_pred = &self.pred_lat[base..base + self.n];
+        let depth = depths_from_preds(row_lat, row_pred);
+        let (latency, _hops, pred_lat) =
+            repaired_half_increase(net, PathMetric::Latency, row_lat, &depth, row_pred, changed);
+        LatHalf { latency, pred_lat }
+    }
+
+    /// Repair the hop half of row `s` after weight **increases** on `changed`
+    /// edges (parallel-safe; bit-identical to [`Self::fresh_hop_half`]).
+    pub(crate) fn repaired_hop_half_increase(
+        &self,
+        net: &EdgeNetwork,
+        s: NodeId,
+        changed: &[(NodeId, NodeId)],
+    ) -> HopHalf {
+        let base = s.idx() * self.n;
+        let (hop_latency, hops, pred_hop) = repaired_half_increase(
+            net,
+            PathMetric::Hops,
+            &self.hop_latency[base..base + self.n],
+            &self.hops[base..base + self.n],
+            &self.pred_hop[base..base + self.n],
+            changed,
+        );
+        HopHalf {
             hop_latency,
             hops,
+            pred_hop,
         }
+    }
+
+    /// Repair the latency half of row `s` after weight **decreases** on
+    /// `changed` edges (parallel-safe; bit-identical to
+    /// [`Self::fresh_lat_half`]).
+    pub(crate) fn repaired_lat_half_decrease(
+        &self,
+        net: &EdgeNetwork,
+        s: NodeId,
+        changed: &[(NodeId, NodeId)],
+    ) -> LatHalf {
+        let base = s.idx() * self.n;
+        let row_lat = &self.latency[base..base + self.n];
+        let row_pred = &self.pred_lat[base..base + self.n];
+        let depth = depths_from_preds(row_lat, row_pred);
+        let (latency, _hops, pred_lat) = repaired_half_decrease(
+            net,
+            PathMetric::Latency,
+            s,
+            row_lat,
+            &depth,
+            row_pred,
+            changed,
+        );
+        LatHalf { latency, pred_lat }
+    }
+
+    /// Repair the hop half of row `s` after weight **decreases** on `changed`
+    /// edges (parallel-safe; bit-identical to [`Self::fresh_hop_half`]).
+    pub(crate) fn repaired_hop_half_decrease(
+        &self,
+        net: &EdgeNetwork,
+        s: NodeId,
+        changed: &[(NodeId, NodeId)],
+    ) -> HopHalf {
+        let base = s.idx() * self.n;
+        let (hop_latency, hops, pred_hop) = repaired_half_decrease(
+            net,
+            PathMetric::Hops,
+            s,
+            &self.hop_latency[base..base + self.n],
+            &self.hops[base..base + self.n],
+            &self.pred_hop[base..base + self.n],
+            changed,
+        );
+        HopHalf {
+            hop_latency,
+            hops,
+            pred_hop,
+        }
+    }
+
+    /// Replace only the latency half of source row `s`.
+    pub(crate) fn install_lat_half(&mut self, s: NodeId, half: LatHalf) {
+        let base = s.idx() * self.n;
+        self.latency[base..base + self.n].copy_from_slice(&half.latency);
+        self.pred_lat[base..base + self.n].copy_from_slice(&half.pred_lat);
+    }
+
+    /// Replace only the hop half of source row `s`.
+    pub(crate) fn install_hop_half(&mut self, s: NodeId, half: HopHalf) {
+        let base = s.idx() * self.n;
+        self.hop_latency[base..base + self.n].copy_from_slice(&half.hop_latency);
+        self.hops[base..base + self.n].copy_from_slice(&half.hops);
+        self.pred_hop[base..base + self.n].copy_from_slice(&half.pred_hop);
     }
 
     /// Number of nodes the matrix covers.
     pub fn node_count(&self) -> usize {
         self.n
+    }
+
+    /// Predecessor of `b` on the latency-optimal path `a → b`.
+    #[inline]
+    pub fn pred_latency(&self, a: NodeId, b: NodeId) -> Option<NodeId> {
+        match self.pred_lat[a.idx() * self.n + b.idx()] {
+            u32::MAX => None,
+            p => Some(NodeId(p)),
+        }
+    }
+
+    /// Predecessor of `b` on the minimum-hop path `π*(a → b)`.
+    #[inline]
+    pub fn pred_hop(&self, a: NodeId, b: NodeId) -> Option<NodeId> {
+        match self.pred_hop[a.idx() * self.n + b.idx()] {
+            u32::MAX => None,
+            p => Some(NodeId(p)),
+        }
+    }
+
+    fn walk(&self, pred: &[u32], a: NodeId, b: NodeId) -> Option<Vec<NodeId>> {
+        if a == b {
+            return Some(vec![a]);
+        }
+        let mut path = vec![b];
+        let mut cur = b;
+        while cur != a {
+            match pred[a.idx() * self.n + cur.idx()] {
+                u32::MAX => return None,
+                p => {
+                    cur = NodeId(p);
+                    path.push(cur);
+                }
+            }
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// The latency-optimal node sequence `a → b`, or `None` if unreachable.
+    pub fn path_latency(&self, a: NodeId, b: NodeId) -> Option<Vec<NodeId>> {
+        self.walk(&self.pred_lat, a, b)
+    }
+
+    /// The minimum-hop node sequence `π*(a → b)`, or `None` if unreachable.
+    pub fn path_hops(&self, a: NodeId, b: NodeId) -> Option<Vec<NodeId>> {
+        self.walk(&self.pred_hop, a, b)
+    }
+
+    /// Bit-exact equality of every matrix (`total_cmp`-equal weights,
+    /// identical hop counts and predecessors). This is the equivalence
+    /// relation the parallel/incremental proptests assert.
+    pub fn identical(&self, other: &AllPairs) -> bool {
+        self.n == other.n
+            && self.hops == other.hops
+            && self.pred_lat == other.pred_lat
+            && self.pred_hop == other.pred_hop
+            && self
+                .latency
+                .iter()
+                .zip(&other.latency)
+                .all(|(a, b)| a.total_cmp(b) == std::cmp::Ordering::Equal)
+            && self
+                .hop_latency
+                .iter()
+                .zip(&other.hop_latency)
+                .all(|(a, b)| a.total_cmp(b) == std::cmp::Ordering::Equal)
     }
 
     /// Per-GB weight `Σ 1/b` of the latency-optimal path `a → b`.
@@ -418,6 +1007,129 @@ mod tests {
         assert!((ap.virtual_speed(NodeId(0), NodeId(2)) - expected).abs() < 1e-9);
         // The harmonic composition is below the slowest constituent link.
         assert!(ap.virtual_speed(NodeId(0), NodeId(2)) < 10.0);
+    }
+
+    #[test]
+    fn heap_entries_with_nan_keys_keep_a_total_order() {
+        // Regression: the old `partial_cmp().unwrap_or(Equal)` collapsed NaN
+        // keys to Equal, silently corrupting heap invariants. `total_cmp`
+        // sorts NaN above every finite key, so finite entries still pop in
+        // ascending order and NaN entries pop last.
+        let mut heap = BinaryHeap::new();
+        for (i, key) in [
+            (f64::NAN, 0.0),
+            (1.0, f64::NAN),
+            (0.5, 1.0),
+            (f64::INFINITY, 0.0),
+            (0.5, 0.0),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            heap.push(HeapEntry {
+                key,
+                node: NodeId(i as u32),
+            });
+        }
+        let order: Vec<NodeId> = std::iter::from_fn(|| heap.pop().map(|e| e.node)).collect();
+        // (0.5, 0.0) < (0.5, 1.0) < (1.0, NaN) < (inf, 0.0) < (NaN, 0.0).
+        assert_eq!(
+            order,
+            vec![NodeId(4), NodeId(2), NodeId(1), NodeId(3), NodeId(0)]
+        );
+    }
+
+    #[test]
+    fn degenerate_link_rates_yield_sane_trees() {
+        // Zero-bandwidth params clamp to a tiny positive rate; an explicitly
+        // masked (rate 0) link must behave as absent. Dijkstra must terminate
+        // with consistent weights either way.
+        let mut net = EdgeNetwork::new();
+        for _ in 0..4 {
+            net.push_server(EdgeServer::new(10.0, 8.0));
+        }
+        let degenerate = LinkParams {
+            bandwidth: 0.0,
+            tx_power: 0.0,
+            channel_gain: 0.0,
+            noise: 1.0,
+        };
+        net.add_link(NodeId(0), NodeId(1), degenerate); // rate = 1e-12 clamp
+        net.add_link(
+            NodeId(1),
+            NodeId(2),
+            LinkParams::from_rate(f64::MIN_POSITIVE),
+        );
+        net.add_link(NodeId(2), NodeId(3), LinkParams::from_rate(1e300));
+        for metric in [PathMetric::Latency, PathMetric::Hops] {
+            let sp = ShortestPaths::compute(&net, NodeId(0), metric);
+            for t in net.node_ids() {
+                let w = sp.latency_weight(t);
+                assert!(!w.is_nan(), "{metric:?} produced NaN for {t}");
+                assert!(w >= 0.0);
+                assert!(sp.path_to(t).is_some(), "{metric:?} lost {t}");
+            }
+        }
+        // Masking the clamp-rate link cuts v0 off from everyone.
+        net.override_link_rate(0, 0.0);
+        let sp = ShortestPaths::compute(&net, NodeId(0), PathMetric::Latency);
+        for t in [NodeId(1), NodeId(2), NodeId(3)] {
+            assert!(sp.latency_weight(t).is_infinite());
+            assert!(sp.path_to(t).is_none());
+        }
+    }
+
+    #[test]
+    fn parallel_all_pairs_identical_to_serial() {
+        use crate::topology::TopologyConfig;
+        for seed in 0..3 {
+            let net = TopologyConfig::paper(30).build(seed);
+            let serial = AllPairs::compute_serial(&net);
+            for threads in [2, 3, 4, 8] {
+                let par = AllPairs::compute_with_threads(&net, threads);
+                assert!(
+                    par.identical(&serial),
+                    "seed={seed} threads={threads} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn masked_link_identical_to_removed_link() {
+        let net = diamond();
+        let skip = 2; // the direct v0-v3 link
+        let mut masked = net.clone();
+        masked.override_link_rate(skip, 0.0);
+        let mut rebuilt = EdgeNetwork::new();
+        for n in net.node_ids() {
+            rebuilt.push_server(net.server(n).clone());
+        }
+        for (idx, l) in net.links().iter().enumerate() {
+            if idx != skip {
+                rebuilt.add_link(l.a, l.b, l.params);
+            }
+        }
+        let ap_masked = AllPairs::compute_serial(&masked);
+        let ap_rebuilt = AllPairs::compute_serial(&rebuilt);
+        assert!(ap_masked.identical(&ap_rebuilt));
+    }
+
+    #[test]
+    fn reconstructed_paths_match_single_source_trees() {
+        use crate::topology::TopologyConfig;
+        let net = TopologyConfig::paper(16).build(5);
+        let ap = AllPairs::compute(&net);
+        for a in net.node_ids() {
+            let lat = ShortestPaths::compute(&net, a, PathMetric::Latency);
+            let hop = ShortestPaths::compute(&net, a, PathMetric::Hops);
+            for b in net.node_ids() {
+                assert_eq!(ap.path_latency(a, b), lat.path_to(b), "{a}->{b}");
+                assert_eq!(ap.path_hops(a, b), hop.path_to(b), "{a}->{b}");
+                assert_eq!(ap.pred_latency(a, b), lat.predecessor(b));
+                assert_eq!(ap.pred_hop(a, b), hop.predecessor(b));
+            }
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Property-based tests for the network substrate.
 
 use crate::graph::{EdgeNetwork, NodeId};
+use crate::incremental::ApspCache;
 use crate::paths::{AllPairs, PathMetric, ShortestPaths};
 use crate::topology::{TopologyConfig, TopologyKind};
 use crate::virtual_graph::VirtualGraph;
@@ -166,6 +167,60 @@ proptest! {
             let s = net.server(id);
             prop_assert!((5.0..=20.0).contains(&s.compute_gflops));
             prop_assert!((4.0..=8.0).contains(&s.storage_units));
+        }
+    }
+
+    /// Parallel APSP construction is bit-identical to the serial reference
+    /// for every thread count: `total_cmp`-equal weights, identical hop
+    /// counts and identical predecessor (i.e. path) matrices.
+    #[test]
+    fn parallel_apsp_identical_to_serial(net in arb_net(), threads in 2usize..=8) {
+        let serial = AllPairs::compute_serial(&net);
+        let parallel = AllPairs::compute_with_threads(&net, threads);
+        prop_assert!(parallel.identical(&serial), "threads={threads} diverged");
+    }
+
+    /// Incremental post-fault recompute is bit-identical to a serial full
+    /// rebuild after every event of a random fault/repair schedule (node
+    /// crashes, link degradations, restores — the PR 1 fault vocabulary).
+    #[test]
+    fn incremental_matches_rebuild_under_fault_schedule(
+        net in arb_net(),
+        fseed in any::<u64>(),
+        steps in 1usize..=12,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let mut rng = StdRng::seed_from_u64(fseed);
+        let mut cache = ApspCache::new(&net);
+        for step in 0..steps {
+            match rng.gen_range(0..4u8) {
+                0 if net.link_count() > 0 => {
+                    // Degrade (or kill) a random link.
+                    let idx = rng.gen_range(0..net.link_count());
+                    let factor = [0.0, 0.1, 0.5, 0.9][rng.gen_range(0..4)];
+                    cache.set_link_rate(idx, cache.base_rate(idx) * factor);
+                }
+                1 if net.link_count() > 0 => {
+                    // Restore a random link to pristine.
+                    let idx = rng.gen_range(0..net.link_count());
+                    cache.set_link_rate(idx, cache.base_rate(idx));
+                }
+                2 => {
+                    let node = NodeId(rng.gen_range(0..net.node_count()) as u32);
+                    cache.mask_node(node);
+                }
+                _ => {
+                    let node = NodeId(rng.gen_range(0..net.node_count()) as u32);
+                    cache.unmask_node(node);
+                }
+            }
+            let rebuilt = AllPairs::compute_serial(cache.network());
+            prop_assert!(
+                cache.all_pairs().identical(&rebuilt),
+                "cache diverged from full rebuild at step {step}"
+            );
         }
     }
 }

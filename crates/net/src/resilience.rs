@@ -1,8 +1,11 @@
 //! What-if failure analysis: link and node criticality.
 //!
 //! Edge operators need to know which components the latency structure hangs
-//! on. For every single link (or node) failure this module recomputes the
-//! all-pairs latency weights and reports:
+//! on. For every single link (or node) failure this module re-evaluates the
+//! all-pairs latency weights — through the incremental [`ApspCache`], which
+//! masks the component, repairs only the affected source rows, and restores
+//! it, instead of rebuilding the topology and the full matrix per candidate —
+//! and reports:
 //!
 //! * whether the failure partitions the network,
 //! * the *stretch*: mean ratio of post-failure to pre-failure pairwise
@@ -14,6 +17,7 @@
 //! this module is how you find the critical ones).
 
 use crate::graph::{EdgeNetwork, NodeId};
+use crate::incremental::ApspCache;
 use crate::paths::AllPairs;
 
 /// Impact of removing one component.
@@ -28,34 +32,6 @@ pub struct FailureImpact {
     pub mean_stretch: f64,
     /// Maximum stretch over those pairs.
     pub max_stretch: f64,
-}
-
-fn network_without_link(net: &EdgeNetwork, skip: usize) -> EdgeNetwork {
-    let mut out = EdgeNetwork::new();
-    for k in net.node_ids() {
-        out.push_server(net.server(k).clone());
-    }
-    for (idx, link) in net.links().iter().enumerate() {
-        if idx != skip {
-            out.add_link(link.a, link.b, link.params);
-        }
-    }
-    out
-}
-
-fn network_without_node(net: &EdgeNetwork, skip: NodeId) -> EdgeNetwork {
-    // Node indices must stay stable for comparison, so the dead node stays
-    // in the vertex set but loses all its links.
-    let mut out = EdgeNetwork::new();
-    for k in net.node_ids() {
-        out.push_server(net.server(k).clone());
-    }
-    for link in net.links() {
-        if link.a != skip && link.b != skip {
-            out.add_link(link.a, link.b, link.params);
-        }
-    }
-    out
 }
 
 /// Stretch statistics of `after` relative to `before`, ignoring pairs
@@ -98,13 +74,16 @@ fn stretch(
 /// Impact of each single-link failure, most critical first (partitioning
 /// failures sort above everything, then by mean stretch).
 pub fn link_criticality(net: &EdgeNetwork) -> Vec<FailureImpact> {
-    let before = AllPairs::compute(net);
+    let mut cache = ApspCache::new(net);
+    let before = cache.all_pairs().clone();
     let mut impacts: Vec<FailureImpact> = (0..net.link_count())
         .map(|idx| {
             let l = net.links()[idx];
-            let reduced = network_without_link(net, idx);
-            let after = AllPairs::compute(&reduced);
-            let (partitions, mean_stretch, max_stretch) = stretch(net, &before, &after, None);
+            let base = cache.base_rate(idx);
+            cache.set_link_rate(idx, 0.0);
+            let (partitions, mean_stretch, max_stretch) =
+                stretch(net, &before, cache.all_pairs(), None);
+            cache.set_link_rate(idx, base);
             FailureImpact {
                 component: format!("link {}-{}", l.a, l.b),
                 partitions,
@@ -123,13 +102,18 @@ pub fn link_criticality(net: &EdgeNetwork) -> Vec<FailureImpact> {
 
 /// Impact of each single-node failure, most critical first.
 pub fn node_criticality(net: &EdgeNetwork) -> Vec<FailureImpact> {
-    let before = AllPairs::compute(net);
+    let mut cache = ApspCache::new(net);
+    let before = cache.all_pairs().clone();
     let mut impacts: Vec<FailureImpact> = net
         .node_ids()
         .map(|k| {
-            let reduced = network_without_node(net, k);
-            let after = AllPairs::compute(&reduced);
-            let (partitions, mean_stretch, max_stretch) = stretch(net, &before, &after, Some(k));
+            // The dead node keeps its vertex (indices stay stable) but all
+            // its incident links are masked — same semantics as rebuilding
+            // the topology without the node's links.
+            cache.mask_node(k);
+            let (partitions, mean_stretch, max_stretch) =
+                stretch(net, &before, cache.all_pairs(), Some(k));
+            cache.unmask_node(k);
             FailureImpact {
                 component: format!("node {k}"),
                 partitions,
@@ -226,6 +210,34 @@ mod tests {
                 let key = |i: &FailureImpact| (i.partitions as u8, i.mean_stretch);
                 assert!(key(&w[0]).partial_cmp(&key(&w[1])).unwrap() != std::cmp::Ordering::Less);
             }
+        }
+    }
+
+    #[test]
+    fn masked_analysis_matches_explicit_removal() {
+        // The incremental cache masks components instead of rebuilding the
+        // topology; the reported impacts must match an explicit rebuild.
+        let net = TopologyConfig::paper(14).build(21);
+        let before = AllPairs::compute(&net);
+        let impacts = link_criticality(&net);
+        for idx in 0..net.link_count() {
+            let l = net.links()[idx];
+            let mut reduced = EdgeNetwork::new();
+            for k in net.node_ids() {
+                reduced.push_server(net.server(k).clone());
+            }
+            for (j, link) in net.links().iter().enumerate() {
+                if j != idx {
+                    reduced.add_link(link.a, link.b, link.params);
+                }
+            }
+            let after = AllPairs::compute(&reduced);
+            let (partitions, mean_stretch, max_stretch) = stretch(&net, &before, &after, None);
+            let tag = format!("link {}-{}", l.a, l.b);
+            let got = impacts.iter().find(|i| i.component == tag).unwrap();
+            assert_eq!(got.partitions, partitions, "{tag}");
+            assert!((got.mean_stretch - mean_stretch).abs() < 1e-12, "{tag}");
+            assert!((got.max_stretch - max_stretch).abs() < 1e-12, "{tag}");
         }
     }
 

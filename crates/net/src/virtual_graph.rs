@@ -11,6 +11,8 @@
 
 use crate::graph::NodeId;
 use crate::paths::AllPairs;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A virtual graph over a subset of substrate nodes.
 ///
@@ -117,6 +119,73 @@ impl VirtualGraph {
         }
         parts.sort_by(|a, b| b.len().cmp(&a.len()).then(a[0].cmp(&b[0])));
         parts
+    }
+}
+
+/// Memoized virtual graphs, keyed by (deduplicated) hosting set and a
+/// topology generation counter.
+///
+/// Within one generation the virtual graph of a hosting set is immutable —
+/// `𝔹` values only depend on the substrate and the member set — so services
+/// sharing a hosting set, and consecutive slots whose topology did not
+/// change, share one build. Any generation bump (from the incremental APSP
+/// cache, or a fingerprint change of the substrate) drops the memo wholesale.
+#[derive(Debug, Clone, Default)]
+pub struct VgCache {
+    generation: u64,
+    memo: HashMap<Vec<NodeId>, Arc<VirtualGraph>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl VgCache {
+    /// An empty cache at generation 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The virtual graph over `members` at topology `generation`, building it
+    /// on miss. A generation different from the cache's current one clears
+    /// every memoized graph first.
+    pub fn get(&mut self, generation: u64, members: &[NodeId], ap: &AllPairs) -> Arc<VirtualGraph> {
+        if generation != self.generation {
+            self.memo.clear();
+            self.generation = generation;
+        }
+        let mut key: Vec<NodeId> = Vec::with_capacity(members.len());
+        for &m in members {
+            if !key.contains(&m) {
+                key.push(m);
+            }
+        }
+        if let Some(vg) = self.memo.get(&key) {
+            self.hits += 1;
+            return Arc::clone(vg);
+        }
+        self.misses += 1;
+        let vg = Arc::new(VirtualGraph::build(&key, ap));
+        self.memo.insert(key, Arc::clone(&vg));
+        vg
+    }
+
+    /// Cache hits since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses (i.e. actual builds) since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of graphs currently memoized.
+    pub fn len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// True when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.memo.is_empty()
     }
 }
 
@@ -240,5 +309,34 @@ mod tests {
         let vg = VirtualGraph::build(&[], &ap);
         assert!(vg.is_empty());
         assert!(vg.partition(1.0).is_empty());
+    }
+
+    #[test]
+    fn vg_cache_shares_builds_within_a_generation() {
+        let net = two_islands();
+        let ap = AllPairs::compute(&net);
+        let mut cache = VgCache::new();
+        let members = [NodeId(0), NodeId(1), NodeId(3)];
+        let a = cache.get(0, &members, &ap);
+        let b = cache.get(0, &members, &ap);
+        assert!(Arc::ptr_eq(&a, &b));
+        // Duplicates normalize to the same key.
+        let c = cache.get(0, &[NodeId(0), NodeId(0), NodeId(1), NodeId(3)], &ap);
+        assert!(Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn vg_cache_invalidates_on_generation_bump() {
+        let net = two_islands();
+        let ap = AllPairs::compute(&net);
+        let mut cache = VgCache::new();
+        let members = [NodeId(0), NodeId(3)];
+        let a = cache.get(0, &members, &ap);
+        let b = cache.get(1, &members, &ap);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 1);
     }
 }

@@ -131,6 +131,10 @@ pub struct OnlineSimulator {
     alive: Vec<bool>,
     alive_links: Vec<bool>,
     preferences: Option<socl_model::PreferenceModel>,
+    /// Incrementally-maintained APSP over the substrate with dead links
+    /// masked out; only trees crossing a flipped link are recomputed when
+    /// the alive-link set changes between slots.
+    apsp: socl_net::ApspCache,
 }
 
 impl OnlineSimulator {
@@ -150,6 +154,7 @@ impl OnlineSimulator {
         let preferences = cfg
             .user_preferences
             .then(|| socl_model::PreferenceModel::sample(cfg.users, base.catalog.len(), cfg.seed));
+        let apsp = socl_net::ApspCache::new(&base.net);
         Self {
             cfg,
             dataset,
@@ -161,7 +166,13 @@ impl OnlineSimulator {
             alive,
             alive_links,
             preferences,
+            apsp,
         }
+    }
+
+    /// Incremental APSP cache statistics (rows recomputed vs reused).
+    pub fn apsp_stats(&self) -> socl_net::CacheStats {
+        self.apsp.stats()
     }
 
     /// True when removing every currently-dead link *plus* `extra` keeps the
@@ -283,10 +294,22 @@ impl OnlineSimulator {
         }
 
         // Slot scenario: shrink dead nodes' storage to zero so no policy can
-        // place instances there; rebuild the substrate (and its path cache)
-        // when links are down.
+        // place instances there; rebuild the substrate graph (cheap) when
+        // links are down, but take the path cache from the incrementally
+        // maintained APSP — masked links yield bit-identical distance,
+        // predecessor and hop tables to a from-scratch rebuild without them,
+        // and only trees crossing a flipped link are recomputed.
         let mut sc = self.base.clone();
         sc.requests = self.requests.clone();
+        let desired: Vec<f64> = self
+            .base
+            .net
+            .links()
+            .iter()
+            .enumerate()
+            .map(|(idx, l)| if self.alive_links[idx] { l.rate() } else { 0.0 })
+            .collect();
+        self.apsp.sync_rates(&desired);
         if self.alive_links.iter().any(|&a| !a) {
             let mut net = socl_net::EdgeNetwork::new();
             for k in self.base.net.node_ids() {
@@ -297,7 +320,7 @@ impl OnlineSimulator {
                     net.add_link(link.a, link.b, link.params);
                 }
             }
-            sc.ap = socl_net::AllPairs::compute(&net);
+            sc.ap = self.apsp.all_pairs().clone();
             sc.net = net;
         }
         for i in 0..self.cfg.nodes {
@@ -511,6 +534,34 @@ mod tests {
             sim.alive_links.iter().any(|&a| !a) || sim.base.net.link_count() == 0,
             "no link ever failed at p=0.9"
         );
+    }
+
+    #[test]
+    fn incremental_apsp_matches_full_rebuild_every_slot() {
+        let cfg = OnlineConfig {
+            link_fail_prob: 0.9,
+            link_recover_prob: 0.3,
+            ..small_cfg(17)
+        };
+        let mut sim = OnlineSimulator::new(cfg);
+        let mut saw_failure = false;
+        for _ in 0..10 {
+            let sc = sim.advance();
+            saw_failure |= sim.alive_links.iter().any(|&a| !a);
+            let rebuilt = socl_net::AllPairs::compute_serial(&sc.net);
+            assert!(
+                sc.ap.identical(&rebuilt),
+                "slot APSP diverged from a from-scratch rebuild"
+            );
+        }
+        assert!(saw_failure, "no link ever failed at p=0.9");
+        let stats = sim.apsp_stats();
+        assert!(stats.incremental_updates > 0, "cache never engaged");
+        assert!(
+            stats.rows_reused > 0,
+            "incremental updates reused no rows: {stats:?}"
+        );
+        assert_eq!(stats.full_rebuilds, 1, "slots fell back to full rebuilds");
     }
 
     #[test]

@@ -49,8 +49,8 @@ pub mod prelude {
         TrainTicketDataset, UserId, UserRequest,
     };
     pub use socl_net::{
-        AllPairs, EdgeNetwork, EdgeServer, LinkParams, NodeId, PathMetric, ShortestPaths,
-        TopologyConfig, TopologyKind,
+        effective_threads, set_threads, AllPairs, ApspCache, CacheStats, EdgeNetwork, EdgeServer,
+        LinkParams, NodeId, PathMetric, ShortestPaths, TopologyConfig, TopologyKind, VgCache,
     };
     pub use socl_sim::{
         run_testbed, FaultEvent, FaultKind, FaultPlan, FaultSchedule, FaultStats, FaultTimeline,
