@@ -14,11 +14,11 @@
 
 use crate::common::{ensure_coverage, BaselineResult};
 use socl_model::{evaluate, Placement, Scenario};
-use std::time::Instant;
+use socl_net::time::Stopwatch;
 
 /// Run GC-OG on `scenario`.
 pub fn gc_og(sc: &Scenario) -> BaselineResult {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let mut placement = Placement::empty(sc.services(), sc.nodes());
 
     // Coverage first (one instance per requested service), so storage
@@ -49,7 +49,7 @@ pub fn gc_og(sc: &Scenario) -> BaselineResult {
             let mut trial = placement.clone();
             trial.set(m, k, false);
             let ev = evaluate(sc, &trial);
-            if best.is_none() || ev.objective < best.unwrap().0 {
+            if best.as_ref().is_none_or(|&(b, _, _)| ev.objective < b) {
                 best = Some((ev.objective, m, k));
             }
         }

@@ -12,7 +12,8 @@
 use crate::common::{ensure_coverage, BaselineResult};
 use socl_model::{evaluate, Placement, Scenario, ServiceId};
 use socl_net::NodeId;
-use std::time::Instant;
+
+use socl_net::time::Stopwatch;
 
 /// Nodes ordered by descending compute capacity (ties to smaller id).
 fn capacity_ranking(sc: &Scenario) -> Vec<NodeId> {
@@ -20,8 +21,7 @@ fn capacity_ranking(sc: &Scenario) -> Vec<NodeId> {
     nodes.sort_by(|&a, &b| {
         sc.net
             .compute(b)
-            .partial_cmp(&sc.net.compute(a))
-            .unwrap()
+            .total_cmp(&sc.net.compute(a))
             .then(a.cmp(&b))
     });
     nodes
@@ -36,7 +36,7 @@ fn fits(sc: &Scenario, placement: &Placement, m: ServiceId, k: NodeId) -> bool {
 
 /// Run JDR on `scenario`.
 pub fn jdr(sc: &Scenario) -> BaselineResult {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let mut placement = Placement::empty(sc.services(), sc.nodes());
 
     // Classify.
@@ -48,18 +48,17 @@ pub fn jdr(sc: &Scenario) -> BaselineResult {
 
     // Single-user services: on (or as near as possible to) the user's node.
     for &m in &single {
-        let user = sc
-            .requests
-            .iter()
-            .find(|r| r.uses(m))
-            .expect("single-user service has a user");
+        // A single-user service has, by the partition above, exactly one
+        // requesting user; skip defensively if the invariant ever breaks.
+        let Some(user) = sc.requests.iter().find(|r| r.uses(m)) else {
+            continue;
+        };
         // Nearest by channel speed from the user's location.
         let mut candidates: Vec<NodeId> = sc.net.node_ids().collect();
         candidates.sort_by(|&a, &b| {
             sc.ap
                 .best_speed(user.location, b)
-                .partial_cmp(&sc.ap.best_speed(user.location, a))
-                .unwrap()
+                .total_cmp(&sc.ap.best_speed(user.location, a))
                 .then(a.cmp(&b))
         });
         if let Some(&k) = candidates.iter().find(|&&k| fits(sc, &placement, m, k)) {

@@ -10,12 +10,12 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use socl_model::{Placement, Scenario, ServiceId};
+use socl_net::time::Stopwatch;
 use socl_net::NodeId;
-use std::time::Instant;
 
 /// Run RP on `scenario` with the given RNG seed.
 pub fn random_provisioning(sc: &Scenario, seed: u64) -> BaselineResult {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut placement = Placement::empty(sc.services(), sc.nodes());
     let requested = sc.requested_services();
@@ -42,7 +42,9 @@ pub fn random_provisioning(sc: &Scenario, seed: u64) -> BaselineResult {
         && attempts < 10 * sc.nodes() * requested.len()
     {
         attempts += 1;
-        let m = *requested.as_slice().choose(&mut rng).unwrap();
+        let Some(&m) = requested.as_slice().choose(&mut rng) else {
+            break; // no requested services: nothing to provision
+        };
         let k = NodeId(rng.gen_range(0..sc.nodes() as u32));
         if placement.get(m, k) {
             continue;

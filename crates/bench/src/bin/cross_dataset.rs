@@ -32,7 +32,7 @@ fn run_dataset(name: &str, dataset: &DependencyDataset, users: usize, seeds: &[u
         rows[3].1.push(gc_og(&sc).objective);
     }
     let median = |v: &mut Vec<f64>| {
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(f64::total_cmp);
         v[v.len() / 2]
     };
     let mut meds = Vec::new();

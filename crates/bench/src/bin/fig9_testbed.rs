@@ -40,7 +40,7 @@ fn main() {
             let ev = evaluate(&sc, &placement);
             let res = run_testbed(&sc, &placement, &tb);
             let mut served: Vec<f64> = res.per_request.iter().flatten().copied().collect();
-            served.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            served.sort_by(f64::total_cmp);
             println!(
                 "{users},{name},{:.1},{:.1},{:.2},{:.1},{:.1},{:.1},{}",
                 ev.objective,

@@ -1,8 +1,8 @@
 //! Command implementations.
 
 use crate::args::Args;
+use socl::net::time::Stopwatch;
 use socl::prelude::*;
-use std::time::Instant;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -84,7 +84,7 @@ pub fn solve(args: &Args) -> Result<(), String> {
         sc.budget,
         sc.lambda
     );
-    let t = Instant::now();
+    let t = Stopwatch::start();
     match algo.as_str() {
         "socl" => {
             let cfg = socl_config_from(args)?;
@@ -195,7 +195,7 @@ pub fn compare(args: &Args) -> Result<(), String> {
         sc.budget,
         sc.lambda
     );
-    let t = Instant::now();
+    let t = Stopwatch::start();
     let socl = SoclSolver::new().solve(&sc);
     print_summary(
         "SoCL",

@@ -99,6 +99,10 @@ impl FuzzyAhp {
                     .iter()
                     .find(|((a, b), _)| *a == i && *b == j)
                     .map(|(_, v)| *v)
+                    // LINT-ALLOW(L2-panic-free): documented `# Panics`
+                    // contract of this constructor — a missing pairwise
+                    // judgment is a programming error in the caller's
+                    // hierarchy definition, not a runtime condition.
                     .unwrap_or_else(|| panic!("missing judgment ({i}, {j})"));
                 matrix[i * n + j] = j_val;
                 matrix[j * n + i] = j_val.recip();

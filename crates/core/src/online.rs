@@ -256,11 +256,11 @@ impl WarmStartSolver {
 
     fn solve_warm(&mut self, scenario: &Scenario, previous: Placement) -> SoclResult {
         let mut timings = crate::pipeline::StageTimings::default();
-        let t = std::time::Instant::now();
+        let t = socl_net::time::Stopwatch::start();
         let partitions = initial_partition_cached(scenario, &self.config, &mut self.vg_cache);
         timings.partition = t.elapsed();
 
-        let t = std::time::Instant::now();
+        let t = socl_net::time::Stopwatch::start();
         let preprovisioning = preprovision(scenario, &partitions, &self.config);
         // Union the previous placement into the stage-2 start, respecting
         // shape (topology is fixed across slots in the online model) and
@@ -280,7 +280,7 @@ impl WarmStartSolver {
         }
         timings.preprovision = t.elapsed();
 
-        let t = std::time::Instant::now();
+        let t = socl_net::time::Stopwatch::start();
         let (placement, combine_stats) =
             Combiner::new(scenario, &self.config, &partitions, start).run();
         timings.combine = t.elapsed();

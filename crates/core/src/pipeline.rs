@@ -6,8 +6,9 @@ use crate::config::SoclConfig;
 use crate::partition::{initial_partition_cached, ServicePartitions};
 use crate::preprovision::{preprovision, PreProvisioning};
 use socl_model::{evaluate, Evaluation, Placement, Scenario};
+use socl_net::time::Stopwatch;
 use socl_net::VgCache;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Wall-clock time spent in each stage.
 #[derive(Debug, Clone, Copy, Default)]
@@ -92,15 +93,15 @@ impl SoclSolver {
     pub fn solve_with_vg_cache(&self, scenario: &Scenario, vg_cache: &mut VgCache) -> SoclResult {
         let mut timings = StageTimings::default();
 
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let partitions = initial_partition_cached(scenario, &self.config, vg_cache);
         timings.partition = t.elapsed();
 
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let preprovisioning = preprovision(scenario, &partitions, &self.config);
         timings.preprovision = t.elapsed();
 
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let (placement, combine_stats) = Combiner::new(
             scenario,
             &self.config,
@@ -126,6 +127,7 @@ impl SoclSolver {
 mod tests {
     use super::*;
     use socl_model::ScenarioConfig;
+    use std::time::Instant;
 
     #[test]
     fn pipeline_produces_feasible_solutions() {

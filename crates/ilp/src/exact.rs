@@ -22,8 +22,9 @@
 //! behaviour of the paper's Gurobi baseline that Figures 2 and 7 measure.
 
 use socl_model::{evaluate, Evaluation, Placement, Scenario, ServiceId};
+use socl_net::time::Stopwatch;
 use socl_net::NodeId;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Options for the exact search.
 #[derive(Debug, Clone)]
@@ -95,7 +96,7 @@ struct Search<'a> {
     services: Vec<ServiceId>,
     n: usize,
     opts: &'a ExactOptions,
-    start: Instant,
+    start: Stopwatch,
     nodes: usize,
     incumbent: f64,
     best: Option<(Placement, Evaluation)>,
@@ -135,10 +136,7 @@ impl<'a> Search<'a> {
 
     fn out_of_budget(&self) -> bool {
         self.nodes >= self.opts.node_limit
-            || self
-                .opts
-                .time_limit
-                .is_some_and(|t| self.start.elapsed() >= t)
+            || self.opts.time_limit.is_some_and(|t| self.start.exceeded(t))
     }
 
     /// Try to install a fully decided placement as the incumbent.
@@ -199,7 +197,11 @@ impl<'a> Search<'a> {
             if let Some(route) = ev_relaxed.assignment.route(h) {
                 for (j, &node) in route.iter().enumerate() {
                     let svc = req.chain[j];
-                    let s = self.services.iter().position(|&t| t == svc).unwrap();
+                    // Every routed service is in `services` by construction;
+                    // skip defensively instead of panicking if not.
+                    let Some(s) = self.services.iter().position(|&t| t == svc) else {
+                        continue;
+                    };
                     let idx = self.pair_index(s, node.idx());
                     if state[idx] == Bit::Free {
                         usage[idx] += 1;
@@ -215,13 +217,18 @@ impl<'a> Search<'a> {
             return bound;
         }
 
-        // Branch on the most-used free pair.
-        let (branch_idx, _) = usage
+        // Branch on the most-used free pair. `uses_free` was set inside the
+        // loop above, so a free pair exists; if that invariant ever breaks we
+        // close the subtree like the `!uses_free` case instead of panicking.
+        let Some((branch_idx, _)) = usage
             .iter()
             .enumerate()
             .filter(|&(i, _)| state[i] == Bit::Free)
             .max_by_key(|&(_, &u)| u)
-            .expect("uses_free implies a free pair exists");
+        else {
+            self.offer(forced);
+            return bound;
+        };
 
         // x = 1 child first.
         state[branch_idx] = Bit::Forced1;
@@ -260,7 +267,7 @@ impl<'a> Search<'a> {
 /// assert!(opt.gap() < 1e-9);
 /// ```
 pub fn solve_exact(sc: &Scenario, opts: &ExactOptions) -> ExactSolution {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let services = sc.requested_services();
     let n = sc.nodes();
     let mut search = Search {

@@ -1,0 +1,469 @@
+//! Rule engine: file classification, the L1–L4 checks, `LINT-ALLOW`
+//! processing, and the workspace walk.
+
+use crate::lexer::{contains_word, line_views, test_gated_mask, LineView};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Identifier of one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// No raw f64 comparisons (`partial_cmp` calls, NaN-collapsing
+    /// `unwrap_or(Ordering::Equal)`, bare `f64` keys in `BinaryHeap`).
+    L1FloatCmp,
+    /// No `unwrap`/`expect`/`panic!`-family in library code.
+    L2PanicFree,
+    /// No wall-clock / ambient RNG in solver code.
+    L3Time,
+    /// No `HashMap`/`HashSet` (unordered iteration) in deterministic code.
+    L3Hash,
+    /// Every `unsafe` must carry a `// SAFETY:` comment.
+    L4Safety,
+}
+
+impl Rule {
+    pub const ALL: [Rule; 5] = [
+        Rule::L1FloatCmp,
+        Rule::L2PanicFree,
+        Rule::L3Time,
+        Rule::L3Hash,
+        Rule::L4Safety,
+    ];
+
+    /// Stable rule id as written in diagnostics and `LINT-ALLOW(...)`.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Rule::L1FloatCmp => "L1-float-cmp",
+            Rule::L2PanicFree => "L2-panic-free",
+            Rule::L3Time => "L3-nondet-time",
+            Rule::L3Hash => "L3-nondet-hash",
+            Rule::L4Safety => "L4-unsafe-doc",
+        }
+    }
+
+    /// Short rationale shown by `socl-lint rules`.
+    pub fn rationale(&self) -> &'static str {
+        match self {
+            Rule::L1FloatCmp => {
+                "raw f64 comparisons (`.partial_cmp()`, `unwrap_or(Equal)` on float \
+                 orderings, bare f64 BinaryHeap keys) silently collapse on NaN and \
+                 corrupt orderings; use `total_cmp`, `socl_net::fcmp`, or the \
+                 NaN-safe heap wrappers"
+            }
+            Rule::L2PanicFree => {
+                "library code must surface failures as `Result`, not \
+                 `unwrap`/`expect`/`panic!`; panics in the solver abort whole \
+                 experiment sweeps (bins, benches and tests are exempt)"
+            }
+            Rule::L3Time => {
+                "`Instant::now`/`SystemTime::now`/`thread_rng` make runs \
+                 irreproducible; route timing through `socl_net::time::Stopwatch` \
+                 and randomness through seeded `ChaCha` RNGs (crates/bench exempt)"
+            }
+            Rule::L3Hash => {
+                "`HashMap`/`HashSet` iteration order is randomized per process; \
+                 anything that folds or emits in iteration order becomes \
+                 nondeterministic — use `BTreeMap`/`BTreeSet` or sort before folding"
+            }
+            Rule::L4Safety => {
+                "every `unsafe` block must justify its soundness with a \
+                 `// SAFETY:` comment on or directly above the block"
+            }
+        }
+    }
+
+    fn from_id(s: &str) -> Option<Rule> {
+        let s = s.trim();
+        Rule::ALL.iter().copied().find(|r| {
+            r.id() == s || r.id().split('-').next() == Some(s) // accept bare "L1"…
+        })
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// How a file participates in linting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code: all rules apply.
+    Lib,
+    /// Binary / CLI / harness code: panic-freedom (L2) is waived.
+    Bin,
+    /// Test, bench, example or fixture code: skipped entirely.
+    Test,
+}
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub rule: Rule,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Stable machine-parseable format: `file:line:rule: message`.
+        write!(
+            f,
+            "{}:{}:{}: {}",
+            self.file,
+            self.line,
+            self.rule.id(),
+            self.message
+        )
+    }
+}
+
+/// Classify a workspace-relative path.
+pub fn classify(rel_path: &str) -> FileKind {
+    let p = rel_path.replace('\\', "/");
+    let file_name = p.rsplit('/').next().unwrap_or(&p);
+    if p.contains("/tests/")
+        || p.contains("/benches/")
+        || p.contains("/examples/")
+        || p.contains("/fixtures/")
+        || p.starts_with("tests/")
+        || p.starts_with("examples/")
+        || file_name.starts_with("proptests")
+    {
+        return FileKind::Test;
+    }
+    if p.contains("/src/bin/")
+        || file_name == "main.rs"
+        || p.starts_with("crates/cli/")
+        || p.starts_with("crates/bench/")
+    {
+        return FileKind::Bin;
+    }
+    FileKind::Lib
+}
+
+/// The crate a workspace-relative path belongs to (`""` outside `crates/`).
+fn crate_of(rel_path: &str) -> &str {
+    rel_path
+        .strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("")
+}
+
+/// Lint a single file's source text.
+///
+/// `rel_path` is used for classification, crate-specific exemptions and
+/// diagnostics; `kind_override` forces a classification (used by the fixture
+/// tests, whose files live under a path that would otherwise classify as
+/// `Test`).
+pub fn lint_source(
+    rel_path: &str,
+    source: &str,
+    kind_override: Option<FileKind>,
+) -> Vec<Diagnostic> {
+    let kind = kind_override.unwrap_or_else(|| classify(rel_path));
+    if kind == FileKind::Test {
+        return Vec::new();
+    }
+    let krate = crate_of(rel_path);
+    let views = line_views(source);
+    let gated = test_gated_mask(&views);
+
+    let mut out = Vec::new();
+    for (idx, view) in views.iter().enumerate() {
+        // Active code: the code view with test-gated columns blanked.
+        let active: String = view
+            .code
+            .chars()
+            .enumerate()
+            .map(|(col, c)| {
+                if gated[idx].get(col).copied().unwrap_or(false) {
+                    ' '
+                } else {
+                    c
+                }
+            })
+            .collect();
+        if active.trim().is_empty() {
+            continue;
+        }
+        let line_no = idx + 1;
+        let mut report = |rule: Rule, message: String| match allow_status(&views, idx, rule) {
+            AllowStatus::Allowed => {}
+            AllowStatus::MissingReason => out.push(Diagnostic {
+                file: rel_path.to_string(),
+                line: line_no,
+                rule,
+                message: format!(
+                    "{message} (LINT-ALLOW present but missing a reason — write \
+                         `LINT-ALLOW({}): <why this is sound>`)",
+                    rule.id()
+                ),
+            }),
+            AllowStatus::NotAllowed => out.push(Diagnostic {
+                file: rel_path.to_string(),
+                line: line_no,
+                rule,
+                message,
+            }),
+        };
+
+        // ---- L1: raw float comparisons -------------------------------
+        if active.contains(".partial_cmp(") || active.contains("::partial_cmp(") {
+            report(
+                Rule::L1FloatCmp,
+                "raw `partial_cmp` call; use `f64::total_cmp` / `socl_net::fcmp` \
+                 so NaN cannot collapse the ordering"
+                    .to_string(),
+            );
+        }
+        if (active.contains("unwrap_or(Ordering::Equal)")
+            || active.contains("unwrap_or(cmp::Ordering::Equal)")
+            || active.contains("unwrap_or(std::cmp::Ordering::Equal)"))
+            && !active.contains("total_cmp")
+        {
+            report(
+                Rule::L1FloatCmp,
+                "`unwrap_or(Ordering::Equal)` silently equates NaN with everything; \
+                 use a total order (`total_cmp`)"
+                    .to_string(),
+            );
+        }
+        if let Some(pos) = active.find("BinaryHeap<") {
+            let tail: String = active[pos..].chars().take(80).collect();
+            if contains_word(&tail, "f64")
+                && !tail.contains("OrdF64")
+                && !tail.contains("HeapEntry")
+            {
+                report(
+                    Rule::L1FloatCmp,
+                    "bare `f64` key in a `BinaryHeap` ordering; wrap it in \
+                     `socl_net::fcmp::OrdF64` (or a struct with a `total_cmp` Ord impl)"
+                        .to_string(),
+                );
+            }
+        }
+
+        // ---- L2: panic-freedom in library code -----------------------
+        if kind == FileKind::Lib {
+            for (needle, what) in [
+                (".unwrap()", "`.unwrap()`"),
+                (".expect(", "`.expect(…)`"),
+                (".expect_err(", "`.expect_err(…)`"),
+            ] {
+                if active.contains(needle) {
+                    report(
+                        Rule::L2PanicFree,
+                        format!(
+                            "{what} in library code; propagate a `Result`/`Option`, \
+                             or justify with `LINT-ALLOW(L2-panic-free): reason`"
+                        ),
+                    );
+                }
+            }
+            for mac in ["panic!", "unreachable!", "todo!", "unimplemented!"] {
+                if find_macro(&active, mac) {
+                    report(
+                        Rule::L2PanicFree,
+                        format!(
+                            "`{mac}(…)` in library code; return an error instead, or \
+                             justify with `LINT-ALLOW(L2-panic-free): reason`"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // ---- L3: nondeterminism sources ------------------------------
+        if krate != "bench" {
+            for needle in [
+                "Instant::now",
+                "SystemTime::now",
+                "thread_rng",
+                "from_entropy",
+            ] {
+                if active.contains(needle) {
+                    report(
+                        Rule::L3Time,
+                        format!(
+                            "`{needle}` outside crates/bench; use \
+                             `socl_net::time::Stopwatch` for timing and seeded RNGs \
+                             for randomness"
+                        ),
+                    );
+                }
+            }
+        }
+        for needle in ["HashMap", "HashSet"] {
+            if contains_word(&active, needle) {
+                report(
+                    Rule::L3Hash,
+                    format!(
+                        "`{needle}` has randomized iteration order; use \
+                         `BTreeMap`/`BTreeSet` or a sorted drain so output order is \
+                         deterministic"
+                    ),
+                );
+            }
+        }
+
+        // ---- L4: unsafe must be documented ---------------------------
+        if contains_word(&active, "unsafe") {
+            let documented = (idx.saturating_sub(3)..=idx)
+                .any(|j| views[j].comment.trim_start().starts_with("SAFETY:"));
+            if !documented {
+                report(
+                    Rule::L4Safety,
+                    "`unsafe` without a `// SAFETY:` comment on or directly above \
+                     the block"
+                        .to_string(),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Result of scanning for a `LINT-ALLOW` covering (line, rule).
+enum AllowStatus {
+    Allowed,
+    MissingReason,
+    NotAllowed,
+}
+
+/// A violation on line `idx` is suppressed by `LINT-ALLOW(rule[,rule…]): reason`
+/// in a comment on the same line or in the contiguous run of comment-only
+/// lines directly above it.
+fn allow_status(views: &[LineView], idx: usize, rule: Rule) -> AllowStatus {
+    let check = |comment: &str| -> Option<AllowStatus> {
+        let pos = comment.find("LINT-ALLOW(")?;
+        let rest = &comment[pos + "LINT-ALLOW(".len()..];
+        let close = rest.find(')')?;
+        let rules = &rest[..close];
+        let covered = rules
+            .split(',')
+            .filter_map(Rule::from_id)
+            .any(|r| r == rule);
+        if !covered {
+            return None;
+        }
+        let after = rest[close + 1..].trim_start();
+        let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            Some(AllowStatus::MissingReason)
+        } else {
+            Some(AllowStatus::Allowed)
+        }
+    };
+    if let Some(st) = check(&views[idx].comment) {
+        return st;
+    }
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let v = &views[j];
+        if !v.is_code_blank() {
+            break;
+        }
+        if let Some(st) = check(&v.comment) {
+            return st;
+        }
+        if v.comment.trim().is_empty() && v.code.trim().is_empty() {
+            // blank line ends the attached comment block
+            break;
+        }
+    }
+    AllowStatus::NotAllowed
+}
+
+/// `mac!` occurrence with a non-identifier char before it.
+fn find_macro(code: &str, mac: &str) -> bool {
+    let pat = format!("{mac}(");
+    let bang = mac.to_string();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(&bang) {
+        let abs = start + pos;
+        let before_ok = abs == 0
+            || !code[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && code[abs..].starts_with(&pat) {
+            return true;
+        }
+        start = abs + bang.len();
+    }
+    false
+}
+
+/// Walk the workspace at `root`, linting every `.rs` file under `crates/*/src`.
+///
+/// Fixture files under `crates/lint/tests/` are skipped (they are deliberate
+/// violations), as are `target/` and hidden directories.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(format!(
+            "{} does not look like the workspace root (no crates/ directory)",
+            root.display()
+        ));
+    }
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("read {}: {e}", crates_dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        collect_rs(&dir.join("src"), &mut files)?;
+    }
+    files.sort();
+
+    let mut out = Vec::new();
+    for f in files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(&f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&f).map_err(|e| format!("read {}: {e}", f.display()))?;
+        out.extend(lint_source(&rel, &src, None));
+    }
+    out.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.cmp(&b.rule))
+    });
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("read {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for p in entries {
+        let name = p.file_name().map(|n| n.to_string_lossy().to_string());
+        if let Some(n) = &name {
+            if n.starts_with('.') || n == "target" || n == "fixtures" {
+                continue;
+            }
+        }
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,384 @@
+//! A minimal, dependency-free lexical pass over Rust source.
+//!
+//! The linter does not need a full AST: every invariant it enforces (L1–L4)
+//! is recognizable from the token stream once comments and string literals
+//! are stripped. This module produces, for each source line, a *code view*
+//! (the line with comment and string-literal interiors blanked to spaces,
+//! byte-for-byte the same length) and a *comment view* (the concatenated
+//! comment text of the line, where `LINT-ALLOW` and `SAFETY:` directives
+//! live).
+//!
+//! Handled syntax: `//` line comments, nested `/* */` block comments,
+//! `"…"` strings with escapes, raw strings `r"…"` / `r#"…"#` (any number of
+//! hashes, plus `b`/`c` prefixes), char literals (disambiguated from
+//! lifetimes), and byte strings. This covers everything in the workspace;
+//! exotic token sequences would at worst blank slightly too much, which
+//! fails safe (a masked token can only *hide* a violation inside a string,
+//! never invent one).
+
+/// One source line split into its code and comment parts.
+#[derive(Debug, Clone)]
+pub struct LineView {
+    /// Code with comments and string interiors replaced by spaces.
+    /// Same byte length as the original line.
+    pub code: String,
+    /// Concatenated comment text appearing on this line (both `//` and
+    /// `/* */` bodies), without the comment markers.
+    pub comment: String,
+}
+
+impl LineView {
+    /// True when the line contains no code tokens at all (blank or
+    /// comment-only) — used when scanning upward for `LINT-ALLOW`.
+    pub fn is_code_blank(&self) -> bool {
+        self.code.chars().all(|c| c.is_whitespace())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u8),
+    Char,
+}
+
+/// Split `source` into per-line code/comment views.
+pub fn line_views(source: &str) -> Vec<LineView> {
+    let mut views = Vec::new();
+    let mut state = State::Code;
+    for line in source.split('\n') {
+        let bytes: Vec<char> = line.chars().collect();
+        let mut code = String::with_capacity(line.len());
+        let mut comment = String::new();
+        let mut i = 0usize;
+        // A line comment never continues across lines.
+        if state == State::LineComment {
+            state = State::Code;
+        }
+        while i < bytes.len() {
+            let c = bytes[i];
+            let next = bytes.get(i + 1).copied();
+            match state {
+                State::Code => match c {
+                    '/' if next == Some('/') => {
+                        state = State::LineComment;
+                        comment.push_str(&bytes[i + 2..].iter().collect::<String>());
+                        // Blank the rest of the line in the code view.
+                        for _ in i..bytes.len() {
+                            code.push(' ');
+                        }
+                        i = bytes.len();
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::BlockComment(1);
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                    }
+                    '"' => {
+                        state = State::Str;
+                        code.push('"');
+                        i += 1;
+                    }
+                    'b' | 'c' if next == Some('"') && !prev_is_ident(&bytes, i) => {
+                        // Plain byte/C string `b"…"`: escapes apply, so treat
+                        // as an ordinary string after the prefix.
+                        code.push(c);
+                        code.push('"');
+                        i += 2;
+                        state = State::Str;
+                    }
+                    'r' | 'b' | 'c'
+                        if is_raw_string_start(&bytes, i) && !prev_is_ident(&bytes, i) =>
+                    {
+                        // Consume prefix up to and including the opening quote,
+                        // counting hashes.
+                        let mut j = i;
+                        while bytes.get(j).is_some_and(|&c| matches!(c, 'r' | 'b' | 'c')) {
+                            code.push(bytes[j]);
+                            j += 1;
+                        }
+                        let mut hashes = 0u8;
+                        while bytes.get(j) == Some(&'#') {
+                            code.push('#');
+                            hashes += 1;
+                            j += 1;
+                        }
+                        // bytes[j] is the opening quote.
+                        code.push('"');
+                        i = j + 1;
+                        state = State::RawStr(hashes);
+                    }
+                    '\'' => {
+                        // Lifetime vs char literal: a lifetime is `'ident` not
+                        // followed by a closing quote.
+                        let is_lifetime = next.is_some_and(|n| n.is_alphabetic() || n == '_')
+                            && bytes.get(i + 2) != Some(&'\'');
+                        code.push('\'');
+                        i += 1;
+                        if !is_lifetime {
+                            state = State::Char;
+                        }
+                    }
+                    _ => {
+                        code.push(c);
+                        i += 1;
+                    }
+                },
+                // LINT-ALLOW(L2-panic-free): state-machine invariant — LineComment
+                // is cleared at line start and never re-entered mid-arm; reaching
+                // this arm is a lexer bug worth aborting loudly in tests.
+                State::LineComment => unreachable!("handled at line start / takeover above"),
+                State::BlockComment(depth) => {
+                    if c == '*' && next == Some('/') {
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        if depth == 1 {
+                            state = State::Code;
+                        } else {
+                            state = State::BlockComment(depth - 1);
+                        }
+                    } else if c == '/' && next == Some('*') {
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        state = State::BlockComment(depth + 1);
+                    } else {
+                        comment.push(c);
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Str => match c {
+                    '\\' => {
+                        code.push(' ');
+                        if next.is_some() {
+                            code.push(' ');
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    '"' => {
+                        code.push('"');
+                        state = State::Code;
+                        i += 1;
+                    }
+                    _ => {
+                        code.push(' ');
+                        i += 1;
+                    }
+                },
+                State::RawStr(hashes) => {
+                    if c == '"' && closes_raw(&bytes, i, hashes) {
+                        code.push('"');
+                        for _ in 0..hashes {
+                            code.push('#');
+                        }
+                        i += 1 + hashes as usize;
+                        state = State::Code;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Char => match c {
+                    '\\' => {
+                        code.push(' ');
+                        if next.is_some() {
+                            code.push(' ');
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    '\'' => {
+                        code.push('\'');
+                        state = State::Code;
+                        i += 1;
+                    }
+                    _ => {
+                        code.push(' ');
+                        i += 1;
+                    }
+                },
+            }
+        }
+        // Char literals never span lines; a Char state at EOL is a
+        // mis-disambiguated lifetime — reset to Code (the safe direction).
+        // Plain strings *can* span lines and keep their state.
+        if state == State::Char {
+            state = State::Code;
+        }
+        views.push(LineView { code, comment });
+    }
+    views
+}
+
+/// Is the char before `i` part of an identifier (so `bytes[i]` cannot start
+/// a literal prefix)?
+fn prev_is_ident(bytes: &[char], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_')
+}
+
+/// Does a *raw* string literal start at `i`? (`r"`, `r#"`, `br"`, `cr#"` …)
+fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
+    let mut j = i;
+    let mut saw_r = false;
+    while let Some(&c) = bytes.get(j) {
+        match c {
+            'r' if !saw_r => {
+                saw_r = true;
+                j += 1;
+            }
+            'b' | 'c' if !saw_r => j += 1,
+            _ => break,
+        }
+        if j - i > 2 {
+            return false;
+        }
+    }
+    if !saw_r {
+        return false;
+    }
+    let mut k = j;
+    while bytes.get(k) == Some(&'#') {
+        k += 1;
+    }
+    bytes.get(k) == Some(&'"')
+}
+
+/// Does the quote at `i` close a raw string with `hashes` trailing hashes?
+fn closes_raw(bytes: &[char], i: usize, hashes: u8) -> bool {
+    (1..=hashes as usize).all(|k| bytes.get(i + k) == Some(&'#'))
+}
+
+/// Byte offsets (per line) of regions gated behind `#[cfg(test)]` (or any
+/// `cfg` predicate mentioning `test`): returns a per-line mask where `true`
+/// marks a column belonging to a test-only item body.
+///
+/// Detection: each `#[cfg(…test…)]` attribute arms a pending skip; the next
+/// top-level-relative `{` opens the gated body, which is masked through its
+/// matching `}`. A `;` before any `{` (e.g. `#[cfg(test)] mod proptests;`)
+/// disarms without masking.
+pub fn test_gated_mask(views: &[LineView]) -> Vec<Vec<bool>> {
+    let mut mask: Vec<Vec<bool>> = views
+        .iter()
+        .map(|v| vec![false; v.code.chars().count()])
+        .collect();
+
+    // Flatten to (line, col, char) stream of the code view.
+    let stream: Vec<(usize, usize, char)> = views
+        .iter()
+        .enumerate()
+        .flat_map(|(ln, v)| {
+            v.code
+                .chars()
+                .enumerate()
+                .map(move |(col, c)| (ln, col, c))
+                .chain(std::iter::once((ln, usize::MAX, '\n')))
+        })
+        .collect();
+
+    let mut i = 0usize;
+    while i < stream.len() {
+        let (_, _, c) = stream[i];
+        if c == '#' && matches!(stream.get(i + 1), Some((_, _, '['))) {
+            // Collect the attribute text up to the matching ']'.
+            let mut j = i + 2;
+            let mut depth = 1i32;
+            let mut attr = String::new();
+            while j < stream.len() && depth > 0 {
+                let ch = stream[j].2;
+                match ch {
+                    '[' => depth += 1,
+                    ']' => depth -= 1,
+                    _ => {}
+                }
+                if depth > 0 {
+                    attr.push(ch);
+                }
+                j += 1;
+            }
+            let is_test_cfg = attr.trim_start().starts_with("cfg") && contains_word(&attr, "test");
+            if is_test_cfg {
+                // Find next `{` or `;` (skipping further attributes).
+                let mut k = j;
+                let mut in_attr = 0i32;
+                while k < stream.len() {
+                    let ch = stream[k].2;
+                    match ch {
+                        '[' => in_attr += 1,
+                        ']' => in_attr -= 1,
+                        '{' if in_attr == 0 => break,
+                        ';' if in_attr == 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                if k < stream.len() && stream[k].2 == '{' {
+                    // Mask from the attribute start through the matching '}'.
+                    let mut depth = 0i32;
+                    let mut m = k;
+                    while m < stream.len() {
+                        let ch = stream[m].2;
+                        match ch {
+                            '{' => depth += 1,
+                            '}' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        m += 1;
+                    }
+                    for item in &stream[i..=m.min(stream.len() - 1)] {
+                        let (ln, col, _) = *item;
+                        if col != usize::MAX {
+                            mask[ln][col] = true;
+                        }
+                    }
+                    i = m + 1;
+                    continue;
+                }
+                i = k;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Whole-word containment (`test` matches in `any(test, loom)` but not in
+/// `integration_tests`).
+pub fn contains_word(haystack: &str, word: &str) -> bool {
+    let mut start = 0usize;
+    while let Some(pos) = haystack[start..].find(word) {
+        let abs = start + pos;
+        let before_ok = abs == 0
+            || !haystack[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = abs + word.len();
+        let after_ok = after >= haystack.len()
+            || !haystack[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = abs + word.len();
+    }
+    false
+}

@@ -1,0 +1,25 @@
+// Fixture: LINT-ALLOW waiver semantics.
+pub fn justified(x: Option<u32>) -> u32 {
+    // LINT-ALLOW(L2-panic-free): fixture demonstrates a justified waiver.
+    x.unwrap()
+}
+
+pub fn justified_same_line(x: Option<u32>) -> u32 {
+    x.unwrap() // LINT-ALLOW(L2-panic-free): same-line waivers also count.
+}
+
+pub fn missing_reason(x: Option<u32>) -> u32 {
+    // LINT-ALLOW(L2-panic-free)
+    x.unwrap()
+}
+
+pub fn wrong_rule(x: Option<u32>) -> u32 {
+    // LINT-ALLOW(L1): a waiver for a different rule does not apply.
+    x.unwrap()
+}
+
+pub fn detached(x: Option<u32>) -> u32 {
+    // LINT-ALLOW(L2-panic-free): a blank line detaches the comment block.
+
+    x.unwrap()
+}

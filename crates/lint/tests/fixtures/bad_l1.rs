@@ -1,0 +1,16 @@
+// Fixture: deliberate L1-float-cmp violations. Never compiled; read by
+// `fixture_diagnostics.rs`, which asserts the exact (rule, line) output.
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+pub fn sort_scores(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+}
+
+pub fn best(xs: &[f64]) -> Option<&f64> {
+    xs.iter().max_by(|a, b| a.partial_cmp(b).expect("no NaN"))
+}
+
+pub fn frontier() -> BinaryHeap<(f64, usize)> {
+    BinaryHeap::new()
+}

@@ -1,0 +1,19 @@
+// Fixture: deliberate L2-panic-free violations (library-kind file).
+pub fn take(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn must(x: Result<u32, String>) -> u32 {
+    x.expect("boom")
+}
+
+pub fn later() -> u32 {
+    todo!("implement")
+}
+
+pub fn never(x: u32) -> u32 {
+    match x {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: deliberate L3 nondeterminism violations.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn timed_count(keys: &[u32]) -> (usize, f64) {
+    let t = Instant::now();
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    (m.len(), t.elapsed().as_secs_f64())
+}

@@ -1,0 +1,11 @@
+// Fixture: L4-unsafe-doc — one undocumented `unsafe`, one documented.
+pub fn first_undocumented(xs: &[u32]) -> u32 {
+    unsafe { *xs.get_unchecked(0) }
+}
+
+pub fn first_documented(xs: &[u32]) -> u32 {
+    debug_assert!(!xs.is_empty());
+    // SAFETY: every caller checks `is_empty` first; the debug_assert above
+    // enforces the contract in test builds.
+    unsafe { *xs.get_unchecked(0) }
+}

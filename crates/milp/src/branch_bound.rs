@@ -10,9 +10,11 @@
 
 use crate::model::{Model, VarId};
 use crate::simplex::{solve_lp_with_limit, LpStatus};
+use socl_net::fcmp;
+use socl_net::time::Stopwatch;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Termination status of a MILP solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,17 +104,16 @@ struct Prioritized(Node);
 
 impl PartialEq for Prioritized {
     fn eq(&self, other: &Self) -> bool {
-        self.0.relax == other.0.relax
+        fcmp::total(&self.0.relax, &other.0.relax) == Ordering::Equal
     }
 }
 impl Eq for Prioritized {}
 impl Ord for Prioritized {
     fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .0
-            .relax
-            .partial_cmp(&self.0.relax)
-            .unwrap_or(Ordering::Equal)
+        // NaN-safe total order (shared helper, rule L1): a NaN relaxation
+        // sorts as the *worst* priority instead of silently comparing Equal
+        // to everything, which corrupted heap invariants.
+        fcmp::total(&other.0.relax, &self.0.relax)
     }
 }
 impl PartialOrd for Prioritized {
@@ -123,7 +124,7 @@ impl PartialOrd for Prioritized {
 
 /// Solve `model` to integer optimality (or until a limit fires).
 pub fn solve_milp(model: &Model, options: &MilpOptions) -> MilpSolution {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     // Presolve keeps variable indices stable, so the reduced model can be
     // searched directly and its solutions are valid for the original.
     let reduced;
@@ -172,7 +173,7 @@ pub fn solve_milp(model: &Model, options: &MilpOptions) -> MilpSolution {
             }
         }
         // Limits.
-        if nodes >= options.node_limit || options.time_limit.is_some_and(|t| start.elapsed() >= t) {
+        if nodes >= options.node_limit || options.time_limit.is_some_and(|t| start.exceeded(t)) {
             let status_on_limit = if incumbent.is_some() {
                 MilpStatus::FeasibleLimit
             } else {
@@ -319,7 +320,7 @@ fn finish(
     incumbent: Option<(f64, Vec<f64>)>,
     bound: f64,
     nodes: usize,
-    start: Instant,
+    start: Stopwatch,
     status: MilpStatus,
 ) -> MilpSolution {
     let (objective, values) = incumbent.unwrap_or((f64::INFINITY, Vec::new()));

@@ -15,6 +15,7 @@
 //! after a stall, which guarantees termination on degenerate instances.
 
 use crate::model::{Model, Relation};
+use socl_net::fcmp;
 
 const EPS: f64 = 1e-9;
 
@@ -126,7 +127,9 @@ impl Tableau {
             } else {
                 let mut best = -EPS;
                 for (c, &ok) in allowed.iter().enumerate().take(self.n) {
-                    if ok && self.cost[c] < best {
+                    // Dantzig rule: most negative reduced cost enters. Shared
+                    // NaN-safe comparison (rule L1) keeps the pick total.
+                    if ok && fcmp::lt(self.cost[c], best) {
                         best = self.cost[c];
                         enter = Some(c);
                     }
@@ -142,8 +145,10 @@ impl Tableau {
                 let arc = self.at(r, col);
                 if arc > EPS {
                     let ratio = self.b[r] / arc;
-                    let better = ratio < best_ratio - EPS
-                        || (ratio < best_ratio + EPS
+                    // EPS-banded ratio test with index tie-break, compared
+                    // through the shared NaN-safe helper (rule L1).
+                    let better = fcmp::lt(ratio, best_ratio - EPS)
+                        || (fcmp::lt(ratio, best_ratio + EPS)
                             && leave.is_some_and(|l| self.basis[r] < self.basis[l]));
                     if better {
                         best_ratio = ratio;

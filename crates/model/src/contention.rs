@@ -21,7 +21,7 @@ use crate::placement::{Assignment, Placement};
 use crate::request::UserRequest;
 use crate::scenario::Scenario;
 use crate::service::ServiceId;
-use socl_net::{NodeId, PathMetric, ShortestPaths};
+use socl_net::{fcmp, NodeId, PathMetric, ShortestPaths};
 
 /// Per-link load in GB for one scheduling slot.
 #[derive(Debug, Clone)]
@@ -47,7 +47,7 @@ impl LinkLoads {
             .iter()
             .copied()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .max_by(fcmp::by_key(|x: &(usize, f64)| x.1))
     }
 
     /// Jain's fairness index over link loads: 1 = perfectly balanced,
@@ -99,11 +99,13 @@ pub fn link_loads(sc: &Scenario, assignment: &Assignment) -> LinkLoads {
         let Some(route) = assignment.route(h) else {
             continue;
         };
-        add_path_load(sc, &mut loads, req.location, route[0], req.r_in);
+        let (Some(&first), Some(&last)) = (route.first(), route.last()) else {
+            continue;
+        };
+        add_path_load(sc, &mut loads, req.location, first, req.r_in);
         for (j, &r) in req.edge_data.iter().enumerate() {
             add_path_load(sc, &mut loads, route[j], route[j + 1], r);
         }
-        let last = *route.last().unwrap();
         // Return leg rides the min-hop path; approximate its load on the
         // latency path (identical in the common single-path case).
         add_path_load(sc, &mut loads, last, req.location, req.r_out);
@@ -138,7 +140,7 @@ impl ContentionReport {
             .enumerate()
             .filter(|&(_, u)| u > hotspot_threshold)
             .collect();
-        hotspots.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        hotspots.sort_by(|a, b| b.1.total_cmp(&a.1));
         Self {
             loads,
             utilization,
@@ -166,21 +168,17 @@ pub fn route_all_contention_aware(sc: &Scenario, placement: &Placement, alpha: f
     for req in &sc.requests {
         let route = route_one_penalized(sc, placement, req, &loads, alpha);
         if let Some(route) = &route {
-            // Charge this request's traffic onto the links it uses.
-            let mut tmp = LinkLoads::zero(sc.net.link_count());
-            add_path_load(sc, &mut tmp, req.location, route[0], req.r_in);
-            for (j, &r) in req.edge_data.iter().enumerate() {
-                add_path_load(sc, &mut tmp, route[j], route[j + 1], r);
-            }
-            add_path_load(
-                sc,
-                &mut tmp,
-                *route.last().unwrap(),
-                req.location,
-                req.r_out,
-            );
-            for (l, g) in loads.gb.iter_mut().zip(&tmp.gb) {
-                *l += g;
+            if let (Some(&first), Some(&last)) = (route.first(), route.last()) {
+                // Charge this request's traffic onto the links it uses.
+                let mut tmp = LinkLoads::zero(sc.net.link_count());
+                add_path_load(sc, &mut tmp, req.location, first, req.r_in);
+                for (j, &r) in req.edge_data.iter().enumerate() {
+                    add_path_load(sc, &mut tmp, route[j], route[j + 1], r);
+                }
+                add_path_load(sc, &mut tmp, last, req.location, req.r_out);
+                for (l, g) in loads.gb.iter_mut().zip(&tmp.gb) {
+                    *l += g;
+                }
             }
         }
         routes.push(route);
@@ -266,7 +264,7 @@ fn route_one_penalized(
                 cost[n_layers - 1][s] + pap.return_time(k, req.location, req.r_out),
             )
         })
-        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())?;
+        .min_by(fcmp::by_key(|x: &(usize, f64)| x.1))?;
     let mut route = vec![NodeId(0); n_layers];
     for j in (0..n_layers).rev() {
         route[j] = layers[j][s];

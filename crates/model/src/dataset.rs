@@ -144,7 +144,10 @@ impl DependencyDataset {
                 if succ.is_empty() {
                     break;
                 }
-                cur = *succ.choose(rng).unwrap();
+                match succ.choose(rng) {
+                    Some(&next) => cur = next,
+                    None => break,
+                }
                 chain.push(ServiceId(cur));
             }
             if chain.len() >= min_len {

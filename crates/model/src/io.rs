@@ -105,6 +105,9 @@ impl ScenarioSnapshot {
 
     /// Serialize to pretty JSON.
     pub fn to_json(&self) -> String {
+        // LINT-ALLOW(L2-panic-free): serializing a plain in-memory struct
+        // (no maps with non-string keys, no custom Serialize impls) cannot
+        // fail; an Err here is a serde_json bug worth aborting on.
         serde_json::to_string_pretty(self).expect("snapshot serialization cannot fail")
     }
 
@@ -150,6 +153,9 @@ impl PlacementSnapshot {
 
     /// Serialize to JSON.
     pub fn to_json(&self) -> String {
+        // LINT-ALLOW(L2-panic-free): serializing a plain-old-data struct of
+        // integers cannot fail; an Err here would mean serde_json itself is
+        // broken, which no caller can meaningfully handle.
         serde_json::to_string_pretty(self).expect("snapshot serialization cannot fail")
     }
 

@@ -80,8 +80,11 @@ pub fn completion_time(
     }
 
     // d_out: last service host → user node along the min-hop return path π*.
-    let last = *route.last().unwrap();
-    b.d_out = ap.return_time(last, request.location, request.r_out);
+    // Chains are non-empty by Request's construction; an empty route yields
+    // the partial breakdown (all-zero legs) rather than a panic.
+    if let Some(&last) = route.last() {
+        b.d_out = ap.return_time(last, request.location, request.r_out);
+    }
 
     b
 }

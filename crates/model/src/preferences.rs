@@ -78,7 +78,11 @@ impl PreferenceModel {
                 return s;
             }
         }
-        *options.last().unwrap()
+        // Rounding can leave `pick` marginally positive after the loop; the
+        // last option is the correct weighted choice then. Empty `options`
+        // violates the debug-asserted precondition; fall back to service 0
+        // rather than panicking in release.
+        options.last().copied().unwrap_or(0)
     }
 
     /// Sample a loop-free chain for `user`: like

@@ -111,6 +111,8 @@ impl UserRequest {
     /// The last microservice of the chain.
     #[inline]
     pub fn last_service(&self) -> ServiceId {
+        // LINT-ALLOW(L2-panic-free): `UserRequest::new` asserts the chain is
+        // non-empty, so `last()` cannot fail on a constructed request.
         *self.chain.last().unwrap()
     }
 

@@ -160,15 +160,20 @@ pub fn greedy_route(
             return RouteOutcome::CloudFallback;
         }
         let q = catalog.compute(m);
-        let best = hosts
+        // `hosts` is non-empty (checked above); if that ever regresses we
+        // degrade to the cloud instead of panicking. Ties on cost break by
+        // node id, exactly like the old tuple comparison.
+        let Some(best) = hosts
             .into_iter()
             .map(|k| {
                 let c = ap.transfer_time(prev, k, r) + q / net.compute(k);
                 (c, k)
             })
-            .min_by(|a, b| a.partial_cmp(b).unwrap())
-            .unwrap()
-            .1;
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+            .map(|(_, k)| k)
+        else {
+            return RouteOutcome::CloudFallback;
+        };
         route.push(best);
         prev = best;
     }

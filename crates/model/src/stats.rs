@@ -3,6 +3,8 @@
 //! Kept in the model crate so downstream consumers (benches, simulator
 //! summaries, EXPERIMENTS.md generators) agree on one set of definitions.
 
+use socl_net::fcmp;
+
 /// Arithmetic mean; 0 for an empty slice.
 pub fn mean(values: &[f64]) -> f64 {
     if values.is_empty() {
@@ -27,7 +29,7 @@ pub fn median(values: &[f64]) -> f64 {
         return 0.0;
     }
     let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    fcmp::sort_f64s(&mut v);
     let n = v.len();
     if n % 2 == 1 {
         v[n / 2]
@@ -42,7 +44,7 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    fcmp::sort_f64s(&mut v);
     let idx = ((v.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
     v[idx]
 }

@@ -112,7 +112,9 @@ pub fn k_shortest_paths(
     let no_nodes = vec![false; net.node_count()];
 
     while accepted.len() < k {
-        let last = accepted.last().unwrap().clone();
+        let Some(last) = accepted.last().cloned() else {
+            break;
+        };
         // Each prefix of the last accepted path spawns a spur.
         for i in 0..last.nodes.len() - 1 {
             let spur = last.nodes[i];
@@ -136,7 +138,11 @@ pub fn k_shortest_paths(
                 // Root weight.
                 let mut weight = tail.weight;
                 for w in root.windows(2) {
-                    weight += 1.0 / net.direct_rate(w[0], w[1]).expect("root uses real edges");
+                    // Root edges come from previously accepted paths, so the
+                    // link exists; a missing/zero rate degrades to +inf
+                    // weight, which sorts the candidate last instead of
+                    // panicking.
+                    weight += 1.0 / net.direct_rate(w[0], w[1]).unwrap_or(0.0);
                 }
                 let mut nodes = root[..i].to_vec();
                 nodes.extend(tail.nodes);
@@ -147,7 +153,7 @@ pub fn k_shortest_paths(
             }
         }
         // Promote the best candidate.
-        candidates.sort_by(|a, b| a.weight.partial_cmp(&b.weight).unwrap());
+        candidates.sort_by(|a, b| a.weight.total_cmp(&b.weight));
         if candidates.is_empty() {
             break;
         }

@@ -26,21 +26,25 @@
 //!
 //! All identifiers are dense newtypes so hot paths index `Vec`s directly.
 
+pub mod fcmp;
 pub mod graph;
 pub mod incremental;
 pub mod kpaths;
 pub mod par;
 pub mod paths;
 pub mod resilience;
+pub mod time;
 pub mod topology;
 pub mod virtual_graph;
 
+pub use fcmp::OrdF64;
 pub use graph::{EdgeNetwork, EdgeServer, Link, LinkParams, NodeId};
 pub use incremental::{ApspCache, CacheStats};
 pub use kpaths::{k_shortest_paths, WeightedPath};
 pub use par::{effective_threads, parallel_worthwhile, set_threads};
 pub use paths::{AllPairs, PathMetric, ShortestPaths};
 pub use resilience::{link_criticality, node_criticality, FailureImpact};
+pub use time::Stopwatch;
 pub use topology::{TopologyConfig, TopologyKind};
 pub use virtual_graph::{communication_intensity, Partition, VgCache, VirtualGraph};
 

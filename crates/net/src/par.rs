@@ -83,14 +83,25 @@ where
                 }
                 let end = (start + chunk).min(n);
                 let out: Vec<T> = (start..end).map(&f).collect();
-                parts
-                    .lock()
-                    .expect("worker panicked while holding results lock")
-                    .push((start, out));
+                // A poisoned lock means another worker's `f` panicked *inside
+                // the critical section* (only possible via OOM-abort in
+                // `push`); `std::thread::scope` will re-raise that panic at
+                // join, so pushing through the poison is sound and keeps this
+                // path panic-free.
+                let mut guard = match parts.lock() {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                guard.push((start, out));
             });
         }
     });
-    let mut parts = parts.into_inner().expect("results lock poisoned");
+    // Reaching this line means `scope` joined every worker without a panic,
+    // so the lock cannot be poisoned; recover defensively instead of
+    // unwrapping to keep the library panic-free.
+    let mut parts = parts
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
     parts.sort_by_key(|(start, _)| *start);
     let mut out = Vec::with_capacity(n);
     for (_, mut chunk) in parts {

@@ -95,7 +95,7 @@ pub fn link_criticality(net: &EdgeNetwork) -> Vec<FailureImpact> {
     impacts.sort_by(|a, b| {
         b.partitions
             .cmp(&a.partitions)
-            .then(b.mean_stretch.partial_cmp(&a.mean_stretch).unwrap())
+            .then(b.mean_stretch.total_cmp(&a.mean_stretch))
     });
     impacts
 }
@@ -125,7 +125,7 @@ pub fn node_criticality(net: &EdgeNetwork) -> Vec<FailureImpact> {
     impacts.sort_by(|a, b| {
         b.partitions
             .cmp(&a.partitions)
-            .then(b.mean_stretch.partial_cmp(&a.mean_stretch).unwrap())
+            .then(b.mean_stretch.total_cmp(&a.mean_stretch))
     });
     impacts
 }

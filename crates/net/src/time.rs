@@ -1,0 +1,77 @@
+//! Sanctioned wall-clock access for runtime *reporting*.
+//!
+//! Rule `L3-nondet-time` bans raw `Instant::now`/`SystemTime::now` outside
+//! `crates/bench`: wall-clock reads scattered through solver code are how
+//! time-dependent behavior (and thus nondeterminism) creeps in. The one
+//! legitimate use in library code is measuring how long a solve took so the
+//! result can *report* it — the measured duration must never feed back into
+//! a decision.
+//!
+//! [`Stopwatch`] is the sanctioned wrapper for that purpose. Keeping it in
+//! one place makes the contract auditable: a `Stopwatch` can tell you how
+//! long something took, but offers no absolute time, no comparison against
+//! deadlines of other stopwatches, and no way to seed randomness.
+//!
+//! The exception that proves the rule: `socl-milp`'s branch-and-bound time
+//! limit *does* gate on elapsed time (an explicit, documented anytime-solver
+//! knob, default off). It uses [`Stopwatch::exceeded`] so every
+//! time-sensitive site remains grep-able from this module.
+
+use std::time::Duration;
+
+/// A monotonic stopwatch for reporting solver runtimes.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(std::time::Instant);
+
+impl Stopwatch {
+    /// Start timing now.
+    #[inline]
+    pub fn start() -> Self {
+        // LINT-ALLOW(L3-nondet-time): this is the single sanctioned
+        // wall-clock read; everything else in the workspace goes through
+        // Stopwatch so timing never silently influences results.
+        Stopwatch(std::time::Instant::now())
+    }
+
+    /// Elapsed time since [`start`](Self::start).
+    #[inline]
+    pub fn elapsed(&self) -> Duration {
+        // LINT-ALLOW(L3-nondet-time): paired read for the sanctioned wrapper.
+        std::time::Instant::now().duration_since(self.0)
+    }
+
+    /// Elapsed milliseconds as `f64` (the unit every report field uses).
+    #[inline]
+    pub fn elapsed_ms(&self) -> f64 {
+        self.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Elapsed seconds as `f64`.
+    #[inline]
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+
+    /// Has the given budget elapsed? For explicit anytime-solver time
+    /// limits only (see module docs) — never for tie-breaking.
+    #[inline]
+    pub fn exceeded(&self, budget: Duration) -> bool {
+        self.elapsed() >= budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_is_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_ms();
+        let b = sw.elapsed_ms();
+        assert!(b >= a && a >= 0.0);
+        assert!(!sw.exceeded(Duration::from_secs(3600)));
+        assert!(sw.exceeded(Duration::ZERO));
+        assert!(sw.elapsed_secs() >= 0.0);
+    }
+}

@@ -11,7 +11,7 @@
 
 use crate::graph::NodeId;
 use crate::paths::AllPairs;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// A virtual graph over a subset of substrate nodes.
@@ -133,7 +133,9 @@ impl VirtualGraph {
 #[derive(Debug, Clone, Default)]
 pub struct VgCache {
     generation: u64,
-    memo: HashMap<Vec<NodeId>, Arc<VirtualGraph>>,
+    // BTreeMap (not HashMap) so every traversal of the memo — debugging
+    // dumps, future eviction policies — is deterministic (rule L3-nondet-hash).
+    memo: BTreeMap<Vec<NodeId>, Arc<VirtualGraph>>,
     hits: u64,
     misses: u64,
 }

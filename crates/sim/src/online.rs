@@ -26,8 +26,9 @@ use rand::{Rng, SeedableRng};
 use socl_model::{
     evaluate, DependencyDataset, EshopDataset, Scenario, ScenarioConfig, UserRequest,
 };
+use socl_net::time::Stopwatch;
 use socl_net::NodeId;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Online simulation parameters.
 #[derive(Debug, Clone)]
@@ -349,7 +350,7 @@ impl OnlineSimulator {
         let mut records = Vec::with_capacity(self.cfg.slots);
         for slot in 0..self.cfg.slots {
             let mut sc = self.advance();
-            let t = Instant::now();
+            let t = Stopwatch::start();
             let mut placement = policy.place(&sc, slot as u64);
             let solve_time = t.elapsed();
 
@@ -384,7 +385,7 @@ impl OnlineSimulator {
                     sc.net.server_mut(v).storage_units = 0.0;
                     mid_slot_failures = 1;
                     if self.cfg.repair {
-                        let t = Instant::now();
+                        let t = Stopwatch::start();
                         let report = socl_core::repair_placement(&sc, &placement);
                         repair_time = t.elapsed();
                         repair_churn = report.churn;

@@ -48,9 +48,11 @@ pub mod prelude {
         RequestConfig, Scenario, ScenarioConfig, ServiceCatalog, ServiceId, SockShopDataset,
         TrainTicketDataset, UserId, UserRequest,
     };
+    pub use socl_net::fcmp;
     pub use socl_net::{
         effective_threads, set_threads, AllPairs, ApspCache, CacheStats, EdgeNetwork, EdgeServer,
-        LinkParams, NodeId, PathMetric, ShortestPaths, TopologyConfig, TopologyKind, VgCache,
+        LinkParams, NodeId, OrdF64, PathMetric, ShortestPaths, Stopwatch, TopologyConfig,
+        TopologyKind, VgCache,
     };
     pub use socl_sim::{
         run_testbed, FaultEvent, FaultKind, FaultPlan, FaultSchedule, FaultStats, FaultTimeline,

@@ -74,7 +74,7 @@ pub fn dominant_period(series: &[f64], max_lag: usize) -> Option<usize> {
     }
     (1..=max_lag.min(series.len() - 1))
         .map(|l| (l, autocorrelation(series, l)))
-        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .max_by(|a, b| a.1.total_cmp(&b.1))
         .map(|(l, _)| l)
 }
 
