@@ -1,0 +1,115 @@
+//! Admission control: priority-classed load shedding when even max-scale
+//! capacity cannot absorb the offered load.
+//!
+//! The shedder is the last line of defense, behind the scaler: a service's
+//! *overload factor* is measured against its capacity ceiling (what the
+//! scaler could reach at max scale, constraints (4)–(6)), not its current
+//! replica count — transient queueing the scaler can absorb by scaling up
+//! never sheds. Only when the offered concurrency exceeds what the ceiling
+//! can serve does shedding begin, lowest priority class first.
+
+use crate::config::AdmissionPolicy;
+
+/// Chain length at which a request drops one priority class. Short chains
+/// are the cheapest to complete, so under overload they are admitted
+/// longest — shedding one long chain frees capacity on every service it
+/// would have traversed, maximizing completed requests per unit capacity.
+const CHAIN_LEN_PER_CLASS: usize = 4;
+
+impl AdmissionPolicy {
+    /// Priority class for a request chain of `chain_len` services.
+    /// Class 0 is the highest priority; classes cap at `classes - 1`.
+    pub fn priority_class(&self, chain_len: usize) -> u32 {
+        let class = chain_len.saturating_sub(1) / CHAIN_LEN_PER_CLASS;
+        (class as u32).min(self.classes.saturating_sub(1))
+    }
+
+    /// Overload factor at which class `class` starts shedding. The lowest
+    /// class sheds at 1.0 (capacity exactly exhausted); class 0 holds out
+    /// to `strict_overload`; intermediate classes interpolate linearly.
+    pub fn threshold(&self, class: u32) -> f64 {
+        let lowest = self.classes.saturating_sub(1);
+        if lowest == 0 {
+            return self.strict_overload;
+        }
+        let rank = class.min(lowest);
+        let headroom = (self.strict_overload - 1.0).max(0.0);
+        1.0 + headroom * (lowest - rank) as f64 / lowest as f64
+    }
+
+    /// Admission decision: `in_flight` is the service's instantaneous
+    /// concurrency, `max_capacity` its replica ceiling. Disabled policies
+    /// admit everything; so does a service with no capacity at all (the
+    /// scaler/placement layer owns that failure mode, not the shedder).
+    pub fn admits(&self, chain_len: usize, in_flight: f64, max_capacity: u32) -> bool {
+        if !self.enabled || max_capacity == 0 {
+            return true;
+        }
+        let overload = in_flight.max(0.0) / (self.queue_limit.max(1e-9) * max_capacity as f64);
+        overload < self.threshold(self.priority_class(chain_len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(classes: u32) -> AdmissionPolicy {
+        AdmissionPolicy {
+            enabled: true,
+            queue_limit: 2.0,
+            classes,
+            strict_overload: 3.0,
+        }
+    }
+
+    #[test]
+    fn short_chains_outrank_long_ones() {
+        let p = policy(3);
+        assert_eq!(p.priority_class(1), 0);
+        assert_eq!(p.priority_class(4), 0);
+        assert_eq!(p.priority_class(5), 1);
+        assert_eq!(p.priority_class(9), 2);
+        assert_eq!(p.priority_class(50), 2); // capped at classes - 1
+    }
+
+    #[test]
+    fn thresholds_interpolate_from_one_to_strict() {
+        let p = policy(3);
+        assert!((p.threshold(2) - 1.0).abs() < 1e-9);
+        assert!((p.threshold(1) - 2.0).abs() < 1e-9);
+        assert!((p.threshold(0) - 3.0).abs() < 1e-9);
+        // Single class: everyone sheds at the strict limit.
+        let single = policy(1);
+        assert!((single.threshold(0) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn below_capacity_nothing_sheds() {
+        let p = policy(2);
+        // Capacity 5, queue limit 2 -> overload 1.0 at in-flight 10.
+        for chain_len in [1, 6, 20] {
+            assert!(p.admits(chain_len, 9.9, 5));
+        }
+    }
+
+    #[test]
+    fn overload_sheds_low_priority_first() {
+        let p = policy(2);
+        // Overload 1.5: class 1 (threshold 1.0) sheds, class 0 (3.0) holds.
+        assert!(!p.admits(6, 15.0, 5));
+        assert!(p.admits(1, 15.0, 5));
+        // Overload 3.5: everyone sheds.
+        assert!(!p.admits(1, 35.0, 5));
+    }
+
+    #[test]
+    fn disabled_or_capacityless_policies_admit_everything() {
+        let off = AdmissionPolicy {
+            enabled: false,
+            ..policy(2)
+        };
+        assert!(off.admits(20, f64::MAX, 1));
+        assert!(policy(2).admits(20, f64::MAX, 0));
+    }
+}

@@ -1,0 +1,356 @@
+//! AUTOSCALE — static vs reactive vs predictive vs max-scale control planes.
+//!
+//! Replays two workloads on the discrete-event testbed, all four scaling
+//! modes running through the *same* replica-pool data plane:
+//!
+//! * **flash crowd** — quiet epochs, one epoch with a request surge, quiet
+//!   again: the worst case for a rightsized static pool and the showcase
+//!   for panic-mode scaling,
+//! * **diurnal** — a [`TemporalWorkload`] day curve sampled into epochs:
+//!   the showcase for keep-alive economics (scale down overnight) and the
+//!   predictive scaler's forecast lead.
+//!
+//! For each (workload, mode) pair it records mean/p50/p99 latency, cold
+//! starts, shed requests, scaling events, and the billed replica-seconds
+//! integral, then pins the headline ratios in `BENCH_autoscale.json`:
+//! an adaptive mode must beat the static pool on p99 under the flash crowd
+//! while billing fewer replica-seconds than max-scale.
+//!
+//! ```sh
+//! cargo run --release -p socl-bench --bin autoscale            # measure + write BENCH_autoscale.json
+//! cargo run --release -p socl-bench --bin autoscale -- --check # compare against committed JSON
+//! ```
+//!
+//! Everything here is seeded and deterministic — no wall clocks enter the
+//! metrics — so `--check` compares quality ratios, not machine speed, and
+//! fails (exit 1) when one falls more than 25% below the committed
+//! baseline.
+
+use socl::prelude::*;
+
+const BASELINE: &str = "BENCH_autoscale.json";
+const SEED: u64 = 42;
+const NODES: usize = 10;
+const USERS: usize = 40;
+
+struct Workload {
+    name: &'static str,
+    epoch_secs: f64,
+    arrivals: Vec<usize>,
+}
+
+struct Point {
+    workload: &'static str,
+    mode: &'static str,
+    mean_ms: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    cold_starts: usize,
+    shed: usize,
+    scale_ups: usize,
+    scale_downs: usize,
+    replica_seconds: f64,
+}
+
+/// Quiet epochs around one surge epoch two-thirds into the run.
+fn flash_crowd() -> Workload {
+    Workload {
+        name: "flash",
+        epoch_secs: 30.0,
+        arrivals: vec![20, 20, 500, 20],
+    }
+}
+
+/// A day curve sampled into 12 epochs, scaled so the peak tops out around
+/// three times the quiet floor.
+fn diurnal() -> Workload {
+    let w = TemporalWorkload::generate(&TemporalConfig::default(), SEED ^ 0xD1);
+    let bins = w.volumes.len();
+    let mean = w.mean().max(1e-9);
+    let epochs = 12usize;
+    let arrivals = (0..epochs)
+        .map(|e| {
+            let v = w.volumes[e * bins / epochs];
+            ((v / mean) * USERS as f64).round().max(1.0) as usize
+        })
+        .collect();
+    Workload {
+        name: "diurnal",
+        epoch_secs: 60.0,
+        arrivals,
+    }
+}
+
+/// The knobs shared by every adaptive mode: tight concurrency target and a
+/// fast loop so the 30–60 s epochs hold several control periods.
+fn knobs() -> AutoscaleConfig {
+    AutoscaleConfig {
+        target_concurrency: 1.0,
+        stable_window: 10.0,
+        panic_window: 4.0,
+        scale_interval: 1.0,
+        down_cooldown: 10.0,
+        min_replicas: 1,
+        max_replicas_per_node: 8,
+        keep_alive: KeepAlivePolicy::Fixed(15.0),
+        ..AutoscaleConfig::default()
+    }
+}
+
+fn modes() -> Vec<(&'static str, AutoscaleConfig)> {
+    vec![
+        (
+            "static",
+            AutoscaleConfig {
+                mode: ScalingMode::Static,
+                ..knobs()
+            },
+        ),
+        (
+            "reactive",
+            AutoscaleConfig {
+                mode: ScalingMode::Reactive,
+                ..knobs()
+            },
+        ),
+        (
+            "predictive",
+            AutoscaleConfig {
+                mode: ScalingMode::Predictive,
+                ..knobs()
+            },
+        ),
+        ("max-scale", AutoscaleConfig::max_scale()),
+    ]
+}
+
+fn run_point(
+    sc: &Scenario,
+    placement: &Placement,
+    w: &Workload,
+    mode: &'static str,
+    ac: &AutoscaleConfig,
+) -> Point {
+    let cfg = TestbedConfig {
+        epochs: w.arrivals.len(),
+        epoch_secs: w.epoch_secs,
+        seed: SEED,
+        epoch_arrivals: Some(w.arrivals.clone()),
+        autoscale: Some(ac.clone()),
+        ..TestbedConfig::default()
+    };
+    let res = run_testbed(sc, placement, &cfg);
+    Point {
+        workload: w.name,
+        mode,
+        mean_ms: res.mean * 1e3,
+        p50_ms: res.median() * 1e3,
+        p99_ms: res.latency_percentile(0.99) * 1e3,
+        cold_starts: res.cold_starts,
+        shed: res.shed_requests,
+        scale_ups: res.scale_up_events,
+        scale_downs: res.scale_down_events,
+        replica_seconds: res.replica_seconds,
+    }
+}
+
+fn by<'a>(points: &'a [Point], workload: &str, mode: &str) -> &'a Point {
+    points
+        .iter()
+        .find(|p| p.workload == workload && p.mode == mode)
+        .expect("every (workload, mode) pair was measured")
+}
+
+struct Summary {
+    /// static p99 / best adaptive p99 under the flash crowd (>1 = win).
+    flash_p99_speedup: f64,
+    /// 1 − best-adaptive replica-seconds / max-scale replica-seconds under
+    /// the flash crowd (fraction of the always-max bill avoided).
+    flash_replica_saving: f64,
+    /// Same saving over the diurnal day curve (scale-to-zero overnight).
+    diurnal_replica_saving: f64,
+}
+
+fn summarize(points: &[Point]) -> Summary {
+    let stat = by(points, "flash", "static");
+    let maxs = by(points, "flash", "max-scale");
+    let best = [
+        by(points, "flash", "reactive"),
+        by(points, "flash", "predictive"),
+    ]
+    .into_iter()
+    .min_by(|a, b| a.p99_ms.total_cmp(&b.p99_ms))
+    .expect("two adaptive modes");
+    let d_max = by(points, "diurnal", "max-scale");
+    let d_best = [
+        by(points, "diurnal", "reactive"),
+        by(points, "diurnal", "predictive"),
+    ]
+    .into_iter()
+    .min_by(|a, b| a.replica_seconds.total_cmp(&b.replica_seconds))
+    .expect("two adaptive modes");
+    Summary {
+        flash_p99_speedup: stat.p99_ms / best.p99_ms.max(1e-9),
+        flash_replica_saving: 1.0 - best.replica_seconds / maxs.replica_seconds.max(1e-9),
+        diurnal_replica_saving: 1.0 - d_best.replica_seconds / d_max.replica_seconds.max(1e-9),
+    }
+}
+
+fn render_json(points: &[Point], s: &Summary) -> String {
+    let entries: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"workload\": \"{}\", \"mode\": \"{}\", \"mean_ms\": {:.3}, \
+                 \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"cold_starts\": {}, \"shed\": {}, \
+                 \"scale_ups\": {}, \"scale_downs\": {}, \"replica_seconds\": {:.1}}}",
+                p.workload,
+                p.mode,
+                p.mean_ms,
+                p.p50_ms,
+                p.p99_ms,
+                p.cold_starts,
+                p.shed,
+                p.scale_ups,
+                p.scale_downs,
+                p.replica_seconds
+            )
+        })
+        .collect();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"autoscale\",\n");
+    out.push_str(&format!("  \"seed\": {SEED},\n"));
+    out.push_str(&format!("  \"points\": [\n{}\n  ],\n", entries.join(",\n")));
+    out.push_str("  \"summary\": {\n");
+    out.push_str(&format!(
+        "    \"flash_p99_speedup\": {:.3},\n",
+        s.flash_p99_speedup
+    ));
+    out.push_str(&format!(
+        "    \"flash_replica_saving\": {:.3},\n",
+        s.flash_replica_saving
+    ));
+    out.push_str(&format!(
+        "    \"diurnal_replica_saving\": {:.3}\n",
+        s.diurnal_replica_saving
+    ));
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Extract the number following `"key":` in a flat JSON text.
+fn find_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn measure() -> (Vec<Point>, Summary) {
+    let sc = ScenarioConfig::paper(NODES, USERS).build(SEED);
+    let placement = SoclSolver::new().solve(&sc).placement;
+    println!("# AUTOSCALE: control-plane comparison ({NODES} nodes, {USERS} users, seed {SEED})");
+    println!(
+        "workload,mode,mean_ms,p50_ms,p99_ms,cold_starts,shed,scale_ups,scale_downs,replica_seconds"
+    );
+    let mut points = Vec::new();
+    for w in [flash_crowd(), diurnal()] {
+        for (mode, ac) in modes() {
+            let p = run_point(&sc, &placement, &w, mode, &ac);
+            println!(
+                "{},{},{:.3},{:.3},{:.3},{},{},{},{},{:.1}",
+                p.workload,
+                p.mode,
+                p.mean_ms,
+                p.p50_ms,
+                p.p99_ms,
+                p.cold_starts,
+                p.shed,
+                p.scale_ups,
+                p.scale_downs,
+                p.replica_seconds
+            );
+            points.push(p);
+        }
+    }
+    let s = summarize(&points);
+    (points, s)
+}
+
+/// The acceptance shape: an adaptive mode beats static on flash-crowd p99
+/// while billing fewer replica-seconds than max-scale.
+fn shape_ok(s: &Summary) -> bool {
+    let mut ok = true;
+    for (name, value, min) in [
+        ("flash_p99_speedup > 1", s.flash_p99_speedup, 1.0),
+        ("flash_replica_saving > 0", s.flash_replica_saving, 0.0),
+        ("diurnal_replica_saving > 0", s.diurnal_replica_saving, 0.0),
+    ] {
+        let pass = value > min;
+        println!(
+            "shape: {name} ({value:.3}) -> {}",
+            if pass { "PASS" } else { "FAIL" }
+        );
+        ok &= pass;
+    }
+    ok
+}
+
+fn check(baseline_path: &str) -> i32 {
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            return 1;
+        }
+    };
+    let (_, s) = measure();
+    if !shape_ok(&s) {
+        return 1;
+    }
+    let current = render_json(&[], &s);
+    let mut failed = false;
+    for key in [
+        "flash_p99_speedup",
+        "flash_replica_saving",
+        "diurnal_replica_saving",
+    ] {
+        let (Some(base), Some(now)) = (find_number(&baseline, key), find_number(&current, key))
+        else {
+            eprintln!("check: key {key} missing from baseline or current run");
+            failed = true;
+            continue;
+        };
+        let floor = base * 0.75;
+        let ok = now >= floor;
+        println!(
+            "check: {key} baseline {base:.3} current {now:.3} floor {floor:.3} -> {}",
+            if ok { "ok" } else { "REGRESSED" }
+        );
+        failed |= !ok;
+    }
+    i32::from(failed)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--check") {
+        let path = args
+            .iter()
+            .position(|a| a == "--check")
+            .and_then(|i| args.get(i + 1))
+            .filter(|a| !a.starts_with('-'))
+            .map_or(BASELINE, String::as_str);
+        std::process::exit(check(path));
+    }
+    let (points, s) = measure();
+    let ok = shape_ok(&s);
+    let json = render_json(&points, &s);
+    std::fs::write(BASELINE, &json).expect("write BENCH_autoscale.json");
+    println!("wrote {BASELINE}");
+    std::process::exit(i32::from(!ok));
+}

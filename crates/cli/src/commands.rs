@@ -15,23 +15,39 @@ USAGE:
   socl simulate [--nodes N] [--users U] [--slots K] [--seed S]
                 [--policy socl|rp|jdr] [--fail-prob P]
                 [--mid-slot-fail-prob P] [--recover-prob P] [--repair]
+                [autoscaler flags]
   socl testbed  [--nodes N] [--users U] [--seed S] [--epochs E]
                 [--algo socl|rp|jdr] [--fault-intensity F]
                 [--schedule targeted|noncritical|random] [--retries R]
                 [--timeout SECS] [--hedge SECS] [--no-degrade]
+                [--cold-start SECS] [--keep-warm SECS] [autoscaler flags]
+  socl autoscale [--nodes N] [--users U] [--seed S] [--epochs E]
+                [--surge REQS] [--cold-start SECS] [autoscaler flags]
   socl trace    [--seed S]
   socl resilience [--nodes N] [--seed S] [--top K]
                 [--schedule targeted|noncritical|random]
+                [--cold-start SECS] [--keep-warm SECS]
   socl export   [--nodes N] [--users U] [--seed S] [--solve]
   socl help
+
+Autoscaler flags (testbed, simulate, autoscale):
+  --autoscale MODE           static|reactive|predictive — run the serverless
+                             control plane; replica pools track concurrency
+  --target-concurrency C     in-flight requests one replica should absorb
+  --scale-interval SECS      control-loop period
+  --min-replicas R           per-service floor (0 allows scale-to-zero)
+  --max-replicas-per-node R  per-cell ceiling (storage may bind first)
+  --admission                enable priority-classed load shedding
 
 Global flags (any command):
   --threads N   worker threads for the parallel hot paths (0 = auto, 1 = serial;
                 output is identical for every thread count)
 
 Defaults follow the paper's setup: 10 nodes, 40 users, budget 6000, λ=0.5.
-`export` prints a scenario snapshot as JSON to stdout (add --solve to append
-the SoCL placement snapshot).";
+`autoscale` replays a flash-crowd workload under every scaling mode and
+prints a latency/replica-seconds comparison. `export` prints a scenario
+snapshot as JSON to stdout (add --solve to append the SoCL placement
+snapshot).";
 
 fn scenario_from(args: &Args) -> Result<Scenario, String> {
     let nodes: usize = args.get("nodes", 10)?;
@@ -62,6 +78,42 @@ fn socl_config_from(args: &Args) -> Result<SoclConfig, String> {
         return Err("--omega must be in (0, 1]".into());
     }
     Ok(cfg)
+}
+
+/// Build the autoscaler configuration from CLI flags; `None` when
+/// `--autoscale` was not given. Defaults mirror [`AutoscaleConfig::default`].
+fn autoscale_from(args: &Args) -> Result<Option<AutoscaleConfig>, String> {
+    let tag = args.get_str("autoscale", "");
+    if tag.is_empty() {
+        return Ok(None);
+    }
+    if tag == "true" {
+        return Err("--autoscale needs a mode (static|reactive|predictive)".into());
+    }
+    let mode = ScalingMode::parse(&tag)?;
+    let d = AutoscaleConfig::default();
+    let cfg = AutoscaleConfig {
+        mode,
+        target_concurrency: args.get("target-concurrency", d.target_concurrency)?,
+        scale_interval: args.get("scale-interval", d.scale_interval)?,
+        min_replicas: args.get("min-replicas", d.min_replicas)?,
+        max_replicas_per_node: args.get("max-replicas-per-node", d.max_replicas_per_node)?,
+        admission: AdmissionPolicy {
+            enabled: args.flag("admission"),
+            ..d.admission
+        },
+        ..d
+    };
+    if cfg.target_concurrency <= 0.0 {
+        return Err("--target-concurrency must be positive".into());
+    }
+    if cfg.scale_interval <= 0.0 {
+        return Err("--scale-interval must be positive".into());
+    }
+    if cfg.max_replicas_per_node == 0 {
+        return Err("--max-replicas-per-node must be at least 1".into());
+    }
+    Ok(Some(cfg))
 }
 
 fn print_summary(name: &str, objective: f64, cost: f64, latency: f64, secs: f64) {
@@ -239,24 +291,39 @@ pub fn simulate(args: &Args) -> Result<(), String> {
         mid_slot_fail_prob: args.get("mid-slot-fail-prob", 0.0)?,
         recover_prob: args.get("recover-prob", 0.5)?,
         repair: args.flag("repair"),
+        autoscale: autoscale_from(args)?,
         ..OnlineConfig::default()
     };
     println!(
-        "online simulation: {} nodes, {} users, {} slots, policy {}{}",
+        "online simulation: {} nodes, {} users, {} slots, policy {}{}{}",
         cfg.nodes,
         cfg.users,
         cfg.slots,
         policy.name(),
-        if cfg.repair { " (repair on)" } else { "" }
+        if cfg.repair { " (repair on)" } else { "" },
+        cfg.autoscale
+            .as_ref()
+            .map(|a| format!(" (autoscale {})", a.mode.name()))
+            .unwrap_or_default()
     );
     println!(
-        "{:>4} {:>10} {:>9} {:>10} {:>10} {:>5} {:>5} {:>5} {:>5}",
-        "slot", "objective", "cost", "mean(ms)", "max(ms)", "down", "fb", "crash", "churn"
+        "{:>4} {:>10} {:>9} {:>10} {:>10} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5}",
+        "slot",
+        "objective",
+        "cost",
+        "mean(ms)",
+        "max(ms)",
+        "down",
+        "fb",
+        "crash",
+        "churn",
+        "repl",
+        "shed"
     );
     let mut sim = OnlineSimulator::new(cfg);
     for r in sim.run(&policy) {
         println!(
-            "{:>4} {:>10.1} {:>9.1} {:>10.2} {:>10.2} {:>5} {:>5} {:>5} {:>5}",
+            "{:>4} {:>10.1} {:>9.1} {:>10.2} {:>10.2} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5}",
             r.slot,
             r.objective,
             r.cost,
@@ -265,7 +332,9 @@ pub fn simulate(args: &Args) -> Result<(), String> {
             r.failed_nodes,
             r.fallbacks,
             r.mid_slot_failures,
-            r.repair_churn
+            r.repair_churn,
+            r.replicas,
+            r.shed_requests
         );
     }
     Ok(())
@@ -313,12 +382,20 @@ pub fn testbed(args: &Args) -> Result<(), String> {
         hedge_after: (hedge > 0.0).then_some(hedge),
         ..RetryPolicy::default()
     };
+    let cold_start: f64 = args.get("cold-start", base.cold_start)?;
+    let keep_warm: f64 = args.get("keep-warm", base.keep_warm)?;
+    if cold_start < 0.0 || keep_warm < 0.0 {
+        return Err("--cold-start and --keep-warm must be non-negative".into());
+    }
     let cfg = TestbedConfig {
         epochs,
         seed,
         faults,
         retry,
         degrade_to_cloud: !args.flag("no-degrade"),
+        cold_start,
+        keep_warm,
+        autoscale: autoscale_from(args)?,
         ..base
     };
     let res = run_testbed(&sc, &placement, &cfg);
@@ -335,6 +412,17 @@ pub fn testbed(args: &Args) -> Result<(), String> {
         res.cold_starts,
         res.fallbacks
     );
+    if let Some(ac) = &cfg.autoscale {
+        println!(
+            "control plane ({}): {} scale-ups, {} scale-downs, {} shed, {:.0} replica-seconds, p99 {:.2} ms",
+            ac.mode.name(),
+            res.scale_up_events,
+            res.scale_down_events,
+            res.shed_requests,
+            res.replica_seconds,
+            res.latency_percentile(0.99) * 1e3
+        );
+    }
     if !cfg.faults.is_empty() || !cfg.retry.is_disabled() {
         let st = cfg.faults.stats();
         println!(
@@ -354,6 +442,115 @@ pub fn testbed(args: &Args) -> Result<(), String> {
     }
     for (e, m) in res.per_epoch_mean.iter().enumerate() {
         println!("  epoch {e}: mean {:.2} ms", m * 1e3);
+    }
+    Ok(())
+}
+
+/// `socl autoscale` — replay a flash-crowd workload on the testbed under
+/// every scaling mode and compare latency against replica-seconds billed.
+pub fn autoscale(args: &Args) -> Result<(), String> {
+    let sc = scenario_from(args)?;
+    let placement = SoclSolver::new().solve(&sc).placement;
+    let epochs: usize = args.get("epochs", 4)?;
+    if epochs == 0 {
+        return Err("--epochs must be positive".into());
+    }
+    let seed: u64 = args.get("seed", 42)?;
+    let base = TestbedConfig::default();
+    let cold_start: f64 = args.get("cold-start", base.cold_start)?;
+    if cold_start < 0.0 {
+        return Err("--cold-start must be non-negative".into());
+    }
+
+    // Flash crowd: quiet epochs, then one epoch with `surge` requests, then
+    // quiet again. The surge lands two-thirds into the run.
+    let quiet = sc.users();
+    let surge: usize = args.get("surge", quiet * 8)?;
+    let peak = (epochs * 2 / 3).min(epochs - 1);
+    let arrivals: Vec<usize> = (0..epochs)
+        .map(|e| if e == peak { surge } else { quiet })
+        .collect();
+
+    // The scaled modes share every knob except the mode itself; static and
+    // max-scale are the two extremes they are judged against. Without
+    // explicit autoscaler flags, use a control loop tight enough that a few
+    // 30-second epochs hold several scaling decisions — the library defaults
+    // are tuned for long-running deployments and would sit still here.
+    let knobs = autoscale_from(args)?.unwrap_or_else(|| AutoscaleConfig {
+        target_concurrency: 1.0,
+        stable_window: 10.0,
+        panic_window: 4.0,
+        scale_interval: 1.0,
+        down_cooldown: 10.0,
+        min_replicas: 1,
+        keep_alive: KeepAlivePolicy::Fixed(15.0),
+        ..AutoscaleConfig::default()
+    });
+    let modes: Vec<(&str, AutoscaleConfig)> = vec![
+        (
+            "static",
+            AutoscaleConfig {
+                mode: ScalingMode::Static,
+                min_replicas: 1,
+                ..knobs.clone()
+            },
+        ),
+        (
+            "reactive",
+            AutoscaleConfig {
+                mode: ScalingMode::Reactive,
+                ..knobs.clone()
+            },
+        ),
+        (
+            "predictive",
+            AutoscaleConfig {
+                mode: ScalingMode::Predictive,
+                ..knobs.clone()
+            },
+        ),
+        (
+            "max-scale",
+            AutoscaleConfig {
+                max_replicas_per_node: knobs.max_replicas_per_node,
+                ..AutoscaleConfig::max_scale()
+            },
+        ),
+    ];
+
+    println!(
+        "autoscale comparison: {} nodes, {} users, {} epochs, surge {} requests at epoch {}",
+        sc.nodes(),
+        sc.users(),
+        epochs,
+        surge,
+        peak
+    );
+    println!(
+        "{:>10} {:>10} {:>10} {:>6} {:>6} {:>6} {:>6} {:>12}",
+        "mode", "mean(ms)", "p99(ms)", "cold", "ups", "downs", "shed", "repl-seconds"
+    );
+    for (name, ac) in modes {
+        let cfg = TestbedConfig {
+            epochs,
+            seed,
+            cold_start,
+            epoch_arrivals: Some(arrivals.clone()),
+            autoscale: Some(ac),
+            ..base.clone()
+        };
+        let res = run_testbed(&sc, &placement, &cfg);
+        println!(
+            "{:>10} {:>10.2} {:>10.2} {:>6} {:>6} {:>6} {:>6} {:>12.0}",
+            name,
+            res.mean * 1e3,
+            res.latency_percentile(0.99) * 1e3,
+            res.cold_starts,
+            res.scale_up_events,
+            res.scale_down_events,
+            res.shed_requests,
+            res.replica_seconds
+        );
     }
     Ok(())
 }
@@ -437,7 +634,12 @@ pub fn resilience(args: &Args) -> Result<(), String> {
         let sc = ScenarioConfig::paper(nodes, users).build(seed);
         let placement = SoclSolver::new().solve(&sc).placement;
         let epochs = 4usize;
-        let base = TestbedConfig::default();
+        let mut base = TestbedConfig::default();
+        base.cold_start = args.get("cold-start", base.cold_start)?;
+        base.keep_warm = args.get("keep-warm", base.keep_warm)?;
+        if base.cold_start < 0.0 || base.keep_warm < 0.0 {
+            return Err("--cold-start and --keep-warm must be non-negative".into());
+        }
         let faults = FaultPlan::moderate(epochs as f64 * base.epoch_secs)
             .with_targeting(targeting)
             .generate(&sc.net, &placement, users, seed);
@@ -577,6 +779,109 @@ mod tests {
     #[test]
     fn trace_runs() {
         trace(&args(&["--seed", "5"])).unwrap();
+    }
+
+    #[test]
+    fn testbed_runs_with_the_control_plane() {
+        testbed(&args(&[
+            "--users",
+            "10",
+            "--epochs",
+            "2",
+            "--seed",
+            "4",
+            "--autoscale",
+            "reactive",
+            "--target-concurrency",
+            "1.5",
+            "--min-replicas",
+            "0",
+            "--cold-start",
+            "0.8",
+            "--keep-warm",
+            "120",
+            "--admission",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn testbed_rejects_bad_autoscaler_flags() {
+        // Bare --autoscale (no mode).
+        assert!(testbed(&args(&["--users", "10", "--epochs", "1", "--autoscale"])).is_err());
+        // Unknown mode.
+        assert!(testbed(&args(&[
+            "--users",
+            "10",
+            "--epochs",
+            "1",
+            "--autoscale",
+            "magic",
+        ]))
+        .is_err());
+        // Non-positive knobs.
+        assert!(testbed(&args(&[
+            "--users",
+            "10",
+            "--epochs",
+            "1",
+            "--autoscale",
+            "reactive",
+            "--target-concurrency",
+            "0",
+        ]))
+        .is_err());
+        assert!(testbed(&args(&[
+            "--users",
+            "10",
+            "--epochs",
+            "1",
+            "--autoscale",
+            "reactive",
+            "--max-replicas-per-node",
+            "0",
+        ]))
+        .is_err());
+        // Negative cold-start.
+        assert!(testbed(&args(&[
+            "--users",
+            "10",
+            "--epochs",
+            "1",
+            "--cold-start",
+            "-1",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn simulate_runs_with_the_control_plane() {
+        simulate(&args(&[
+            "--nodes",
+            "6",
+            "--users",
+            "10",
+            "--slots",
+            "2",
+            "--seed",
+            "3",
+            "--autoscale",
+            "predictive",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn autoscale_compares_all_modes() {
+        autoscale(&args(&[
+            "--nodes", "5", "--users", "8", "--epochs", "2", "--seed", "9", "--surge", "40",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn autoscale_rejects_zero_epochs() {
+        assert!(autoscale(&args(&["--epochs", "0"])).is_err());
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //!               [--algo socl|rp|jdr] [--fault-intensity F]
 //!               [--schedule targeted|noncritical|random] [--retries R]
 //!               [--timeout SECS] [--hedge SECS] [--no-degrade]
+//!               [--cold-start SECS] [--keep-warm SECS] [autoscaler flags]
+//! socl autoscale [--nodes N] [--users U] [--seed S] [--epochs E]
+//!               [--surge REQS] [--cold-start SECS] [autoscaler flags]
 //! socl trace    [--seed S]
 //! socl resilience [--nodes N] [--seed S] [--top K]
 //!               [--schedule targeted|noncritical|random]
@@ -61,6 +64,7 @@ fn run(argv: &[String]) -> i32 {
         "compare" => commands::compare(&args),
         "simulate" => commands::simulate(&args),
         "testbed" => commands::testbed(&args),
+        "autoscale" => commands::autoscale(&args),
         "trace" => commands::trace(&args),
         "resilience" => commands::resilience(&args),
         "export" => commands::export(&args),

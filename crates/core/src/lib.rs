@@ -34,7 +34,8 @@ pub use combine::{CombineStats, Combiner};
 pub use config::{SoclConfig, StoragePolicy};
 pub use fuzzy::{FuzzyAhp, TriangularFuzzy};
 pub use online::{
-    placement_churn, repair_placement, RepairReport, WarmSlotResult, WarmStartSolver,
+    merge_scaler_owned, placement_churn, repair_placement, repair_with_replicas, RepairReport,
+    ReplicaRepairReport, WarmSlotResult, WarmStartSolver,
 };
 pub use partition::{initial_partition, ServicePartitions};
 pub use pipeline::{SoclResult, SoclSolver, StageTimings};

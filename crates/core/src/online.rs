@@ -26,7 +26,7 @@ use crate::config::SoclConfig;
 use crate::partition::initial_partition_cached;
 use crate::pipeline::{SoclResult, SoclSolver};
 use crate::preprovision::preprovision;
-use socl_model::{evaluate, Placement, Scenario, ServiceId};
+use socl_model::{evaluate, Placement, ReplicaCounts, Scenario, ServiceId};
 use socl_net::{NodeId, VgCache};
 
 /// Number of (service, node) cells that differ between two placements.
@@ -191,6 +191,144 @@ pub fn repair_placement(scenario: &Scenario, broken: &Placement) -> RepairReport
         replicas_added,
         churn,
     }
+}
+
+/// Result of a replica-aware repair pass: the usual [`RepairReport`] plus
+/// the warm-replica bookkeeping the serverless control plane needs.
+#[derive(Debug, Clone)]
+pub struct ReplicaRepairReport {
+    /// The underlying placement repair.
+    pub report: RepairReport,
+    /// Replica counts rewritten for the repaired placement: surviving cells
+    /// keep their warm pools, stranded pools are re-homed, and every cell
+    /// the repair pass added holds at least one replica.
+    pub counts: ReplicaCounts,
+    /// Stranded replicas that could be re-homed on surviving hosts.
+    pub replicas_transferred: u32,
+    /// Stranded replicas for which no surviving host had storage headroom.
+    pub replicas_lost: u32,
+}
+
+/// How many container images of a service sized `phi` fit node `k`'s
+/// storage; a deployed host can always hold one.
+fn storage_fit(scenario: &Scenario, k: NodeId, phi: f64) -> u32 {
+    if phi <= 0.0 {
+        return u32::MAX;
+    }
+    let fit = (scenario.net.storage(k) / phi).floor();
+    if fit >= u32::MAX as f64 {
+        u32::MAX
+    } else {
+        (fit as u32).max(1)
+    }
+}
+
+/// Failure-triggered repair that preserves the autoscaler's warm-replica
+/// pools: [`repair_placement`] fixes the placement, then the stranded
+/// cells' replica counts are re-homed onto the surviving hosts instead of
+/// being reset to one-per-cell. Re-homing water-fills in node-id order
+/// (deterministic), each cell bounded by how many container images fit the
+/// node's storage (constraint (6)); replicas that fit nowhere are lost and
+/// reported. After the pass, `counts` is consistent with the repaired
+/// placement, and every cell repair added holds at least one warm replica
+/// (cells the keep-alive policy had scaled to zero stay at zero).
+///
+/// # Panics
+/// Panics when `counts` and `broken` have different shapes.
+pub fn repair_with_replicas(
+    scenario: &Scenario,
+    broken: &Placement,
+    counts: &ReplicaCounts,
+) -> ReplicaRepairReport {
+    assert_eq!(counts.services(), broken.services(), "shape mismatch");
+    assert_eq!(counts.nodes(), broken.nodes(), "shape mismatch");
+    let report = repair_placement(scenario, broken);
+    let repaired = &report.placement;
+
+    let mut new_counts = ReplicaCounts::zero(broken.services(), broken.nodes());
+    let mut transferred = 0u32;
+    let mut lost = 0u32;
+    for i in 0..broken.services() {
+        let m = ServiceId(i as u32);
+        // Surviving cells keep their pools; pools on pruned cells strand.
+        let mut stranded = 0u32;
+        for k in scenario.net.node_ids() {
+            let c = counts.get(m, k);
+            if repaired.get(m, k) {
+                new_counts.set(m, k, c);
+            } else {
+                stranded = stranded.saturating_add(c);
+            }
+        }
+        // Re-home stranded replicas across the surviving hosts, one per
+        // host per round in node-id order, bounded by storage fit.
+        let hosts = repaired.hosts_of(m);
+        let phi = scenario.catalog.storage(m);
+        let mut remaining = stranded;
+        while remaining > 0 {
+            let mut progressed = false;
+            for &k in &hosts {
+                if remaining == 0 {
+                    break;
+                }
+                let c = new_counts.get(m, k);
+                if c < storage_fit(scenario, k, phi) {
+                    new_counts.set(m, k, c + 1);
+                    remaining -= 1;
+                    transferred += 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        lost = lost.saturating_add(remaining);
+        // Cells repair just added must be warm for the restored coverage to
+        // be real; surviving cells the keep-alive policy scaled to zero
+        // stay at zero (boot-on-demand owns that case).
+        for &k in &hosts {
+            if new_counts.get(m, k) == 0 && !broken.get(m, k) {
+                new_counts.set(m, k, 1);
+            }
+        }
+    }
+    ReplicaRepairReport {
+        report,
+        counts: new_counts,
+        replicas_transferred: transferred,
+        replicas_lost: lost,
+    }
+}
+
+/// Union the scaler-owned warm cells into a freshly solved placement: a
+/// cell that still holds warm replicas survives a policy re-solve that
+/// dropped it (tearing down a warm pool is exactly the serverless cost the
+/// keep-alive policy paid to avoid). Cells that no longer fit their node's
+/// storage — e.g. the node died — are instead zeroed in `counts`. Returns
+/// the number of cells re-added; afterwards `counts` is consistent with
+/// `placement`.
+pub fn merge_scaler_owned(
+    scenario: &Scenario,
+    placement: &mut Placement,
+    counts: &mut ReplicaCounts,
+) -> usize {
+    let warm: Vec<(ServiceId, NodeId)> = counts.iter_positive().map(|(m, k, _)| (m, k)).collect();
+    let mut merged = 0usize;
+    for (m, k) in warm {
+        if placement.get(m, k) {
+            continue;
+        }
+        let phi = scenario.catalog.storage(m);
+        let used = placement.storage_used(&scenario.catalog, k);
+        if scenario.net.storage(k) - used >= phi - 1e-9 {
+            placement.set(m, k, true);
+            merged += 1;
+        } else {
+            counts.set(m, k, 0);
+        }
+    }
+    merged
 }
 
 /// A slot-to-slot solver that remembers the previous placement and memoizes
@@ -509,6 +647,97 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn replica_repair_rehomes_stranded_pools() {
+        let mut sc = slot_scenario(14);
+        let placement = SoclSolver::with_config(cfg()).solve(&sc).placement;
+        // Warm pools: 3 replicas on every deployed cell.
+        let mut counts = ReplicaCounts::from_placement(&placement);
+        for (m, k) in placement.iter_deployed() {
+            counts.set(m, k, 3);
+        }
+        let victim = loaded_node(&sc, &placement);
+        let stranded: u32 = (0..placement.services())
+            .map(|i| counts.get(ServiceId(i as u32), victim))
+            .sum();
+        assert!(stranded > 0);
+        kill_node(&mut sc, victim);
+
+        let out = repair_with_replicas(&sc, &placement, &counts);
+        // Counts are consistent with the repaired placement and the dead
+        // node holds nothing.
+        assert!(out.counts.consistent_with(&out.report.placement));
+        for i in 0..placement.services() {
+            assert_eq!(out.counts.get(ServiceId(i as u32), victim), 0);
+        }
+        // Every stranded replica is accounted for: re-homed or lost.
+        assert_eq!(out.replicas_transferred + out.replicas_lost, stranded);
+        // Cells repair added are warm.
+        for (m, k) in out.report.placement.iter_deployed() {
+            if !placement.get(m, k) {
+                assert!(out.counts.get(m, k) >= 1, "repair cell {m:?}@{k:?} cold");
+            }
+        }
+    }
+
+    #[test]
+    fn replica_repair_preserves_scaled_to_zero_cells() {
+        let mut sc = slot_scenario(15);
+        let placement = SoclSolver::with_config(cfg()).solve(&sc).placement;
+        let mut counts = ReplicaCounts::from_placement(&placement);
+        // One surviving cell was scaled to zero by keep-alive economics.
+        let victim = loaded_node(&sc, &placement);
+        let zeroed = placement
+            .iter_deployed()
+            .find(|&(_, k)| k != victim)
+            .expect("placement spans more than the victim");
+        counts.set(zeroed.0, zeroed.1, 0);
+        kill_node(&mut sc, victim);
+        let out = repair_with_replicas(&sc, &placement, &counts);
+        if out.report.placement.get(zeroed.0, zeroed.1) && out.replicas_transferred == 0 {
+            assert_eq!(
+                out.counts.get(zeroed.0, zeroed.1),
+                0,
+                "repair warmed a cell the scaler had deliberately reclaimed"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_keeps_warm_cells_alive_across_a_resolve() {
+        let sc = slot_scenario(16);
+        let solved = SoclSolver::with_config(cfg()).solve(&sc).placement;
+        let mut counts = ReplicaCounts::from_placement(&solved);
+        // The policy re-solve "drops" every cell; the warm pools bring
+        // their cells back.
+        let mut fresh = Placement::empty(solved.services(), solved.nodes());
+        let merged = merge_scaler_owned(&sc, &mut fresh, &mut counts);
+        assert_eq!(merged, solved.iter_deployed().count());
+        assert_eq!(fresh, solved);
+        assert!(counts.consistent_with(&fresh));
+    }
+
+    #[test]
+    fn merge_zeroes_pools_on_dead_nodes() {
+        let mut sc = slot_scenario(17);
+        let solved = SoclSolver::with_config(cfg()).solve(&sc).placement;
+        let mut counts = ReplicaCounts::from_placement(&solved);
+        let victim = loaded_node(&sc, &solved);
+        let warm_on_victim: u32 = (0..solved.services())
+            .map(|i| counts.get(ServiceId(i as u32), victim))
+            .sum();
+        assert!(warm_on_victim > 0);
+        kill_node(&mut sc, victim);
+        let mut fresh = Placement::empty(solved.services(), solved.nodes());
+        merge_scaler_owned(&sc, &mut fresh, &mut counts);
+        for i in 0..solved.services() {
+            let m = ServiceId(i as u32);
+            assert!(!fresh.get(m, victim), "merged a cell onto a dead node");
+            assert_eq!(counts.get(m, victim), 0, "warm pool survived node death");
+        }
+        assert!(counts.consistent_with(&fresh));
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub use datasets_extra::{SockShopDataset, TrainTicketDataset};
 pub use io::{PlacementSnapshot, ScenarioSnapshot};
 pub use latency::{completion_time, CompletionBreakdown};
 pub use objective::{evaluate, ConstraintReport, Evaluation};
-pub use placement::{Assignment, Placement};
+pub use placement::{Assignment, Placement, ReplicaCounts};
 pub use preferences::{chain_similarity, PreferenceModel};
 pub use request::{RequestConfig, UserId, UserRequest};
 pub use routing::{greedy_route, optimal_route, route_all, RouteOutcome};

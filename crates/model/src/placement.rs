@@ -152,6 +152,99 @@ impl Placement {
     }
 }
 
+/// Per-(service, node) warm replica counts — the serverless refinement of
+/// [`Placement`].
+///
+/// A placement says *where* a service is deployed (`x(i,k) ∈ {0,1}`); a
+/// replica-count grid says *how many* warm instances each deployment cell
+/// holds. The autoscaling control plane (`socl-autoscale`) owns these counts
+/// and adjusts them against observed concurrency; the execution layers
+/// (`socl-sim`) serve requests from the pools they describe. The invariant
+/// linking the two representations is `counts.get(m, k) > 0 ⇒
+/// placement.get(m, k)` — a cell cannot hold warm replicas without being
+/// deployed (see [`ReplicaCounts::consistent_with`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaCounts {
+    services: usize,
+    nodes: usize,
+    /// Row-major service-by-node counts.
+    counts: Vec<u32>,
+}
+
+impl ReplicaCounts {
+    /// All-zero grid (everything scaled to zero).
+    pub fn zero(services: usize, nodes: usize) -> Self {
+        Self {
+            services,
+            nodes,
+            counts: vec![0; services * nodes],
+        }
+    }
+
+    /// One warm replica per deployed cell — the implicit
+    /// one-instance-per-placement-entry model the testbed used before the
+    /// control plane existed.
+    pub fn from_placement(placement: &Placement) -> Self {
+        let mut counts = Self::zero(placement.services(), placement.nodes());
+        for (m, k) in placement.iter_deployed() {
+            counts.set(m, k, 1);
+        }
+        counts
+    }
+
+    /// Number of services the grid covers.
+    #[inline]
+    pub fn services(&self) -> usize {
+        self.services
+    }
+
+    /// Number of nodes the grid covers.
+    #[inline]
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Warm replicas of `m` on `k`.
+    #[inline]
+    pub fn get(&self, m: ServiceId, k: NodeId) -> u32 {
+        self.counts[m.idx() * self.nodes + k.idx()]
+    }
+
+    /// Set the warm replica count of `m` on `k`.
+    #[inline]
+    pub fn set(&mut self, m: ServiceId, k: NodeId, v: u32) {
+        self.counts[m.idx() * self.nodes + k.idx()] = v;
+    }
+
+    /// Total warm replicas of `m` across the network.
+    pub fn total_of(&self, m: ServiceId) -> u32 {
+        let row = m.idx() * self.nodes;
+        self.counts[row..row + self.nodes].iter().sum()
+    }
+
+    /// Total warm replicas across every service and node.
+    pub fn total(&self) -> u32 {
+        self.counts.iter().sum()
+    }
+
+    /// Iterator over all `(service, node, count)` cells with `count > 0`.
+    pub fn iter_positive(&self) -> impl Iterator<Item = (ServiceId, NodeId, u32)> + '_ {
+        (0..self.services).flat_map(move |i| {
+            let row = i * self.nodes;
+            (0..self.nodes).filter_map(move |k| {
+                let c = self.counts[row + k];
+                (c > 0).then_some((ServiceId(i as u32), NodeId(k as u32), c))
+            })
+        })
+    }
+
+    /// True when every positive cell is also deployed in `placement` —
+    /// warm replicas can only live where an instance exists.
+    pub fn consistent_with(&self, placement: &Placement) -> bool {
+        self.iter_positive().all(|(m, k, _)| placement.get(m, k))
+    }
+}
+
 /// The service decision: for request `h` and chain position `j`, the node
 /// `loc^h(m)` chosen to execute the `j`-th microservice of the chain.
 ///

@@ -132,6 +132,59 @@ mod tests {
     }
 
     #[test]
+    fn per_slot_trajectories_replay_across_seeds() {
+        // Stronger than final-state equality: the *entire* slot-by-slot
+        // trajectory must replay, for every seed — the online simulator and
+        // the control plane's scaling timelines both depend on it.
+        let net = TopologyConfig::paper(9).build(11);
+        let trace = |seed: u64| -> Vec<Vec<NodeId>> {
+            let mut m = MobilityModel::paper(seed);
+            let mut locs: Vec<NodeId> = (0..30).map(|i| NodeId(i % 9)).collect();
+            (0..25)
+                .map(|_| {
+                    m.step(&net, &mut locs);
+                    locs.clone()
+                })
+                .collect()
+        };
+        for seed in 0..5u64 {
+            assert_eq!(trace(seed), trace(seed), "seed {seed} did not replay");
+            assert_ne!(
+                trace(seed),
+                trace(seed + 101),
+                "seeds {seed} and {} gave identical trajectories",
+                seed + 101
+            );
+        }
+    }
+
+    #[test]
+    fn population_is_conserved_every_slot() {
+        // Users neither appear nor vanish: each slot, the per-station
+        // histogram sums to the fixed population and every user sits on a
+        // real station.
+        let nodes = 7usize;
+        let users = 53usize;
+        let net = TopologyConfig::paper(nodes).build(13);
+        let mut model = MobilityModel::paper(21);
+        let mut locs: Vec<NodeId> = (0..users).map(|i| NodeId((i % nodes) as u32)).collect();
+        for slot in 0..60 {
+            model.step(&net, &mut locs);
+            assert_eq!(locs.len(), users, "slot {slot} changed the population");
+            let mut histogram = vec![0usize; nodes];
+            for l in &locs {
+                assert!((l.0 as usize) < nodes, "slot {slot} placed a user off-grid");
+                histogram[l.0 as usize] += 1;
+            }
+            assert_eq!(
+                histogram.iter().sum::<usize>(),
+                users,
+                "slot {slot} lost users"
+            );
+        }
+    }
+
+    #[test]
     fn single_node_topology_is_a_noop() {
         let net = TopologyConfig::paper(1).build(0);
         let mut model = MobilityModel::new(1.0, 0.5, 1);

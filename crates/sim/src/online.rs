@@ -23,12 +23,17 @@ use crate::mobility::MobilityModel;
 use crate::policy::Policy;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use socl_autoscale::{AutoscaleConfig, Autoscaler};
 use socl_model::{
-    evaluate, DependencyDataset, EshopDataset, Scenario, ScenarioConfig, UserRequest,
+    evaluate, DependencyDataset, EshopDataset, ReplicaCounts, Scenario, ScenarioConfig, UserRequest,
 };
 use socl_net::time::Stopwatch;
 use socl_net::NodeId;
 use std::time::Duration;
+
+/// Cold-start penalty (seconds) assumed by the online layer's keep-alive
+/// economics — matches the testbed emulator's default `cold_start`.
+const ONLINE_COLD_START: f64 = 0.5;
 
 /// Online simulation parameters.
 #[derive(Debug, Clone)]
@@ -69,6 +74,17 @@ pub struct OnlineConfig {
     /// re-provision only the affected services instead of serving the slot
     /// broken. Repair latency and churn are recorded per slot.
     pub repair: bool,
+    /// Serverless control plane: when set, an [`Autoscaler`] owns per-cell
+    /// warm-replica counts across slots. Each slot it (a) merges still-warm
+    /// cells back into the policy's placement (tearing down a warm pool is
+    /// the cost keep-alive paid to avoid), (b) sheds requests per the
+    /// admission policy, and (c) runs one control-loop step on the observed
+    /// per-service concurrency. The scaler clock advances by
+    /// `scale_interval` per slot, so its windows span multiple slots. With
+    /// `repair` on, mid-slot crashes go through
+    /// [`socl_core::repair_with_replicas`] so stranded pools are re-homed
+    /// rather than reset.
+    pub autoscale: Option<AutoscaleConfig>,
     /// Master seed.
     pub seed: u64,
 }
@@ -89,6 +105,7 @@ impl Default for OnlineConfig {
             user_preferences: false,
             mid_slot_fail_prob: 0.0,
             repair: false,
+            autoscale: None,
             seed: 0,
         }
     }
@@ -118,6 +135,15 @@ pub struct SlotRecord {
     pub repair_time: Duration,
     /// Instance churn caused by the repair pass (prunes + adds).
     pub repair_churn: usize,
+    /// Service-level scale-up events this slot (0 without a control plane).
+    pub scale_ups: usize,
+    /// Service-level scale-down events this slot.
+    pub scale_downs: usize,
+    /// Requests refused by admission control this slot.
+    pub shed_requests: usize,
+    /// Total warm replicas across all cells at the end of the slot
+    /// (0 without a control plane).
+    pub replicas: u32,
 }
 
 /// The simulator: owns the evolving user state.
@@ -136,6 +162,9 @@ pub struct OnlineSimulator {
     /// masked out; only trees crossing a flipped link are recomputed when
     /// the alive-link set changes between slots.
     apsp: socl_net::ApspCache,
+    /// The serverless control plane, when configured. Owns the warm-replica
+    /// counts that persist across slots.
+    scaler: Option<Autoscaler>,
 }
 
 impl OnlineSimulator {
@@ -156,6 +185,10 @@ impl OnlineSimulator {
             .user_preferences
             .then(|| socl_model::PreferenceModel::sample(cfg.users, base.catalog.len(), cfg.seed));
         let apsp = socl_net::ApspCache::new(&base.net);
+        let scaler = cfg
+            .autoscale
+            .clone()
+            .map(|ac| Autoscaler::new(ac, ONLINE_COLD_START, base.catalog.len(), cfg.nodes));
         Self {
             cfg,
             dataset,
@@ -168,7 +201,13 @@ impl OnlineSimulator {
             alive_links,
             preferences,
             apsp,
+            scaler,
         }
+    }
+
+    /// The control plane's warm-replica counts (None without autoscaling).
+    pub fn replica_counts(&self) -> Option<&ReplicaCounts> {
+        self.scaler.as_ref().map(|s| s.counts())
     }
 
     /// Incremental APSP cache statistics (rows recomputed vs reused).
@@ -354,6 +393,48 @@ impl OnlineSimulator {
             let mut placement = policy.place(&sc, slot as u64);
             let solve_time = t.elapsed();
 
+            // Serverless control plane: merge warm cells into the committed
+            // placement, shed per admission policy, run one scaler step.
+            let mut scale_ups = 0usize;
+            let mut scale_downs = 0usize;
+            let mut shed_requests = 0usize;
+            if let Some(scaler) = self.scaler.as_mut() {
+                if slot == 0 {
+                    scaler.seed_from_placement(&placement, &sc.catalog, &sc.net);
+                } else {
+                    // Cells still holding warm replicas survive the policy
+                    // re-solve; pools on since-dead nodes are torn down.
+                    let mut counts = scaler.counts().clone();
+                    socl_core::merge_scaler_owned(&sc, &mut placement, &mut counts);
+                    scaler.restore_counts(counts);
+                }
+                // Observed demand: instantaneous concurrency per service is
+                // the number of chain stages that traverse it this slot.
+                let mut demand = vec![0.0f64; sc.catalog.len()];
+                for req in &sc.requests {
+                    for &m in &req.chain {
+                        demand[m.idx()] += 1.0;
+                    }
+                }
+                // Admission: a request is shed when any of its chain stages
+                // must yield at the current overload.
+                if scaler.config().admission.enabled {
+                    let offered = sc.requests.len();
+                    sc.requests.retain(|req| {
+                        req.chain
+                            .iter()
+                            .all(|&m| scaler.admit(m, req.chain.len(), demand[m.idx()]))
+                    });
+                    shed_requests = offered - sc.requests.len();
+                }
+                let tick_t = slot as f64 * scaler.config().scale_interval;
+                let (u0, d0) = scaler.events();
+                scaler.tick(tick_t, &demand, &placement, &sc.catalog, &sc.net);
+                let (u1, d1) = scaler.events();
+                scale_ups = (u1 - u0) as usize;
+                scale_downs = (d1 - d0) as usize;
+            }
+
             // Mid-slot crash: a node dies *after* the policy committed its
             // placement, stranding every instance it hosted.
             let mut mid_slot_failures = 0usize;
@@ -386,15 +467,31 @@ impl OnlineSimulator {
                     mid_slot_failures = 1;
                     if self.cfg.repair {
                         let t = Stopwatch::start();
-                        let report = socl_core::repair_placement(&sc, &placement);
-                        repair_time = t.elapsed();
-                        repair_churn = report.churn;
-                        placement = report.placement;
+                        if let Some(scaler) = self.scaler.as_mut() {
+                            // Replica-aware repair: stranded warm pools are
+                            // re-homed onto the surviving hosts.
+                            let out =
+                                socl_core::repair_with_replicas(&sc, &placement, scaler.counts());
+                            repair_time = t.elapsed();
+                            repair_churn = out.report.churn;
+                            placement = out.report.placement;
+                            scaler.restore_counts(out.counts);
+                        } else {
+                            let report = socl_core::repair_placement(&sc, &placement);
+                            repair_time = t.elapsed();
+                            repair_churn = report.churn;
+                            placement = report.placement;
+                        }
                     } else {
                         // Unrepaired: the stranded instances are simply
                         // gone and the slot is served without them.
                         for i in 0..placement.services() {
                             placement.set(socl_model::ServiceId(i as u32), v, false);
+                        }
+                        if let Some(scaler) = self.scaler.as_mut() {
+                            for i in 0..sc.catalog.len() {
+                                scaler.confirm(socl_model::ServiceId(i as u32), v, 0);
+                            }
                         }
                     }
                 }
@@ -415,6 +512,14 @@ impl OnlineSimulator {
                 mid_slot_failures,
                 repair_time,
                 repair_churn,
+                scale_ups,
+                scale_downs,
+                shed_requests,
+                replicas: self
+                    .scaler
+                    .as_ref()
+                    .map(|s| s.counts().total())
+                    .unwrap_or(0),
             });
         }
         records
@@ -456,6 +561,101 @@ mod tests {
         for r in &records {
             assert_eq!(r.fallbacks, 0, "slot {} had fallbacks", r.slot);
         }
+    }
+
+    fn reactive() -> socl_autoscale::AutoscaleConfig {
+        socl_autoscale::AutoscaleConfig {
+            min_replicas: 1,
+            stable_window: 8.0,
+            panic_window: 2.0,
+            scale_interval: 1.0,
+            down_cooldown: 2.0,
+            keep_alive: socl_autoscale::KeepAlivePolicy::Fixed(2.0),
+            ..socl_autoscale::AutoscaleConfig::default()
+        }
+    }
+
+    #[test]
+    fn legacy_runs_report_no_control_plane_activity() {
+        let mut sim = OnlineSimulator::new(small_cfg(3));
+        let records = sim.run(&Policy::Socl(SoclConfig::default()));
+        for r in &records {
+            assert_eq!(r.scale_ups + r.scale_downs + r.shed_requests, 0);
+            assert_eq!(r.replicas, 0);
+        }
+        assert!(sim.replica_counts().is_none());
+    }
+
+    #[test]
+    fn control_plane_tracks_replicas_and_is_deterministic() {
+        let cfg = OnlineConfig {
+            autoscale: Some(reactive()),
+            ..small_cfg(30)
+        };
+        let run = || {
+            let mut sim = OnlineSimulator::new(cfg.clone());
+            let records = sim.run(&Policy::Socl(SoclConfig::default()));
+            assert_eq!(
+                sim.replica_counts().map(|c| c.total()),
+                records.last().map(|r| r.replicas)
+            );
+            records
+        };
+        let (a, b) = (run(), run());
+        for (ra, rb) in a.iter().zip(&b) {
+            assert!(
+                ra.replicas > 0,
+                "slot {} ran with no warm replicas",
+                ra.slot
+            );
+            assert_eq!(ra.scale_ups, rb.scale_ups);
+            assert_eq!(ra.scale_downs, rb.scale_downs);
+            assert_eq!(ra.shed_requests, rb.shed_requests);
+            assert_eq!(ra.replicas, rb.replicas);
+            assert_eq!(ra.mean_latency.to_bits(), rb.mean_latency.to_bits());
+        }
+    }
+
+    #[test]
+    fn admission_sheds_under_a_tight_queue_limit() {
+        let cfg = OnlineConfig {
+            autoscale: Some(socl_autoscale::AutoscaleConfig {
+                admission: socl_autoscale::AdmissionPolicy {
+                    enabled: true,
+                    queue_limit: 0.05,
+                    classes: 2,
+                    strict_overload: 4.0,
+                },
+                ..reactive()
+            }),
+            ..small_cfg(31)
+        };
+        let mut sim = OnlineSimulator::new(cfg);
+        let records = sim.run(&Policy::Socl(SoclConfig::default()));
+        let shed: usize = records.iter().map(|r| r.shed_requests).sum();
+        assert!(shed > 0, "nothing shed at queue limit 0.05");
+        // The latency score must still be finite for the admitted share.
+        for r in &records {
+            assert!(r.mean_latency.is_finite());
+        }
+    }
+
+    #[test]
+    fn repair_preserves_warm_pools_across_mid_slot_crashes() {
+        let cfg = OnlineConfig {
+            mid_slot_fail_prob: 1.0,
+            repair: true,
+            autoscale: Some(reactive()),
+            ..small_cfg(32)
+        };
+        let mut sim = OnlineSimulator::new(cfg);
+        let records = sim.run(&Policy::Socl(SoclConfig::default()));
+        assert!(records.iter().any(|r| r.mid_slot_failures > 0));
+        for r in &records {
+            assert!(r.replicas > 0, "slot {} lost every warm replica", r.slot);
+        }
+        let counts = sim.replica_counts().expect("control plane configured");
+        assert!(counts.total() > 0);
     }
 
     #[test]

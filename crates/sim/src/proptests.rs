@@ -132,6 +132,54 @@ proptest! {
         prop_assert_eq!(a, b);
     }
 
+    /// The control plane adds no entropy: with autoscaling (and admission)
+    /// enabled, identical seeds and configs reproduce the identical testbed
+    /// result — scaling events, shed counts, replica-seconds and per-request
+    /// latencies — at any worker-thread count.
+    #[test]
+    fn scaling_timelines_are_thread_count_invariant(
+        sc in arb_scenario(),
+        seed in any::<u64>(),
+        predictive in any::<bool>(),
+        admission in any::<bool>(),
+    ) {
+        use socl_autoscale::{AdmissionPolicy, AutoscaleConfig, KeepAlivePolicy, ScalingMode};
+        let placement = Policy::Socl(SoclConfig::default()).place(&sc, 0);
+        let ac = AutoscaleConfig {
+            mode: if predictive { ScalingMode::Predictive } else { ScalingMode::Reactive },
+            target_concurrency: 2.0,
+            stable_window: 8.0,
+            panic_window: 3.0,
+            scale_interval: 1.0,
+            down_cooldown: 2.0,
+            min_replicas: 1,
+            max_replicas_per_node: 4,
+            keep_alive: KeepAlivePolicy::Fixed(4.0),
+            admission: AdmissionPolicy {
+                enabled: admission,
+                queue_limit: 1.0,
+                classes: 3,
+                strict_overload: 3.0,
+            },
+            ..AutoscaleConfig::default()
+        };
+        let cfg = TestbedConfig {
+            epochs: 3,
+            seed,
+            autoscale: Some(ac),
+            ..TestbedConfig::default()
+        };
+        let run_at = |threads: usize| {
+            socl_net::set_threads(threads);
+            let r = run_testbed(&sc, &placement, &cfg);
+            socl_net::set_threads(0);
+            r
+        };
+        let serial = run_at(1);
+        let parallel = run_at(3);
+        prop_assert_eq!(serial, parallel);
+    }
+
     /// Cold starts only ever add latency.
     #[test]
     fn cold_starts_only_add(sc in arb_scenario()) {

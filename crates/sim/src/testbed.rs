@@ -46,12 +46,27 @@
 //! request degrades to the cloud (counted, never silently lost) unless
 //! `degrade_to_cloud` is off, in which case it is dropped. Every issued
 //! request ends in exactly one outcome and the conservation identity
-//! `completed + degraded + dropped + fallbacks == issued` is enforced by
-//! property tests.
+//! `completed + degraded + dropped + fallbacks + shed == issued` is
+//! enforced by property tests.
+//!
+//! # Serverless control plane
+//!
+//! With [`TestbedConfig::autoscale`] set, the one-instance-per-cell data
+//! plane is replaced by **replica pools**: each deployed `(service, node)`
+//! cell holds a pool of isolated containers, each serving at the node's
+//! rate `c(v)`, sized mid-run by the [`Autoscaler`] from observed
+//! concurrency. Scaled-up replicas boot cold (their first request pays
+//! `cold_start`); scale-downs reclaim only idle replicas; a request
+//! landing on a scaled-to-zero cell boots one on demand rather than being
+//! stranded. Requests then enter through arrival events so admission
+//! control (priority-classed shedding, counted in `shed_requests`) sees
+//! live in-flight state. The whole control loop is seeded-deterministic: same
+//! seed and config, same scaling timeline, at any `--threads`.
 
 use crate::faults::{FaultSchedule, FaultTimeline};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use socl_autoscale::{AutoscaleConfig, Autoscaler};
 use socl_model::{optimal_route, Placement, RouteOutcome, Scenario};
 use socl_net::{AllPairs, NodeId};
 use std::cmp::Ordering;
@@ -133,6 +148,22 @@ pub struct TestbedConfig {
     /// replica (or retries are exhausted), serve it from the cloud at the
     /// scenario's `cloud_penalty` instead of dropping it.
     pub degrade_to_cloud: bool,
+    /// Serverless control plane. `None` keeps the legacy data plane: one
+    /// implicit instance per deployed `(service, node)` cell, all services
+    /// on a node serialized on its CPU. `Some` replaces each deployed cell
+    /// with a **replica pool** sized by the [`Autoscaler`]: each replica is
+    /// an isolated container serving at the node's rate `c(v)`, scaled-up
+    /// replicas boot cold, scale-downs reclaim only idle replicas, and a
+    /// request landing on a scaled-to-zero cell boots one on demand (it is
+    /// never stranded — it pays the cold start instead).
+    pub autoscale: Option<AutoscaleConfig>,
+    /// Requests issued per epoch (diurnal load shaping). `None` keeps the
+    /// legacy workload — every user issues exactly one request per epoch.
+    /// `Some(v)` issues `v[e]` requests in epoch `e` (the last entry
+    /// repeats if the run is longer), each from a seeded-uniformly chosen
+    /// user, which is how the autoscale bench replays a diurnal trace with
+    /// a flash crowd.
+    pub epoch_arrivals: Option<Vec<usize>>,
 }
 
 impl Default for TestbedConfig {
@@ -146,6 +177,8 @@ impl Default for TestbedConfig {
             faults: FaultSchedule::empty(),
             retry: RetryPolicy::default(),
             degrade_to_cloud: true,
+            autoscale: None,
+            epoch_arrivals: None,
         }
     }
 }
@@ -184,6 +217,17 @@ pub struct TestbedResult {
     pub availability: f64,
     /// Mean node outage duration within the run horizon, seconds.
     pub mttr: f64,
+    /// Service-level scale-up decisions taken by the autoscaler (0 when
+    /// the control plane is off).
+    pub scale_up_events: usize,
+    /// Service-level scale-down decisions taken by the autoscaler.
+    pub scale_down_events: usize,
+    /// Requests refused by admission control at issue time.
+    pub shed_requests: usize,
+    /// Billed warm-pool integral Σ replicas × seconds over the run horizon
+    /// — the Eq. 1 deployment-cost proxy the keep-alive economics trade
+    /// against cold starts. 0 when the control plane is off.
+    pub replica_seconds: f64,
 }
 
 impl TestbedResult {
@@ -199,22 +243,28 @@ impl TestbedResult {
         self.latency_percentile(0.5)
     }
 
-    /// Mean completion time with degraded and dropped requests charged
-    /// `cloud_penalty` seconds each — the delay a user actually experiences
-    /// under faults (0 when nothing beyond fallbacks was issued).
+    /// Mean completion time with degraded, dropped, **and shed** requests
+    /// charged `cloud_penalty` seconds each — the delay a user actually
+    /// experiences under faults and overload (0 when nothing beyond
+    /// fallbacks was issued). Shed requests are charged exactly like
+    /// degraded ones: admission control turns them away at the edge, so
+    /// the user retries against the cloud and pays its penalty — shedding
+    /// is never free in the reported means.
     pub fn effective_mean(&self, cloud_penalty: f64) -> f64 {
         let served: f64 = self.per_request.iter().flatten().sum();
-        let charged = self.completed + self.degraded + self.dropped;
+        let cloud_bound = self.degraded + self.dropped + self.shed_requests;
+        let charged = self.completed + cloud_bound;
         if charged == 0 {
             return 0.0;
         }
-        (served + (self.degraded + self.dropped) as f64 * cloud_penalty) / charged as f64
+        (served + cloud_bound as f64 * cloud_penalty) / charged as f64
     }
 }
 
 #[derive(Debug, Clone, Copy)]
 struct Event {
-    /// Arrival of the stage's input data at `node`.
+    /// Arrival of the stage's input data at `node` (or, for arrival
+    /// events, the instant the request is issued at the user's station).
     time: f64,
     /// Request index within the flattened (epoch × request) list.
     job: usize,
@@ -228,6 +278,9 @@ struct Event {
     from: u32,
     /// Time the attempt was dispatched (timeout baseline).
     dispatch: f64,
+    /// Request issue event (control plane only): runs admission and seeds
+    /// the first dispatch, so the shedder sees live in-flight counts.
+    is_arrival: bool,
 }
 
 impl PartialEq for Event {
@@ -237,12 +290,14 @@ impl PartialEq for Event {
             && self.stage == other.stage
             && self.attempt == other.attempt
             && self.node == other.node
+            && self.is_arrival == other.is_arrival
     }
 }
 impl Eq for Event {}
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap by time, deterministic tie-breaks.
+        // Min-heap by time, deterministic tie-breaks; at equal keys an
+        // arrival (issue) event runs before serve events.
         other
             .time
             .total_cmp(&self.time)
@@ -250,6 +305,7 @@ impl Ord for Event {
             .then(other.stage.cmp(&self.stage))
             .then(other.attempt.cmp(&self.attempt))
             .then(other.node.cmp(&self.node))
+            .then(self.is_arrival.cmp(&other.is_arrival))
     }
 }
 impl PartialOrd for Event {
@@ -265,6 +321,8 @@ enum Outcome {
     Completed,
     Degraded,
     Dropped,
+    /// Refused by admission control at issue time (control plane only).
+    Shed,
 }
 
 /// Why a serve attempt failed.
@@ -285,12 +343,63 @@ struct Assessment {
     cold: bool,
     /// `Some((detect_time, reason))` when the attempt fails.
     fail: Option<(f64, FailReason)>,
+    /// Pool mode: index of the chosen replica in its cell's pool;
+    /// `usize::MAX` when the cell is scaled to zero and a replica must be
+    /// booted on demand. Unused (0) on the legacy data plane.
+    replica: usize,
 }
 
 struct Job {
     user: usize,
     arrival: f64,
     start: f64,
+    epoch: usize,
+}
+
+/// One warm container in a `(service, node)` replica pool.
+#[derive(Debug, Clone, Copy)]
+struct Replica {
+    /// When its current request (if any) finishes.
+    free_at: f64,
+    /// When it last finished serving (`-inf` for a never-used cold boot).
+    last_done: f64,
+}
+
+/// Serverless data-plane state, present when the control plane is on.
+struct PoolState {
+    scaler: Autoscaler,
+    /// Replica pools indexed by `service.idx() * nodes + node.idx()`.
+    pools: Vec<Vec<Replica>>,
+    /// Pending serve attempts per service (dispatched, data not yet
+    /// arrived at the serving node).
+    inflight: Vec<usize>,
+    /// Scheduled completion times of committed stage executions, per
+    /// service; entries in the future are work currently queued on or
+    /// being served by a replica. Together with `inflight` this is the
+    /// concurrency signal the scaler targets and the shedder measures
+    /// overload against (pruned lazily at tick time).
+    completions: Vec<Vec<f64>>,
+    /// Next scaler tick time.
+    next_tick: f64,
+    /// Billed warm-pool integral Σ replicas × seconds, up to `last_change`.
+    replica_seconds: f64,
+    last_change: f64,
+}
+
+impl PoolState {
+    /// Fold the pool-size integral forward to `t` (call *before* any
+    /// replica-count change).
+    fn account(&mut self, t: f64) {
+        let total = self.scaler.counts().total();
+        self.replica_seconds += total as f64 * (t - self.last_change).max(0.0);
+        self.last_change = self.last_change.max(t);
+    }
+
+    /// Observed concurrency of service `i` at time `t`: attempts in
+    /// transfer plus executions that finish after `t`.
+    fn observed_load(&self, i: usize, t: f64) -> f64 {
+        (self.inflight[i] + self.completions[i].iter().filter(|&&d| d > t).count()) as f64
+    }
 }
 
 struct Engine<'a> {
@@ -314,6 +423,8 @@ struct Engine<'a> {
     retried: usize,
     hedged: usize,
     timeouts: usize,
+    /// Serverless control plane; `None` = legacy one-instance data plane.
+    pool: Option<PoolState>,
 }
 
 impl<'a> Engine<'a> {
@@ -378,11 +489,25 @@ impl<'a> Engine<'a> {
                 done: arrival,
                 cold: false,
                 fail: Some((arrival, FailReason::Loss(idx))),
+                replica: 0,
             };
         }
         let svc = self.service_of(job, stage);
         let wi = svc.idx() * self.sc.nodes() + node.idx();
-        let last = self.last_used[wi];
+        // Pool mode: serve on the replica that frees up first (index
+        // tie-break); a scaled-to-zero cell boots a replica on demand.
+        // Legacy mode: the node's single CPU serializes everything.
+        let (replica, queue_free, last) = match &self.pool {
+            Some(ps) => match ps.pools[wi]
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.free_at.total_cmp(&b.1.free_at).then(a.0.cmp(&b.0)))
+            {
+                Some((ix, r)) => (ix, r.free_at, r.last_done),
+                None => (usize::MAX, arrival, f64::NEG_INFINITY),
+            },
+            None => (0, self.node_free[node.idx()], self.last_used[wi]),
+        };
         let cold = arrival - last > self.cfg.keep_warm
             || self.timeline.killed_between(svc, node, last, arrival)
             || self
@@ -399,13 +524,14 @@ impl<'a> Engine<'a> {
                         recover_at: self.timeline.next_up(node, arrival),
                     },
                 )),
+                replica,
             };
         }
         let mut service_time = self.exec_time(job, stage, node);
         if cold {
             service_time += self.cfg.cold_start;
         }
-        let start = arrival.max(self.node_free[node.idx()]);
+        let start = arrival.max(queue_free);
         let done = start + service_time;
         let crash = self
             .timeline
@@ -420,17 +546,46 @@ impl<'a> Engine<'a> {
             (Some((at, rec)), false) => Some((at, FailReason::NodeDown { recover_at: rec })),
             (None, false) => None,
         };
-        Assessment { done, cold, fail }
+        Assessment {
+            done,
+            cold,
+            fail,
+            replica,
+        }
     }
 
     /// Commit a successful attempt: consume the queue slot and warmth.
-    fn commit(&mut self, job: usize, stage: usize, node: NodeId, a: &Assessment) {
+    /// `arrival` is when the stage's data reached the node (pool-size
+    /// accounting instant for on-demand boots).
+    fn commit(&mut self, job: usize, stage: usize, node: NodeId, arrival: f64, a: &Assessment) {
         let svc = self.service_of(job, stage);
         let wi = svc.idx() * self.sc.nodes() + node.idx();
-        self.node_free[node.idx()] = a.done;
-        self.last_used[wi] = a.done;
         if a.cold {
             self.cold_starts += 1;
+        }
+        match self.pool.as_mut() {
+            Some(ps) => {
+                if a.replica == usize::MAX || ps.pools[wi].is_empty() {
+                    // On-demand boot of a scaled-to-zero cell: the platform
+                    // starts one replica (the request just paid its cold
+                    // start) and the scaler now owns it.
+                    ps.account(arrival);
+                    ps.pools[wi].push(Replica {
+                        free_at: a.done,
+                        last_done: a.done,
+                    });
+                    ps.scaler.confirm(svc, node, 1);
+                } else {
+                    let r = &mut ps.pools[wi][a.replica];
+                    r.free_at = a.done;
+                    r.last_done = a.done;
+                }
+                ps.completions[svc.idx()].push(a.done);
+            }
+            None => {
+                self.node_free[node.idx()] = a.done;
+                self.last_used[wi] = a.done;
+            }
         }
     }
 
@@ -448,7 +603,22 @@ impl<'a> Engine<'a> {
             .filter(|&k| !self.timeline.is_down(k, t))
             .map(|k| {
                 let arr = t + ap.transfer_time(from, k, r);
-                let wait = (self.node_free[k.idx()] - arr).max(0.0);
+                let wait = match &self.pool {
+                    Some(ps) => {
+                        let cell = &ps.pools[svc.idx() * self.sc.nodes() + k.idx()];
+                        match cell
+                            .iter()
+                            .map(|rep| rep.free_at)
+                            .min_by(|a, b| a.total_cmp(b))
+                        {
+                            Some(free) => (free - arr).max(0.0),
+                            // Scaled to zero: an on-demand boot pays the
+                            // cold start before serving.
+                            None => self.cfg.cold_start,
+                        }
+                    }
+                    None => (self.node_free[k.idx()] - arr).max(0.0),
+                };
                 (arr + wait + self.exec_time(job, stage, k), k.0)
             })
             .collect();
@@ -495,7 +665,20 @@ impl<'a> Engine<'a> {
                 // The crash wiped the victim's queue: it restarts idle once
                 // it recovers, so nothing can start on it before then.
                 if recover_at.is_finite() {
-                    self.node_free[node.idx()] = self.node_free[node.idx()].max(recover_at);
+                    let nodes = self.sc.nodes();
+                    let services = self.sc.services();
+                    match self.pool.as_mut() {
+                        Some(ps) => {
+                            for s in 0..services {
+                                for rep in ps.pools[s * nodes + node.idx()].iter_mut() {
+                                    rep.free_at = rep.free_at.max(recover_at);
+                                }
+                            }
+                        }
+                        None => {
+                            self.node_free[node.idx()] = self.node_free[node.idx()].max(recover_at);
+                        }
+                    }
                 }
             }
         }
@@ -556,6 +739,10 @@ impl<'a> Engine<'a> {
             }
         }
 
+        let svc_ix = self.service_of(job, stage).idx();
+        if let Some(ps) = self.pool.as_mut() {
+            ps.inflight[svc_ix] += 1;
+        }
         self.heap.push(Event {
             time: arrive_t,
             job,
@@ -564,6 +751,7 @@ impl<'a> Engine<'a> {
             node: target.0,
             from: from.0,
             dispatch: dispatch_t,
+            is_arrival: false,
         });
     }
 
@@ -586,8 +774,104 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Run scaler ticks (and apply their pool changes) up to time `t`.
+    fn run_ticks_until(&mut self, t: f64) {
+        let sc = self.sc;
+        let placement = self.placement;
+        let nodes = sc.nodes();
+        loop {
+            let Some(ps) = self.pool.as_mut() else { return };
+            if ps.next_tick > t {
+                return;
+            }
+            let now = ps.next_tick;
+            ps.next_tick += ps.scaler.config().scale_interval;
+            for done in ps.completions.iter_mut() {
+                done.retain(|&d| d > now);
+            }
+            let observed: Vec<f64> = (0..ps.inflight.len())
+                .map(|i| ps.observed_load(i, now))
+                .collect();
+            let actions = ps
+                .scaler
+                .tick(now, &observed, placement, &sc.catalog, &sc.net);
+            if actions.is_empty() {
+                continue;
+            }
+            ps.account(now);
+            for act in actions {
+                let wi = act.service.idx() * nodes + act.node.idx();
+                if act.after > act.before {
+                    // New replicas boot cold: their first request pays the
+                    // cold start (last_done = -inf trips the warmth rule).
+                    while (ps.pools[wi].len() as u32) < act.after {
+                        ps.pools[wi].push(Replica {
+                            free_at: now,
+                            last_done: f64::NEG_INFINITY,
+                        });
+                    }
+                } else {
+                    // Reclaim idle replicas only (busy ones finish their
+                    // request first), most-stale first, index tie-break.
+                    let cell = &mut ps.pools[wi];
+                    let need = cell.len().saturating_sub(act.after as usize);
+                    let mut idle: Vec<usize> = (0..cell.len())
+                        .filter(|&i| cell[i].free_at <= now)
+                        .collect();
+                    idle.sort_by(|&x, &y| {
+                        cell[x]
+                            .last_done
+                            .total_cmp(&cell[y].last_done)
+                            .then(x.cmp(&y))
+                    });
+                    idle.truncate(need);
+                    idle.sort_unstable_by(|x, y| y.cmp(x));
+                    for i in idle {
+                        cell.remove(i);
+                    }
+                    let actual = cell.len() as u32;
+                    if actual != act.after {
+                        ps.scaler.confirm(act.service, act.node, actual);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A request is issued at the user's station: run admission, then
+    /// seed the first-stage dispatch (control-plane mode only).
+    fn handle_arrival(&mut self, ev: Event) {
+        let job = ev.job;
+        let user = self.jobs[job].user;
+        let chain_len = self.sc.requests[user].chain.len();
+        let admitted = match &self.pool {
+            Some(ps) => self.sc.requests[user].chain.iter().all(|&m| {
+                ps.scaler
+                    .admit(m, chain_len, ps.observed_load(m.idx(), ev.time))
+            }),
+            None => true,
+        };
+        if !admitted {
+            self.outcome[job] = Some(Outcome::Shed);
+            return;
+        }
+        let loc = self.sc.requests[user].location;
+        self.dispatch(job, 0, loc, ev.time, 0);
+    }
+
     fn run(&mut self) {
         while let Some(ev) = self.heap.pop() {
+            self.run_ticks_until(ev.time);
+            if ev.is_arrival {
+                self.handle_arrival(ev);
+                continue;
+            }
+            // Every serve-event push incremented its service's in-flight
+            // count; the matching pop (stale or not) releases it.
+            let svc_ix = self.service_of(ev.job, ev.stage).idx();
+            if let Some(ps) = self.pool.as_mut() {
+                ps.inflight[svc_ix] = ps.inflight[svc_ix].saturating_sub(1);
+            }
             if self.outcome[ev.job].is_some() || self.frontier[ev.job] != ev.stage {
                 continue; // stale: the request was already resolved
             }
@@ -606,7 +890,7 @@ impl<'a> Engine<'a> {
                     );
                 }
                 None => {
-                    self.commit(ev.job, ev.stage, node, &a);
+                    self.commit(ev.job, ev.stage, node, ev.time, &a);
                     self.advance_job(ev.job, ev.stage, node, a.done);
                 }
             }
@@ -646,16 +930,28 @@ pub fn run_testbed(sc: &Scenario, placement: &Placement, cfg: &TestbedConfig) ->
         )
         .collect();
 
-    // Job list: one job per (epoch, user) with jittered arrival.
+    // Job list. Legacy: one job per (epoch, user) with jittered arrival.
+    // With `epoch_arrivals`, epoch `e` issues `arrivals[e]` requests from
+    // seeded-uniformly drawn users (diurnal load shaping).
     let mut jobs: Vec<Job> = Vec::with_capacity(cfg.epochs * users);
     for e in 0..cfg.epochs {
         let base = e as f64 * cfg.epoch_secs;
-        for u in 0..users {
+        let n = match &cfg.epoch_arrivals {
+            Some(v) if !v.is_empty() && users > 0 => v[e.min(v.len() - 1)],
+            _ => users,
+        };
+        for i in 0..n {
+            let user = if cfg.epoch_arrivals.is_some() {
+                rng.gen_range(0..users)
+            } else {
+                i
+            };
             let jitter = rng.gen_range(0.0..cfg.epoch_secs);
             jobs.push(Job {
-                user: u,
+                user,
                 arrival: base + jitter,
                 start: 0.0,
+                epoch: e,
             });
         }
     }
@@ -685,6 +981,32 @@ pub fn run_testbed(sc: &Scenario, placement: &Placement, cfg: &TestbedConfig) ->
         }
     }
 
+    // Serverless control plane: seed replica pools from the placement
+    // (one warm replica per deployed cell, raised to the min-replica
+    // floor), then let the scaler drive pool sizes mid-run.
+    let pool = cfg.autoscale.as_ref().map(|ac| {
+        let mut scaler = Autoscaler::new(ac.clone(), cfg.cold_start, sc.services(), sc.nodes());
+        scaler.seed_from_placement(placement, &sc.catalog, &sc.net);
+        let mut pools: Vec<Vec<Replica>> = vec![Vec::new(); sc.services() * sc.nodes()];
+        for (m, k, count) in scaler.counts().iter_positive() {
+            pools[m.idx() * sc.nodes() + k.idx()] = (0..count)
+                .map(|_| Replica {
+                    free_at: 0.0,
+                    last_done: f64::NEG_INFINITY,
+                })
+                .collect();
+        }
+        PoolState {
+            scaler,
+            pools,
+            inflight: vec![0; sc.services()],
+            completions: vec![Vec::new(); sc.services()],
+            next_tick: 0.0,
+            replica_seconds: 0.0,
+            last_change: 0.0,
+        }
+    });
+
     let n_jobs = jobs.len();
     let loss_count = timeline.losses().len();
     let mut engine = Engine {
@@ -707,9 +1029,12 @@ pub fn run_testbed(sc: &Scenario, placement: &Placement, cfg: &TestbedConfig) ->
         retried: 0,
         hedged: 0,
         timeouts: 0,
+        pool,
     };
 
-    // Seed dispatches: upload from each user's station to the first stage.
+    // Seed the runs: upload from each user's station to the first stage.
+    // With the control plane on, requests enter through arrival events so
+    // admission control sees live in-flight state at issue time.
     let mut fallbacks = 0usize;
     for j in 0..n_jobs {
         let user = engine.jobs[j].user;
@@ -721,23 +1046,47 @@ pub fn run_testbed(sc: &Scenario, placement: &Placement, cfg: &TestbedConfig) ->
         let arrival = engine.jobs[j].arrival;
         engine.jobs[j].start = arrival;
         let loc = sc.requests[user].location;
-        engine.dispatch(j, 0, loc, arrival, 0);
+        if engine.pool.is_some() {
+            engine.heap.push(Event {
+                time: arrival,
+                job: j,
+                stage: 0,
+                attempt: 0,
+                node: loc.0,
+                from: loc.0,
+                dispatch: arrival,
+                is_arrival: true,
+            });
+        } else {
+            engine.dispatch(j, 0, loc, arrival, 0);
+        }
     }
 
     engine.run();
 
-    // Aggregate.
-    let per_request = engine.per_request;
-    let mut per_epoch_mean = Vec::with_capacity(cfg.epochs);
-    for e in 0..cfg.epochs {
-        let slice = &per_request[e * users..(e + 1) * users];
-        let served: Vec<f64> = slice.iter().flatten().copied().collect();
-        per_epoch_mean.push(if served.is_empty() {
-            0.0
-        } else {
-            served.iter().sum::<f64>() / served.len() as f64
-        });
+    // Close the warm-pool integral at the run horizon.
+    if let Some(ps) = engine.pool.as_mut() {
+        let end = horizon.max(ps.last_change);
+        ps.account(end);
     }
+
+    // Aggregate (per-epoch via each job's epoch tag — epochs may issue
+    // different request counts under `epoch_arrivals`).
+    let per_request = engine.per_request;
+    let mut epoch_sum = vec![0.0f64; cfg.epochs];
+    let mut epoch_count = vec![0usize; cfg.epochs];
+    for (j, lat) in per_request.iter().enumerate() {
+        if let Some(l) = lat {
+            let e = engine.jobs[j].epoch;
+            epoch_sum[e] += l;
+            epoch_count[e] += 1;
+        }
+    }
+    let per_epoch_mean: Vec<f64> = epoch_sum
+        .iter()
+        .zip(&epoch_count)
+        .map(|(&s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+        .collect();
     let served: Vec<f64> = per_request.iter().flatten().copied().collect();
     let mean = if served.is_empty() {
         0.0
@@ -749,11 +1098,13 @@ pub fn run_testbed(sc: &Scenario, placement: &Placement, cfg: &TestbedConfig) ->
     let mut completed = 0usize;
     let mut degraded = 0usize;
     let mut dropped = 0usize;
+    let mut shed = 0usize;
     for out in engine.outcome.iter() {
         match out {
             Some(Outcome::Completed) => completed += 1,
             Some(Outcome::Degraded) => degraded += 1,
             Some(Outcome::Dropped) => dropped += 1,
+            Some(Outcome::Shed) => shed += 1,
             Some(Outcome::Fallback) => {}
             None => {
                 // Every dispatched request must resolve; a hole here would
@@ -765,6 +1116,14 @@ pub fn run_testbed(sc: &Scenario, placement: &Placement, cfg: &TestbedConfig) ->
         }
     }
     let issued = n_jobs;
+
+    let (scale_ups, scale_downs, replica_seconds) = match &engine.pool {
+        Some(ps) => {
+            let (u, d) = ps.scaler.events();
+            (u as usize, d as usize, ps.replica_seconds)
+        }
+        None => (0, 0, 0.0),
+    };
 
     TestbedResult {
         per_request,
@@ -786,6 +1145,10 @@ pub fn run_testbed(sc: &Scenario, placement: &Placement, cfg: &TestbedConfig) ->
             completed as f64 / issued as f64
         },
         mttr: engine.timeline.mttr(horizon),
+        scale_up_events: scale_ups,
+        scale_down_events: scale_downs,
+        shed_requests: shed,
+        replica_seconds,
     }
 }
 
@@ -1137,5 +1500,197 @@ mod tests {
             with_retry.completed + with_retry.degraded + with_retry.fallbacks,
             with_retry.issued
         );
+    }
+
+    // ---- serverless control plane ---------------------------------------
+
+    use socl_autoscale::{AdmissionPolicy, AutoscaleConfig, ScalingMode};
+
+    fn scaled_cfg(mode: ScalingMode) -> TestbedConfig {
+        TestbedConfig {
+            epochs: 3,
+            epoch_secs: 60.0,
+            autoscale: Some(AutoscaleConfig {
+                mode,
+                scale_interval: 2.0,
+                stable_window: 20.0,
+                down_cooldown: 10.0,
+                min_replicas: 0,
+                keep_alive: socl_autoscale::KeepAlivePolicy::Fixed(15.0),
+                ..AutoscaleConfig::default()
+            }),
+            ..TestbedConfig::default()
+        }
+    }
+
+    #[test]
+    fn control_plane_conserves_requests_and_scales() {
+        let sc = scenario(20);
+        let placement = SoclSolver::new().solve(&sc).placement;
+        let cfg = scaled_cfg(ScalingMode::Reactive);
+        let res = run_testbed(&sc, &placement, &cfg);
+        assert_eq!(
+            res.completed + res.degraded + res.dropped + res.fallbacks + res.shed_requests,
+            res.issued
+        );
+        assert!(res.replica_seconds > 0.0, "pools must accrue billed time");
+        // Idle gaps between sparse requests trigger scale-downs.
+        assert!(
+            res.scale_down_events > 0,
+            "expected scale-downs over 3 sparse epochs: {res:?}"
+        );
+    }
+
+    #[test]
+    fn control_plane_is_deterministic() {
+        let sc = scenario(21);
+        let placement = SoclSolver::new().solve(&sc).placement;
+        let cfg = scaled_cfg(ScalingMode::Predictive);
+        let a = run_testbed(&sc, &placement, &cfg);
+        let b = run_testbed(&sc, &placement, &cfg);
+        assert_eq!(a, b, "same seed + config must reproduce exactly");
+    }
+
+    #[test]
+    fn scale_to_zero_never_strands_a_request() {
+        let sc = scenario(22);
+        let placement = SoclSolver::new().solve(&sc).placement;
+        // Aggressive scale-to-zero: tiny keep-alive, no cooldown, long
+        // epochs so pools collapse between arrivals.
+        let cfg = TestbedConfig {
+            epochs: 4,
+            epoch_secs: 300.0,
+            autoscale: Some(AutoscaleConfig {
+                scale_interval: 1.0,
+                stable_window: 5.0,
+                down_cooldown: 0.0,
+                min_replicas: 0,
+                keep_alive: socl_autoscale::KeepAlivePolicy::Fixed(2.0),
+                ..AutoscaleConfig::default()
+            }),
+            ..TestbedConfig::default()
+        };
+        let res = run_testbed(&sc, &placement, &cfg);
+        // Every admitted request resolves: on-demand boots serve requests
+        // that land on scaled-to-zero cells (paying cold starts instead).
+        assert_eq!(res.completed + res.fallbacks, res.issued);
+        assert_eq!(res.dropped, 0);
+        assert!(res.scale_down_events > 0);
+        assert!(res.cold_starts > 0);
+    }
+
+    #[test]
+    fn static_pools_match_the_replica_count_of_the_placement() {
+        let sc = scenario(23);
+        let placement = SoclSolver::new().solve(&sc).placement;
+        let cfg = TestbedConfig {
+            autoscale: Some(AutoscaleConfig {
+                mode: ScalingMode::Static,
+                min_replicas: 0,
+                ..AutoscaleConfig::default()
+            }),
+            ..TestbedConfig::default()
+        };
+        let res = run_testbed(&sc, &placement, &cfg);
+        assert_eq!(res.scale_up_events, 0);
+        assert_eq!(res.scale_down_events, 0);
+        // Static pools: replica-seconds = instances × horizon exactly.
+        let expected = placement.total_instances() as f64 * 300.0;
+        assert!(
+            (res.replica_seconds - expected).abs() < 1e-6,
+            "{} vs {expected}",
+            res.replica_seconds
+        );
+    }
+
+    #[test]
+    fn diurnal_arrivals_shape_the_workload() {
+        let sc = scenario(24);
+        let placement = SoclSolver::new().solve(&sc).placement;
+        let cfg = TestbedConfig {
+            epochs: 3,
+            epoch_secs: 60.0,
+            epoch_arrivals: Some(vec![5, 40, 5]),
+            ..TestbedConfig::default()
+        };
+        let res = run_testbed(&sc, &placement, &cfg);
+        assert_eq!(res.issued, 50);
+        assert_eq!(res.per_epoch_mean.len(), 3);
+        assert_eq!(
+            res.completed + res.degraded + res.dropped + res.fallbacks + res.shed_requests,
+            res.issued
+        );
+    }
+
+    #[test]
+    fn admission_sheds_under_overload_and_prefers_short_chains() {
+        let sc = scenario(25);
+        // Single-node pile-up with a tiny capacity ceiling and a flash
+        // crowd: the shedder must engage.
+        let mut pile = Placement::empty(sc.services(), sc.nodes());
+        for m in sc.requested_services() {
+            pile.set(m, NodeId(0), true);
+        }
+        let cfg = TestbedConfig {
+            epochs: 1,
+            epoch_secs: 10.0,
+            epoch_arrivals: Some(vec![400]),
+            autoscale: Some(AutoscaleConfig {
+                max_replicas_per_node: 1,
+                admission: AdmissionPolicy {
+                    enabled: true,
+                    queue_limit: 1.0,
+                    classes: 2,
+                    strict_overload: 4.0,
+                },
+                ..AutoscaleConfig::default()
+            }),
+            ..TestbedConfig::default()
+        };
+        let res = run_testbed(&sc, &pile, &cfg);
+        assert!(res.shed_requests > 0, "flash crowd must shed: {res:?}");
+        assert_eq!(
+            res.completed + res.degraded + res.dropped + res.fallbacks + res.shed_requests,
+            res.issued
+        );
+        // Shed requests are charged the cloud penalty in the effective mean.
+        assert!(res.effective_mean(sc.cloud_penalty) > res.mean);
+    }
+
+    #[test]
+    fn autoscaling_beats_static_pools_under_a_flash_crowd() {
+        let sc = scenario(26);
+        let placement = SoclSolver::new().solve(&sc).placement;
+        // Calm → flash crowd → calm. The crowd must actually saturate the
+        // static pools (one replica per cell), so it is large and the
+        // epochs short; a tight concurrency target makes the scaler react.
+        let arrivals = vec![10, 10, 400, 10];
+        let base = TestbedConfig {
+            epochs: 4,
+            epoch_secs: 30.0,
+            epoch_arrivals: Some(arrivals),
+            ..TestbedConfig::default()
+        };
+        let mk = |mode| TestbedConfig {
+            autoscale: Some(AutoscaleConfig {
+                mode,
+                target_concurrency: 1.0,
+                scale_interval: 1.0,
+                stable_window: 10.0,
+                panic_window: 4.0,
+                min_replicas: 1,
+                ..AutoscaleConfig::default()
+            }),
+            ..base.clone()
+        };
+        let stat = run_testbed(&sc, &placement, &mk(ScalingMode::Static));
+        let reactive = run_testbed(&sc, &placement, &mk(ScalingMode::Reactive));
+        assert!(
+            reactive.latency_percentile(0.99) < stat.latency_percentile(0.99),
+            "reactive p99 {} should beat static p99 {}",
+            reactive.latency_percentile(0.99),
+            stat.latency_percentile(0.99)
+        );
+        assert!(reactive.scale_up_events > 0);
     }
 }

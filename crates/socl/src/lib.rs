@@ -20,10 +20,12 @@
 //! | [`milp`] | socl-milp | from-scratch simplex + branch-and-bound |
 //! | [`ilp`] | socl-ilp | exact optimizer (Gurobi stand-in) |
 //! | [`core`] | socl-core | the SoCL three-stage pipeline |
+//! | [`autoscale`] | socl-autoscale | serverless control plane: autoscaling, keep-alive, admission |
 //! | [`baselines`] | socl-baselines | RP, JDR, GC-OG |
 //! | [`sim`] | socl-sim | online simulator + testbed emulator |
 //! | [`trace`] | socl-trace | synthetic Alibaba-like traces |
 
+pub use socl_autoscale as autoscale;
 pub use socl_baselines as baselines;
 pub use socl_core as core;
 pub use socl_ilp as ilp;
@@ -35,18 +37,22 @@ pub use socl_trace as trace;
 
 /// One-stop imports for applications and examples.
 pub mod prelude {
+    pub use socl_autoscale::{
+        AdmissionPolicy, AutoscaleConfig, Autoscaler, KeepAlivePolicy, ScalingAction, ScalingMode,
+    };
     pub use socl_baselines::{gc_og, jdr, random_provisioning, BaselineResult};
     pub use socl_core::{
-        placement_churn, repair_placement, RepairReport, SoclConfig, SoclResult, SoclSolver,
-        StoragePolicy, WarmSlotResult, WarmStartSolver,
+        merge_scaler_owned, placement_churn, repair_placement, repair_with_replicas, RepairReport,
+        ReplicaRepairReport, SoclConfig, SoclResult, SoclSolver, StoragePolicy, WarmSlotResult,
+        WarmStartSolver,
     };
     pub use socl_ilp::{solve_exact, solve_ilp, ExactOptions, ExactSolution};
     pub use socl_milp::{solve_milp, MilpOptions, Model, Relation, VarKind};
     pub use socl_model::{
         evaluate, link_loads, optimal_route, route_all_contention_aware, Assignment,
         ContentionReport, EshopDataset, Evaluation, LinkLoads, Microservice, Placement,
-        RequestConfig, Scenario, ScenarioConfig, ServiceCatalog, ServiceId, SockShopDataset,
-        TrainTicketDataset, UserId, UserRequest,
+        ReplicaCounts, RequestConfig, Scenario, ScenarioConfig, ServiceCatalog, ServiceId,
+        SockShopDataset, TrainTicketDataset, UserId, UserRequest,
     };
     pub use socl_net::fcmp;
     pub use socl_net::{
