@@ -20,8 +20,8 @@ fn capacity_ranking(sc: &Scenario) -> Vec<NodeId> {
     let mut nodes: Vec<NodeId> = sc.net.node_ids().collect();
     nodes.sort_by(|&a, &b| {
         sc.net
-            .compute(b)
-            .total_cmp(&sc.net.compute(a))
+            .compute_gflops(b)
+            .total_cmp(&sc.net.compute_gflops(a))
             .then(a.cmp(&b))
     });
     nodes

@@ -34,7 +34,7 @@ fn bench_routing(c: &mut Criterion) {
     for &nodes in &[10usize, 30, 60] {
         let net = TopologyConfig::paper(nodes).build(1);
         group.bench_with_input(BenchmarkId::new("all_pairs", nodes), &net, |b, net| {
-            b.iter(|| AllPairs::compute(net))
+            b.iter(|| AllPairs::build(net))
         });
     }
     group.finish();

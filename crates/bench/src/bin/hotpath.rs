@@ -2,8 +2,8 @@
 //!
 //! Measures the three hot-path engines on the paper's topology generator:
 //!
-//! * **APSP construction** — `AllPairs::compute_serial` vs the fan-out over
-//!   sources (`compute_with_threads`) at V ∈ {50, 100, 200},
+//! * **APSP construction** — `AllPairs::build_serial` vs the fan-out over
+//!   sources (`build_with_threads`) at V ∈ {50, 100, 200},
 //! * **incremental invalidation** — post-fault recompute through
 //!   [`ApspCache`] vs a from-scratch rebuild (single-link degradations,
 //!   averaged over faults spread across the topology),
@@ -62,8 +62,8 @@ struct RoutingPoint {
 
 fn bench_apsp(nodes: usize) -> ApspPoint {
     let net = TopologyConfig::paper(nodes).build(7);
-    let (serial_ms, serial) = best_ms(|| AllPairs::compute_serial(&net));
-    let (parallel_ms, parallel) = best_ms(|| AllPairs::compute_with_threads(&net, THREADS));
+    let (serial_ms, serial) = best_ms(|| AllPairs::build_serial(&net));
+    let (parallel_ms, parallel) = best_ms(|| AllPairs::build_with_threads(&net, THREADS));
     assert!(parallel.identical(&serial), "parallel APSP diverged");
 
     // Incremental: degrade + restore faults spread across the link set,
@@ -83,7 +83,7 @@ fn bench_apsp(nodes: usize) -> ApspPoint {
     }
     let incremental_ms = incremental_total / (2 * faults) as f64;
     cache.set_link_rate(0, cache.base_rate(0) * 0.3);
-    let (rebuild_ms, rebuilt) = best_ms(|| AllPairs::compute_serial(cache.network()));
+    let (rebuild_ms, rebuilt) = best_ms(|| AllPairs::build_serial(cache.network()));
     assert!(
         cache.all_pairs().identical(&rebuilt),
         "incremental APSP diverged"

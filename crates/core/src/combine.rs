@@ -65,6 +65,10 @@ pub struct Combiner<'a> {
     /// `(a, b)` service pairs adjacent in some user chain (symmetric).
     conflicts: Vec<(ServiceId, ServiceId)>,
     stats: CombineStats,
+    /// Emit per-round traces to stderr. Off by default; binaries opt in via
+    /// [`Combiner::with_debug`] (the library never reads the environment, so
+    /// combining stays deterministic under the T1 taint lint).
+    debug: bool,
 }
 
 /// Per-user data volume consumed by a service: the incoming-edge flow, or
@@ -104,7 +108,15 @@ impl<'a> Combiner<'a> {
             locked,
             conflicts,
             stats: CombineStats::default(),
+            debug: false,
         }
+    }
+
+    /// Enable or disable stderr trace output for debugging combine rounds.
+    #[must_use]
+    pub fn with_debug(mut self, debug: bool) -> Self {
+        self.debug = debug;
+        self
     }
 
     fn lock_idx(&self, m: ServiceId, k: NodeId) -> usize {
@@ -138,10 +150,12 @@ impl<'a> Combiner<'a> {
         r: f64,
         service: ServiceId,
     ) -> Option<NodeId> {
-        let q = self.sc.catalog.compute(service);
+        let q = self.sc.catalog.compute_gflop(service);
         hosts.iter().copied().min_by(|&a, &b| {
-            let ca = r / self.sc.ap.best_speed(location, a).min(1e12) + q / self.sc.net.compute(a);
-            let cb = r / self.sc.ap.best_speed(location, b).min(1e12) + q / self.sc.net.compute(b);
+            let ca = r / self.sc.ap.best_speed(location, a).min(1e12)
+                + q / self.sc.net.compute_gflops(a);
+            let cb = r / self.sc.ap.best_speed(location, b).min(1e12)
+                + q / self.sc.net.compute_gflops(b);
             ca.total_cmp(&cb).then(a.cmp(&b))
         })
     }
@@ -182,19 +196,19 @@ impl<'a> Combiner<'a> {
     /// `(service, host)` is removed and its reliers reconnect.
     fn latency_loss(&self, placement: &Placement, service: ServiceId, host: NodeId) -> f64 {
         let reliers = self.reliers(placement, service, host);
-        let q = self.sc.catalog.compute(service);
+        let q = self.sc.catalog.compute_gflop(service);
         let mut before = 0.0;
         let mut after = 0.0;
         for h in reliers {
             let req = &self.sc.requests[h];
             let r = inbound_data(req, service);
             let loc = req.location;
-            before +=
-                r / self.sc.ap.best_speed(loc, host).min(1e12) + q / self.sc.net.compute(host);
+            before += r / self.sc.ap.best_speed(loc, host).min(1e12)
+                + q / self.sc.net.compute_gflops(host);
             match self.reconnect_target(placement, service, host, loc, r) {
                 Some(t) => {
-                    after +=
-                        r / self.sc.ap.best_speed(loc, t).min(1e12) + q / self.sc.net.compute(t);
+                    after += r / self.sc.ap.best_speed(loc, t).min(1e12)
+                        + q / self.sc.net.compute_gflops(t);
                 }
                 None => return f64::INFINITY, // last instance: never combined
             }
@@ -303,7 +317,7 @@ impl<'a> Combiner<'a> {
             }
             self.stats.large_rounds += 1;
             let batch = ((losses.len() as f64 * self.cfg.omega).ceil() as usize).max(1);
-            if std::env::var_os("SOCL_DEBUG_COMBINE").is_some() {
+            if self.debug {
                 eprintln!(
                     "[combine] round {}: cost {:.0}, top losses: {:?}",
                     self.stats.large_rounds,
@@ -555,7 +569,7 @@ impl<'a> Combiner<'a> {
             let mut trial = self.placement.clone();
             trial.set(m, k, false);
             let plan_failed = self.storage_plan(&mut trial).is_err();
-            if std::env::var_os("SOCL_DEBUG_COMBINE").is_some() {
+            if self.debug {
                 eprintln!(
                     "[serial] q_before {:.0}, candidate {m}@{k} z {:.0}, plan_failed {}",
                     q_before, z, plan_failed

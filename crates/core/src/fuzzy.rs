@@ -102,7 +102,8 @@ impl FuzzyAhp {
                     // LINT-ALLOW(L2-panic-free): documented `# Panics`
                     // contract of this constructor — a missing pairwise
                     // judgment is a programming error in the caller's
-                    // hierarchy definition, not a runtime condition.
+                    // hierarchy definition, not a runtime condition. Doubles
+                    // as the T2-panic-reach barrier behind the constructor.
                     .unwrap_or_else(|| panic!("missing judgment ({i}, {j})"));
                 matrix[i * n + j] = j_val;
                 matrix[j * n + i] = j_val.recip();

@@ -547,7 +547,7 @@ mod tests {
         let mut degraded = sc.clone();
         let rate = degraded.net.links()[0].rate();
         degraded.net.override_link_rate(0, rate * 0.25);
-        degraded.ap = socl_net::AllPairs::compute(&degraded.net);
+        degraded.ap = socl_net::AllPairs::build(&degraded.net);
         let _ = solver.solve_slot(&degraded);
         assert!(
             solver.vg_cache().misses() > builds,

@@ -74,7 +74,7 @@ fn instance_contribution(
             }
         })
         .sum();
-    remote + sc.catalog.compute(service) / sc.net.compute(candidate)
+    remote + sc.catalog.compute_gflop(service) / sc.net.compute_gflops(candidate)
 }
 
 /// Run Algorithm 2 on the stage-1 partitions.

@@ -59,6 +59,7 @@ pub fn build_ilp(sc: &Scenario) -> (Model, IlpArtifacts) {
     // LINT-ALLOW(L2-panic-free): `requested_services()` contains every
     // service referenced by any request chain by construction, so the lookup
     // cannot miss; a panic here is a lowering bug worth failing loudly on.
+    // Doubles as the T2-panic-reach barrier for `build_ilp`'s callers.
     let service_col = |s: ServiceId| services.iter().position(|&t| t == s).unwrap();
 
     // y(h,j,k) with node-local cost terms (upload, compute, return).
@@ -70,7 +71,7 @@ pub fn build_ilp(sc: &Scenario) -> (Model, IlpArtifacts) {
             let mut per_pos = Vec::with_capacity(n);
             for k in 0..n {
                 let node = NodeId(k as u32);
-                let mut cost = sc.catalog.compute(svc) / sc.net.compute(node);
+                let mut cost = sc.catalog.compute_gflop(svc) / sc.net.compute_gflops(node);
                 if j == 0 {
                     cost += sc.ap.transfer_time(req.location, node, req.r_in);
                 }
@@ -137,7 +138,7 @@ pub fn build_ilp(sc: &Scenario) -> (Model, IlpArtifacts) {
             #[allow(clippy::needless_range_loop)]
             for k in 0..n {
                 let node = NodeId(k as u32);
-                let mut secs = sc.catalog.compute(svc) / sc.net.compute(node);
+                let mut secs = sc.catalog.compute_gflop(svc) / sc.net.compute_gflops(node);
                 if j == 0 {
                     secs += sc.ap.transfer_time(req.location, node, req.r_in);
                 }

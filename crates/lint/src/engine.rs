@@ -19,15 +19,28 @@ pub enum Rule {
     L3Hash,
     /// Every `unsafe` must carry a `// SAFETY:` comment.
     L4Safety,
+    /// Interprocedural: no nondeterminism source reachable from a pub
+    /// library entry point.
+    T1NondetTaint,
+    /// Interprocedural: no panic reachable from a pub library entry point.
+    T2PanicReach,
+    /// Units-of-measure suffix convention over latency/objective arithmetic.
+    T3Units,
+    /// The item parser could not recover structure from a file.
+    P0Parse,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 9] = [
         Rule::L1FloatCmp,
         Rule::L2PanicFree,
         Rule::L3Time,
         Rule::L3Hash,
         Rule::L4Safety,
+        Rule::T1NondetTaint,
+        Rule::T2PanicReach,
+        Rule::T3Units,
+        Rule::P0Parse,
     ];
 
     /// Stable rule id as written in diagnostics and `LINT-ALLOW(...)`.
@@ -38,6 +51,10 @@ impl Rule {
             Rule::L3Time => "L3-nondet-time",
             Rule::L3Hash => "L3-nondet-hash",
             Rule::L4Safety => "L4-unsafe-doc",
+            Rule::T1NondetTaint => "T1-nondet-taint",
+            Rule::T2PanicReach => "T2-panic-reach",
+            Rule::T3Units => "T3-units",
+            Rule::P0Parse => "P0-parse",
         }
     }
 
@@ -68,6 +85,29 @@ impl Rule {
             Rule::L4Safety => {
                 "every `unsafe` block must justify its soundness with a \
                  `// SAFETY:` comment on or directly above the block"
+            }
+            Rule::T1NondetTaint => {
+                "no nondeterminism source (wall clock, ambient RNG, env/fs \
+                 reads, hash-ordered iteration, thread identity) may be \
+                 *reachable* through the call graph from a pub library entry \
+                 point; waivers act as taint barriers at the source or at a \
+                 call edge"
+            }
+            Rule::T2PanicReach => {
+                "no panic-family call may be reachable through the call graph \
+                 from a pub library entry point — the interprocedural upgrade \
+                 of L2; the four sanctioned panic sites are barriers"
+            }
+            Rule::T3Units => {
+                "latency/objective arithmetic must respect the identifier \
+                 unit-suffix convention (`_s`, `_gb`, `_gbps`, `_gflop`, \
+                 `_gflops`, …); adding seconds to gigabytes, dividing data by a \
+                 non-rate, or calling a unit-ambiguous function is an error"
+            }
+            Rule::P0Parse => {
+                "the item-level parser must be able to recover fn/impl/mod \
+                 structure from every linted file; structural damage here \
+                 would silently blind the interprocedural passes"
             }
         }
     }
@@ -329,7 +369,7 @@ pub fn lint_source(
 }
 
 /// Result of scanning for a `LINT-ALLOW` covering (line, rule).
-enum AllowStatus {
+pub(crate) enum AllowStatus {
     Allowed,
     MissingReason,
     NotAllowed,
@@ -338,7 +378,7 @@ enum AllowStatus {
 /// A violation on line `idx` is suppressed by `LINT-ALLOW(rule[,rule…]): reason`
 /// in a comment on the same line or in the contiguous run of comment-only
 /// lines directly above it.
-fn allow_status(views: &[LineView], idx: usize, rule: Rule) -> AllowStatus {
+pub(crate) fn allow_status(views: &[LineView], idx: usize, rule: Rule) -> AllowStatus {
     let check = |comment: &str| -> Option<AllowStatus> {
         let pos = comment.find("LINT-ALLOW(")?;
         let rest = &comment[pos + "LINT-ALLOW(".len()..];
@@ -400,11 +440,112 @@ fn find_macro(code: &str, mac: &str) -> bool {
     false
 }
 
+/// Which pass families to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Passes {
+    /// The token-level L1–L4 rules.
+    pub token: bool,
+    /// The interprocedural T1/T2 taint passes (plus P0 parse diagnostics).
+    pub taint: bool,
+    /// The T3 units-of-measure pass.
+    pub units: bool,
+}
+
+impl Default for Passes {
+    fn default() -> Self {
+        Passes {
+            token: true,
+            taint: true,
+            units: true,
+        }
+    }
+}
+
+impl Passes {
+    /// Parse a comma-separated `--passes` value (`token,taint,units`).
+    pub fn from_list(list: &str) -> Result<Passes, String> {
+        let mut p = Passes {
+            token: false,
+            taint: false,
+            units: false,
+        };
+        for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            match name {
+                "token" => p.token = true,
+                "taint" => p.taint = true,
+                "units" => p.units = true,
+                other => return Err(format!("unknown pass `{other}` (token, taint, units)")),
+            }
+        }
+        if p == (Passes {
+            token: false,
+            taint: false,
+            units: false,
+        }) {
+            return Err("empty pass list".to_string());
+        }
+        Ok(p)
+    }
+}
+
+/// Lint a set of in-memory `(workspace-relative path, source)` files.
+///
+/// This is the core the CLI, the workspace walk, the fixture tests and the
+/// dogfood test all share. Token rules run per file; the taint passes build
+/// one call graph over the library-kind files (the linter's own crate is
+/// excluded — it reads the filesystem by design); the units pass runs on the
+/// covered latency/objective files.
+pub fn lint_files(files: &[(String, String)], passes: &Passes) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if passes.token {
+        for (rel, src) in files {
+            out.extend(lint_source(rel, src, None));
+        }
+    }
+    if passes.units {
+        for (rel, src) in files {
+            if classify(rel) == FileKind::Lib && crate::units::is_covered(rel) {
+                out.extend(crate::units::check_file(rel, src));
+            }
+        }
+    }
+    if passes.taint {
+        let taint_files: Vec<(String, String)> = files
+            .iter()
+            .filter(|(rel, _)| classify(rel) == FileKind::Lib && !rel.starts_with("crates/lint/"))
+            .cloned()
+            .collect();
+        let graph = crate::callgraph::Graph::build(&taint_files);
+        for (file, line, msg) in &graph.parse_errors {
+            out.push(Diagnostic {
+                file: file.clone(),
+                line: *line,
+                rule: Rule::P0Parse,
+                message: format!("{msg}; the interprocedural passes cannot see through this file"),
+            });
+        }
+        out.extend(crate::taint::check(&taint_files, &graph));
+    }
+    out.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.cmp(&b.rule))
+    });
+    out.dedup();
+    out
+}
+
 /// Walk the workspace at `root`, linting every `.rs` file under `crates/*/src`.
 ///
 /// Fixture files under `crates/lint/tests/` are skipped (they are deliberate
 /// violations), as are `target/` and hidden directories.
 pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    lint_workspace_passes(root, &Passes::default())
+}
+
+/// [`lint_workspace`] with an explicit pass selection.
+pub fn lint_workspace_passes(root: &Path, passes: &Passes) -> Result<Vec<Diagnostic>, String> {
     let crates_dir = root.join("crates");
     if !crates_dir.is_dir() {
         return Err(format!(
@@ -424,7 +565,7 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
     }
     files.sort();
 
-    let mut out = Vec::new();
+    let mut pairs: Vec<(String, String)> = Vec::new();
     for f in files {
         let rel = f
             .strip_prefix(root)
@@ -432,15 +573,9 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
             .to_string_lossy()
             .replace('\\', "/");
         let src = std::fs::read_to_string(&f).map_err(|e| format!("read {}: {e}", f.display()))?;
-        out.extend(lint_source(&rel, &src, None));
+        pairs.push((rel, src));
     }
-    out.sort_by(|a, b| {
-        a.file
-            .cmp(&b.file)
-            .then(a.line.cmp(&b.line))
-            .then(a.rule.cmp(&b.rule))
-    });
-    Ok(out)
+    Ok(lint_files(&pairs, passes))
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
@@ -466,4 +601,45 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Serialize diagnostics as a JSON array (no external deps; the four fields
+/// are flat, so hand-rolled string escaping is all that is needed). This is
+/// the exact payload `socl-lint --json` prints, so machine consumers and the
+/// dogfood test share one renderer.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut s = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&d.file),
+            d.line,
+            d.rule.id(),
+            json_escape(&d.message)
+        ));
+    }
+    if !diags.is_empty() {
+        s.push('\n');
+    }
+    s.push(']');
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }

@@ -257,6 +257,208 @@ fn closes_raw(bytes: &[char], i: usize, hashes: u8) -> bool {
     (1..=hashes as usize).all(|k| bytes.get(i + k) == Some(&'#'))
 }
 
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Code views joined back into one string (newline-separated).
+    fn code_of(src: &str) -> String {
+        line_views(src)
+            .iter()
+            .map(|v| v.code.clone())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    // ---- raw strings -------------------------------------------------
+
+    #[test]
+    fn raw_string_interior_is_blanked() {
+        // Item-looking tokens inside a raw string must never reach the
+        // parser; code after the literal must survive.
+        let src = r##"let s = r#"fn fake() { // not a comment "q" }"#; let real = 1;"##;
+        let code = code_of(src);
+        assert!(!code.contains("fake"), "{code}");
+        assert!(!code.contains("not a comment"), "{code}");
+        assert!(code.contains("let real = 1;"), "{code}");
+        // Same byte length as the original line (blanking, not deletion).
+        assert_eq!(code.chars().count(), src.chars().count());
+    }
+
+    #[test]
+    fn raw_string_hash_depth_is_respected() {
+        // `"#` inside an `r##"…"##` literal does not close it.
+        let src = r###"let s = r##"a"#b"##; let t = 2;"###;
+        let code = code_of(src);
+        assert!(!code.contains('a') && !code.contains('b'), "{code}");
+        assert!(code.contains("let t = 2;"), "{code}");
+    }
+
+    #[test]
+    fn raw_string_spans_lines() {
+        let src = "let s = r#\"line one\nfn bogus() {\n\"#; let after = 3;";
+        let code = code_of(src);
+        assert!(!code.contains("bogus"), "{code}");
+        assert!(code.contains("let after = 3;"), "{code}");
+    }
+
+    #[test]
+    fn raw_byte_and_c_strings_are_blanked() {
+        for src in [
+            r##"let s = br#"fn f() {"#; let k = 1;"##,
+            r##"let s = cr#"fn f() {"#; let k = 1;"##,
+            r#"let s = b"fn f() {"; let k = 1;"#,
+        ] {
+            let code = code_of(src);
+            assert!(!code.contains("f() {"), "{src} -> {code}");
+            assert!(code.contains("let k = 1;"), "{src} -> {code}");
+        }
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        // `r#type` is a raw identifier; nothing may be blanked.
+        let src = "let r#type = 1; let x = r#type;";
+        assert_eq!(code_of(src), src);
+    }
+
+    #[test]
+    fn backslash_in_raw_string_is_not_an_escape() {
+        // In `r"\"` the backslash is literal and the quote closes.
+        let src = r#"let s = r"\"; let done = 1;"#;
+        let code = code_of(src);
+        assert!(code.contains("let done = 1;"), "{code}");
+    }
+
+    // ---- lifetimes vs char literals ---------------------------------
+
+    #[test]
+    fn lifetimes_survive_char_literals_dont() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let code = code_of(src);
+        // The lifetime is code (kept); the char literal interior is blanked.
+        assert!(code.contains("fn f<'a>(x: &'a str)"), "{code}");
+        assert!(!code.contains('x') || !code.contains("'x'"), "{code}");
+        // Braces must balance for the item parser.
+        assert_eq!(code.matches('{').count(), code.matches('}').count());
+    }
+
+    #[test]
+    fn static_lifetime_is_not_a_char() {
+        let src = "let l: &'static str = x; let after = 1;";
+        let code = code_of(src);
+        assert!(code.contains("'static"), "{code}");
+        assert!(code.contains("let after = 1;"), "{code}");
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        let src = r"let c = '\''; let after = 1;";
+        let code = code_of(src);
+        assert!(code.contains("let after = 1;"), "{code}");
+    }
+
+    #[test]
+    fn byte_char_literal() {
+        let src = r"let c = b'\''; let d = b'a'; let after = 1;";
+        let code = code_of(src);
+        assert!(code.contains("let after = 1;"), "{code}");
+    }
+
+    #[test]
+    fn adjacent_lifetimes_in_generics() {
+        let src = "struct S<'a, 'b>(&'a str, &'b str);";
+        assert_eq!(code_of(src), src);
+    }
+
+    #[test]
+    fn underscore_char_and_lifetime() {
+        let l = "let r: &'_ str = s; let after = 1;";
+        assert_eq!(code_of(l), l);
+        let c = "let c = '_'; let after = 1;";
+        let code = code_of(c);
+        assert!(code.contains("let after = 1;"), "{code}");
+        assert!(!code.contains("'_'"), "{code}");
+    }
+
+    #[test]
+    fn char_literal_containing_quote_does_not_open_string() {
+        let src = r#"let q = '"'; let s = "fn bad() {"; let after = 1;"#;
+        let code = code_of(src);
+        assert!(!code.contains("bad"), "{code}");
+        assert!(code.contains("let after = 1;"), "{code}");
+    }
+
+    #[test]
+    fn digit_char_literals_blank() {
+        let src = "let one = '1'; let after = 1;";
+        let code = code_of(src);
+        assert!(code.contains("let after = 1;"), "{code}");
+    }
+
+    // ---- nested block comments --------------------------------------
+
+    #[test]
+    fn nested_block_comments_close_at_matching_depth() {
+        let src = "/* one /* two */ still comment */ run();";
+        let code = code_of(src);
+        assert!(!code.contains("still comment"), "{code}");
+        assert!(code.contains("run();"), "{code}");
+    }
+
+    #[test]
+    fn nested_block_comment_spans_lines() {
+        let src = "/* a\n/* b */\nstill */ let x = 1;\nlet y = 2;";
+        let code = code_of(src);
+        assert!(!code.contains("still"), "{code}");
+        assert!(code.contains("let x = 1;"), "{code}");
+        assert!(code.contains("let y = 2;"), "{code}");
+    }
+
+    #[test]
+    fn block_comment_text_lands_in_comment_view() {
+        let views = line_views("/* LINT-ALLOW(L2-panic-free): reason */ x();");
+        assert!(views[0].comment.contains("LINT-ALLOW"));
+        assert!(views[0].code.contains("x();"));
+    }
+
+    #[test]
+    fn comment_markers_inside_strings_are_inert() {
+        let src = r#"let url = "http://e.com/*x*/"; let after = 1;"#;
+        let code = code_of(src);
+        assert!(code.contains("let after = 1;"), "{code}");
+        let views = line_views(src);
+        assert_eq!(views[0].comment, "", "no comment text should be captured");
+    }
+
+    #[test]
+    fn line_comment_inside_block_comment_does_not_escape() {
+        let src = "/* // line marker\nstill comment */ let x = 1;";
+        let code = code_of(src);
+        assert!(!code.contains("still"), "{code}");
+        assert!(code.contains("let x = 1;"), "{code}");
+    }
+
+    // ---- misc invariants the item parser relies on -------------------
+
+    #[test]
+    fn string_escape_at_eol_continues_string() {
+        // A trailing backslash continues the string onto the next line.
+        let src = "let s = \"abc\\\nfn fake() {\";\nlet after = 1;";
+        let code = code_of(src);
+        assert!(!code.contains("fake"), "{code}");
+        assert!(code.contains("let after = 1;"), "{code}");
+    }
+
+    #[test]
+    fn code_view_lengths_match_input_lines() {
+        let src = "fn f() { /* c */ let s = \"x\"; } // tail\nlet c = 'y';";
+        for (view, line) in line_views(src).iter().zip(src.split('\n')) {
+            assert_eq!(view.code.chars().count(), line.chars().count());
+        }
+    }
+}
+
 /// Byte offsets (per line) of regions gated behind `#[cfg(test)]` (or any
 /// `cfg` predicate mentioning `test`): returns a per-line mask where `true`
 /// marks a column belonging to a test-only item body.

@@ -2,10 +2,12 @@
 //!
 //! The workspace's determinism and numerical-safety contract (DESIGN.md,
 //! "Enforced invariants") is enforced mechanically by this crate rather than
-//! by prose. It is a dependency-free token-level analyzer (comments and
-//! string literals are stripped by a small lexer; `#[cfg(test)]` bodies are
-//! masked out) that checks four rule families over every `crates/*/src`
-//! file:
+//! by prose. It is dependency-free and layered:
+//!
+//! 1. a small **lexer** strips comments/strings and masks `#[cfg(test)]`
+//!    regions, then token-level checks run per line;
+//! 2. an item-level **parser** + **call graph** resolve `fn`/`impl`/`use`
+//!    items workspace-wide, feeding interprocedural reachability passes.
 //!
 //! | rule | contract |
 //! |------|----------|
@@ -14,9 +16,15 @@
 //! | `L3-nondet-time`| no `Instant::now`/`SystemTime::now`/`thread_rng`/`from_entropy` outside `crates/bench` |
 //! | `L3-nondet-hash`| no `HashMap`/`HashSet` in deterministic code |
 //! | `L4-unsafe-doc` | every `unsafe` carries a `// SAFETY:` comment |
+//! | `T1-nondet-taint` | no nondeterminism source (clock, ambient RNG, hash order, thread id, env, fs) *reachable* from a `pub` library entry point |
+//! | `T2-panic-reach`  | no panic-family call reachable from a `pub` library entry point |
+//! | `T3-units`        | suffix-declared units (`_s`, `_gb`, `_gbps`, `_gflop`, …) combine dimensionally in the latency/objective arithmetic |
+//! | `P0-parse`        | the item parser could structure the file (otherwise T1/T2 are blind there — reported as a finding, not a crash) |
 //!
-//! Residual uses that are genuinely sound carry an inline waiver the linter
-//! parses and validates:
+//! The taint passes report the *shortest call chain* from an entry point to
+//! the offending source, so the diagnostic names the path to cut. Residual
+//! uses that are genuinely sound carry an inline waiver the linter parses
+//! and validates:
 //!
 //! ```text
 //! // LINT-ALLOW(L2-panic-free): mutex poisoning is converted to a panic
@@ -24,15 +32,24 @@
 //! let guard = lock.lock().unwrap();
 //! ```
 //!
-//! A waiver must name the rule (full id or the `L1`…`L4` shorthand) and give
-//! a non-empty reason; a reason-less waiver is itself reported.
+//! A waiver must name the rule (full id or the `L1`…`T3` shorthand) and give
+//! a non-empty reason; a reason-less waiver is itself reported. Waivers
+//! double as **taint barriers**: at a source line they silence every chain
+//! to that source (legacy `L2`/`L3` waivers count for `T2`/`T1`), at a call
+//! line they sever just that edge.
 //!
-//! Run as `cargo run -p socl-lint -- check`. Diagnostics use the stable
-//! format `file:line:rule: message`; exit code is `0` clean / `1` violations
-//! / `2` internal error, so CI and editors can parse and gate on it.
+//! Run as `cargo run -p socl-lint -- check [--json] [--passes
+//! token,taint,units]`. Diagnostics use the stable format
+//! `file:line:rule: message`; exit code is `0` clean / `1` violations
+//! (including `P0-parse`) / `2` internal error, so CI and editors can parse
+//! and gate on it.
 
+pub mod callgraph;
 pub mod engine;
 pub mod lexer;
+pub mod parser;
+pub mod taint;
+pub mod units;
 
 pub use engine::{classify, lint_source, lint_workspace, Diagnostic, FileKind, Rule};
 

@@ -1,16 +1,19 @@
 //! `socl-lint` CLI.
 //!
 //! ```text
-//! socl-lint check [--root <dir>]   lint the workspace (default command)
+//! socl-lint check [--root <dir>] [--json] [--passes token,taint,units]
+//!                                  lint the workspace (default command)
 //! socl-lint rules                  list rules with their rationale
 //! ```
 //!
-//! Exit codes: `0` clean, `1` violations found, `2` internal error
-//! (unreadable files, bad arguments, no workspace root). Diagnostics go to
-//! stdout, one per line, in the stable `file:line:rule: message` format;
-//! errors go to stderr.
+//! Exit codes: `0` clean, `1` violations found (including `P0-parse`
+//! structural parse failures), `2` internal error (unreadable files, bad
+//! arguments, no workspace root). Diagnostics go to stdout, one per line, in
+//! the stable `file:line:rule: message` format — or as a JSON array with
+//! `--json` — and errors go to stderr.
 
-use socl_lint::{find_workspace_root, lint_workspace, Rule};
+use socl_lint::engine::{lint_workspace_passes, render_json, Passes};
+use socl_lint::{find_workspace_root, Rule};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -18,10 +21,29 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cmd: Option<&str> = None;
     let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut passes = Passes::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "check" | "rules" if cmd.is_none() => cmd = Some(args[i].as_str()),
+            "--json" => json = true,
+            "--passes" => {
+                i += 1;
+                match args.get(i) {
+                    Some(list) => match Passes::from_list(list) {
+                        Ok(p) => passes = p,
+                        Err(e) => {
+                            eprintln!("socl-lint: --passes: {e}");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    None => {
+                        eprintln!("socl-lint: --passes requires a list (token,taint,units)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--root" => {
                 i += 1;
                 match args.get(i) {
@@ -71,17 +93,23 @@ fn main() -> ExitCode {
                     }
                 }
             };
-            match lint_workspace(&root) {
-                Ok(diags) if diags.is_empty() => {
-                    println!("socl-lint: clean");
-                    ExitCode::SUCCESS
-                }
+            match lint_workspace_passes(&root, &passes) {
                 Ok(diags) => {
-                    for d in &diags {
-                        println!("{d}");
+                    if json {
+                        println!("{}", render_json(&diags));
+                    } else if diags.is_empty() {
+                        println!("socl-lint: clean");
+                    } else {
+                        for d in &diags {
+                            println!("{d}");
+                        }
                     }
-                    eprintln!("socl-lint: {} violation(s)", diags.len());
-                    ExitCode::from(1)
+                    if diags.is_empty() {
+                        ExitCode::SUCCESS
+                    } else {
+                        eprintln!("socl-lint: {} violation(s)", diags.len());
+                        ExitCode::from(1)
+                    }
                 }
                 Err(e) => {
                     eprintln!("socl-lint: error: {e}");

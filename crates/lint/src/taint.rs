@@ -1,0 +1,200 @@
+//! Interprocedural taint passes: T1 determinism-taint and T2
+//! panic-reachability over the [`crate::callgraph`] graph.
+//!
+//! Both passes work the same way: seed functions whose bodies touch a
+//! *source primitive* (wall clock, ambient RNG, env/fs reads, hash-ordered
+//! containers, thread identity for T1; the `unwrap`/`panic!` family for T2),
+//! then walk the call graph forward from every *entry point* — every `pub`
+//! fn in library-kind code — and report each source site that is reachable,
+//! with the full call chain from the entry that reaches it.
+//!
+//! Waivers are *taint barriers*:
+//! - at a **source line**, `LINT-ALLOW(T1-nondet-taint)` (or the legacy
+//!   token rule covering that primitive: `L3-nondet-time`, `L3-nondet-hash`)
+//!   un-seeds the site — sanctioned wrappers like `Stopwatch` stop taint at
+//!   the primitive they encapsulate;
+//! - at a **call line**, `LINT-ALLOW(T1-nondet-taint)` breaks that edge, so
+//!   a caller can vouch for one call without blessing the callee globally.
+//! T2 accepts `T2-panic-reach` and the legacy `L2-panic-free` the same way.
+
+use crate::callgraph::Graph;
+use crate::engine::{allow_status, AllowStatus, Diagnostic, Rule};
+use crate::lexer::{line_views, LineView};
+use crate::parser::SourceKind;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Which taint pass to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pass {
+    Determinism,
+    PanicReach,
+}
+
+impl Pass {
+    fn rule(self) -> Rule {
+        match self {
+            Pass::Determinism => Rule::T1NondetTaint,
+            Pass::PanicReach => Rule::T2PanicReach,
+        }
+    }
+
+    /// Does this pass treat `kind` as a source?
+    fn covers(self, kind: SourceKind) -> bool {
+        match self {
+            Pass::Determinism => kind != SourceKind::Panic,
+            Pass::PanicReach => kind == SourceKind::Panic,
+        }
+    }
+
+    /// Rules whose waiver neutralizes a source of `kind` for this pass.
+    fn source_waiver_rules(self, kind: SourceKind) -> Vec<Rule> {
+        match self {
+            Pass::PanicReach => vec![Rule::T2PanicReach, Rule::L2PanicFree],
+            Pass::Determinism => {
+                let mut rules = vec![Rule::T1NondetTaint];
+                match kind {
+                    SourceKind::Time | SourceKind::Rng => rules.push(Rule::L3Time),
+                    SourceKind::Hash => rules.push(Rule::L3Hash),
+                    _ => {}
+                }
+                rules
+            }
+        }
+    }
+
+    fn noun(self, kind: SourceKind) -> &'static str {
+        match (self, kind) {
+            (_, SourceKind::Panic) => "panic",
+            (_, SourceKind::Time) => "wall clock",
+            (_, SourceKind::Rng) => "ambient RNG",
+            (_, SourceKind::Env) => "process environment",
+            (_, SourceKind::Fs) => "filesystem",
+            (_, SourceKind::Hash) => "hash-ordered iteration",
+            (_, SourceKind::Thread) => "thread identity",
+        }
+    }
+}
+
+/// Run both taint passes over the graph. `files` must be the same set the
+/// graph was built from (used to evaluate waivers at source/call lines).
+pub fn check(files: &[(String, String)], graph: &Graph) -> Vec<Diagnostic> {
+    let views: BTreeMap<&str, Vec<LineView>> = files
+        .iter()
+        .map(|(rel, src)| (rel.as_str(), line_views(src)))
+        .collect();
+    let mut out = Vec::new();
+    for pass in [Pass::Determinism, Pass::PanicReach] {
+        out.extend(run_pass(pass, graph, &views));
+    }
+    out
+}
+
+fn waived(views: &BTreeMap<&str, Vec<LineView>>, file: &str, line: usize, rules: &[Rule]) -> bool {
+    let Some(v) = views.get(file) else {
+        return false;
+    };
+    if line == 0 || line > v.len() {
+        return false;
+    }
+    rules
+        .iter()
+        .any(|r| matches!(allow_status(v, line - 1, *r), AllowStatus::Allowed))
+}
+
+fn run_pass(pass: Pass, graph: &Graph, views: &BTreeMap<&str, Vec<LineView>>) -> Vec<Diagnostic> {
+    // Seed: unwaived source sites per node.
+    let mut seeds: Vec<Vec<usize>> = vec![Vec::new(); graph.nodes.len()]; // hit indices
+    for (ni, node) in graph.nodes.iter().enumerate() {
+        for (hi, hit) in node.item.sources.iter().enumerate() {
+            if !pass.covers(hit.kind) {
+                continue;
+            }
+            let rules = pass.source_waiver_rules(hit.kind);
+            if waived(views, &node.file, hit.line, &rules) {
+                continue;
+            }
+            seeds[ni].push(hi);
+        }
+    }
+
+    // Forward BFS from all entry points at once; first visit wins, which
+    // yields a shortest chain from *some* entry for every reached node.
+    let mut parent: Vec<Option<usize>> = vec![None; graph.nodes.len()];
+    let mut visited: Vec<bool> = vec![false; graph.nodes.len()];
+    let mut queue = VecDeque::new();
+    for (ni, node) in graph.nodes.iter().enumerate() {
+        if node.item.is_pub {
+            visited[ni] = true;
+            queue.push_back(ni);
+        }
+    }
+    let edge_rule = [pass.rule()];
+    while let Some(ni) = queue.pop_front() {
+        for &ei in &graph.fwd[ni] {
+            let e = graph.edges[ei];
+            if visited[e.to] {
+                continue;
+            }
+            // A waiver on the call line breaks this edge.
+            if waived(views, &graph.nodes[ni].file, e.line, &edge_rule) {
+                continue;
+            }
+            visited[e.to] = true;
+            parent[e.to] = Some(ni);
+            queue.push_back(e.to);
+        }
+    }
+
+    // Emit one diagnostic per reachable, unwaived source site.
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<(String, usize, String)> = BTreeSet::new();
+    for (ni, hits) in seeds.iter().enumerate() {
+        if hits.is_empty() || !visited[ni] {
+            continue;
+        }
+        // Reconstruct the chain entry → … → ni.
+        let mut chain = vec![ni];
+        let mut cur = ni;
+        while let Some(p) = parent[cur] {
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        let chain_str = chain
+            .iter()
+            .map(|&k| graph.nodes[k].item.qual.as_str())
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        let node = &graph.nodes[ni];
+        for &hi in hits {
+            let hit = &node.item.sources[hi];
+            if !seen.insert((node.file.clone(), hit.line, hit.what.clone())) {
+                continue;
+            }
+            let entry = graph.nodes[chain[0]].item.qual.as_str();
+            let message = if chain.len() == 1 {
+                format!(
+                    "`{}` ({}) in pub fn `{entry}` (itself an entry point); \
+                     route it through a sanctioned wrapper or add a \
+                     `LINT-ALLOW({})` barrier",
+                    hit.what,
+                    pass.noun(hit.kind),
+                    pass.rule().id()
+                )
+            } else {
+                format!(
+                    "`{}` ({}) reachable from pub `{entry}`; call chain: {chain_str}",
+                    hit.what,
+                    pass.noun(hit.kind)
+                )
+            };
+            out.push(Diagnostic {
+                file: node.file.clone(),
+                line: hit.line,
+                rule: pass.rule(),
+                message,
+            });
+        }
+    }
+    out
+}

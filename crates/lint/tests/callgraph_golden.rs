@@ -1,0 +1,173 @@
+//! Golden tests pinning the resolved callees of a handful of real workspace
+//! functions. These are the anchor points of the interprocedural passes: if
+//! a parser or resolution change silently drops edges (breaking taint
+//! propagation) or invents them (causing false positives), one of these
+//! assertions moves.
+//!
+//! The expectations list *workspace-local* callees only (`socl_*` quals);
+//! std/external calls resolve to no node and are not recorded as edges.
+
+use socl_lint::callgraph::Graph;
+use socl_lint::find_workspace_root;
+use std::path::{Path, PathBuf};
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for p in paths {
+        let name = p.file_name().map(|n| n.to_string_lossy().to_string());
+        if let Some(n) = &name {
+            if n.starts_with('.') || n == "target" || n == "fixtures" {
+                continue;
+            }
+        }
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+fn workspace_graph() -> Graph {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("test must run inside the workspace");
+    let mut files = Vec::new();
+    collect_rs(&root.join("crates"), &mut files);
+    let pairs: Vec<(String, String)> = files
+        .into_iter()
+        .filter(|f| f.components().any(|c| c.as_os_str() == "src"))
+        .map(|f| {
+            let rel = f
+                .strip_prefix(&root)
+                .unwrap_or(&f)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let src = std::fs::read_to_string(&f).expect("workspace file is readable");
+            (rel, src)
+        })
+        .collect();
+    Graph::build(&pairs)
+}
+
+/// Assert `qual` resolves to a node whose callee set contains every entry in
+/// `must_have` and none in `must_not_have`.
+fn assert_callees(graph: &Graph, qual: &str, must_have: &[&str], must_not_have: &[&str]) {
+    assert!(
+        graph.node_by_qual(qual).is_some(),
+        "function `{qual}` not found in the call graph — was it renamed?"
+    );
+    let callees = graph.callees_of(qual);
+    for want in must_have {
+        assert!(
+            callees.iter().any(|c| c == want),
+            "`{qual}` should call `{want}`; resolved callees: {callees:?}"
+        );
+    }
+    for bad in must_not_have {
+        assert!(
+            !callees.iter().any(|c| c == bad),
+            "`{qual}` should NOT call `{bad}`; resolved callees: {callees:?}"
+        );
+    }
+}
+
+/// Repair delegates to the placement-level repair and the storage check,
+/// but never re-enters the solver pipeline or the wall clock.
+#[test]
+fn repair_with_replicas_callees() {
+    let g = workspace_graph();
+    assert_callees(
+        &g,
+        "socl_core::online::repair_with_replicas",
+        &[
+            "socl_core::online::repair_placement",
+            "socl_core::online::storage_fit",
+            "socl_model::placement::ReplicaCounts::set",
+            "socl_net::graph::EdgeNetwork::storage",
+        ],
+        &[
+            "socl_core::combine::Combiner::run",
+            "socl_net::time::Stopwatch::start",
+        ],
+    );
+}
+
+/// The simplex driver loop only touches the tableau and the NaN-safe float
+/// comparison — the pivot itself is the sole mutation edge.
+#[test]
+fn simplex_optimize_callees() {
+    let g = workspace_graph();
+    assert_callees(
+        &g,
+        "socl_milp::simplex::Tableau::optimize",
+        &[
+            "socl_milp::simplex::Tableau::at",
+            "socl_milp::simplex::Tableau::pivot",
+            "socl_net::fcmp::lt",
+        ],
+        &["socl_milp::simplex::solve_lp"],
+    );
+}
+
+/// The routing DP prices every step through the completion-time model and
+/// the unit-suffixed accessors introduced for the T3 pass.
+#[test]
+fn optimal_route_callees() {
+    let g = workspace_graph();
+    assert_callees(
+        &g,
+        "socl_model::routing::optimal_route",
+        &[
+            "socl_model::latency::completion_time",
+            "socl_model::service::ServiceCatalog::compute_gflop",
+            "socl_net::graph::EdgeNetwork::compute_gflops",
+            "socl_net::paths::AllPairs::transfer_time",
+            "socl_net::paths::AllPairs::return_time",
+        ],
+        &["socl_model::objective::evaluate"],
+    );
+}
+
+/// The objective evaluates by routing every request (possibly in parallel);
+/// the routing edge is what carries T1/T2 taint into the objective if the
+/// DP ever regresses.
+#[test]
+fn objective_evaluate_callees() {
+    let g = workspace_graph();
+    assert_callees(
+        &g,
+        "socl_model::objective::evaluate",
+        &[
+            "socl_model::routing::optimal_route",
+            "socl_model::latency::CompletionBreakdown::total",
+            "socl_model::placement::Placement::deployment_cost",
+            "socl_net::par::par_map_with",
+        ],
+        &["socl_model::latency::completion_time"],
+    );
+}
+
+/// The JDR baseline ranks nodes by capacity and uses only the sanctioned
+/// Stopwatch wrapper for its runtime report — the taint barrier the L3
+/// waiver in `socl_net::time` documents.
+#[test]
+fn jdr_baseline_callees() {
+    let g = workspace_graph();
+    assert_callees(
+        &g,
+        "socl_baselines::jdr::jdr",
+        &[
+            "socl_baselines::common::ensure_coverage",
+            "socl_baselines::jdr::capacity_ranking",
+            "socl_baselines::jdr::fits",
+            "socl_net::paths::AllPairs::best_speed",
+            "socl_net::time::Stopwatch::start",
+            "socl_net::time::Stopwatch::elapsed",
+        ],
+        &["socl_model::objective::evaluate"],
+    );
+}

@@ -1,0 +1,6 @@
+//! Exit-code fixture: a fully clean library.
+
+/// Add two seconds quantities.
+pub fn sum_s(a_s: f64, b_s: f64) -> f64 {
+    a_s + b_s
+}

@@ -1,0 +1,4 @@
+//! Exit-code fixture: structurally broken source (unclosed fn body).
+
+pub fn truncated() {
+    let x = 1;

@@ -1,0 +1,5 @@
+//! Exit-code fixture: one L2/T2 violation reachable from a pub fn.
+
+pub fn first(v: &[f64]) -> f64 {
+    *v.first().unwrap()
+}

@@ -1,0 +1,230 @@
+//! Contract tests for the interprocedural passes (T1/T2/T3) over in-memory
+//! mini-workspaces, pinning exact diagnostics *including the rendered call
+//! chain*. The chain text is part of the linter's interface — it is what a
+//! developer follows to decide where to fix or where to place a barrier —
+//! so a resolution change that reroutes or truncates a chain must fail here.
+
+use socl_lint::engine::{lint_files, Passes};
+use socl_lint::Rule;
+
+fn taint_only() -> Passes {
+    Passes::from_list("taint").expect("pass list parses")
+}
+
+fn files(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+    pairs
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect()
+}
+
+/// T1: a wall-clock read three private hops below a pub entry point is
+/// reported at the source, with the full chain from the entry point.
+#[test]
+fn t1_multi_hop_chain_is_pinned() {
+    let ws = files(&[(
+        "crates/model/src/sched.rs",
+        "pub fn plan() -> u64 { order() }\n\
+         fn order() -> u64 { stamp() }\n\
+         fn stamp() -> u64 {\n\
+             let t = std::time::Instant::now();\n\
+             t.elapsed().as_millis() as u64\n\
+         }\n",
+    )]);
+    let diags = lint_files(&ws, &taint_only());
+    let t1: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == Rule::T1NondetTaint)
+        .collect();
+    assert_eq!(t1.len(), 1, "diags: {diags:?}");
+    assert_eq!(t1[0].file, "crates/model/src/sched.rs");
+    assert_eq!(t1[0].line, 4);
+    assert!(
+        t1[0].message.contains(
+            "call chain: socl_model::sched::plan -> socl_model::sched::order \
+             -> socl_model::sched::stamp"
+        ),
+        "chain text changed: {}",
+        t1[0].message
+    );
+}
+
+/// T1 across files: the entry point lives in one module, the source in
+/// another, connected by a `use` import — resolution must cross the file
+/// boundary or the chain silently disappears.
+#[test]
+fn t1_cross_file_chain_is_pinned() {
+    let ws = files(&[
+        (
+            "crates/model/src/api.rs",
+            "use crate::clockio::read_clock;\n\
+             pub fn api_entry() -> u64 { read_clock() }\n",
+        ),
+        (
+            "crates/model/src/clockio.rs",
+            "pub(crate) fn read_clock() -> u64 {\n\
+                 std::time::SystemTime::now();\n\
+                 0\n\
+             }\n",
+        ),
+    ]);
+    let diags = lint_files(&ws, &taint_only());
+    let t1: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == Rule::T1NondetTaint)
+        .collect();
+    assert_eq!(t1.len(), 1, "diags: {diags:?}");
+    assert_eq!(t1[0].file, "crates/model/src/clockio.rs");
+    assert_eq!(t1[0].line, 2);
+    assert!(
+        t1[0]
+            .message
+            .contains("call chain: socl_model::api::api_entry -> socl_model::clockio::read_clock"),
+        "chain text changed: {}",
+        t1[0].message
+    );
+}
+
+/// T2: a panic three hops below a pub fn reports the full chain; a sibling
+/// pub fn that never reaches the panic stays silent.
+#[test]
+fn t2_three_hop_panic_chain_is_pinned() {
+    let ws = files(&[(
+        "crates/core/src/depths.rs",
+        "pub fn solve() -> f64 { step() }\n\
+         pub fn inspect() -> f64 { 0.0 }\n\
+         fn step() -> f64 { leaf(1) }\n\
+         fn leaf(n: usize) -> f64 {\n\
+             let v: Vec<f64> = vec![0.0; n];\n\
+             *v.first().unwrap()\n\
+         }\n",
+    )]);
+    let diags = lint_files(&ws, &taint_only());
+    let t2: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == Rule::T2PanicReach)
+        .collect();
+    assert_eq!(t2.len(), 1, "diags: {diags:?}");
+    assert_eq!(t2[0].line, 6);
+    assert!(
+        t2[0].message.contains(
+            "call chain: socl_core::depths::solve -> socl_core::depths::step \
+             -> socl_core::depths::leaf"
+        ),
+        "chain text changed: {}",
+        t2[0].message
+    );
+    assert!(
+        !t2[0].message.contains("inspect"),
+        "the panic-free sibling must not appear in the chain: {}",
+        t2[0].message
+    );
+}
+
+/// A waiver at the *source* line (including the legacy `L2-panic-free` rule
+/// id) silences the whole chain — the documented "waiver doubles as taint
+/// barrier" contract.
+#[test]
+fn source_line_waiver_silences_the_chain() {
+    let ws = files(&[(
+        "crates/core/src/waived.rs",
+        "pub fn entry() -> f64 { helper() }\n\
+         fn helper() -> f64 {\n\
+             // LINT-ALLOW(L2-panic-free): index 0 exists by construction.\n\
+             *vec![1.0].first().unwrap()\n\
+         }\n",
+    )]);
+    let diags = lint_files(&ws, &taint_only());
+    assert!(
+        diags.is_empty(),
+        "source-line waiver must act as a barrier: {diags:?}"
+    );
+}
+
+/// A waiver at a *call edge* severs propagation through that edge only:
+/// the waived entry point is clean, an unwaived entry point still reports.
+#[test]
+fn call_edge_waiver_severs_only_that_edge() {
+    let common = "fn risky() -> f64 { *vec![1.0].first().unwrap() }\n";
+    let waived = format!(
+        "pub fn guarded() -> f64 {{\n\
+             // LINT-ALLOW(T2-panic-reach): input validated one frame up.\n\
+             risky()\n\
+         }}\n\
+         pub fn unguarded() -> f64 {{ risky() }}\n\
+         {common}"
+    );
+    let diags = lint_files(
+        &files(&[("crates/core/src/edges.rs", &waived)]),
+        &taint_only(),
+    );
+    let t2: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == Rule::T2PanicReach)
+        .collect();
+    assert_eq!(t2.len(), 1, "diags: {diags:?}");
+    assert!(
+        t2[0].message.contains("socl_core::edges::unguarded"),
+        "only the unguarded entry point should report: {}",
+        t2[0].message
+    );
+    assert!(!t2[0].message.contains("socl_core::edges::guarded"));
+}
+
+/// T3: the units pass pins both the mixed-dimension addition and the
+/// dimensionally wrong division on covered latency code.
+#[test]
+fn t3_unit_diagnostics_are_pinned() {
+    let src = "pub fn total_delay(d_in_s: f64, r_gb: f64, link_gbps: f64, cpu_hz: f64) -> f64 {\n\
+                   let transfer_s = r_gb / link_gbps;\n\
+                   let bad_sum = d_in_s + r_gb;\n\
+                   let bad_div = r_gb / cpu_hz;\n\
+                   d_in_s + transfer_s\n\
+               }\n";
+    let units = Passes::from_list("units").expect("pass list parses");
+    let diags = lint_files(&files(&[("crates/model/src/latency.rs", src)]), &units);
+    let t3: Vec<(usize, &str)> = diags
+        .iter()
+        .filter(|d| d.rule == Rule::T3Units)
+        .map(|d| (d.line, d.message.as_str()))
+        .collect();
+    assert_eq!(t3.len(), 2, "diags: {diags:?}");
+    assert_eq!(t3[0].0, 3);
+    assert!(
+        t3[0].1.contains("combines s with GB"),
+        "mixed-addition message changed: {}",
+        t3[0].1
+    );
+    // GB divided by a frequency is never a declared quantity.
+    assert_eq!(t3[1].0, 4, "diags: {diags:?}");
+}
+
+/// The taint passes skip bins, benches, and test files entirely: the same
+/// tainted source in a `main.rs` produces nothing.
+#[test]
+fn bins_are_outside_the_taint_domain() {
+    let ws = files(&[(
+        "crates/cli/src/main.rs",
+        "pub fn main() { std::time::Instant::now(); }\n",
+    )]);
+    let diags = lint_files(&ws, &taint_only());
+    assert!(diags.is_empty(), "bins are exempt: {diags:?}");
+}
+
+/// Structural parse failure surfaces as `P0-parse` (and blinds the
+/// interprocedural passes for that file, which the message says).
+#[test]
+fn parse_failure_is_reported_as_p0() {
+    let ws = files(&[(
+        "crates/model/src/broken.rs",
+        "pub fn truncated() {\n    let x = 1;\n",
+    )]);
+    let diags = lint_files(&ws, &taint_only());
+    let p0: Vec<_> = diags.iter().filter(|d| d.rule == Rule::P0Parse).collect();
+    assert_eq!(p0.len(), 1, "diags: {diags:?}");
+    assert!(
+        p0[0].message.contains("interprocedural passes cannot see"),
+        "{}",
+        p0[0].message
+    );
+}

@@ -72,7 +72,7 @@ fn add_path_load(sc: &Scenario, loads: &mut LinkLoads, a: NodeId, b: NodeId, gb:
     if a == b || gb <= 0.0 {
         return;
     }
-    let sp = ShortestPaths::compute(&sc.net, a, PathMetric::Latency);
+    let sp = ShortestPaths::dijkstra(&sc.net, a, PathMetric::Latency);
     if let Some(path) = sp.path_to(b) {
         for w in path.windows(2) {
             // Find the (fastest) connecting link index.
@@ -210,7 +210,7 @@ fn route_one_penalized(
         let rate = link.rate() / factor;
         penalized.add_link(link.a, link.b, socl_net::LinkParams::from_rate(rate));
     }
-    let pap = socl_net::AllPairs::compute(&penalized);
+    let pap = socl_net::AllPairs::build(&penalized);
 
     // Layered DP identical in shape to `optimal_route`, on penalized weights.
     let layers: Vec<Vec<NodeId>> = req
@@ -229,13 +229,13 @@ fn route_one_penalized(
             .iter()
             .map(|&k| {
                 pap.transfer_time(req.location, k, req.r_in)
-                    + sc.catalog.compute(req.chain[0]) / sc.net.compute(k)
+                    + sc.catalog.compute_gflop(req.chain[0]) / sc.net.compute_gflops(k)
             })
             .collect(),
     );
     back.push(vec![usize::MAX; layers[0].len()]);
     for j in 1..n_layers {
-        let q = sc.catalog.compute(req.chain[j]);
+        let q = sc.catalog.compute_gflop(req.chain[j]);
         let r = req.edge_data[j - 1];
         let mut row = Vec::with_capacity(layers[j].len());
         let mut brow = Vec::with_capacity(layers[j].len());
@@ -249,7 +249,7 @@ fn route_one_penalized(
                     arg = s;
                 }
             }
-            row.push(best + q / sc.net.compute(k));
+            row.push(best + q / sc.net.compute_gflops(k));
             brow.push(arg);
         }
         cost.push(row);

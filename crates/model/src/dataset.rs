@@ -352,7 +352,7 @@ mod tests {
         let cat = ds.catalog(&mut rng());
         assert_eq!(cat.len(), 12);
         for m in cat.ids() {
-            assert!((1.0..=3.0).contains(&cat.compute(m)));
+            assert!((1.0..=3.0).contains(&cat.compute_gflop(m)));
             assert!((200.0..=500.0).contains(&cat.deploy_cost(m)));
             assert!((1.0..=2.0).contains(&cat.storage(m)));
         }

@@ -90,7 +90,7 @@ impl ScenarioSnapshot {
                 }
             }
         }
-        let ap = AllPairs::compute(&net);
+        let ap = AllPairs::build(&net);
         Ok(Scenario {
             net,
             ap,
@@ -107,7 +107,8 @@ impl ScenarioSnapshot {
     pub fn to_json(&self) -> String {
         // LINT-ALLOW(L2-panic-free): serializing a plain in-memory struct
         // (no maps with non-string keys, no custom Serialize impls) cannot
-        // fail; an Err here is a serde_json bug worth aborting on.
+        // fail; an Err here is a serde_json bug worth aborting on. Doubles
+        // as the T2-panic-reach barrier for every caller of `to_json`.
         serde_json::to_string_pretty(self).expect("snapshot serialization cannot fail")
     }
 
@@ -155,7 +156,8 @@ impl PlacementSnapshot {
     pub fn to_json(&self) -> String {
         // LINT-ALLOW(L2-panic-free): serializing a plain-old-data struct of
         // integers cannot fail; an Err here would mean serde_json itself is
-        // broken, which no caller can meaningfully handle.
+        // broken, which no caller can meaningfully handle. Doubles as the
+        // T2-panic-reach barrier for every caller of `to_json`.
         serde_json::to_string_pretty(self).expect("snapshot serialization cannot fail")
     }
 

@@ -26,21 +26,21 @@ use socl_net::{AllPairs, EdgeNetwork, NodeId};
 /// The four additive components of `𝒟_h`, in seconds.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CompletionBreakdown {
-    /// Upload delay `d_in`.
-    pub d_in: f64,
-    /// Total processing delay `Σ d_c`.
-    pub compute: f64,
-    /// Total inter-service transfer delay `Σ d_l`.
-    pub transfer: f64,
-    /// Result return delay `d_out`.
-    pub d_out: f64,
+    /// Upload delay `d_in`, seconds.
+    pub d_in_s: f64,
+    /// Total processing delay `Σ d_c`, seconds.
+    pub compute_s: f64,
+    /// Total inter-service transfer delay `Σ d_l`, seconds.
+    pub transfer_s: f64,
+    /// Result return delay `d_out`, seconds.
+    pub d_out_s: f64,
 }
 
 impl CompletionBreakdown {
     /// The completion time `𝒟_h = d_in + Σd_c + Σd_l + d_out`.
     #[inline]
     pub fn total(&self) -> f64 {
-        self.d_in + self.compute + self.transfer + self.d_out
+        self.d_in_s + self.compute_s + self.transfer_s + self.d_out_s
     }
 }
 
@@ -65,25 +65,25 @@ pub fn completion_time(
     );
     // d_in: user node → first service host, latency-optimal path.
     let mut b = CompletionBreakdown {
-        d_in: ap.transfer_time(request.location, route[0], request.r_in),
+        d_in_s: ap.transfer_time(request.location, route[0], request.r_in),
         ..CompletionBreakdown::default()
     };
 
     // Compute cycles.
     for (j, &m) in request.chain.iter().enumerate() {
-        b.compute += catalog.compute(m) / net.compute(route[j]);
+        b.compute_s += catalog.compute_gflop(m) / net.compute_gflops(route[j]);
     }
 
     // Inter-service transfers.
-    for (j, &r) in request.edge_data.iter().enumerate() {
-        b.transfer += ap.transfer_time(route[j], route[j + 1], r);
+    for (j, &r_gb) in request.edge_data.iter().enumerate() {
+        b.transfer_s += ap.transfer_time(route[j], route[j + 1], r_gb);
     }
 
     // d_out: last service host → user node along the min-hop return path π*.
     // Chains are non-empty by Request's construction; an empty route yields
     // the partial breakdown (all-zero legs) rather than a panic.
     if let Some(&last) = route.last() {
-        b.d_out = ap.return_time(last, request.location, request.r_out);
+        b.d_out_s = ap.return_time(last, request.location, request.r_out);
     }
 
     b
@@ -104,7 +104,7 @@ mod tests {
         net.push_server(EdgeServer::new(20.0, 8.0));
         net.add_link(NodeId(0), NodeId(1), LinkParams::from_rate(10.0));
         net.add_link(NodeId(1), NodeId(2), LinkParams::from_rate(20.0));
-        let ap = AllPairs::compute(&net);
+        let ap = AllPairs::build(&net);
         let cat = ServiceCatalog::from_services(vec![
             Microservice::new(100.0, 1.0, 2.0), // m0: q=2
             Microservice::new(100.0, 1.0, 4.0), // m1: q=4
@@ -129,11 +129,11 @@ mod tests {
         let (net, ap, cat) = fixture();
         let req = request();
         let b = completion_time(&req, &[NodeId(0), NodeId(0)], &net, &ap, &cat);
-        assert_eq!(b.d_in, 0.0);
-        assert_eq!(b.transfer, 0.0);
-        assert_eq!(b.d_out, 0.0);
+        assert_eq!(b.d_in_s, 0.0);
+        assert_eq!(b.transfer_s, 0.0);
+        assert_eq!(b.d_out_s, 0.0);
         // q/c: 2/5 + 4/5
-        assert!((b.compute - 1.2).abs() < 1e-12);
+        assert!((b.compute_s - 1.2).abs() < 1e-12);
         assert!((b.total() - 1.2).abs() < 1e-12);
     }
 
@@ -144,13 +144,13 @@ mod tests {
         // m0 on v1, m1 on v2.
         let b = completion_time(&req, &[NodeId(1), NodeId(2)], &net, &ap, &cat);
         // d_in: 1 GB over v0→v1 at 10 GB/s = 0.1 s.
-        assert!((b.d_in - 0.1).abs() < 1e-12);
+        assert!((b.d_in_s - 0.1).abs() < 1e-12);
         // compute: 2/10 + 4/20 = 0.4 s.
-        assert!((b.compute - 0.4).abs() < 1e-12);
+        assert!((b.compute_s - 0.4).abs() < 1e-12);
         // transfer: 2 GB over v1→v2 at 20 GB/s = 0.1 s.
-        assert!((b.transfer - 0.1).abs() < 1e-12);
+        assert!((b.transfer_s - 0.1).abs() < 1e-12);
         // d_out: 0.5 GB back v2→v0: 0.5·(1/20+1/10) = 0.075 s.
-        assert!((b.d_out - 0.075).abs() < 1e-12);
+        assert!((b.d_out_s - 0.075).abs() < 1e-12);
         assert!((b.total() - 0.675).abs() < 1e-12);
     }
 
@@ -163,7 +163,7 @@ mod tests {
         let mut req2 = req.clone();
         req2.location = NodeId(2);
         let fast = completion_time(&req2, &[NodeId(2), NodeId(2)], &net, &ap, &cat);
-        assert!(fast.compute < slow.compute);
+        assert!(fast.compute_s < slow.compute_s);
     }
 
     #[test]
@@ -179,7 +179,7 @@ mod tests {
         let (net, ap, cat) = fixture();
         let req = request();
         let b = completion_time(&req, &[NodeId(2), NodeId(1)], &net, &ap, &cat);
-        assert!((b.total() - (b.d_in + b.compute + b.transfer + b.d_out)).abs() < 1e-15);
+        assert!((b.total() - (b.d_in_s + b.compute_s + b.transfer_s + b.d_out_s)).abs() < 1e-15);
         assert!(b.total() > 0.0);
     }
 }

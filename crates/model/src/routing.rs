@@ -70,9 +70,10 @@ pub fn optimal_route(
         layers.push(hosts);
     }
 
-    // DP forward pass. cost[j][s] = best accumulated delay ending with
+    // DP forward pass. cost_s[j][s] = best accumulated delay (seconds)
+    // ending with
     // chain[j] served at layers[j][s].
-    let mut cost: Vec<Vec<f64>> = Vec::with_capacity(n_layers);
+    let mut cost_s: Vec<Vec<f64>> = Vec::with_capacity(n_layers);
     let mut back: Vec<Vec<usize>> = Vec::with_capacity(n_layers);
 
     // Layer 0: upload + compute.
@@ -80,48 +81,48 @@ pub fn optimal_route(
         .iter()
         .map(|&k| {
             ap.transfer_time(request.location, k, request.r_in)
-                + catalog.compute(request.chain[0]) / net.compute(k)
+                + catalog.compute_gflop(request.chain[0]) / net.compute_gflops(k)
         })
         .collect();
-    cost.push(first);
+    cost_s.push(first);
     back.push(vec![usize::MAX; layers[0].len()]);
 
     for j in 1..n_layers {
-        let q = catalog.compute(request.chain[j]);
-        let r = request.edge_data[j - 1];
+        let q_gflop = catalog.compute_gflop(request.chain[j]);
+        let r_gb = request.edge_data[j - 1];
         let mut row = Vec::with_capacity(layers[j].len());
         let mut brow = Vec::with_capacity(layers[j].len());
         for &k in &layers[j] {
-            let compute = q / net.compute(k);
-            let mut best = f64::INFINITY;
+            let compute_s = q_gflop / net.compute_gflops(k);
+            let mut best_s = f64::INFINITY;
             let mut arg = usize::MAX;
             for (s, &p) in layers[j - 1].iter().enumerate() {
-                let c = cost[j - 1][s] + ap.transfer_time(p, k, r);
-                if c < best {
-                    best = c;
+                let c_s = cost_s[j - 1][s] + ap.transfer_time(p, k, r_gb);
+                if c_s < best_s {
+                    best_s = c_s;
                     arg = s;
                 }
             }
-            row.push(best + compute);
+            row.push(best_s + compute_s);
             brow.push(arg);
         }
-        cost.push(row);
+        cost_s.push(row);
         back.push(brow);
     }
 
     // Terminal: return leg along min-hop π*.
-    let (mut best_s, mut best_c) = (usize::MAX, f64::INFINITY);
+    let (mut best_idx, mut best_total_s) = (usize::MAX, f64::INFINITY);
     for (s, &k) in layers[n_layers - 1].iter().enumerate() {
-        let c = cost[n_layers - 1][s] + ap.return_time(k, request.location, request.r_out);
-        if c < best_c {
-            best_c = c;
-            best_s = s;
+        let c_s = cost_s[n_layers - 1][s] + ap.return_time(k, request.location, request.r_out);
+        if c_s < best_total_s {
+            best_total_s = c_s;
+            best_idx = s;
         }
     }
 
     // Backtrack.
     let mut route = vec![NodeId(0); n_layers];
-    let mut s = best_s;
+    let mut s = best_idx;
     for j in (0..n_layers).rev() {
         route[j] = layers[j][s];
         s = back[j][s];
@@ -129,9 +130,9 @@ pub fn optimal_route(
 
     let breakdown = completion_time(request, &route, net, ap, catalog);
     debug_assert!(
-        (breakdown.total() - best_c).abs() < 1e-6,
+        (breakdown.total() - best_total_s).abs() < 1e-6,
         "DP cost {} disagrees with evaluation {}",
-        best_c,
+        best_total_s,
         breakdown.total()
     );
     RouteOutcome::Edge { route, breakdown }
@@ -150,7 +151,7 @@ pub fn greedy_route(
     let mut route = Vec::with_capacity(request.chain.len());
     let mut prev = request.location;
     for (j, &m) in request.chain.iter().enumerate() {
-        let r = if j == 0 {
+        let r_gb = if j == 0 {
             request.r_in
         } else {
             request.edge_data[j - 1]
@@ -159,15 +160,15 @@ pub fn greedy_route(
         if hosts.is_empty() {
             return RouteOutcome::CloudFallback;
         }
-        let q = catalog.compute(m);
+        let q_gflop = catalog.compute_gflop(m);
         // `hosts` is non-empty (checked above); if that ever regresses we
         // degrade to the cloud instead of panicking. Ties on cost break by
         // node id, exactly like the old tuple comparison.
         let Some(best) = hosts
             .into_iter()
             .map(|k| {
-                let c = ap.transfer_time(prev, k, r) + q / net.compute(k);
-                (c, k)
+                let c_s = ap.transfer_time(prev, k, r_gb) + q_gflop / net.compute_gflops(k);
+                (c_s, k)
             })
             .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
             .map(|(_, k)| k)
@@ -234,7 +235,7 @@ mod tests {
         net.add_link(NodeId(0), NodeId(2), LinkParams::from_rate(40.0));
         net.add_link(NodeId(2), NodeId(3), LinkParams::from_rate(80.0));
         net.add_link(NodeId(1), NodeId(3), LinkParams::from_rate(0.5)); // trap exit: very slow
-        let ap = AllPairs::compute(&net);
+        let ap = AllPairs::build(&net);
         let cat = ServiceCatalog::from_services(vec![
             Microservice::new(1.0, 1.0, 1.0),
             Microservice::new(1.0, 1.0, 1.0),

@@ -170,7 +170,7 @@ impl ScenarioConfig {
         let mut topo = self.topology.clone();
         topo.nodes = self.nodes;
         let net = topo.build(seed);
-        let ap = AllPairs::compute(&net);
+        let ap = AllPairs::build(&net);
         let mut rng =
             StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1));
         let catalog = dataset.catalog(&mut rng);
@@ -195,7 +195,7 @@ impl ScenarioConfig {
         catalog: ServiceCatalog,
         requests: Vec<UserRequest>,
     ) -> Scenario {
-        let ap = AllPairs::compute(&net);
+        let ap = AllPairs::build(&net);
         Scenario {
             net,
             ap,

@@ -122,7 +122,7 @@ impl ServiceCatalog {
 
     /// Compute requirement `q(m_i)` (GFLOP).
     #[inline]
-    pub fn compute(&self, m: ServiceId) -> f64 {
+    pub fn compute_gflop(&self, m: ServiceId) -> f64 {
         self.services[m.idx()].compute_gflop
     }
 
@@ -168,7 +168,7 @@ mod tests {
         let cat = catalog3();
         assert_eq!(cat.deploy_cost(ServiceId(1)), 200.0);
         assert_eq!(cat.storage(ServiceId(2)), 2.0);
-        assert_eq!(cat.compute(ServiceId(0)), 2.0);
+        assert_eq!(cat.compute_gflop(ServiceId(0)), 2.0);
         assert_eq!(cat.get(ServiceId(0)).name, "a");
     }
 

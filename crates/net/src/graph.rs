@@ -220,7 +220,7 @@ impl EdgeNetwork {
 
     /// Computing capability `c(v_k)` in GFLOP/s.
     #[inline]
-    pub fn compute(&self, n: NodeId) -> f64 {
+    pub fn compute_gflops(&self, n: NodeId) -> f64 {
         self.servers[n.idx()].compute_gflops
     }
 

@@ -30,7 +30,7 @@
 //! seeded improvement pass over the nodes whose keys actually improve, then
 //! re-derive predecessors pointwise where an input changed (see
 //! `paths::repaired_half_decrease`). The maintained matrix is bit-identical to
-//! `AllPairs::compute` on the masked topology — the property the equivalence
+//! `AllPairs::build` on the masked topology — the property the equivalence
 //! proptests assert after every event of random fault schedules. A generation
 //! counter increments on every effective change so downstream caches
 //! (memoized virtual graphs, solver warm state) know when to invalidate.
@@ -41,7 +41,7 @@ use crate::paths::AllPairs;
 /// Counters describing how much work the cache avoided.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CacheStats {
-    /// Full `AllPairs::compute` passes (construction + explicit rebuilds).
+    /// Full `AllPairs::build` passes (construction + explicit rebuilds).
     pub full_rebuilds: u64,
     /// Incremental `apply` batches that changed at least one rate.
     pub incremental_updates: u64,
@@ -122,7 +122,7 @@ impl ApspCache {
     /// Build the cache over a pristine topology (one full compute).
     pub fn new(net: &EdgeNetwork) -> Self {
         let net = net.clone();
-        let ap = AllPairs::compute(&net);
+        let ap = AllPairs::build(&net);
         Self {
             net,
             ap,
@@ -169,7 +169,7 @@ impl ApspCache {
 
     /// Discard the matrix and recompute from scratch (diagnostics / tests).
     pub fn rebuild(&mut self) {
-        self.ap = AllPairs::compute(&self.net);
+        self.ap = AllPairs::build(&self.net);
         self.stats.full_rebuilds += 1;
     }
 
@@ -333,7 +333,7 @@ mod tests {
     use crate::topology::TopologyConfig;
 
     fn rebuilt(cache: &ApspCache) -> AllPairs {
-        AllPairs::compute_serial(cache.network())
+        AllPairs::build_serial(cache.network())
     }
 
     #[test]
@@ -354,7 +354,7 @@ mod tests {
             );
         }
         // Fully restored: back to the pristine matrix and fingerprint.
-        assert!(cache.all_pairs().identical(&AllPairs::compute_serial(&net)));
+        assert!(cache.all_pairs().identical(&AllPairs::build_serial(&net)));
         assert_eq!(cache.network().fingerprint(), net.fingerprint());
     }
 
@@ -365,7 +365,7 @@ mod tests {
         cache.mask_node(NodeId(5));
         assert!(cache.all_pairs().identical(&rebuilt(&cache)));
         cache.unmask_node(NodeId(5));
-        assert!(cache.all_pairs().identical(&AllPairs::compute_serial(&net)));
+        assert!(cache.all_pairs().identical(&AllPairs::build_serial(&net)));
         let stats = cache.stats();
         assert_eq!(stats.incremental_updates, 2);
         assert!(stats.rows_recomputed > 0);
@@ -424,6 +424,6 @@ mod tests {
         // Repair everything in one batch.
         let pristine: Vec<f64> = (0..m).map(|i| cache.base_rate(i)).collect();
         cache.sync_rates(&pristine);
-        assert!(cache.all_pairs().identical(&AllPairs::compute_serial(&net)));
+        assert!(cache.all_pairs().identical(&AllPairs::build_serial(&net)));
     }
 }

@@ -100,7 +100,7 @@ pub fn k_shortest_paths(
             weight: 0.0,
         }];
     }
-    let sp = ShortestPaths::compute(net, source, PathMetric::Latency);
+    let sp = ShortestPaths::dijkstra(net, source, PathMetric::Latency);
     let Some(first_nodes) = sp.path_to(target) else {
         return Vec::new();
     };
@@ -237,7 +237,7 @@ mod tests {
     fn first_path_matches_dijkstra() {
         for seed in 0..5 {
             let net = TopologyConfig::paper(10).build(seed);
-            let sp = ShortestPaths::compute(&net, NodeId(0), PathMetric::Latency);
+            let sp = ShortestPaths::dijkstra(&net, NodeId(0), PathMetric::Latency);
             let paths = k_shortest_paths(&net, NodeId(0), NodeId(7), 1);
             assert_eq!(paths.len(), 1);
             assert!((paths[0].weight - sp.latency_weight(NodeId(7))).abs() < 1e-9);

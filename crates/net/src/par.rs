@@ -38,6 +38,8 @@ pub fn effective_threads() -> usize {
     if n > 0 {
         return n;
     }
+    // LINT-ALLOW(T1-nondet-taint): the thread count only partitions work;
+    // PR 2's equivalence proptests prove output is identical for any count.
     if let Ok(v) = std::env::var("SOCL_THREADS") {
         if let Ok(n) = v.trim().parse::<usize>() {
             if n > 0 {
@@ -45,6 +47,8 @@ pub fn effective_threads() -> usize {
             }
         }
     }
+    // LINT-ALLOW(T1-nondet-taint): hardware parallelism picks the worker
+    // count, never the result — par_map_indexed_with is order-preserving.
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)

@@ -73,7 +73,7 @@ pub struct ShortestPaths {
 
 impl ShortestPaths {
     /// Run Dijkstra from `source` under `metric`.
-    pub fn compute(net: &EdgeNetwork, source: NodeId, metric: PathMetric) -> Self {
+    pub fn dijkstra(net: &EdgeNetwork, source: NodeId, metric: PathMetric) -> Self {
         let n = net.node_count();
         assert!(source.idx() < n, "source {source} out of range");
         let mut latency = vec![f64::INFINITY; n];
@@ -246,7 +246,7 @@ pub(crate) struct HopHalf {
 
 fn compute_lat_half(net: &EdgeNetwork, s: NodeId) -> LatHalf {
     let n = net.node_count();
-    let tree = ShortestPaths::compute(net, s, PathMetric::Latency);
+    let tree = ShortestPaths::dijkstra(net, s, PathMetric::Latency);
     let mut half = LatHalf {
         latency: Vec::with_capacity(n),
         pred_lat: Vec::with_capacity(n),
@@ -262,7 +262,7 @@ fn compute_lat_half(net: &EdgeNetwork, s: NodeId) -> LatHalf {
 
 fn compute_hop_half(net: &EdgeNetwork, s: NodeId) -> HopHalf {
     let n = net.node_count();
-    let tree = ShortestPaths::compute(net, s, PathMetric::Hops);
+    let tree = ShortestPaths::dijkstra(net, s, PathMetric::Hops);
     let mut half = HopHalf {
         hop_latency: Vec::with_capacity(n),
         hops: Vec::with_capacity(n),
@@ -560,8 +560,8 @@ fn repaired_half_decrease(
 
 fn compute_row(net: &EdgeNetwork, s: NodeId) -> SourceRow {
     let n = net.node_count();
-    let lat_tree = ShortestPaths::compute(net, s, PathMetric::Latency);
-    let hop_tree = ShortestPaths::compute(net, s, PathMetric::Hops);
+    let lat_tree = ShortestPaths::dijkstra(net, s, PathMetric::Latency);
+    let hop_tree = ShortestPaths::dijkstra(net, s, PathMetric::Hops);
     let mut row = SourceRow {
         latency: Vec::with_capacity(n),
         hop_latency: Vec::with_capacity(n),
@@ -585,8 +585,8 @@ fn compute_row(net: &EdgeNetwork, s: NodeId) -> SourceRow {
 impl AllPairs {
     /// Precompute both metrics from every source, fanning the per-source
     /// Dijkstra trees out over the configured thread pool. Results are
-    /// bit-identical to [`AllPairs::compute_serial`] for any thread count.
-    pub fn compute(net: &EdgeNetwork) -> Self {
+    /// bit-identical to [`AllPairs::build_serial`] for any thread count.
+    pub fn build(net: &EdgeNetwork) -> Self {
         let n = net.node_count();
         // Dijkstra from one source is O(E log V); below ~64 nodes the whole
         // matrix is cheaper than spawning workers.
@@ -595,17 +595,17 @@ impl AllPairs {
         } else {
             crate::par::effective_threads()
         };
-        Self::compute_with_threads(net, threads)
+        Self::build_with_threads(net, threads)
     }
 
     /// Serial reference implementation (also the fallback for tiny graphs).
-    pub fn compute_serial(net: &EdgeNetwork) -> Self {
-        Self::compute_with_threads(net, 1)
+    pub fn build_serial(net: &EdgeNetwork) -> Self {
+        Self::build_with_threads(net, 1)
     }
 
     /// Precompute on an explicit number of worker threads (no size heuristic —
     /// equivalence tests use this to force real fan-out on small graphs).
-    pub fn compute_with_threads(net: &EdgeNetwork, threads: usize) -> Self {
+    pub fn build_with_threads(net: &EdgeNetwork, threads: usize) -> Self {
         let n = net.node_count();
         let rows =
             crate::par::par_map_indexed_with(n, threads, |s| compute_row(net, NodeId(s as u32)));
@@ -911,7 +911,7 @@ mod tests {
     #[test]
     fn latency_metric_prefers_fast_two_hop() {
         let net = diamond();
-        let sp = ShortestPaths::compute(&net, NodeId(0), PathMetric::Latency);
+        let sp = ShortestPaths::dijkstra(&net, NodeId(0), PathMetric::Latency);
         assert!((sp.latency_weight(NodeId(3)) - 0.02).abs() < 1e-12);
         assert_eq!(sp.hop_count(NodeId(3)), 2);
         assert_eq!(
@@ -923,7 +923,7 @@ mod tests {
     #[test]
     fn hop_metric_prefers_direct_link() {
         let net = diamond();
-        let sp = ShortestPaths::compute(&net, NodeId(0), PathMetric::Hops);
+        let sp = ShortestPaths::dijkstra(&net, NodeId(0), PathMetric::Hops);
         assert_eq!(sp.hop_count(NodeId(3)), 1);
         assert!((sp.latency_weight(NodeId(3)) - 0.1).abs() < 1e-12);
         assert_eq!(sp.path_to(NodeId(3)).unwrap(), vec![NodeId(0), NodeId(3)]);
@@ -940,7 +940,7 @@ mod tests {
         net.add_link(NodeId(1), NodeId(3), LinkParams::from_rate(1.0));
         net.add_link(NodeId(0), NodeId(2), LinkParams::from_rate(100.0));
         net.add_link(NodeId(2), NodeId(3), LinkParams::from_rate(100.0));
-        let sp = ShortestPaths::compute(&net, NodeId(0), PathMetric::Hops);
+        let sp = ShortestPaths::dijkstra(&net, NodeId(0), PathMetric::Hops);
         assert_eq!(sp.hop_count(NodeId(3)), 2);
         assert_eq!(
             sp.path_to(NodeId(3)).unwrap(),
@@ -952,7 +952,7 @@ mod tests {
     fn unreachable_nodes_are_infinite() {
         let mut net = diamond();
         let lone = net.push_server(EdgeServer::new(1.0, 1.0));
-        let sp = ShortestPaths::compute(&net, NodeId(0), PathMetric::Latency);
+        let sp = ShortestPaths::dijkstra(&net, NodeId(0), PathMetric::Latency);
         assert!(sp.latency_weight(lone).is_infinite());
         assert_eq!(sp.hop_count(lone), u32::MAX);
         assert!(sp.path_to(lone).is_none());
@@ -962,7 +962,7 @@ mod tests {
     #[test]
     fn source_has_zero_weight_and_infinite_speed() {
         let net = diamond();
-        let sp = ShortestPaths::compute(&net, NodeId(0), PathMetric::Latency);
+        let sp = ShortestPaths::dijkstra(&net, NodeId(0), PathMetric::Latency);
         assert_eq!(sp.latency_weight(NodeId(0)), 0.0);
         assert!(sp.channel_speed(NodeId(0)).is_infinite());
         assert_eq!(sp.path_to(NodeId(0)).unwrap(), vec![NodeId(0)]);
@@ -971,10 +971,10 @@ mod tests {
     #[test]
     fn all_pairs_matches_single_source() {
         let net = diamond();
-        let ap = AllPairs::compute(&net);
+        let ap = AllPairs::build(&net);
         for s in net.node_ids() {
-            let lat = ShortestPaths::compute(&net, s, PathMetric::Latency);
-            let hop = ShortestPaths::compute(&net, s, PathMetric::Hops);
+            let lat = ShortestPaths::dijkstra(&net, s, PathMetric::Latency);
+            let hop = ShortestPaths::dijkstra(&net, s, PathMetric::Hops);
             for t in net.node_ids() {
                 assert!((ap.latency_weight(s, t) - lat.latency_weight(t)).abs() < 1e-12);
                 assert_eq!(ap.hop_count(s, t), hop.hop_count(t));
@@ -986,7 +986,7 @@ mod tests {
     #[test]
     fn transfer_time_scales_linearly() {
         let net = diamond();
-        let ap = AllPairs::compute(&net);
+        let ap = AllPairs::build(&net);
         let t1 = ap.transfer_time(NodeId(0), NodeId(3), 1.0);
         let t5 = ap.transfer_time(NodeId(0), NodeId(3), 5.0);
         assert!((t5 - 5.0 * t1).abs() < 1e-12);
@@ -1002,7 +1002,7 @@ mod tests {
         }
         net.add_link(NodeId(0), NodeId(1), LinkParams::from_rate(10.0));
         net.add_link(NodeId(1), NodeId(2), LinkParams::from_rate(40.0));
-        let ap = AllPairs::compute(&net);
+        let ap = AllPairs::build(&net);
         let expected = 1.0 / (1.0 / 10.0 + 1.0 / 40.0);
         assert!((ap.virtual_speed(NodeId(0), NodeId(2)) - expected).abs() < 1e-9);
         // The harmonic composition is below the slowest constituent link.
@@ -1062,7 +1062,7 @@ mod tests {
         );
         net.add_link(NodeId(2), NodeId(3), LinkParams::from_rate(1e300));
         for metric in [PathMetric::Latency, PathMetric::Hops] {
-            let sp = ShortestPaths::compute(&net, NodeId(0), metric);
+            let sp = ShortestPaths::dijkstra(&net, NodeId(0), metric);
             for t in net.node_ids() {
                 let w = sp.latency_weight(t);
                 assert!(!w.is_nan(), "{metric:?} produced NaN for {t}");
@@ -1072,7 +1072,7 @@ mod tests {
         }
         // Masking the clamp-rate link cuts v0 off from everyone.
         net.override_link_rate(0, 0.0);
-        let sp = ShortestPaths::compute(&net, NodeId(0), PathMetric::Latency);
+        let sp = ShortestPaths::dijkstra(&net, NodeId(0), PathMetric::Latency);
         for t in [NodeId(1), NodeId(2), NodeId(3)] {
             assert!(sp.latency_weight(t).is_infinite());
             assert!(sp.path_to(t).is_none());
@@ -1084,9 +1084,9 @@ mod tests {
         use crate::topology::TopologyConfig;
         for seed in 0..3 {
             let net = TopologyConfig::paper(30).build(seed);
-            let serial = AllPairs::compute_serial(&net);
+            let serial = AllPairs::build_serial(&net);
             for threads in [2, 3, 4, 8] {
-                let par = AllPairs::compute_with_threads(&net, threads);
+                let par = AllPairs::build_with_threads(&net, threads);
                 assert!(
                     par.identical(&serial),
                     "seed={seed} threads={threads} diverged"
@@ -1110,8 +1110,8 @@ mod tests {
                 rebuilt.add_link(l.a, l.b, l.params);
             }
         }
-        let ap_masked = AllPairs::compute_serial(&masked);
-        let ap_rebuilt = AllPairs::compute_serial(&rebuilt);
+        let ap_masked = AllPairs::build_serial(&masked);
+        let ap_rebuilt = AllPairs::build_serial(&rebuilt);
         assert!(ap_masked.identical(&ap_rebuilt));
     }
 
@@ -1119,10 +1119,10 @@ mod tests {
     fn reconstructed_paths_match_single_source_trees() {
         use crate::topology::TopologyConfig;
         let net = TopologyConfig::paper(16).build(5);
-        let ap = AllPairs::compute(&net);
+        let ap = AllPairs::build(&net);
         for a in net.node_ids() {
-            let lat = ShortestPaths::compute(&net, a, PathMetric::Latency);
-            let hop = ShortestPaths::compute(&net, a, PathMetric::Hops);
+            let lat = ShortestPaths::dijkstra(&net, a, PathMetric::Latency);
+            let hop = ShortestPaths::dijkstra(&net, a, PathMetric::Hops);
             for b in net.node_ids() {
                 assert_eq!(ap.path_latency(a, b), lat.path_to(b), "{a}->{b}");
                 assert_eq!(ap.path_hops(a, b), hop.path_to(b), "{a}->{b}");
@@ -1135,7 +1135,7 @@ mod tests {
     #[test]
     fn symmetric_weights_on_undirected_graph() {
         let net = diamond();
-        let ap = AllPairs::compute(&net);
+        let ap = AllPairs::build(&net);
         for a in net.node_ids() {
             for b in net.node_ids() {
                 assert!(

@@ -30,7 +30,7 @@ proptest! {
     /// Triangle inequality holds for shortest-path latency weights.
     #[test]
     fn triangle_inequality(net in arb_net()) {
-        let ap = AllPairs::compute(&net);
+        let ap = AllPairs::build(&net);
         let n = net.node_count();
         for a in 0..n {
             for b in 0..n {
@@ -48,7 +48,7 @@ proptest! {
     /// The latency-metric path is never slower than the hop-metric path.
     #[test]
     fn latency_metric_dominates(net in arb_net()) {
-        let ap = AllPairs::compute(&net);
+        let ap = AllPairs::build(&net);
         for a in net.node_ids() {
             for b in net.node_ids() {
                 prop_assert!(ap.latency_weight(a, b) <= ap.hop_path_weight(a, b) + 1e-9);
@@ -59,7 +59,7 @@ proptest! {
     /// Hop-metric distances match plain BFS hop counts.
     #[test]
     fn hop_counts_match_bfs(net in arb_net()) {
-        let ap = AllPairs::compute(&net);
+        let ap = AllPairs::build(&net);
         for s in net.node_ids() {
             // BFS.
             let n = net.node_count();
@@ -86,7 +86,7 @@ proptest! {
     fn paths_are_consistent(net in arb_net()) {
         for s in net.node_ids() {
             for metric in [PathMetric::Latency, PathMetric::Hops] {
-                let sp = ShortestPaths::compute(&net, s, metric);
+                let sp = ShortestPaths::dijkstra(&net, s, metric);
                 for t in net.node_ids() {
                     let Some(path) = sp.path_to(t) else { continue };
                     prop_assert_eq!(path[0], s);
@@ -110,7 +110,7 @@ proptest! {
     /// never exceeds any direct link's rate upper bound.
     #[test]
     fn virtual_speed_bounded_by_components(net in arb_net()) {
-        let ap = AllPairs::compute(&net);
+        let ap = AllPairs::build(&net);
         let max_rate = net
             .links()
             .iter()
@@ -129,7 +129,7 @@ proptest! {
     /// Partition is a disjoint cover of the member set for any threshold.
     #[test]
     fn partition_is_disjoint_cover(net in arb_net(), xi in 0.0f64..100.0) {
-        let ap = AllPairs::compute(&net);
+        let ap = AllPairs::build(&net);
         let members: Vec<NodeId> = net.node_ids().collect();
         let vg = VirtualGraph::build(&members, &ap);
         let parts = vg.partition(xi);
@@ -146,7 +146,7 @@ proptest! {
     /// Raising the threshold never merges partitions (monotone refinement).
     #[test]
     fn partition_refines_monotonically(net in arb_net()) {
-        let ap = AllPairs::compute(&net);
+        let ap = AllPairs::build(&net);
         let members: Vec<NodeId> = net.node_ids().collect();
         let vg = VirtualGraph::build(&members, &ap);
         let coarse = vg.partition(1.0);
@@ -175,8 +175,8 @@ proptest! {
     /// counts and identical predecessor (i.e. path) matrices.
     #[test]
     fn parallel_apsp_identical_to_serial(net in arb_net(), threads in 2usize..=8) {
-        let serial = AllPairs::compute_serial(&net);
-        let parallel = AllPairs::compute_with_threads(&net, threads);
+        let serial = AllPairs::build_serial(&net);
+        let parallel = AllPairs::build_with_threads(&net, threads);
         prop_assert!(parallel.identical(&serial), "threads={threads} diverged");
     }
 
@@ -216,7 +216,7 @@ proptest! {
                     cache.unmask_node(node);
                 }
             }
-            let rebuilt = AllPairs::compute_serial(cache.network());
+            let rebuilt = AllPairs::build_serial(cache.network());
             prop_assert!(
                 cache.all_pairs().identical(&rebuilt),
                 "cache diverged from full rebuild at step {step}"
@@ -232,7 +232,7 @@ fn dijkstra_matches_bellman_ford() {
         let net = TopologyConfig::paper(12).build(seed);
         let n = net.node_count();
         for s in net.node_ids() {
-            let sp = ShortestPaths::compute(&net, s, PathMetric::Latency);
+            let sp = ShortestPaths::dijkstra(&net, s, PathMetric::Latency);
             // Bellman-Ford.
             let mut dist = vec![f64::INFINITY; n];
             dist[s.idx()] = 0.0;

@@ -218,7 +218,7 @@ mod tests {
         // The incremental cache masks components instead of rebuilding the
         // topology; the reported impacts must match an explicit rebuild.
         let net = TopologyConfig::paper(14).build(21);
-        let before = AllPairs::compute(&net);
+        let before = AllPairs::build(&net);
         let impacts = link_criticality(&net);
         for idx in 0..net.link_count() {
             let l = net.links()[idx];
@@ -231,7 +231,7 @@ mod tests {
                     reduced.add_link(link.a, link.b, link.params);
                 }
             }
-            let after = AllPairs::compute(&reduced);
+            let after = AllPairs::build(&reduced);
             let (partitions, mean_stretch, max_stretch) = stretch(&net, &before, &after, None);
             let tag = format!("link {}-{}", l.a, l.b);
             let got = impacts.iter().find(|i| i.component == tag).unwrap();

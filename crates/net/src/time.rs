@@ -29,14 +29,17 @@ impl Stopwatch {
     pub fn start() -> Self {
         // LINT-ALLOW(L3-nondet-time): this is the single sanctioned
         // wall-clock read; everything else in the workspace goes through
-        // Stopwatch so timing never silently influences results.
+        // Stopwatch so timing never silently influences results. The same
+        // waiver is the T1-nondet-taint barrier: time flows into reports
+        // (Stopwatch -> millis), never into placement or routing decisions.
         Stopwatch(std::time::Instant::now())
     }
 
     /// Elapsed time since [`start`](Self::start).
     #[inline]
     pub fn elapsed(&self) -> Duration {
-        // LINT-ALLOW(L3-nondet-time): paired read for the sanctioned wrapper.
+        // LINT-ALLOW(L3-nondet-time): paired read for the sanctioned
+        // wrapper; same T1 barrier rationale as `start`.
         std::time::Instant::now().duration_since(self.0)
     }
 

@@ -229,7 +229,7 @@ mod tests {
     #[test]
     fn virtual_speeds_come_from_min_hop_paths() {
         let net = two_islands();
-        let ap = AllPairs::compute(&net);
+        let ap = AllPairs::build(&net);
         let vg = VirtualGraph::build(&[NodeId(0), NodeId(3)], &ap);
         // Path 0-1-2-3: 1/50 + 1/1 + 1/50 = 1.04 → speed ≈ 0.9615.
         let expected = 1.0 / (1.0 / 50.0 + 1.0 + 1.0 / 50.0);
@@ -240,7 +240,7 @@ mod tests {
     #[test]
     fn threshold_splits_across_slow_bridge() {
         let net = two_islands();
-        let ap = AllPairs::compute(&net);
+        let ap = AllPairs::build(&net);
         let all: Vec<NodeId> = net.node_ids().collect();
         let vg = VirtualGraph::build(&all, &ap);
 
@@ -265,7 +265,7 @@ mod tests {
     #[test]
     fn partitions_cover_all_members_exactly_once() {
         let net = two_islands();
-        let ap = AllPairs::compute(&net);
+        let ap = AllPairs::build(&net);
         let all: Vec<NodeId> = net.node_ids().collect();
         let vg = VirtualGraph::build(&all, &ap);
         for xi in [0.0, 0.5, 2.0, 10.0, 100.0] {
@@ -279,7 +279,7 @@ mod tests {
     #[test]
     fn duplicates_are_removed() {
         let net = two_islands();
-        let ap = AllPairs::compute(&net);
+        let ap = AllPairs::build(&net);
         let vg = VirtualGraph::build(&[NodeId(0), NodeId(0), NodeId(1)], &ap);
         assert_eq!(vg.len(), 2);
     }
@@ -287,7 +287,7 @@ mod tests {
     #[test]
     fn speed_between_by_node_id() {
         let net = two_islands();
-        let ap = AllPairs::compute(&net);
+        let ap = AllPairs::build(&net);
         let vg = VirtualGraph::build(&[NodeId(0), NodeId(1)], &ap);
         assert!((vg.speed_between(NodeId(0), NodeId(1)).unwrap() - 50.0).abs() < 1e-9);
         assert!(vg.speed_between(NodeId(0), NodeId(2)).is_none());
@@ -296,7 +296,7 @@ mod tests {
     #[test]
     fn intensity_orders_central_nodes_higher() {
         let net = two_islands();
-        let ap = AllPairs::compute(&net);
+        let ap = AllPairs::build(&net);
         // Bridge endpoints (1, 2) see one fast link plus short paths; leaves
         // (0, 3) pay an extra hop to everyone — strictly lower intensity.
         let chi0 = communication_intensity(&ap, NodeId(0));
@@ -307,7 +307,7 @@ mod tests {
     #[test]
     fn empty_virtual_graph() {
         let net = two_islands();
-        let ap = AllPairs::compute(&net);
+        let ap = AllPairs::build(&net);
         let vg = VirtualGraph::build(&[], &ap);
         assert!(vg.is_empty());
         assert!(vg.partition(1.0).is_empty());
@@ -316,7 +316,7 @@ mod tests {
     #[test]
     fn vg_cache_shares_builds_within_a_generation() {
         let net = two_islands();
-        let ap = AllPairs::compute(&net);
+        let ap = AllPairs::build(&net);
         let mut cache = VgCache::new();
         let members = [NodeId(0), NodeId(1), NodeId(3)];
         let a = cache.get(0, &members, &ap);
@@ -332,7 +332,7 @@ mod tests {
     #[test]
     fn vg_cache_invalidates_on_generation_bump() {
         let net = two_islands();
-        let ap = AllPairs::compute(&net);
+        let ap = AllPairs::build(&net);
         let mut cache = VgCache::new();
         let members = [NodeId(0), NodeId(3)];
         let a = cache.get(0, &members, &ap);

@@ -749,7 +749,7 @@ mod tests {
         for _ in 0..10 {
             let sc = sim.advance();
             saw_failure |= sim.alive_links.iter().any(|&a| !a);
-            let rebuilt = socl_net::AllPairs::compute_serial(&sc.net);
+            let rebuilt = socl_net::AllPairs::build_serial(&sc.net);
             assert!(
                 sc.ap.identical(&rebuilt),
                 "slot APSP diverged from a from-scratch rebuild"

@@ -457,7 +457,8 @@ impl<'a> Engine<'a> {
 
     /// Nominal service time (no cold start) of `stage` on `node`.
     fn exec_time(&self, job: usize, stage: usize, node: NodeId) -> f64 {
-        self.sc.catalog.compute(self.service_of(job, stage)) / self.sc.net.compute(node)
+        self.sc.catalog.compute_gflop(self.service_of(job, stage))
+            / self.sc.net.compute_gflops(node)
     }
 
     /// First unconsumed RequestLoss for `user` scheduled at or before
@@ -977,7 +978,7 @@ pub fn run_testbed(sc: &Scenario, placement: &Placement, cfg: &TestbedConfig) ->
                 params.bandwidth /= factors[idx];
                 net.add_link(l.a, l.b, params);
             }
-            aps.push((t, AllPairs::compute(&net)));
+            aps.push((t, AllPairs::build(&net)));
         }
     }
 
