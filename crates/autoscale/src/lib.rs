@@ -31,7 +31,10 @@ pub mod config;
 pub mod scaler;
 
 pub use config::{AdmissionPolicy, AutoscaleConfig, KeepAlivePolicy, ScalingMode};
-pub use scaler::{Autoscaler, ScalingAction};
+pub use scaler::{Autoscaler, ScalerState, ScalingAction, ServiceStateSnapshot};
+// Re-exported so checkpoint code serializing a [`ScalerState`] can name the
+// forecaster field's type without depending on `socl-trace` directly.
+pub use socl_trace::ForecasterState;
 
 #[cfg(test)]
 mod proptests;

@@ -21,6 +21,7 @@
 use crate::config::{AutoscaleConfig, ScalingMode};
 use socl_model::{Placement, ReplicaCounts, ServiceCatalog, ServiceId};
 use socl_net::{EdgeNetwork, NodeId};
+use socl_trace::ForecasterState;
 
 /// One replica-count change for a single `(service, node)` cell, as
 /// *planned* by the scaler. The execution layer applies it best-effort
@@ -66,6 +67,48 @@ impl ServiceState {
             panic_until: f64::NEG_INFINITY,
         }
     }
+}
+
+/// Frozen per-service controller state (checkpoint payload).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceStateSnapshot {
+    /// Recent `(time, in-flight)` samples within the stable window.
+    pub samples: Vec<(f64, f64)>,
+    /// Recent `(time, instantaneous desired)` keep-alive markers.
+    pub desires: Vec<(f64, u32)>,
+    /// Holt forecaster smoothing state.
+    pub forecaster: ForecasterState,
+    /// Time of the last executed scale-down.
+    pub last_down: f64,
+    /// Panic mode is active until this time.
+    pub panic_until: f64,
+}
+
+/// Frozen [`Autoscaler`] state: everything the control loop accumulates at
+/// runtime, excluding the static [`AutoscaleConfig`] (which the restoring
+/// side reconstructs from its own run configuration). Capturing this plus
+/// the replica-count grid makes a restored scaler's future ticks
+/// bit-identical to the uninterrupted run's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalerState {
+    /// Grid dimensions: services.
+    pub services: usize,
+    /// Grid dimensions: nodes.
+    pub nodes: usize,
+    /// Row-major replica counts (`services × nodes`).
+    pub counts: Vec<u32>,
+    /// Per-service capacity ceilings as of the last tick/seed — `admit`
+    /// consults these *before* the next tick refreshes them, so they are
+    /// state, not derived data.
+    pub caps: Vec<u32>,
+    /// Per-service controller state.
+    pub states: Vec<ServiceStateSnapshot>,
+    /// Cumulative service-level scale-up events.
+    pub up_events: u64,
+    /// Cumulative service-level scale-down events.
+    pub down_events: u64,
+    /// Cold-start penalty the scaler was constructed with.
+    pub cold_start: f64,
 }
 
 /// The serverless control plane's replica-count controller.
@@ -282,6 +325,89 @@ impl Autoscaler {
             }
         }
         actions
+    }
+
+    /// Freeze the scaler's full runtime state for checkpointing.
+    pub fn state(&self) -> ScalerState {
+        let services = self.counts.services();
+        let nodes = self.counts.nodes();
+        let mut counts = Vec::with_capacity(services * nodes);
+        for i in 0..services {
+            for k in 0..nodes {
+                counts.push(self.counts.get(ServiceId(i as u32), NodeId(k as u32)));
+            }
+        }
+        ScalerState {
+            services,
+            nodes,
+            counts,
+            caps: self.caps.clone(),
+            states: self
+                .states
+                .iter()
+                .map(|st| ServiceStateSnapshot {
+                    samples: st.samples.clone(),
+                    desires: st.desires.clone(),
+                    forecaster: st.forecaster.state(),
+                    last_down: st.last_down,
+                    panic_until: st.panic_until,
+                })
+                .collect(),
+            up_events: self.up_events,
+            down_events: self.down_events,
+            cold_start: self.cold_start,
+        }
+    }
+
+    /// Replace the scaler's runtime state with a frozen one (the static
+    /// config is kept — the caller reconstructs it from the run config and
+    /// is responsible for it matching the checkpointed run's).
+    ///
+    /// # Errors
+    /// Returns a message when the state's dimensions disagree with this
+    /// scaler's grid or a forecaster state is corrupt.
+    pub fn restore_state(&mut self, s: &ScalerState) -> Result<(), String> {
+        let services = self.counts.services();
+        let nodes = self.counts.nodes();
+        if s.services != services || s.nodes != nodes {
+            return Err(format!(
+                "scaler state is {}x{}, this run is {services}x{nodes}",
+                s.services, s.nodes
+            ));
+        }
+        if s.counts.len() != services * nodes {
+            return Err("scaler count grid has wrong cell count".to_string());
+        }
+        if s.caps.len() != services || s.states.len() != services {
+            return Err("scaler per-service vectors have wrong length".to_string());
+        }
+        if !s.cold_start.is_finite() || s.cold_start < 0.0 {
+            return Err("scaler cold_start invalid".to_string());
+        }
+        let mut states = Vec::with_capacity(s.states.len());
+        for snap in &s.states {
+            states.push(ServiceState {
+                samples: snap.samples.clone(),
+                desires: snap.desires.clone(),
+                forecaster: socl_trace::Forecaster::from_state(snap.forecaster)?,
+                last_down: snap.last_down,
+                panic_until: snap.panic_until,
+            });
+        }
+        let mut counts = ReplicaCounts::zero(services, nodes);
+        for i in 0..services {
+            for k in 0..nodes {
+                let v = s.counts.get(i * nodes + k).copied().unwrap_or(0);
+                counts.set(ServiceId(i as u32), NodeId(k as u32), v);
+            }
+        }
+        self.counts = counts;
+        self.caps = s.caps.clone();
+        self.states = states;
+        self.up_events = s.up_events;
+        self.down_events = s.down_events;
+        self.cold_start = s.cold_start;
+        Ok(())
     }
 
     /// Recompute per-service capacity ceilings from the current placement.
@@ -655,6 +781,54 @@ mod tests {
             timeline
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn frozen_state_roundtrips_and_continues_bit_identically() {
+        let (catalog, net, p) = fixture();
+        let mut sc = Autoscaler::new(cfg(), 0.5, 2, 3);
+        sc.seed_from_placement(&p, &catalog, &net);
+        let mut t = 0.0;
+        for i in 0..17 {
+            let y = ((i * 13) % 17) as f64;
+            sc.tick(t, &[y, y * 0.5], &p, &catalog, &net);
+            t += 1.0;
+        }
+        // Clone-free restore into a freshly constructed scaler.
+        let frozen = sc.state();
+        let mut restored = Autoscaler::new(cfg(), 0.5, 2, 3);
+        restored.restore_state(&frozen).unwrap();
+        assert_eq!(restored.state(), frozen);
+        assert_eq!(restored.events(), sc.events());
+        // Future ticks are indistinguishable.
+        for i in 17..40 {
+            let y = ((i * 13) % 17) as f64;
+            let a = sc.tick(t, &[y, y * 0.5], &p, &catalog, &net);
+            let b = restored.tick(t, &[y, y * 0.5], &p, &catalog, &net);
+            assert_eq!(a, b, "tick {i} diverged after restore");
+            t += 1.0;
+        }
+        assert_eq!(sc.state(), restored.state());
+    }
+
+    #[test]
+    fn restore_state_rejects_mismatched_dimensions() {
+        let (catalog, net, p) = fixture();
+        let mut sc = Autoscaler::new(cfg(), 0.5, 2, 3);
+        sc.seed_from_placement(&p, &catalog, &net);
+        let frozen = sc.state();
+        let mut wrong = Autoscaler::new(cfg(), 0.5, 3, 3);
+        assert!(wrong.restore_state(&frozen).is_err());
+        let mut truncated = frozen.clone();
+        truncated.caps.pop();
+        assert!(sc.restore_state(&truncated).is_err());
+        let mut corrupt = frozen.clone();
+        if let Some(st) = corrupt.states.first_mut() {
+            st.forecaster.alpha = 7.0;
+        }
+        assert!(sc.restore_state(&corrupt).is_err());
+        // The good state still restores after the failed attempts.
+        assert!(sc.restore_state(&frozen).is_ok());
     }
 
     #[test]

@@ -1,0 +1,332 @@
+//! CHAOS SOAK — crash-recovery latency, checkpoint overhead, and the
+//! invariant-audit gate.
+//!
+//! Runs the coverage-guided chaos soak (`socl::sim::run_chaos_soak`) on a
+//! control-plane-heavy online configuration: every run is killed at a slot
+//! boundary (optionally with a mangled log tail), restored from its last
+//! checkpoint, replayed from the decision log, compared bit-for-bit against
+//! the uninterrupted run, and audited for invariant violations. On top of
+//! the soak's deterministic outcome the bench records the wall-clock cost
+//! of recovery and of checkpoint serialization.
+//!
+//! ```sh
+//! cargo run --release -p socl-bench --bin chaos_soak              # measure + write BENCH_recovery.json
+//! cargo run --release -p socl-bench --bin chaos_soak -- --check   # compare against committed JSON
+//! ```
+//!
+//! `--check` re-runs the soak and fails (exit 1) when any *deterministic*
+//! guarantee regressed: an invariant violation, a run diverging from its
+//! golden timeline, coverage collapsing below the floor, or the checkpoint
+//! growing past the absolute cap or 3× the committed baseline. Wall-clock
+//! fields are machine-relative and informational only — they are never
+//! enforced.
+
+use socl::prelude::*;
+use std::time::Instant;
+
+const BASELINE: &str = "BENCH_recovery.json";
+
+/// The soak must exercise at least this many distinct coverage features;
+/// fewer means the configuration stopped reaching the behaviors the
+/// recovery path is supposed to survive (mid-slot crashes, repairs,
+/// scheduled faults, torn tails, deep replays…).
+const COVERAGE_FLOOR: usize = 8;
+
+/// Absolute ceiling on a single serialized checkpoint. The bench topology
+/// checkpoints in ~10 KiB; blowing past this means derived state leaked
+/// into the image.
+const CKPT_BYTES_CAP: usize = 64 * 1024;
+
+/// Relative bloat gate against the committed baseline.
+const CKPT_BLOAT_FACTOR: f64 = 3.0;
+
+fn plan() -> SoakPlan {
+    let base = OnlineConfig {
+        slots: 12,
+        users: 40,
+        nodes: 12,
+        fail_prob: 0.3,
+        mid_slot_fail_prob: 0.3,
+        recover_prob: 0.4,
+        repair: true,
+        autoscale: Some(AutoscaleConfig {
+            mode: ScalingMode::Reactive,
+            admission: AdmissionPolicy {
+                enabled: true,
+                ..AutoscaleConfig::default().admission
+            },
+            ..AutoscaleConfig::default()
+        }),
+        ..OnlineConfig::default()
+    };
+    SoakPlan {
+        seeds: vec![11, 23, 47],
+        kill_slots: vec![0, 3, 6, 11],
+        checkpoint_every: 4,
+        with_fault_schedules: true,
+        torn_tails: vec![TornTail::Clean, TornTail::Garbage, TornTail::PartialRecord],
+        guided_rounds: 8,
+        ..SoakPlan::ci(base, Policy::Socl(SoclConfig::default()))
+    }
+}
+
+struct KillPoint {
+    kill_slot: usize,
+    runs: usize,
+    recovery_ms_mean: f64,
+    recovery_ms_max: f64,
+    replayed_slots_mean: f64,
+    checkpoint_bytes_mean: f64,
+}
+
+fn kill_points(summary: &SoakSummary) -> Vec<KillPoint> {
+    let mut slots: Vec<usize> = summary.rows.iter().map(|r| r.case.kill_slot).collect();
+    slots.sort_unstable();
+    slots.dedup();
+    slots
+        .into_iter()
+        .map(|k| {
+            let rows: Vec<&SoakRow> = summary
+                .rows
+                .iter()
+                .filter(|r| r.case.kill_slot == k)
+                .collect();
+            let n = rows.len().max(1) as f64;
+            let rec_ms: Vec<f64> = rows
+                .iter()
+                .map(|r| r.recovery_wall.as_secs_f64() * 1e3)
+                .collect();
+            KillPoint {
+                kill_slot: k,
+                runs: rows.len(),
+                recovery_ms_mean: rec_ms.iter().sum::<f64>() / n,
+                recovery_ms_max: rec_ms.iter().copied().fold(0.0, f64::max),
+                replayed_slots_mean: rows.iter().map(|r| r.replayed_slots as f64).sum::<f64>() / n,
+                checkpoint_bytes_mean: rows.iter().map(|r| r.checkpoint_bytes as f64).sum::<f64>()
+                    / n,
+            }
+        })
+        .collect()
+}
+
+fn render_json(summary: &SoakSummary, soak_wall_s: f64) -> String {
+    let guided = summary.rows.iter().filter(|r| r.guided).count();
+    let n = summary.rows.len().max(1) as f64;
+    let rec_ms: Vec<f64> = summary
+        .rows
+        .iter()
+        .map(|r| r.recovery_wall.as_secs_f64() * 1e3)
+        .collect();
+    let ckpt_ms: Vec<f64> = summary
+        .rows
+        .iter()
+        .map(|r| r.checkpoint_wall.as_secs_f64() * 1e3)
+        .collect();
+    let coverage: Vec<String> = summary
+        .coverage
+        .iter()
+        .map(|f| format!("\"{f}\""))
+        .collect();
+    let points: Vec<String> = kill_points(summary)
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"kill_slot\": {}, \"runs\": {}, \"rec_ms_mean\": {:.3}, \
+                 \"rec_ms_max\": {:.3}, \"replayed_mean\": {:.2}, \"ckpt_bytes\": {:.0}}}",
+                p.kill_slot,
+                p.runs,
+                p.recovery_ms_mean,
+                p.recovery_ms_max,
+                p.replayed_slots_mean,
+                p.checkpoint_bytes_mean
+            )
+        })
+        .collect();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"recovery\",\n");
+    out.push_str(&format!("  \"runs\": {},\n", summary.rows.len()));
+    out.push_str(&format!("  \"guided_runs\": {guided},\n"));
+    out.push_str(&format!("  \"violations\": {},\n", summary.violations));
+    out.push_str(&format!(
+        "  \"mismatch_runs\": {},\n",
+        summary.mismatch_runs
+    ));
+    out.push_str(&format!(
+        "  \"coverage_features\": {},\n",
+        summary.coverage.len()
+    ));
+    out.push_str(&format!("  \"coverage\": [{}],\n", coverage.join(", ")));
+    out.push_str(&format!(
+        "  \"checkpoint_bytes_max\": {},\n",
+        summary.max_checkpoint_bytes
+    ));
+    out.push_str(&format!(
+        "  \"checkpoint_bytes_mean\": {:.0},\n",
+        summary.mean_checkpoint_bytes
+    ));
+    out.push_str(&format!(
+        "  \"log_bytes_mean\": {:.0},\n",
+        summary.mean_log_bytes
+    ));
+    out.push_str(&format!(
+        "  \"kill_points\": [\n{}\n  ],\n",
+        points.join(",\n")
+    ));
+    out.push_str("  \"wall_clock\": {\n");
+    out.push_str(&format!(
+        "    \"recovery_ms_mean\": {:.3},\n",
+        rec_ms.iter().sum::<f64>() / n
+    ));
+    out.push_str(&format!(
+        "    \"recovery_ms_max\": {:.3},\n",
+        rec_ms.iter().copied().fold(0.0, f64::max)
+    ));
+    out.push_str(&format!(
+        "    \"checkpoint_ms_mean\": {:.4},\n",
+        ckpt_ms.iter().sum::<f64>() / n
+    ));
+    out.push_str(&format!("    \"soak_wall_s\": {soak_wall_s:.2}\n"));
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Extract the number following `"key":` in a flat JSON text.
+fn find_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn measure() -> (SoakSummary, f64) {
+    let plan = plan();
+    println!(
+        "# CHAOS SOAK: {} seeds x {} kill-points x schedules x {} torn modes (+{} guided)",
+        plan.seeds.len(),
+        plan.kill_slots.len(),
+        plan.torn_tails.len(),
+        plan.guided_rounds
+    );
+    let t = Instant::now();
+    let summary = match run_chaos_soak(&plan) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("soak failed to complete: {e}");
+            std::process::exit(1);
+        }
+    };
+    let wall = t.elapsed().as_secs_f64();
+    println!("kill_slot,runs,rec_ms_mean,rec_ms_max,replayed_mean,ckpt_bytes_mean");
+    for p in kill_points(&summary) {
+        println!(
+            "{},{},{:.3},{:.3},{:.2},{:.0}",
+            p.kill_slot,
+            p.runs,
+            p.recovery_ms_mean,
+            p.recovery_ms_max,
+            p.replayed_slots_mean,
+            p.checkpoint_bytes_mean
+        );
+    }
+    println!(
+        "{} runs in {:.2}s; {} violations, {} mismatching runs, {} coverage features",
+        summary.rows.len(),
+        wall,
+        summary.violations,
+        summary.mismatch_runs,
+        summary.coverage.len()
+    );
+    (summary, wall)
+}
+
+fn check(baseline_path: &str) -> i32 {
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            return 1;
+        }
+    };
+    let (summary, _wall) = measure();
+    let mut failed = false;
+    let mut gate = |name: &str, ok: bool, detail: String| {
+        println!(
+            "check: {name} {detail} -> {}",
+            if ok { "ok" } else { "FAILED" }
+        );
+        failed |= !ok;
+    };
+    gate(
+        "violations",
+        summary.violations == 0,
+        format!("current {}", summary.violations),
+    );
+    gate(
+        "mismatch_runs",
+        summary.mismatch_runs == 0,
+        format!("current {}", summary.mismatch_runs),
+    );
+    gate(
+        "coverage_floor",
+        summary.coverage.len() >= COVERAGE_FLOOR,
+        format!("current {} floor {COVERAGE_FLOOR}", summary.coverage.len()),
+    );
+    gate(
+        "checkpoint_cap",
+        summary.max_checkpoint_bytes <= CKPT_BYTES_CAP,
+        format!(
+            "current {} cap {CKPT_BYTES_CAP}",
+            summary.max_checkpoint_bytes
+        ),
+    );
+    // Committed-baseline sanity: the repo must never carry a dirty soak.
+    let base_viol = find_number(&baseline, "violations").unwrap_or(f64::NAN);
+    let base_mism = find_number(&baseline, "mismatch_runs").unwrap_or(f64::NAN);
+    gate(
+        "baseline_clean",
+        base_viol == 0.0 && base_mism == 0.0,
+        format!("baseline violations {base_viol} mismatch_runs {base_mism}"),
+    );
+    // Checkpoint bloat relative to the committed baseline (sizes are
+    // deterministic, but the gate is loose so a regenerated baseline and
+    // an older one never disagree on pass/fail for the same code).
+    if let Some(base_bytes) = find_number(&baseline, "checkpoint_bytes_max") {
+        let limit = base_bytes * CKPT_BLOAT_FACTOR;
+        gate(
+            "checkpoint_bloat",
+            (summary.max_checkpoint_bytes as f64) <= limit,
+            format!(
+                "current {} baseline {base_bytes:.0} limit {limit:.0}",
+                summary.max_checkpoint_bytes
+            ),
+        );
+    } else {
+        gate("checkpoint_bloat", false, "baseline key missing".into());
+    }
+    i32::from(failed)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--check") {
+        let path = args
+            .iter()
+            .position(|a| a == "--check")
+            .and_then(|i| args.get(i + 1))
+            .filter(|a| !a.starts_with('-'))
+            .map_or(BASELINE, String::as_str);
+        std::process::exit(check(path));
+    }
+    let (summary, wall) = measure();
+    if !summary.is_clean() {
+        eprintln!("refusing to write a dirty baseline (violations or mismatches present)");
+        std::process::exit(1);
+    }
+    let json = render_json(&summary, wall);
+    std::fs::write(BASELINE, &json).expect("write BENCH_recovery.json");
+    println!("wrote {BASELINE}");
+}

@@ -17,6 +17,9 @@
 //! socl trace    [--seed S]
 //! socl resilience [--nodes N] [--seed S] [--top K]
 //!               [--schedule targeted|noncritical|random]
+//! socl chaos    [--nodes N] [--users U] [--slots K] [--policy socl|rp|jdr]
+//!               [--seeds S1,S2,..] [--kill-slots K1,K2,..]
+//!               [--checkpoint-every N] [--guided N] [--torn MODE,..]
 //! ```
 //!
 //! Every command additionally accepts the global `--threads N` flag, which
@@ -67,6 +70,7 @@ fn run(argv: &[String]) -> i32 {
         "autoscale" => commands::autoscale(&args),
         "trace" => commands::trace(&args),
         "resilience" => commands::resilience(&args),
+        "chaos" => commands::chaos(&args),
         "export" => commands::export(&args),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
@@ -115,6 +119,12 @@ mod tests {
             ])),
             0
         );
+    }
+
+    #[test]
+    fn chaos_dispatches_and_validates_flags() {
+        // Flag validation happens before any soak run, so this is cheap.
+        assert_eq!(run(&s(&["chaos", "--torn", "shredded"])), 2);
     }
 
     #[test]

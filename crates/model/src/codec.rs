@@ -1,0 +1,469 @@
+//! Deterministic, serde-free binary codec for crash-recovery state.
+//!
+//! Checkpoints and decision-log records (DESIGN.md §8) must be bit-stable
+//! across runs, platforms, and rebuilds, which rules out anything that
+//! depends on a serializer's field ordering, float formatting, or hash-map
+//! iteration. This module provides the primitive layer: a little-endian
+//! [`BinWriter`]/[`BinReader`] pair where every `f64` crosses as its exact
+//! IEEE-754 bit pattern, plus the [`crc32`] (IEEE, reflected) used both for
+//! whole-checkpoint integrity and per-record torn-tail detection.
+//!
+//! Decoding never panics: every read is bounds-checked and surfaces a
+//! [`CodecError`], because the primary consumer is crash recovery — the one
+//! code path that must survive arbitrarily truncated or corrupted input.
+
+use std::fmt;
+
+/// Structured decode failure. Recovery code matches on this to distinguish
+/// a torn tail (truncation) from real corruption (checksum mismatch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before a fixed-width field or declared payload.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually remaining.
+        have: usize,
+    },
+    /// Leading magic bytes did not match the expected format tag.
+    BadMagic {
+        /// Magic found in the input.
+        found: u32,
+        /// Magic the decoder expected.
+        expected: u32,
+    },
+    /// Format version not understood by this build.
+    BadVersion(u32),
+    /// CRC-32 over the payload did not match the stored digest.
+    BadChecksum {
+        /// Digest stored in the input.
+        stored: u32,
+        /// Digest computed over the payload.
+        computed: u32,
+    },
+    /// Structurally valid bytes encoding an impossible value.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { needed, have } => {
+                write!(f, "truncated input: needed {needed} bytes, have {have}")
+            }
+            CodecError::BadMagic { found, expected } => {
+                write!(f, "bad magic {found:#010x} (expected {expected:#010x})")
+            }
+            CodecError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            CodecError::BadChecksum { stored, computed } => {
+                write!(
+                    f,
+                    "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
+            }
+            CodecError::Malformed(what) => write!(f, "malformed field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`), bitwise —
+/// no lookup table, so the digest is trivially auditable and the code has
+/// no initialization-order or table-corruption hazards.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Little-endian binary writer over a growable buffer.
+#[derive(Debug, Default, Clone)]
+pub struct BinWriter {
+    buf: Vec<u8>,
+}
+
+impl BinWriter {
+    /// Empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the writer, yielding the encoded bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow the encoded bytes (e.g. to checksum before appending it).
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Append a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u128`, little-endian (RNG word positions).
+    pub fn put_u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `usize` as a `u64` so the encoding is identical on 32- and
+    /// 64-bit hosts.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Append an `f64` as its exact IEEE-754 bit pattern (no formatting,
+    /// no rounding — `NaN` payloads and `-0.0` round-trip untouched).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append a `bool` as one byte (0/1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Append a length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Append raw bytes with no length prefix (for fixed-width fields the
+    /// reader knows to expect, e.g. a 32-byte RNG seed).
+    pub fn put_raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Append a length-prefixed `u32` sequence.
+    pub fn put_u32_slice(&mut self, v: &[u32]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.put_u32(x);
+        }
+    }
+
+    /// Append a length-prefixed `f64` sequence (bit patterns).
+    pub fn put_f64_slice(&mut self, v: &[f64]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.put_f64(x);
+        }
+    }
+
+    /// Append a length-prefixed `bool` sequence.
+    pub fn put_bool_slice(&mut self, v: &[bool]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.put_bool(x);
+        }
+    }
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+#[derive(Debug, Clone)]
+pub struct BinReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+/// Sequences read back from a checkpoint are length-prefixed by the writer;
+/// cap how many elements a single prefix may claim so a corrupted length
+/// cannot drive an allocation of gigabytes before the bounds check trips.
+const MAX_SEQ_LEN: usize = 1 << 24;
+
+impl<'a> BinReader<'a> {
+    /// Reader positioned at the start of `buf`.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    /// True when every byte has been consumed.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Consume exactly `n` bytes, returning the slice.
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`] when fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(CodecError::Malformed("length overflow"))?;
+        let slice = self.buf.get(self.pos..end).ok_or(CodecError::Truncated {
+            needed: n,
+            have: self.remaining(),
+        })?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Read one byte.
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`] at end of input.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        let s = self.take(1)?;
+        s.first()
+            .copied()
+            .ok_or(CodecError::Malformed("empty take"))
+    }
+
+    /// Read a little-endian `u32`.
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`] when fewer than 4 bytes remain.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        let s = self.take(4)?;
+        let arr: [u8; 4] = s
+            .try_into()
+            .map_err(|_| CodecError::Malformed("u32 width"))?;
+        Ok(u32::from_le_bytes(arr))
+    }
+
+    /// Read a little-endian `u64`.
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`] when fewer than 8 bytes remain.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        let s = self.take(8)?;
+        let arr: [u8; 8] = s
+            .try_into()
+            .map_err(|_| CodecError::Malformed("u64 width"))?;
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    /// Read a little-endian `u128`.
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`] when fewer than 16 bytes remain.
+    pub fn get_u128(&mut self) -> Result<u128, CodecError> {
+        let s = self.take(16)?;
+        let arr: [u8; 16] = s
+            .try_into()
+            .map_err(|_| CodecError::Malformed("u128 width"))?;
+        Ok(u128::from_le_bytes(arr))
+    }
+
+    /// Read a `usize` (stored as `u64`).
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`] on short input; [`CodecError::Malformed`]
+    /// when the stored value does not fit this host's `usize`.
+    pub fn get_usize(&mut self) -> Result<usize, CodecError> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| CodecError::Malformed("usize out of range"))
+    }
+
+    /// Read an `f64` from its stored bit pattern.
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`] when fewer than 8 bytes remain.
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Read a `bool` (rejecting any byte other than 0/1, which would signal
+    /// a misframed record rather than a legitimate value).
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`] at end of input; [`CodecError::Malformed`]
+    /// for bytes other than 0 or 1.
+    pub fn get_bool(&mut self) -> Result<bool, CodecError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Malformed("bool byte")),
+        }
+    }
+
+    /// Read a length-prefixed byte string.
+    ///
+    /// # Errors
+    /// Truncation or an implausible length prefix.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let n = self.seq_len()?;
+        self.take(n)
+    }
+
+    /// Read a length-prefixed `u32` sequence.
+    ///
+    /// # Errors
+    /// Truncation or an implausible length prefix.
+    pub fn get_u32_vec(&mut self) -> Result<Vec<u32>, CodecError> {
+        let n = self.seq_len()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.get_u32()?);
+        }
+        Ok(out)
+    }
+
+    /// Read a length-prefixed `f64` sequence.
+    ///
+    /// # Errors
+    /// Truncation or an implausible length prefix.
+    pub fn get_f64_vec(&mut self) -> Result<Vec<f64>, CodecError> {
+        let n = self.seq_len()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.get_f64()?);
+        }
+        Ok(out)
+    }
+
+    /// Read a length-prefixed `bool` sequence.
+    ///
+    /// # Errors
+    /// Truncation, an implausible length prefix, or a non-0/1 byte.
+    pub fn get_bool_vec(&mut self) -> Result<Vec<bool>, CodecError> {
+        let n = self.seq_len()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.get_bool()?);
+        }
+        Ok(out)
+    }
+
+    fn seq_len(&mut self) -> Result<usize, CodecError> {
+        let n = self.get_usize()?;
+        if n > MAX_SEQ_LEN {
+            return Err(CodecError::Malformed("sequence length implausible"));
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip_bit_exactly() {
+        let mut w = BinWriter::new();
+        w.put_u8(0xAB);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_u128(u128::MAX >> 3);
+        w.put_usize(123_456);
+        w.put_f64(-0.0);
+        w.put_f64(f64::from_bits(0x7FF8_0000_0000_1234)); // NaN with payload
+        w.put_bool(true);
+        w.put_bytes(b"checkpoint");
+        w.put_u32_slice(&[1, 2, 3]);
+        w.put_f64_slice(&[1.5, -2.25]);
+        w.put_bool_slice(&[true, false, true]);
+
+        let bytes = w.into_bytes();
+        let mut r = BinReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 0xAB);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_u128().unwrap(), u128::MAX >> 3);
+        assert_eq!(r.get_usize().unwrap(), 123_456);
+        assert_eq!(r.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.get_f64().unwrap().to_bits(), 0x7FF8_0000_0000_1234);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_bytes().unwrap(), b"checkpoint");
+        assert_eq!(r.get_u32_vec().unwrap(), vec![1, 2, 3]);
+        let fs = r.get_f64_vec().unwrap();
+        assert_eq!(fs.len(), 2);
+        assert_eq!(fs[0].to_bits(), 1.5f64.to_bits());
+        assert_eq!(fs[1].to_bits(), (-2.25f64).to_bits());
+        assert_eq!(r.get_bool_vec().unwrap(), vec![true, false, true]);
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn truncation_is_reported_not_panicked() {
+        let mut w = BinWriter::new();
+        w.put_u64(7);
+        let bytes = w.into_bytes();
+        let mut r = BinReader::new(&bytes[..5]);
+        match r.get_u64() {
+            Err(CodecError::Truncated { needed: 8, have: 5 }) => {}
+            other => panic!("expected truncation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bool_rejects_garbage_bytes() {
+        let mut r = BinReader::new(&[2]);
+        assert_eq!(r.get_bool(), Err(CodecError::Malformed("bool byte")));
+    }
+
+    #[test]
+    fn implausible_sequence_length_is_rejected() {
+        let mut w = BinWriter::new();
+        w.put_usize(usize::MAX / 2);
+        let bytes = w.into_bytes();
+        let mut r = BinReader::new(&bytes);
+        assert!(matches!(r.get_u32_vec(), Err(CodecError::Malformed(_))));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        // A single flipped bit changes the digest.
+        assert_ne!(crc32(b"checkpoint"), crc32(b"chedkpoint"));
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let encode = || {
+            let mut w = BinWriter::new();
+            w.put_f64(std::f64::consts::PI);
+            w.put_u32_slice(&[9, 8, 7]);
+            w.into_bytes()
+        };
+        assert_eq!(encode(), encode());
+        assert_eq!(crc32(&encode()), crc32(&encode()));
+    }
+}

@@ -12,7 +12,6 @@
 
 use crate::request::{RequestConfig, UserId, UserRequest};
 use crate::service::{Microservice, ServiceCatalog, ServiceId};
-use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 #[cfg(test)]
@@ -109,7 +108,7 @@ impl DependencyDataset {
     /// Instantiate a [`ServiceCatalog`] with parameters sampled from the
     /// paper's ranges: compute `q ∈ [1,3]` GFLOP, deployment cost
     /// `κ ∈ [200, 500]`, storage `φ ∈ [1, 2]` units.
-    pub fn catalog(&self, rng: &mut StdRng) -> ServiceCatalog {
+    pub fn catalog<R: Rng>(&self, rng: &mut R) -> ServiceCatalog {
         let mut cat = ServiceCatalog::new();
         for &name in &self.names {
             cat.push(Microservice::named(
@@ -128,7 +127,12 @@ impl DependencyDataset {
     /// The walk follows caller→callee edges, never revisits a service (the
     /// graph is a DAG, so this is automatic) and stops at a sink or when the
     /// target length is reached. Always returns at least one service.
-    pub fn sample_chain(&self, rng: &mut StdRng, min_len: usize, max_len: usize) -> Vec<ServiceId> {
+    pub fn sample_chain<R: Rng>(
+        &self,
+        rng: &mut R,
+        min_len: usize,
+        max_len: usize,
+    ) -> Vec<ServiceId> {
         assert!(!self.names.is_empty(), "empty dataset");
         let max_len = max_len.max(1);
         let min_len = min_len.clamp(1, max_len);
@@ -162,9 +166,9 @@ impl DependencyDataset {
 
     /// Sample a full request set: `users` requests located uniformly at
     /// random over `nodes` edge servers, chains per [`RequestConfig`].
-    pub fn sample_requests(
+    pub fn sample_requests<R: Rng>(
         &self,
-        rng: &mut StdRng,
+        rng: &mut R,
         users: usize,
         nodes: usize,
         cfg: &RequestConfig,
@@ -284,6 +288,7 @@ pub fn linear_dataset(n: usize) -> DependencyDataset {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(7)

@@ -20,6 +20,7 @@
 //! Everything downstream (the SoCL heuristic, the exact optimizer, the
 //! baselines, the simulator and the benches) consumes [`scenario::Scenario`].
 
+pub mod codec;
 pub mod contention;
 pub mod dataset;
 pub mod datasets_extra;
@@ -34,6 +35,7 @@ pub mod scenario;
 pub mod service;
 pub mod stats;
 
+pub use codec::{crc32, BinReader, BinWriter, CodecError};
 pub use contention::{link_loads, route_all_contention_aware, ContentionReport, LinkLoads};
 pub use dataset::{DependencyDataset, EshopDataset};
 pub use datasets_extra::{SockShopDataset, TrainTicketDataset};

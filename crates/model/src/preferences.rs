@@ -65,7 +65,7 @@ impl PreferenceModel {
     }
 
     /// Weighted choice among `options` for `user`.
-    fn choose(&self, user: usize, options: &[u32], rng: &mut StdRng) -> u32 {
+    fn choose<R: Rng>(&self, user: usize, options: &[u32], rng: &mut R) -> u32 {
         debug_assert!(!options.is_empty());
         let total: f64 = options
             .iter()
@@ -88,11 +88,11 @@ impl PreferenceModel {
     /// Sample a loop-free chain for `user`: like
     /// [`DependencyDataset::sample_chain`], but successor choice is weighted
     /// by the user's affinities (entry choice too).
-    pub fn sample_chain(
+    pub fn sample_chain<R: Rng>(
         &self,
         dataset: &DependencyDataset,
         user: usize,
-        rng: &mut StdRng,
+        rng: &mut R,
         min_len: usize,
         max_len: usize,
     ) -> Vec<ServiceId> {
@@ -128,10 +128,10 @@ impl PreferenceModel {
     }
 
     /// Sample a full preference-driven request set over `nodes` stations.
-    pub fn sample_requests(
+    pub fn sample_requests<R: Rng>(
         &self,
         dataset: &DependencyDataset,
-        rng: &mut StdRng,
+        rng: &mut R,
         nodes: usize,
         cfg: &RequestConfig,
     ) -> Vec<UserRequest> {

@@ -546,16 +546,22 @@ impl FaultTimeline {
         &self.losses
     }
 
-    /// Mean time-to-repair over node outages that end within `horizon`
-    /// (0 when nothing crashed).
+    /// Mean time-to-repair over node outages *completed* by `horizon`
+    /// (0 when nothing finished repairing).
+    ///
+    /// An outage still open at the horizon — one that straddles it, or a
+    /// crash with no scheduled recovery — has no repair time yet, so it
+    /// is excluded from the mean rather than clipped into it (clipping
+    /// biased the statistic low). Open outages still contribute their
+    /// clipped span to [`downtime`](Self::downtime). An outage ending
+    /// exactly at the horizon counts as completed.
     pub fn mttr(&self, horizon: f64) -> f64 {
         let mut total = 0.0;
         let mut n = 0usize;
         for intervals in &self.down {
             for &(a, b) in intervals {
-                let end = b.min(horizon);
-                if end > a {
-                    total += end - a;
+                if b <= horizon && b > a {
+                    total += b - a;
                     n += 1;
                 }
             }
@@ -730,6 +736,72 @@ mod tests {
         // MTTR = mean(20, 40) = 30.
         assert!((tl.mttr(1000.0) - 30.0).abs() < 1e-9);
         assert!((tl.downtime(1000.0) - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mttr_excludes_outages_straddling_the_horizon() {
+        // Node 0: completed outage [10, 30) (repair time 20).
+        // Node 1: outage [50, 200) straddling the horizon at 100.
+        let s = FaultSchedule::from_events(vec![
+            FaultEvent {
+                time: 10.0,
+                kind: FaultKind::NodeCrash(NodeId(0)),
+            },
+            FaultEvent {
+                time: 30.0,
+                kind: FaultKind::NodeRecover(NodeId(0)),
+            },
+            FaultEvent {
+                time: 50.0,
+                kind: FaultKind::NodeCrash(NodeId(1)),
+            },
+            FaultEvent {
+                time: 200.0,
+                kind: FaultKind::NodeRecover(NodeId(1)),
+            },
+        ]);
+        let tl = FaultTimeline::build(&s, 2);
+        // The straddler must not be clipped into the mean: mttr = 20, not
+        // mean(20, 50) = 35.
+        assert!((tl.mttr(100.0) - 20.0).abs() < 1e-9);
+        // Once the horizon covers the repair, it joins: mean(20, 150) = 85.
+        assert!((tl.mttr(1000.0) - 85.0).abs() < 1e-9);
+        // Downtime still clips the straddler: 20 + (100 − 50) = 70.
+        assert!((tl.downtime(100.0) - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mttr_counts_an_outage_ending_exactly_at_the_horizon() {
+        let s = FaultSchedule::from_events(vec![
+            FaultEvent {
+                time: 0.0,
+                kind: FaultKind::NodeCrash(NodeId(0)),
+            },
+            FaultEvent {
+                time: 300.0,
+                kind: FaultKind::NodeRecover(NodeId(0)),
+            },
+        ]);
+        let tl = FaultTimeline::build(&s, 1);
+        // Repair lands exactly on the horizon: completed, full duration.
+        assert!((tl.mttr(300.0) - 300.0).abs() < 1e-9);
+        assert!((tl.downtime(300.0) - 300.0).abs() < 1e-9);
+        // One tick earlier the outage is still open: no repairs yet.
+        assert_eq!(tl.mttr(299.0), 0.0);
+        assert!((tl.downtime(299.0) - 299.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mttr_ignores_a_never_repaired_crash() {
+        let s = FaultSchedule::from_events(vec![FaultEvent {
+            time: 5.0,
+            kind: FaultKind::NodeCrash(NodeId(0)),
+        }]);
+        let tl = FaultTimeline::build(&s, 1);
+        // An unrecovered crash has no time-to-repair at any horizon…
+        assert_eq!(tl.mttr(1e12), 0.0);
+        // …but its downtime accrues, clipped.
+        assert!((tl.downtime(1000.0) - 995.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! # socl-sim — simulation platform and testbed emulator
 //!
-//! Four pieces:
+//! Six pieces:
 //!
 //! * [`mobility`] — the user mobility model: between time slots users hop
 //!   between base stations (random-waypoint over the topology), reproducing
@@ -15,6 +15,17 @@
 //!   recovery, link degradation, instance cold-kills, in-flight request
 //!   loss) with random and criticality-targeted generators driven by the
 //!   `socl-net::resilience` rankings.
+//! * [`recovery`] — crash-consistent checkpoint/restore for the online
+//!   simulator: a versioned, serde-free binary [`recovery::Checkpoint`] of
+//!   every live piece of state, a checksummed write-ahead
+//!   [`recovery::DecisionLog`], torn-tail detection, a seeded kill-and-
+//!   recover driver ([`recovery::run_crash_recovery`]) that must converge
+//!   bit-identically with the uninterrupted run, and an invariant auditor
+//!   ([`recovery::audit_invariants`]).
+//! * [`chaos`] — a coverage-guided chaos soak ([`chaos::run_chaos_soak`])
+//!   sweeping seeds × kill-points × fault schedules × torn-tail modes and
+//!   auditing every recovery; drives `socl chaos` and the
+//!   `BENCH_recovery.json` gate.
 //! * [`testbed`] — a discrete-event emulator standing in for the paper's
 //!   17-machine Kubernetes cluster (Section V.C): per-node FIFO CPU queues,
 //!   bandwidth-delayed transfers along the routed paths, serverless
@@ -25,18 +36,26 @@
 //!   configurable [`testbed::RetryPolicy`] (timeouts, bounded backoff
 //!   retries, hedged duplicates) and graceful cloud degradation.
 
+pub mod chaos;
 pub mod faults;
 pub mod mobility;
 pub mod online;
 pub mod policy;
+pub mod recovery;
 pub mod testbed;
 
+pub use chaos::{run_chaos_soak, SoakCase, SoakError, SoakPlan, SoakRow, SoakSummary};
 pub use faults::{
     FaultEvent, FaultKind, FaultPlan, FaultSchedule, FaultStats, FaultTimeline, Targeting,
 };
 pub use mobility::MobilityModel;
-pub use online::{OnlineConfig, OnlineSimulator, SlotRecord};
+pub use online::{ControlPlaneDisabled, OnlineConfig, OnlineSimulator, SlotRecord};
 pub use policy::Policy;
+pub use recovery::{
+    audit_invariants, run_crash_recovery, AuditReport, Checkpoint, DecisionLog, LogRecord,
+    RecoveryConfig, RecoveryError, RecoveryOutcome, RestoreError, RngState, SlotMetrics,
+    TailReport, TornTail, TornTailReason,
+};
 pub use testbed::{run_testbed, RetryPolicy, TestbedConfig, TestbedResult};
 
 #[cfg(test)]

@@ -7,11 +7,16 @@
 //! reproduces both gradual drift and the occasional long hop seen in the
 //! paper's trace analysis.
 
-use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
 use socl_net::{EdgeNetwork, NodeId};
 
 /// Seeded mobility model over a fixed topology.
+///
+/// The RNG is `ChaCha12Rng` — the exact generator `rand`'s `StdRng` wraps,
+/// so seeded trajectories are unchanged — because its stream position is
+/// observable and settable, which lets a checkpoint freeze mobility
+/// mid-run (see [`crate::recovery`]).
 #[derive(Debug, Clone)]
 pub struct MobilityModel {
     /// Probability a user relocates in a given slot.
@@ -19,7 +24,7 @@ pub struct MobilityModel {
     /// Probability a relocating user moves to a neighbor station rather
     /// than teleporting to a random one.
     pub local_bias: f64,
-    rng: StdRng,
+    rng: ChaCha12Rng,
 }
 
 impl MobilityModel {
@@ -30,7 +35,7 @@ impl MobilityModel {
         Self {
             move_prob,
             local_bias,
-            rng: StdRng::seed_from_u64(seed),
+            rng: ChaCha12Rng::seed_from_u64(seed),
         }
     }
 
@@ -38,6 +43,25 @@ impl MobilityModel {
     /// moves are to adjacent stations.
     pub fn paper(seed: u64) -> Self {
         Self::new(0.4, 0.7, seed)
+    }
+
+    /// Freeze the RNG state: `(seed, stream, word position)` pin the
+    /// generator's exact point in its stream.
+    pub fn rng_state(&self) -> ([u8; 32], u64, u128) {
+        (
+            self.rng.get_seed(),
+            self.rng.get_stream(),
+            self.rng.get_word_pos(),
+        )
+    }
+
+    /// Restore the RNG to a frozen state captured by
+    /// [`rng_state`](Self::rng_state).
+    pub fn restore_rng(&mut self, seed: [u8; 32], stream: u64, word_pos: u128) {
+        let mut rng = ChaCha12Rng::from_seed(seed);
+        rng.set_stream(stream);
+        rng.set_word_pos(word_pos);
+        self.rng = rng;
     }
 
     /// Advance one slot: mutate `locations` in place.
@@ -181,6 +205,32 @@ mod tests {
                 users,
                 "slot {slot} lost users"
             );
+        }
+    }
+
+    #[test]
+    fn rng_state_roundtrip_resumes_the_exact_trajectory() {
+        let net = TopologyConfig::paper(10).build(6);
+        let mut m = MobilityModel::paper(42);
+        let mut locs: Vec<NodeId> = (0..25).map(|i| NodeId(i % 10)).collect();
+        for _ in 0..7 {
+            m.step(&net, &mut locs);
+        }
+        let (seed, stream, pos) = m.rng_state();
+        let frozen_locs = locs.clone();
+        // The original keeps walking…
+        let mut expect = Vec::new();
+        for _ in 0..5 {
+            m.step(&net, &mut locs);
+            expect.push(locs.clone());
+        }
+        // …and a model restored from the frozen state walks identically.
+        let mut restored = MobilityModel::paper(999); // wrong seed on purpose
+        restored.restore_rng(seed, stream, pos);
+        let mut locs2 = frozen_locs;
+        for step in expect {
+            restored.step(&net, &mut locs2);
+            assert_eq!(locs2, step, "restored trajectory diverged");
         }
     }
 

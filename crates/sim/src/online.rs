@@ -19,10 +19,11 @@
 //! roll-back machinery under churn; mid-slot crashes exercise the *repair*
 //! path, where a full re-solve is not an option.
 
+use crate::faults::{FaultKind, FaultSchedule};
 use crate::mobility::MobilityModel;
 use crate::policy::Policy;
-use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
 use socl_autoscale::{AutoscaleConfig, Autoscaler};
 use socl_model::{
     evaluate, DependencyDataset, EshopDataset, ReplicaCounts, Scenario, ScenarioConfig, UserRequest,
@@ -85,6 +86,18 @@ pub struct OnlineConfig {
     /// [`socl_core::repair_with_replicas`] so stranded pools are re-homed
     /// rather than reset.
     pub autoscale: Option<AutoscaleConfig>,
+    /// Deterministic scheduled faults, applied at the boundary of the slot
+    /// containing each event's timestamp (in addition to — and before —
+    /// the probabilistic injection above). Node crashes and recoveries
+    /// toggle the alive set, link degradations mask the link (bridge-
+    /// guarded, like probabilistic link failure), instance kills reap one
+    /// warm replica from the control plane, and request losses are a
+    /// testbed-layer concern ignored here. An empty schedule (the default)
+    /// leaves every run bit-identical to configs that predate this field.
+    pub faults: FaultSchedule,
+    /// Simulated seconds per slot, mapping `faults` timestamps onto slots
+    /// (paper: 5-minute slots).
+    pub slot_secs: f64,
     /// Master seed.
     pub seed: u64,
 }
@@ -106,6 +119,8 @@ impl Default for OnlineConfig {
             mid_slot_fail_prob: 0.0,
             repair: false,
             autoscale: None,
+            faults: FaultSchedule::empty(),
+            slot_secs: 300.0,
             seed: 0,
         }
     }
@@ -146,25 +161,50 @@ pub struct SlotRecord {
     pub replicas: u32,
 }
 
+/// Error from control-plane accessors on a run configured without an
+/// autoscaler (`OnlineConfig::autoscale` is `None`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlPlaneDisabled;
+
+impl std::fmt::Display for ControlPlaneDisabled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("control plane not configured: OnlineConfig::autoscale is None")
+    }
+}
+
+impl std::error::Error for ControlPlaneDisabled {}
+
 /// The simulator: owns the evolving user state.
+///
+/// Fields are `pub(crate)` so the [`crate::recovery`] module can freeze and
+/// restore the complete live state without an ever-growing accessor surface.
 pub struct OnlineSimulator {
-    cfg: OnlineConfig,
-    dataset: DependencyDataset,
-    base: Scenario,
-    locations: Vec<NodeId>,
-    requests: Vec<UserRequest>,
-    mobility: MobilityModel,
-    rng: StdRng,
-    alive: Vec<bool>,
-    alive_links: Vec<bool>,
-    preferences: Option<socl_model::PreferenceModel>,
+    pub(crate) cfg: OnlineConfig,
+    pub(crate) dataset: DependencyDataset,
+    pub(crate) base: Scenario,
+    pub(crate) locations: Vec<NodeId>,
+    pub(crate) requests: Vec<UserRequest>,
+    pub(crate) mobility: MobilityModel,
+    pub(crate) rng: ChaCha12Rng,
+    pub(crate) alive: Vec<bool>,
+    pub(crate) alive_links: Vec<bool>,
+    pub(crate) preferences: Option<socl_model::PreferenceModel>,
     /// Incrementally-maintained APSP over the substrate with dead links
     /// masked out; only trees crossing a flipped link are recomputed when
     /// the alive-link set changes between slots.
-    apsp: socl_net::ApspCache,
+    pub(crate) apsp: socl_net::ApspCache,
     /// The serverless control plane, when configured. Owns the warm-replica
     /// counts that persist across slots.
-    scaler: Option<Autoscaler>,
+    pub(crate) scaler: Option<Autoscaler>,
+    /// Index of the next slot [`step`](Self::step) will run — the slot
+    /// clock, and part of every checkpoint.
+    pub(crate) next_slot: usize,
+    /// Cursor into `cfg.faults`: events before it have been applied.
+    pub(crate) fault_cursor: usize,
+    /// Cumulative replica-slots billed so far (Σ end-of-slot warm replicas)
+    /// — the keep-alive economics bill, audited for conservation after
+    /// every crash recovery.
+    pub(crate) billed_replica_slots: u64,
 }
 
 impl OnlineSimulator {
@@ -178,7 +218,10 @@ impl OnlineSimulator {
         let locations = base.requests.iter().map(|r| r.location).collect();
         let requests = base.requests.clone();
         let mobility = MobilityModel::new(cfg.move_prob, 0.7, cfg.seed ^ 0xA5A5);
-        let rng = StdRng::seed_from_u64(cfg.seed ^ 0x5A5A_5A5A);
+        // ChaCha12 is exactly what rand 0.8's `StdRng` wraps, so seeded
+        // streams are unchanged — but its counter is observable, which is
+        // what makes the RNG checkpointable (see `crate::recovery`).
+        let rng = ChaCha12Rng::seed_from_u64(cfg.seed ^ 0x5A5A_5A5A);
         let alive = vec![true; cfg.nodes];
         let alive_links = vec![true; base.net.link_count()];
         let preferences = cfg
@@ -202,12 +245,35 @@ impl OnlineSimulator {
             preferences,
             apsp,
             scaler,
+            next_slot: 0,
+            fault_cursor: 0,
+            billed_replica_slots: 0,
         }
     }
 
     /// The control plane's warm-replica counts (None without autoscaling).
     pub fn replica_counts(&self) -> Option<&ReplicaCounts> {
         self.scaler.as_ref().map(|s| s.counts())
+    }
+
+    /// The control plane's warm-replica counts, as a structured error when
+    /// the run has no control plane — for callers that *require* one and
+    /// previously had to panic on the `None`.
+    ///
+    /// # Errors
+    /// [`ControlPlaneDisabled`] when `OnlineConfig::autoscale` is `None`.
+    pub fn replica_counts_checked(&self) -> Result<&ReplicaCounts, ControlPlaneDisabled> {
+        self.replica_counts().ok_or(ControlPlaneDisabled)
+    }
+
+    /// Index of the next slot [`step`](Self::step) will execute.
+    pub fn next_slot(&self) -> usize {
+        self.next_slot
+    }
+
+    /// Cumulative end-of-slot warm-replica totals billed so far.
+    pub fn billed_replica_slots(&self) -> u64 {
+        self.billed_replica_slots
     }
 
     /// Incremental APSP cache statistics (rows recomputed vs reused).
@@ -235,8 +301,74 @@ impl OnlineSimulator {
         &self.base
     }
 
+    /// Apply every scheduled fault whose timestamp falls inside the slot
+    /// about to run (`[next_slot·slot_secs, (next_slot+1)·slot_secs)`).
+    /// Events are consumed through `fault_cursor`, which is checkpointed —
+    /// a restored run resumes mid-schedule without replaying or skipping
+    /// events. Draws no randomness, so probabilistic injection streams are
+    /// untouched by the schedule's presence.
+    fn apply_scheduled_faults(&mut self) {
+        let window_end = (self.next_slot as f64 + 1.0) * self.cfg.slot_secs;
+        while self.fault_cursor < self.cfg.faults.len() {
+            let ev = match self.cfg.faults.events().get(self.fault_cursor) {
+                Some(ev) if ev.time < window_end => ev.clone(),
+                _ => break,
+            };
+            self.fault_cursor += 1;
+            match ev.kind {
+                FaultKind::NodeCrash(k) => {
+                    let alive_count = self.alive.iter().filter(|&&a| a).count();
+                    if let Some(a) = self.alive.get_mut(k.idx()) {
+                        // Never take the last node down — same guard as
+                        // probabilistic injection.
+                        if alive_count > 1 {
+                            *a = false;
+                        }
+                    }
+                }
+                FaultKind::NodeRecover(k) => {
+                    if let Some(a) = self.alive.get_mut(k.idx()) {
+                        *a = true;
+                    }
+                }
+                FaultKind::LinkDegrade { link, .. } => {
+                    // The placement layer has no notion of partial
+                    // bandwidth; a degraded link is masked outright,
+                    // bridge-guarded so the substrate never partitions.
+                    if self.alive_links.get(link).copied() == Some(true)
+                        && self.connected_without(link)
+                    {
+                        if let Some(l) = self.alive_links.get_mut(link) {
+                            *l = false;
+                        }
+                    }
+                }
+                FaultKind::LinkRestore { link } => {
+                    if let Some(l) = self.alive_links.get_mut(link) {
+                        *l = true;
+                    }
+                }
+                FaultKind::InstanceKill { service, node } => {
+                    // Reap one warm replica; the control plane re-warms it
+                    // on a later tick if demand still wants it.
+                    if let Some(scaler) = self.scaler.as_mut() {
+                        let cur = scaler.counts().get(service, node);
+                        scaler.confirm(service, node, cur.saturating_sub(1));
+                    }
+                }
+                FaultKind::RequestLoss { .. } => {
+                    // In-flight transfer loss is a testbed-emulator concern;
+                    // the slot-granular placement layer has no transfers.
+                }
+            }
+        }
+    }
+
     /// Advance user state by one slot and return the slot's scenario.
     fn advance(&mut self) -> Scenario {
+        // Scheduled faults land first: they are part of the configuration,
+        // not the random environment.
+        self.apply_scheduled_faults();
         // Failure injection.
         if self.cfg.fail_prob > 0.0 {
             let alive_count = self.alive.iter().filter(|&&a| a).count();
@@ -386,8 +518,24 @@ impl OnlineSimulator {
     where
         F: FnMut(&Scenario, &socl_model::Placement) -> Option<(f64, f64)>,
     {
-        let mut records = Vec::with_capacity(self.cfg.slots);
-        for slot in 0..self.cfg.slots {
+        let remaining = self.cfg.slots.saturating_sub(self.next_slot);
+        let mut records = Vec::with_capacity(remaining);
+        while self.next_slot < self.cfg.slots {
+            records.push(self.step(policy, &mut measure));
+        }
+        records
+    }
+
+    /// Execute exactly one slot and return its record, advancing the slot
+    /// clock. [`run_measured`](Self::run_measured) is a loop over this; the
+    /// crash-recovery driver calls it directly so it can tear a run down at
+    /// any slot boundary and resume from a restored checkpoint.
+    pub fn step<F>(&mut self, policy: &Policy, measure: &mut F) -> SlotRecord
+    where
+        F: FnMut(&Scenario, &socl_model::Placement) -> Option<(f64, f64)>,
+    {
+        let slot = self.next_slot;
+        {
             let mut sc = self.advance();
             let t = Stopwatch::start();
             let mut placement = policy.place(&sc, slot as u64);
@@ -500,7 +648,16 @@ impl OnlineSimulator {
             let ev = evaluate(&sc, &placement);
             let (mean_latency, max_latency) =
                 measure(&sc, &placement).unwrap_or_else(|| (ev.mean_latency(), ev.max_latency()));
-            records.push(SlotRecord {
+            let replicas = self
+                .scaler
+                .as_ref()
+                .map(|s| s.counts().total())
+                .unwrap_or(0);
+            self.billed_replica_slots = self
+                .billed_replica_slots
+                .saturating_add(u64::from(replicas));
+            self.next_slot += 1;
+            SlotRecord {
                 slot,
                 objective: ev.objective,
                 cost: ev.cost,
@@ -515,14 +672,9 @@ impl OnlineSimulator {
                 scale_ups,
                 scale_downs,
                 shed_requests,
-                replicas: self
-                    .scaler
-                    .as_ref()
-                    .map(|s| s.counts().total())
-                    .unwrap_or(0),
-            });
+                replicas,
+            }
         }
-        records
     }
 }
 
@@ -641,7 +793,7 @@ mod tests {
     }
 
     #[test]
-    fn repair_preserves_warm_pools_across_mid_slot_crashes() {
+    fn repair_preserves_warm_pools_across_mid_slot_crashes() -> Result<(), ControlPlaneDisabled> {
         let cfg = OnlineConfig {
             mid_slot_fail_prob: 1.0,
             repair: true,
@@ -654,8 +806,60 @@ mod tests {
         for r in &records {
             assert!(r.replicas > 0, "slot {} lost every warm replica", r.slot);
         }
-        let counts = sim.replica_counts().expect("control plane configured");
+        let counts = sim.replica_counts_checked()?;
         assert!(counts.total() > 0);
+        Ok(())
+    }
+
+    #[test]
+    fn control_plane_accessor_reports_a_structured_error() {
+        let sim = OnlineSimulator::new(small_cfg(33));
+        assert_eq!(sim.replica_counts_checked(), Err(ControlPlaneDisabled));
+        // The error carries a human-readable explanation.
+        assert!(ControlPlaneDisabled.to_string().contains("autoscale"));
+    }
+
+    #[test]
+    fn scheduled_faults_apply_at_their_slot_and_checkpoint_cursor_advances() {
+        use socl_net::NodeId;
+        let schedule = FaultSchedule::from_events(vec![
+            crate::faults::FaultEvent {
+                time: 0.0,
+                kind: FaultKind::NodeCrash(NodeId(2)),
+            },
+            crate::faults::FaultEvent {
+                time: 650.0, // slot 2 at 300 s slots
+                kind: FaultKind::NodeRecover(NodeId(2)),
+            },
+        ]);
+        let cfg = OnlineConfig {
+            faults: schedule,
+            ..small_cfg(34)
+        };
+        let mut sim = OnlineSimulator::new(cfg);
+        let records = sim.run(&Policy::Socl(SoclConfig::default()));
+        assert_eq!(records[0].failed_nodes, 1, "crash missed its slot");
+        assert_eq!(records[1].failed_nodes, 1);
+        assert_eq!(records[2].failed_nodes, 0, "recovery missed its slot");
+        assert_eq!(sim.fault_cursor, 2, "cursor must consume applied events");
+    }
+
+    #[test]
+    fn empty_schedule_changes_nothing() {
+        let run = |faults| {
+            let cfg = OnlineConfig {
+                faults,
+                fail_prob: 0.3,
+                recover_prob: 0.4,
+                ..small_cfg(35)
+            };
+            OnlineSimulator::new(cfg)
+                .run(&Policy::Socl(SoclConfig::default()))
+                .iter()
+                .map(|r| (r.objective.to_bits(), r.failed_nodes))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(FaultSchedule::empty()), run(FaultSchedule::default()));
     }
 
     #[test]

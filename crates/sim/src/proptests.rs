@@ -7,9 +7,48 @@ use proptest::prelude::*;
 use socl_core::SoclConfig;
 use socl_model::{evaluate, Placement, Scenario, ScenarioConfig};
 
+use crate::online::{OnlineConfig, OnlineSimulator};
+use crate::recovery::{Checkpoint, SlotMetrics};
+
 fn arb_scenario() -> impl Strategy<Value = Scenario> {
     (6usize..=12, 10usize..=40, any::<u64>())
         .prop_map(|(nodes, users, seed)| ScenarioConfig::paper(nodes, users).build(seed))
+}
+
+/// A 5-slot online config exercising failure injection (and optionally
+/// the control plane with mid-slot crashes + repair) — small enough for
+/// property-test case counts, rich enough to churn every checkpoint field.
+fn small_online_cfg(seed: u64, scaled: bool) -> OnlineConfig {
+    OnlineConfig {
+        slots: 5,
+        users: 12,
+        nodes: 6,
+        fail_prob: 0.3,
+        recover_prob: 0.4,
+        autoscale: scaled.then(|| socl_autoscale::AutoscaleConfig {
+            min_replicas: 1,
+            stable_window: 8.0,
+            panic_window: 2.0,
+            scale_interval: 1.0,
+            down_cooldown: 2.0,
+            keep_alive: socl_autoscale::KeepAlivePolicy::Fixed(2.0),
+            ..socl_autoscale::AutoscaleConfig::default()
+        }),
+        mid_slot_fail_prob: if scaled { 0.4 } else { 0.0 },
+        repair: scaled,
+        seed,
+        ..OnlineConfig::default()
+    }
+}
+
+/// Step `sim` to its horizon, collecting the deterministic metrics.
+fn drain_metrics(sim: &mut OnlineSimulator, policy: &Policy) -> Vec<SlotMetrics> {
+    let mut out = Vec::new();
+    while sim.next_slot() < 5 {
+        let r = sim.step(policy, &mut |_, _| None);
+        out.push(SlotMetrics::of(&r));
+    }
+    out
 }
 
 /// A fault schedule of arbitrary intensity and targeting against the
@@ -178,6 +217,73 @@ proptest! {
         let serial = run_at(1);
         let parallel = run_at(3);
         prop_assert_eq!(serial, parallel);
+    }
+
+    /// Crash consistency, part 1: `restore(snapshot(s))` is observationally
+    /// the identity for arbitrary mid-run states — a simulator frozen after
+    /// any number of slots, round-tripped through the binary checkpoint
+    /// format into a *fresh* simulator, continues bit-identically to the
+    /// uninterrupted run, with and without the control plane.
+    #[test]
+    fn snapshot_restore_is_observational_identity(
+        seed in any::<u64>(),
+        freeze_at in 0usize..=5,
+        scaled in any::<bool>(),
+    ) {
+        let cfg = small_online_cfg(seed, scaled);
+        let policy = Policy::Socl(SoclConfig::default());
+        let mut golden_sim = OnlineSimulator::new(cfg.clone());
+        let golden = drain_metrics(&mut golden_sim, &policy);
+        let mut victim = OnlineSimulator::new(cfg.clone());
+        for _ in 0..freeze_at {
+            victim.step(&policy, &mut |_, _| None);
+        }
+        let ck = Checkpoint::from_bytes(&victim.snapshot().to_bytes());
+        prop_assert!(ck.is_ok(), "checkpoint failed to decode: {:?}", ck.err());
+        let Ok(ck) = ck else { return Ok(()) };
+        drop(victim);
+        let mut thawed = OnlineSimulator::new(cfg);
+        prop_assert!(thawed.restore(&ck).is_ok());
+        let suffix = drain_metrics(&mut thawed, &policy);
+        prop_assert_eq!(&golden[freeze_at..], &suffix[..]);
+    }
+
+    /// Crash consistency, part 2: the full kill-and-recover driver matches
+    /// the uninterrupted golden run bit for bit — for arbitrary kill-points,
+    /// checkpoint cadences and torn-tail modes, at any worker-thread count —
+    /// and the invariant auditor stays clean.
+    #[test]
+    fn crash_recovery_replay_matches_golden(
+        seed in any::<u64>(),
+        kill_at in 0usize..=5,
+        every in 1usize..=4,
+        torn in 0u8..3,
+        scaled in any::<bool>(),
+        threads in 1usize..=3,
+    ) {
+        use crate::recovery::{run_crash_recovery, RecoveryConfig, TornTail};
+        let cfg = small_online_cfg(seed, scaled);
+        let policy = Policy::Socl(SoclConfig::default());
+        let rcfg = RecoveryConfig {
+            checkpoint_every: every,
+            kill_at_slot: kill_at,
+            torn_tail: match torn {
+                1 => TornTail::Garbage,
+                2 => TornTail::PartialRecord,
+                _ => TornTail::Clean,
+            },
+        };
+        socl_net::set_threads(threads);
+        let out = run_crash_recovery(&cfg, &policy, &rcfg);
+        socl_net::set_threads(0);
+        prop_assert!(out.is_ok(), "recovery failed: {:?}", out.err());
+        let Ok(out) = out else { return Ok(()) };
+        prop_assert_eq!(out.metric_mismatches, 0,
+            "stitched timeline diverged from golden");
+        prop_assert_eq!(out.replay_log_mismatches, 0,
+            "replay contradicted the durable log");
+        prop_assert!(out.audit.is_clean(), "audit: {:?}", out.audit.violations);
+        prop_assert_eq!(out.stitched.len(), out.golden.len());
     }
 
     /// Cold starts only ever add latency.

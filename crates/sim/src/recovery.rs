@@ -1,0 +1,1712 @@
+//! Crash-consistent checkpoint/restore and deterministic event-log replay.
+//!
+//! The online simulator is a deterministic fold over its own state, which
+//! makes it crash-recoverable in the strongest sense: freeze the complete
+//! live state at any slot boundary, kill the process, restore, and the
+//! resumed run is **bit-identical** to the uninterrupted one — not merely
+//! statistically equivalent. This module provides the three pieces:
+//!
+//! * [`Checkpoint`] — a versioned, serde-free binary image of everything
+//!   [`OnlineSimulator`] accumulates at runtime: the slot clock, the
+//!   scheduled-fault cursor, the billing accumulator, user locations and
+//!   request chains, node/link liveness, both ChaCha12 RNG streams (main
+//!   and mobility) pinned by `(seed, stream, word position)`, and the
+//!   control plane's [`ScalerState`]. The APSP cache is deliberately *not*
+//!   serialized: it is derived state, rebuilt from the substrate and
+//!   re-masked to the saved alive-link set on restore (the incremental
+//!   cache is proven bit-identical to a from-scratch rebuild). Integrity
+//!   is a trailing CRC-32 over the whole image; decoding never panics.
+//! * [`DecisionLog`] — an append-only write-ahead log of per-slot events
+//!   (slot begin/end, scaler ticks, admission sheds, repairs, fault-cursor
+//!   advances, checkpoint markers). Each record is framed
+//!   `[len][crc][payload]`; [`DecisionLog::from_bytes`] truncates a torn
+//!   or corrupted tail at the first bad frame and reports it — a partial
+//!   record is never silently replayed.
+//! * [`run_crash_recovery`] — the driver: runs a victim to a seeded
+//!   kill-point (checkpointing every `checkpoint_every` slots), tears it
+//!   down, restores from the last checkpoint plus the clean log prefix,
+//!   replays the suffix, and stitches a full timeline that must equal the
+//!   uninterrupted golden run slot for slot, bit for bit. After recovery
+//!   the [`audit_invariants`] auditor checks conservation laws the crash
+//!   must not have bent: population, billing, replica placement, fault-
+//!   cursor partition, and cache-vs-rebuild equivalence.
+
+use crate::online::{OnlineConfig, OnlineSimulator, SlotRecord};
+use crate::policy::Policy;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use socl_autoscale::{ForecasterState, ScalerState, ServiceStateSnapshot};
+use socl_model::{crc32, BinReader, BinWriter, CodecError, ServiceId, UserId, UserRequest};
+use socl_net::time::Stopwatch;
+use socl_net::NodeId;
+use std::time::Duration;
+
+/// Checkpoint format tag (`b"SCKP"` little-endian).
+const CKPT_MAGIC: u32 = u32::from_le_bytes(*b"SCKP");
+/// Checkpoint format version understood by this build.
+const CKPT_VERSION: u32 = 1;
+/// Upper bound on any decoded sequence length — a corrupt length field
+/// must never turn into a multi-gigabyte allocation.
+const MAX_SEQ: usize = 1 << 24;
+
+/// Frozen position of a `ChaCha12Rng`: `(seed, stream, word position)`
+/// fully determine the generator's future output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RngState {
+    /// The 256-bit seed the generator was created from.
+    pub seed: [u8; 32],
+    /// Stream identifier (ChaCha nonce).
+    pub stream: u64,
+    /// Position in the keystream, in 32-bit words.
+    pub word_pos: u128,
+}
+
+impl RngState {
+    /// Capture the state of `rng`.
+    pub fn of(rng: &ChaCha12Rng) -> Self {
+        Self {
+            seed: rng.get_seed(),
+            stream: rng.get_stream(),
+            word_pos: rng.get_word_pos(),
+        }
+    }
+
+    /// Rebuild a generator at exactly this position.
+    pub fn build(&self) -> ChaCha12Rng {
+        let mut rng = ChaCha12Rng::from_seed(self.seed);
+        rng.set_stream(self.stream);
+        rng.set_word_pos(self.word_pos);
+        rng
+    }
+}
+
+/// A complete, self-validating image of the online simulator's live state
+/// at a slot boundary. See the module docs for what is and is not included.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Slot the restored run will execute next.
+    pub next_slot: u64,
+    /// Scheduled-fault events already applied.
+    pub fault_cursor: u64,
+    /// Replica-slots billed so far (Σ end-of-slot warm replicas).
+    pub billed_replica_slots: u64,
+    /// Station of every user (`locations[h]`).
+    pub locations: Vec<NodeId>,
+    /// Every user's current request (chain, data volumes, tolerance).
+    pub requests: Vec<UserRequest>,
+    /// Per-node compute liveness.
+    pub alive: Vec<bool>,
+    /// Per-link liveness (degraded links are masked out).
+    pub alive_links: Vec<bool>,
+    /// The main simulation RNG (failures, churn, chain sampling).
+    pub rng: RngState,
+    /// The mobility model's RNG.
+    pub mobility_rng: RngState,
+    /// Control-plane state, when the run has one.
+    pub scaler: Option<ScalerState>,
+}
+
+fn put_rng(w: &mut BinWriter, s: &RngState) {
+    w.put_raw(&s.seed);
+    w.put_u64(s.stream);
+    w.put_u128(s.word_pos);
+}
+
+fn get_rng(r: &mut BinReader<'_>) -> Result<RngState, CodecError> {
+    let seed: [u8; 32] = r
+        .take(32)?
+        .try_into()
+        .map_err(|_| CodecError::Malformed("rng seed"))?;
+    Ok(RngState {
+        seed,
+        stream: r.get_u64()?,
+        word_pos: r.get_u128()?,
+    })
+}
+
+fn put_request(w: &mut BinWriter, req: &UserRequest) {
+    w.put_u32(req.id.0);
+    w.put_u32(req.location.0);
+    let chain: Vec<u32> = req.chain.iter().map(|m| m.0).collect();
+    w.put_u32_slice(&chain);
+    w.put_f64_slice(&req.edge_data);
+    w.put_f64(req.r_in);
+    w.put_f64(req.r_out);
+    w.put_f64(req.d_max);
+}
+
+fn get_request(r: &mut BinReader<'_>) -> Result<UserRequest, CodecError> {
+    let id = UserId(r.get_u32()?);
+    let location = NodeId(r.get_u32()?);
+    let chain: Vec<ServiceId> = r.get_u32_vec()?.into_iter().map(ServiceId).collect();
+    let edge_data = r.get_f64_vec()?;
+    if chain.is_empty() {
+        return Err(CodecError::Malformed("empty request chain"));
+    }
+    if edge_data.len() + 1 != chain.len() {
+        return Err(CodecError::Malformed("edge_data/chain length mismatch"));
+    }
+    Ok(UserRequest {
+        id,
+        location,
+        chain,
+        edge_data,
+        r_in: r.get_f64()?,
+        r_out: r.get_f64()?,
+        d_max: r.get_f64()?,
+    })
+}
+
+fn put_scaler(w: &mut BinWriter, s: &ScalerState) {
+    w.put_usize(s.services);
+    w.put_usize(s.nodes);
+    w.put_u32_slice(&s.counts);
+    w.put_u32_slice(&s.caps);
+    w.put_usize(s.states.len());
+    for st in &s.states {
+        w.put_usize(st.samples.len());
+        for &(t, v) in &st.samples {
+            w.put_f64(t);
+            w.put_f64(v);
+        }
+        w.put_usize(st.desires.len());
+        for &(t, v) in &st.desires {
+            w.put_f64(t);
+            w.put_u32(v);
+        }
+        w.put_f64(st.forecaster.alpha);
+        w.put_f64(st.forecaster.beta);
+        w.put_f64(st.forecaster.level);
+        w.put_f64(st.forecaster.trend);
+        w.put_u64(st.forecaster.seen);
+        w.put_f64(st.last_down);
+        w.put_f64(st.panic_until);
+    }
+    w.put_u64(s.up_events);
+    w.put_u64(s.down_events);
+    w.put_f64(s.cold_start);
+}
+
+fn get_seq_len(r: &mut BinReader<'_>) -> Result<usize, CodecError> {
+    let n = r.get_usize()?;
+    if n > MAX_SEQ {
+        return Err(CodecError::Malformed("sequence length over limit"));
+    }
+    Ok(n)
+}
+
+fn get_scaler(r: &mut BinReader<'_>) -> Result<ScalerState, CodecError> {
+    let services = r.get_usize()?;
+    let nodes = r.get_usize()?;
+    let counts = r.get_u32_vec()?;
+    let caps = r.get_u32_vec()?;
+    let n_states = get_seq_len(r)?;
+    let mut states = Vec::with_capacity(n_states);
+    for _ in 0..n_states {
+        let n_samples = get_seq_len(r)?;
+        let mut samples = Vec::with_capacity(n_samples);
+        for _ in 0..n_samples {
+            samples.push((r.get_f64()?, r.get_f64()?));
+        }
+        let n_desires = get_seq_len(r)?;
+        let mut desires = Vec::with_capacity(n_desires);
+        for _ in 0..n_desires {
+            desires.push((r.get_f64()?, r.get_u32()?));
+        }
+        let forecaster = ForecasterState {
+            alpha: r.get_f64()?,
+            beta: r.get_f64()?,
+            level: r.get_f64()?,
+            trend: r.get_f64()?,
+            seen: r.get_u64()?,
+        };
+        states.push(ServiceStateSnapshot {
+            samples,
+            desires,
+            forecaster,
+            last_down: r.get_f64()?,
+            panic_until: r.get_f64()?,
+        });
+    }
+    Ok(ScalerState {
+        services,
+        nodes,
+        counts,
+        caps,
+        states,
+        up_events: r.get_u64()?,
+        down_events: r.get_u64()?,
+        cold_start: r.get_f64()?,
+    })
+}
+
+impl Checkpoint {
+    /// Serialize to the versioned wire format: magic, version, payload,
+    /// trailing CRC-32 over everything before it.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = BinWriter::new();
+        w.put_u32(CKPT_MAGIC);
+        w.put_u32(CKPT_VERSION);
+        w.put_u64(self.next_slot);
+        w.put_u64(self.fault_cursor);
+        w.put_u64(self.billed_replica_slots);
+        let locs: Vec<u32> = self.locations.iter().map(|k| k.0).collect();
+        w.put_u32_slice(&locs);
+        w.put_usize(self.requests.len());
+        for req in &self.requests {
+            put_request(&mut w, req);
+        }
+        w.put_bool_slice(&self.alive);
+        w.put_bool_slice(&self.alive_links);
+        put_rng(&mut w, &self.rng);
+        put_rng(&mut w, &self.mobility_rng);
+        match &self.scaler {
+            None => w.put_u8(0),
+            Some(s) => {
+                w.put_u8(1);
+                put_scaler(&mut w, s);
+            }
+        }
+        let digest = crc32(w.as_bytes());
+        w.put_u32(digest);
+        w.into_bytes()
+    }
+
+    /// Decode and validate a checkpoint image.
+    ///
+    /// # Errors
+    /// Any [`CodecError`]: truncation, bad magic/version, checksum
+    /// mismatch, or a structurally impossible field. Never panics.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        if bytes.len() < 12 {
+            return Err(CodecError::Truncated {
+                needed: 12,
+                have: bytes.len(),
+            });
+        }
+        let (payload, tail) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(
+            tail.try_into()
+                .map_err(|_| CodecError::Malformed("crc tail"))?,
+        );
+        let computed = crc32(payload);
+        if stored != computed {
+            return Err(CodecError::BadChecksum { stored, computed });
+        }
+        let mut r = BinReader::new(payload);
+        let magic = r.get_u32()?;
+        if magic != CKPT_MAGIC {
+            return Err(CodecError::BadMagic {
+                found: magic,
+                expected: CKPT_MAGIC,
+            });
+        }
+        let version = r.get_u32()?;
+        if version != CKPT_VERSION {
+            return Err(CodecError::BadVersion(version));
+        }
+        let next_slot = r.get_u64()?;
+        let fault_cursor = r.get_u64()?;
+        let billed_replica_slots = r.get_u64()?;
+        let locations: Vec<NodeId> = r.get_u32_vec()?.into_iter().map(NodeId).collect();
+        let n_requests = get_seq_len(&mut r)?;
+        let mut requests = Vec::with_capacity(n_requests);
+        for _ in 0..n_requests {
+            requests.push(get_request(&mut r)?);
+        }
+        let alive = r.get_bool_vec()?;
+        let alive_links = r.get_bool_vec()?;
+        let rng = get_rng(&mut r)?;
+        let mobility_rng = get_rng(&mut r)?;
+        let scaler = match r.get_u8()? {
+            0 => None,
+            1 => Some(get_scaler(&mut r)?),
+            _ => return Err(CodecError::Malformed("scaler presence flag")),
+        };
+        if !r.is_done() {
+            return Err(CodecError::Malformed("trailing bytes after checkpoint"));
+        }
+        Ok(Self {
+            next_slot,
+            fault_cursor,
+            billed_replica_slots,
+            locations,
+            requests,
+            alive,
+            alive_links,
+            rng,
+            mobility_rng,
+            scaler,
+        })
+    }
+}
+
+/// Why a checkpoint could not be applied to a simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The image does not fit this run's configuration (wrong user count,
+    /// node count, link count, control-plane presence, …).
+    Mismatch(String),
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::Mismatch(what) => write!(f, "checkpoint/config mismatch: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+impl OnlineSimulator {
+    /// Freeze the complete live state. Valid at any slot boundary — i.e.
+    /// any time [`step`](Self::step) is not executing.
+    #[must_use]
+    pub fn snapshot(&self) -> Checkpoint {
+        Checkpoint {
+            next_slot: self.next_slot as u64,
+            fault_cursor: self.fault_cursor as u64,
+            billed_replica_slots: self.billed_replica_slots,
+            locations: self.locations.clone(),
+            requests: self.requests.clone(),
+            alive: self.alive.clone(),
+            alive_links: self.alive_links.clone(),
+            rng: RngState::of(&self.rng),
+            mobility_rng: {
+                let (seed, stream, word_pos) = self.mobility.rng_state();
+                RngState {
+                    seed,
+                    stream,
+                    word_pos,
+                }
+            },
+            scaler: self.scaler.as_ref().map(|s| s.state()),
+        }
+    }
+
+    /// Apply a checkpoint taken from a simulator with the *same*
+    /// configuration. Future [`step`](Self::step)s are bit-identical to
+    /// the run the checkpoint was frozen from.
+    ///
+    /// The APSP cache is rebuilt from the substrate and re-masked to the
+    /// saved alive-link set, not deserialized — derived state stays
+    /// derived.
+    ///
+    /// # Errors
+    /// [`RestoreError::Mismatch`] when any dimension of the image
+    /// disagrees with this simulator's configuration; the simulator is
+    /// left untouched in that case.
+    pub fn restore(&mut self, ck: &Checkpoint) -> Result<(), RestoreError> {
+        let users = self.cfg.users;
+        if ck.locations.len() != users {
+            return Err(RestoreError::Mismatch(format!(
+                "{} locations for {} users",
+                ck.locations.len(),
+                users
+            )));
+        }
+        if ck.requests.len() != users {
+            return Err(RestoreError::Mismatch(format!(
+                "{} requests for {} users",
+                ck.requests.len(),
+                users
+            )));
+        }
+        if ck.alive.len() != self.cfg.nodes {
+            return Err(RestoreError::Mismatch(format!(
+                "{} alive flags for {} nodes",
+                ck.alive.len(),
+                self.cfg.nodes
+            )));
+        }
+        if ck.alive_links.len() != self.base.net.link_count() {
+            return Err(RestoreError::Mismatch(format!(
+                "{} link flags for {} links",
+                ck.alive_links.len(),
+                self.base.net.link_count()
+            )));
+        }
+        if ck.next_slot as usize > self.cfg.slots {
+            return Err(RestoreError::Mismatch(format!(
+                "next_slot {} past the {}-slot horizon",
+                ck.next_slot, self.cfg.slots
+            )));
+        }
+        if ck.fault_cursor as usize > self.cfg.faults.len() {
+            return Err(RestoreError::Mismatch(format!(
+                "fault cursor {} past the {}-event schedule",
+                ck.fault_cursor,
+                self.cfg.faults.len()
+            )));
+        }
+        let nodes = self.cfg.nodes as u32;
+        if ck.locations.iter().any(|k| k.0 >= nodes) {
+            return Err(RestoreError::Mismatch("user located off-grid".into()));
+        }
+        let services = self.base.catalog.len() as u32;
+        for req in &ck.requests {
+            if req.chain.iter().any(|m| m.0 >= services) {
+                return Err(RestoreError::Mismatch(
+                    "request chain names an unknown service".into(),
+                ));
+            }
+        }
+        match (&mut self.scaler, &ck.scaler) {
+            (None, None) => {}
+            (Some(scaler), Some(state)) => {
+                scaler
+                    .restore_state(state)
+                    .map_err(RestoreError::Mismatch)?;
+            }
+            (None, Some(_)) => {
+                return Err(RestoreError::Mismatch(
+                    "checkpoint has control-plane state but the run has no autoscaler".into(),
+                ));
+            }
+            (Some(_), None) => {
+                return Err(RestoreError::Mismatch(
+                    "run has an autoscaler but the checkpoint has no control-plane state".into(),
+                ));
+            }
+        }
+
+        self.next_slot = ck.next_slot as usize;
+        self.fault_cursor = ck.fault_cursor as usize;
+        self.billed_replica_slots = ck.billed_replica_slots;
+        self.locations = ck.locations.clone();
+        self.requests = ck.requests.clone();
+        self.alive = ck.alive.clone();
+        self.alive_links = ck.alive_links.clone();
+        self.rng = ck.rng.build();
+        self.mobility.restore_rng(
+            ck.mobility_rng.seed,
+            ck.mobility_rng.stream,
+            ck.mobility_rng.word_pos,
+        );
+        // Derived state: fresh cache over the substrate, masked to the
+        // saved alive-link set (bit-identical to the uninterrupted run's
+        // incrementally-maintained tables).
+        self.apsp = socl_net::ApspCache::new(&self.base.net);
+        let desired: Vec<f64> = self
+            .base
+            .net
+            .links()
+            .iter()
+            .zip(&self.alive_links)
+            .map(|(l, &up)| if up { l.rate() } else { 0.0 })
+            .collect();
+        self.apsp.sync_rates(&desired);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slot metrics: the deterministic projection of a SlotRecord.
+// ---------------------------------------------------------------------------
+
+/// The deterministic subset of a [`SlotRecord`]: every field that must be
+/// bit-identical between an uninterrupted run and a crash-recovered one.
+/// Wall-clock durations (`solve_time`, `repair_time`) are excluded — they
+/// measure this machine, not the simulated system. Floats are stored as
+/// IEEE-754 bit patterns so equality is exact and `Eq` is derivable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotMetrics {
+    /// Slot index.
+    pub slot: u64,
+    /// `SlotRecord::objective` as bits.
+    pub objective_bits: u64,
+    /// `SlotRecord::cost` as bits.
+    pub cost_bits: u64,
+    /// `SlotRecord::mean_latency` as bits.
+    pub mean_latency_bits: u64,
+    /// `SlotRecord::max_latency` as bits.
+    pub max_latency_bits: u64,
+    /// Requests that fell back to the cloud.
+    pub fallbacks: u64,
+    /// Nodes down during the slot.
+    pub failed_nodes: u64,
+    /// Mid-slot crashes.
+    pub mid_slot_failures: u64,
+    /// Instance churn from the repair pass.
+    pub repair_churn: u64,
+    /// Scale-up events.
+    pub scale_ups: u64,
+    /// Scale-down events.
+    pub scale_downs: u64,
+    /// Requests shed by admission control.
+    pub shed_requests: u64,
+    /// End-of-slot warm replicas.
+    pub replicas: u32,
+}
+
+impl SlotMetrics {
+    /// Project `record` onto its deterministic subset.
+    #[must_use]
+    pub fn of(record: &SlotRecord) -> Self {
+        Self {
+            slot: record.slot as u64,
+            objective_bits: record.objective.to_bits(),
+            cost_bits: record.cost.to_bits(),
+            mean_latency_bits: record.mean_latency.to_bits(),
+            max_latency_bits: record.max_latency.to_bits(),
+            fallbacks: record.fallbacks as u64,
+            failed_nodes: record.failed_nodes as u64,
+            mid_slot_failures: record.mid_slot_failures as u64,
+            repair_churn: record.repair_churn as u64,
+            scale_ups: record.scale_ups as u64,
+            scale_downs: record.scale_downs as u64,
+            shed_requests: record.shed_requests as u64,
+            replicas: record.replicas,
+        }
+    }
+
+    /// The slot's weighted objective.
+    #[must_use]
+    pub fn objective(&self) -> f64 {
+        f64::from_bits(self.objective_bits)
+    }
+
+    /// The slot's mean completion time (seconds).
+    #[must_use]
+    pub fn mean_latency(&self) -> f64 {
+        f64::from_bits(self.mean_latency_bits)
+    }
+
+    fn encode(&self, w: &mut BinWriter) {
+        w.put_u64(self.slot);
+        w.put_u64(self.objective_bits);
+        w.put_u64(self.cost_bits);
+        w.put_u64(self.mean_latency_bits);
+        w.put_u64(self.max_latency_bits);
+        w.put_u64(self.fallbacks);
+        w.put_u64(self.failed_nodes);
+        w.put_u64(self.mid_slot_failures);
+        w.put_u64(self.repair_churn);
+        w.put_u64(self.scale_ups);
+        w.put_u64(self.scale_downs);
+        w.put_u64(self.shed_requests);
+        w.put_u32(self.replicas);
+    }
+
+    fn decode(r: &mut BinReader<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            slot: r.get_u64()?,
+            objective_bits: r.get_u64()?,
+            cost_bits: r.get_u64()?,
+            mean_latency_bits: r.get_u64()?,
+            max_latency_bits: r.get_u64()?,
+            fallbacks: r.get_u64()?,
+            failed_nodes: r.get_u64()?,
+            mid_slot_failures: r.get_u64()?,
+            repair_churn: r.get_u64()?,
+            scale_ups: r.get_u64()?,
+            scale_downs: r.get_u64()?,
+            shed_requests: r.get_u64()?,
+            replicas: r.get_u32()?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The write-ahead decision log.
+// ---------------------------------------------------------------------------
+
+/// One durably-logged event. The log is written *ahead* of the externally
+/// visible effect: a crash between a record and its effect loses at most
+/// work the replay re-derives deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogRecord {
+    /// A slot is about to execute.
+    SlotBegin {
+        /// Slot index.
+        slot: u64,
+    },
+    /// A checkpoint image of `bytes` bytes was taken at this boundary.
+    CheckpointTaken {
+        /// Slot the checkpoint will resume at.
+        slot: u64,
+        /// Serialized size.
+        bytes: u64,
+    },
+    /// The scheduled-fault cursor after the slot applied its window.
+    FaultCursor {
+        /// Slot index.
+        slot: u64,
+        /// Events consumed so far.
+        cursor: u64,
+    },
+    /// The control loop scaled this slot.
+    ScalerTick {
+        /// Slot index.
+        slot: u64,
+        /// Scale-up events.
+        ups: u64,
+        /// Scale-down events.
+        downs: u64,
+    },
+    /// Admission control shed requests this slot.
+    Shed {
+        /// Slot index.
+        slot: u64,
+        /// Requests refused.
+        count: u64,
+    },
+    /// A mid-slot crash triggered the repair path.
+    Repair {
+        /// Slot index.
+        slot: u64,
+        /// Instance churn of the repair pass.
+        churn: u64,
+    },
+    /// A slot finished with these deterministic metrics — the replay
+    /// oracle: a restored run re-executing this slot must reproduce them
+    /// bit for bit.
+    SlotEnd {
+        /// Slot index.
+        slot: u64,
+        /// The slot's deterministic metrics.
+        metrics: SlotMetrics,
+    },
+}
+
+impl LogRecord {
+    fn encode(&self, w: &mut BinWriter) {
+        match self {
+            LogRecord::SlotBegin { slot } => {
+                w.put_u8(1);
+                w.put_u64(*slot);
+            }
+            LogRecord::CheckpointTaken { slot, bytes } => {
+                w.put_u8(2);
+                w.put_u64(*slot);
+                w.put_u64(*bytes);
+            }
+            LogRecord::FaultCursor { slot, cursor } => {
+                w.put_u8(3);
+                w.put_u64(*slot);
+                w.put_u64(*cursor);
+            }
+            LogRecord::ScalerTick { slot, ups, downs } => {
+                w.put_u8(4);
+                w.put_u64(*slot);
+                w.put_u64(*ups);
+                w.put_u64(*downs);
+            }
+            LogRecord::Shed { slot, count } => {
+                w.put_u8(5);
+                w.put_u64(*slot);
+                w.put_u64(*count);
+            }
+            LogRecord::Repair { slot, churn } => {
+                w.put_u8(6);
+                w.put_u64(*slot);
+                w.put_u64(*churn);
+            }
+            LogRecord::SlotEnd { slot, metrics } => {
+                w.put_u8(7);
+                w.put_u64(*slot);
+                metrics.encode(w);
+            }
+        }
+    }
+
+    fn decode(payload: &[u8]) -> Result<Self, CodecError> {
+        let mut r = BinReader::new(payload);
+        let rec = match r.get_u8()? {
+            1 => LogRecord::SlotBegin { slot: r.get_u64()? },
+            2 => LogRecord::CheckpointTaken {
+                slot: r.get_u64()?,
+                bytes: r.get_u64()?,
+            },
+            3 => LogRecord::FaultCursor {
+                slot: r.get_u64()?,
+                cursor: r.get_u64()?,
+            },
+            4 => LogRecord::ScalerTick {
+                slot: r.get_u64()?,
+                ups: r.get_u64()?,
+                downs: r.get_u64()?,
+            },
+            5 => LogRecord::Shed {
+                slot: r.get_u64()?,
+                count: r.get_u64()?,
+            },
+            6 => LogRecord::Repair {
+                slot: r.get_u64()?,
+                churn: r.get_u64()?,
+            },
+            7 => LogRecord::SlotEnd {
+                slot: r.get_u64()?,
+                metrics: SlotMetrics::decode(&mut r)?,
+            },
+            _ => return Err(CodecError::Malformed("unknown log record tag")),
+        };
+        if !r.is_done() {
+            return Err(CodecError::Malformed("trailing bytes in log record"));
+        }
+        Ok(rec)
+    }
+}
+
+/// Why [`DecisionLog::from_bytes`] stopped before the end of the input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TornTailReason {
+    /// The tail is shorter than its frame header or declared payload —
+    /// the classic torn write.
+    TruncatedFrame,
+    /// A complete frame whose payload fails its CRC.
+    ChecksumMismatch,
+    /// A CRC-valid payload that does not decode to a record.
+    MalformedRecord,
+}
+
+/// What the torn-tail scan found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TailReport {
+    /// Records recovered cleanly.
+    pub clean_records: usize,
+    /// Bytes discarded from the tail.
+    pub truncated_bytes: usize,
+    /// Why the scan stopped (`None`: the log was fully clean).
+    pub reason: Option<TornTailReason>,
+}
+
+/// Append-only write-ahead log. Each record is framed
+/// `[u32 payload_len][u32 crc32(payload)][payload]`, so a torn tail is
+/// detected — and truncated, never replayed — at the first frame whose
+/// length or checksum fails.
+#[derive(Debug, Clone, Default)]
+pub struct DecisionLog {
+    buf: Vec<u8>,
+}
+
+impl DecisionLog {
+    /// Empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Serialized size in bytes.
+    #[must_use]
+    pub fn len_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Append one framed record.
+    pub fn append(&mut self, record: &LogRecord) {
+        let mut w = BinWriter::new();
+        record.encode(&mut w);
+        let payload = w.into_bytes();
+        self.buf
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+        self.buf.extend_from_slice(&payload);
+    }
+
+    /// The raw wire bytes (what a durable log file would contain).
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consume into the raw wire bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Rebuild from wire bytes, truncating a torn or corrupted tail at
+    /// the first bad frame. The returned log contains only the clean
+    /// prefix; the report says how much was cut and why.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8]) -> (Self, TailReport) {
+        let mut clean_end = 0usize;
+        let mut clean_records = 0usize;
+        let mut reason = None;
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            let Some(header) = bytes.get(pos..pos + 8) else {
+                reason = Some(TornTailReason::TruncatedFrame);
+                break;
+            };
+            let (len_b, crc_b) = header.split_at(4);
+            let len = len_b.try_into().map(u32::from_le_bytes).unwrap_or(u32::MAX) as usize;
+            let stored = crc_b.try_into().map(u32::from_le_bytes).unwrap_or(0);
+            let Some(payload) = bytes.get(pos + 8..pos + 8 + len) else {
+                reason = Some(TornTailReason::TruncatedFrame);
+                break;
+            };
+            if crc32(payload) != stored {
+                reason = Some(TornTailReason::ChecksumMismatch);
+                break;
+            }
+            if LogRecord::decode(payload).is_err() {
+                reason = Some(TornTailReason::MalformedRecord);
+                break;
+            }
+            pos += 8 + len;
+            clean_end = pos;
+            clean_records += 1;
+        }
+        let log = Self {
+            buf: bytes.get(..clean_end).unwrap_or_default().to_vec(),
+        };
+        (
+            log,
+            TailReport {
+                clean_records,
+                truncated_bytes: bytes.len() - clean_end,
+                reason,
+            },
+        )
+    }
+
+    /// Decode every record in the (clean) log.
+    ///
+    /// # Errors
+    /// [`CodecError`] if the buffer holds a bad frame — impossible for
+    /// logs built by [`append`](Self::append) or returned from
+    /// [`from_bytes`](Self::from_bytes).
+    pub fn records(&self) -> Result<Vec<LogRecord>, CodecError> {
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        while pos < self.buf.len() {
+            let header = self
+                .buf
+                .get(pos..pos + 8)
+                .ok_or(CodecError::Malformed("log frame header"))?;
+            let (len_b, crc_b) = header.split_at(4);
+            let len = len_b
+                .try_into()
+                .map(u32::from_le_bytes)
+                .map_err(|_| CodecError::Malformed("log frame length"))?
+                as usize;
+            let stored = crc_b
+                .try_into()
+                .map(u32::from_le_bytes)
+                .map_err(|_| CodecError::Malformed("log frame crc"))?;
+            let payload = self
+                .buf
+                .get(pos + 8..pos + 8 + len)
+                .ok_or(CodecError::Malformed("log frame payload"))?;
+            let computed = crc32(payload);
+            if computed != stored {
+                return Err(CodecError::BadChecksum { stored, computed });
+            }
+            out.push(LogRecord::decode(payload)?);
+            pos += 8 + len;
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The invariant auditor.
+// ---------------------------------------------------------------------------
+
+/// Result of an invariant audit: human-readable violation descriptions,
+/// empty when every invariant held.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// One entry per violated invariant.
+    pub violations: Vec<String>,
+}
+
+impl AuditReport {
+    /// True when no invariant was violated.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Audit the conservation laws a crash recovery must not bend, against a
+/// simulator that has finished (or paused at) a slot boundary and the
+/// slot-metric timeline that produced it. `timeline` must cover slots
+/// `0..sim.next_slot()` in order.
+///
+/// Checks: population conservation (user and request vectors intact and
+/// on-grid), slot-clock/timeline consistency, billing conservation
+/// (`billed_replica_slots` equals the timeline's replica sum), replica
+/// conservation (control-plane totals match the last slot; no warm pool
+/// on a dead node), fault-cursor partition (consumed events strictly
+/// before the clock, pending ones at or after), and cache-vs-rebuild
+/// equivalence (the incremental APSP tables are bit-identical to a
+/// from-scratch serial rebuild of the masked substrate).
+#[must_use]
+pub fn audit_invariants(sim: &OnlineSimulator, timeline: &[SlotMetrics]) -> AuditReport {
+    let mut v = Vec::new();
+    let cfg = &sim.cfg;
+
+    // -- population conservation ------------------------------------------
+    if sim.locations.len() != cfg.users {
+        v.push(format!(
+            "population: {} locations for {} users",
+            sim.locations.len(),
+            cfg.users
+        ));
+    }
+    if sim.requests.len() != cfg.users {
+        v.push(format!(
+            "population: {} requests for {} users",
+            sim.requests.len(),
+            cfg.users
+        ));
+    }
+    for (h, loc) in sim.locations.iter().enumerate() {
+        if loc.idx() >= cfg.nodes {
+            v.push(format!("population: user {h} located off-grid at {loc}"));
+        }
+    }
+    // No stranded in-flight requests: every request is structurally whole
+    // (the slot-granular layer holds no partial transfers).
+    let services = sim.base.catalog.len() as u32;
+    for (h, req) in sim.requests.iter().enumerate() {
+        if req.chain.is_empty() {
+            v.push(format!("requests: user {h} has an empty chain"));
+        } else if req.edge_data.len() + 1 != req.chain.len() {
+            v.push(format!("requests: user {h} has a torn edge_data vector"));
+        }
+        if req.chain.iter().any(|m| m.0 >= services) {
+            v.push(format!("requests: user {h} names an unknown service"));
+        }
+    }
+
+    // -- slot clock vs timeline -------------------------------------------
+    if timeline.len() != sim.next_slot {
+        v.push(format!(
+            "clock: timeline has {} slots but the clock is at {}",
+            timeline.len(),
+            sim.next_slot
+        ));
+    }
+    for (i, m) in timeline.iter().enumerate() {
+        if m.slot != i as u64 {
+            v.push(format!("clock: timeline entry {i} carries slot {}", m.slot));
+            break;
+        }
+    }
+
+    // -- billing conservation ---------------------------------------------
+    let billed: u64 = timeline
+        .iter()
+        .fold(0u64, |acc, m| acc.saturating_add(u64::from(m.replicas)));
+    if billed != sim.billed_replica_slots {
+        v.push(format!(
+            "billing: accumulator says {} replica-slots, timeline sums to {billed}",
+            sim.billed_replica_slots
+        ));
+    }
+
+    // -- replica conservation ---------------------------------------------
+    if let Some(scaler) = sim.scaler.as_ref() {
+        let total = scaler.counts().total();
+        if let Some(last) = timeline.last() {
+            if total != last.replicas {
+                v.push(format!(
+                    "replicas: control plane holds {total}, last slot recorded {}",
+                    last.replicas
+                ));
+            }
+        }
+        let last_mid_slot_crash = timeline.last().is_some_and(|m| m.mid_slot_failures > 0);
+        for (m, k, c) in scaler.counts().iter_positive() {
+            if k.idx() >= cfg.nodes {
+                v.push(format!(
+                    "replicas: {c} warm replicas of {m} off-grid at {k}"
+                ));
+            } else if !sim.alive.get(k.idx()).copied().unwrap_or(false) && !last_mid_slot_crash {
+                // A mid-slot crash in the *final* slot may legitimately
+                // leave re-homed state mid-transition; any earlier crash
+                // must have been cleaned up by the next slot's merge.
+                v.push(format!(
+                    "replicas: {c} warm replicas of {m} on dead node {k}"
+                ));
+            }
+        }
+    }
+
+    // -- user coverage ----------------------------------------------------
+    if !sim.alive.iter().any(|&a| a) {
+        v.push("coverage: no node is alive".into());
+    }
+    let last_mid_slot_crash = timeline.last().is_some_and(|m| m.mid_slot_failures > 0);
+    if !last_mid_slot_crash {
+        // Users detour off dead stations during each slot's advance; only a
+        // crash *after* the final advance may leave one stranded.
+        for (h, loc) in sim.locations.iter().enumerate() {
+            if loc.idx() < cfg.nodes && !sim.alive.get(loc.idx()).copied().unwrap_or(false) {
+                v.push(format!("coverage: user {h} stranded on dead station {loc}"));
+            }
+        }
+    }
+
+    // -- fault-cursor partition -------------------------------------------
+    let boundary = sim.next_slot as f64 * cfg.slot_secs;
+    if sim.fault_cursor > cfg.faults.len() {
+        v.push(format!(
+            "faults: cursor {} past the {}-event schedule",
+            sim.fault_cursor,
+            cfg.faults.len()
+        ));
+    } else {
+        for (i, ev) in cfg.faults.events().iter().enumerate() {
+            if i < sim.fault_cursor && ev.time >= boundary {
+                v.push(format!(
+                    "faults: consumed event {i} at t={} lies at/after the clock boundary {boundary}",
+                    ev.time
+                ));
+            }
+            if i >= sim.fault_cursor && ev.time < boundary {
+                v.push(format!(
+                    "faults: pending event {i} at t={} lies before the clock boundary {boundary}",
+                    ev.time
+                ));
+            }
+        }
+    }
+
+    // -- cache-vs-rebuild equivalence --------------------------------------
+    let mut net = socl_net::EdgeNetwork::new();
+    for k in sim.base.net.node_ids() {
+        net.push_server(sim.base.net.server(k).clone());
+    }
+    for (idx, link) in sim.base.net.links().iter().enumerate() {
+        if sim.alive_links.get(idx).copied().unwrap_or(false) {
+            net.add_link(link.a, link.b, link.params);
+        }
+    }
+    let rebuilt = socl_net::AllPairs::build_serial(&net);
+    if !sim.apsp.all_pairs().identical(&rebuilt) {
+        v.push("apsp: incremental cache diverged from a from-scratch rebuild".into());
+    }
+
+    AuditReport { violations: v }
+}
+
+// ---------------------------------------------------------------------------
+// The crash-recovery driver.
+// ---------------------------------------------------------------------------
+
+/// How the log's tail is mangled between the kill and the recovery —
+/// models a crash mid-write to durable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TornTail {
+    /// The log survived intact.
+    Clean,
+    /// Arbitrary garbage bytes follow the last complete record.
+    Garbage,
+    /// The crash tore a record mid-frame: a valid header plus a payload
+    /// prefix.
+    PartialRecord,
+}
+
+/// Parameters of one crash-recovery exercise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Checkpoint every this many slots (≥ 1; slot 0 is always
+    /// checkpointed, so recovery is possible from any kill-point).
+    pub checkpoint_every: usize,
+    /// Kill the victim when its clock reaches this slot (clamped to the
+    /// horizon; the kill lands at the slot *boundary*, i.e. after slot
+    /// `kill_at_slot − 1` completed).
+    pub kill_at_slot: usize,
+    /// How the crash mangles the log tail.
+    pub torn_tail: TornTail,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self {
+            checkpoint_every: 4,
+            kill_at_slot: 6,
+            torn_tail: TornTail::Clean,
+        }
+    }
+}
+
+/// What one kill-and-recover exercise produced.
+#[derive(Debug, Clone)]
+pub struct RecoveryOutcome {
+    /// Per-slot metrics of the uninterrupted golden run.
+    pub golden: Vec<SlotMetrics>,
+    /// The recovered timeline: durably-logged slots before the restore
+    /// point, re-executed slots from there to the horizon.
+    pub stitched: Vec<SlotMetrics>,
+    /// Slot the last usable checkpoint resumed at.
+    pub restored_from_slot: usize,
+    /// Slots re-executed after the restore.
+    pub replayed_slots: usize,
+    /// Replayed slots whose metrics matched their logged `SlotEnd`
+    /// record bit for bit.
+    pub replay_log_matches: usize,
+    /// Replayed slots that contradicted the log — must be 0.
+    pub replay_log_mismatches: usize,
+    /// Stitched slots that differ from the golden run — must be 0.
+    pub metric_mismatches: usize,
+    /// Serialized size of the checkpoint recovery restored from.
+    pub checkpoint_bytes: usize,
+    /// Log size at the kill (before tail mangling).
+    pub log_bytes: usize,
+    /// Bytes the torn-tail scan discarded.
+    pub truncated_tail_bytes: usize,
+    /// Wall-clock spent serializing checkpoints during the victim run.
+    pub checkpoint_wall: Duration,
+    /// Wall-clock of the recovery itself: log scan + checkpoint decode +
+    /// restore + replay to the kill-point.
+    pub recovery_wall: Duration,
+    /// Invariant audit of the recovered simulator and stitched timeline.
+    pub audit: AuditReport,
+}
+
+/// Why a recovery exercise could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// The checkpoint image failed to decode.
+    Checkpoint(CodecError),
+    /// The decoded checkpoint did not fit the run configuration.
+    Restore(RestoreError),
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::Checkpoint(e) => write!(f, "checkpoint decode failed: {e}"),
+            RecoveryError::Restore(e) => write!(f, "checkpoint restore failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+impl From<CodecError> for RecoveryError {
+    fn from(e: CodecError) -> Self {
+        RecoveryError::Checkpoint(e)
+    }
+}
+
+impl From<RestoreError> for RecoveryError {
+    fn from(e: RestoreError) -> Self {
+        RecoveryError::Restore(e)
+    }
+}
+
+fn no_measure(_: &socl_model::Scenario, _: &socl_model::Placement) -> Option<(f64, f64)> {
+    None
+}
+
+/// Run the full kill-and-recover exercise for `cfg` under `policy`:
+/// golden run, victim run torn down at the kill-point, restore from the
+/// last checkpoint plus the clean log prefix, deterministic replay to the
+/// horizon, then the invariant audit.
+///
+/// # Errors
+/// [`RecoveryError`] when the checkpoint fails to decode or apply — both
+/// indicate a bug (or a deliberately corrupted image), never a normal
+/// crash, since torn *logs* are handled by truncation.
+pub fn run_crash_recovery(
+    cfg: &OnlineConfig,
+    policy: &Policy,
+    rcfg: &RecoveryConfig,
+) -> Result<RecoveryOutcome, RecoveryError> {
+    // -- golden: the uninterrupted reference ------------------------------
+    let mut golden_sim = OnlineSimulator::new(cfg.clone());
+    let mut golden = Vec::with_capacity(cfg.slots);
+    while golden_sim.next_slot() < cfg.slots {
+        let rec = golden_sim.step(policy, &mut no_measure);
+        golden.push(SlotMetrics::of(&rec));
+    }
+
+    // -- victim: run to the kill-point, checkpointing and logging ---------
+    let kill = rcfg.kill_at_slot.min(cfg.slots);
+    let every = rcfg.checkpoint_every.max(1);
+    let mut victim = OnlineSimulator::new(cfg.clone());
+    let mut log = DecisionLog::new();
+    let mut checkpoint_wall = Duration::ZERO;
+    let t0 = Stopwatch::start();
+    let mut ck_bytes = victim.snapshot().to_bytes();
+    checkpoint_wall += t0.elapsed();
+    let mut ck_slot = 0usize;
+    log.append(&LogRecord::CheckpointTaken {
+        slot: 0,
+        bytes: ck_bytes.len() as u64,
+    });
+    while victim.next_slot() < kill {
+        let s = victim.next_slot();
+        if s > 0 && s % every == 0 {
+            let t = Stopwatch::start();
+            let bytes = victim.snapshot().to_bytes();
+            checkpoint_wall += t.elapsed();
+            log.append(&LogRecord::CheckpointTaken {
+                slot: s as u64,
+                bytes: bytes.len() as u64,
+            });
+            ck_bytes = bytes;
+            ck_slot = s;
+        }
+        log.append(&LogRecord::SlotBegin { slot: s as u64 });
+        let rec = victim.step(policy, &mut no_measure);
+        let m = SlotMetrics::of(&rec);
+        log.append(&LogRecord::FaultCursor {
+            slot: s as u64,
+            cursor: victim.fault_cursor as u64,
+        });
+        if m.scale_ups + m.scale_downs > 0 {
+            log.append(&LogRecord::ScalerTick {
+                slot: s as u64,
+                ups: m.scale_ups,
+                downs: m.scale_downs,
+            });
+        }
+        if m.shed_requests > 0 {
+            log.append(&LogRecord::Shed {
+                slot: s as u64,
+                count: m.shed_requests,
+            });
+        }
+        if m.mid_slot_failures > 0 {
+            log.append(&LogRecord::Repair {
+                slot: s as u64,
+                churn: m.repair_churn,
+            });
+        }
+        log.append(&LogRecord::SlotEnd {
+            slot: s as u64,
+            metrics: m,
+        });
+    }
+    // The crash: the victim's in-memory state is gone…
+    drop(victim);
+    let log_bytes = log.len_bytes();
+    // …and the durable log may have a torn tail.
+    let mut wire = log.into_bytes();
+    match rcfg.torn_tail {
+        TornTail::Clean => {}
+        TornTail::Garbage => {
+            wire.extend_from_slice(&[0xDE, 0xAD, 0xBE, 0xEF, 0x5A, 0xA5, 0x0F]);
+        }
+        TornTail::PartialRecord => {
+            let mut torn = DecisionLog::new();
+            torn.append(&LogRecord::SlotBegin { slot: u64::MAX });
+            let frame = torn.into_bytes();
+            let cut = frame.len().saturating_sub(3);
+            wire.extend(frame.iter().take(cut));
+        }
+    }
+
+    // -- recovery: truncate the tail, restore, replay ---------------------
+    let t = Stopwatch::start();
+    let (clean, tail) = DecisionLog::from_bytes(&wire);
+    let ck = Checkpoint::from_bytes(&ck_bytes)?;
+    let mut recovered = OnlineSimulator::new(cfg.clone());
+    recovered.restore(&ck)?;
+    let restored_from = recovered.next_slot();
+    let records = clean.records()?;
+    let logged_ends: Vec<(u64, SlotMetrics)> = records
+        .iter()
+        .filter_map(|r| match r {
+            LogRecord::SlotEnd { slot, metrics } => Some((*slot, *metrics)),
+            _ => None,
+        })
+        .collect();
+
+    // Slots before the restore point come from the durable log.
+    let mut stitched: Vec<SlotMetrics> = logged_ends
+        .iter()
+        .filter(|(s, _)| (*s as usize) < restored_from)
+        .map(|(_, m)| *m)
+        .collect();
+    let mut driver_violations = Vec::new();
+    if stitched.len() != restored_from {
+        driver_violations.push(format!(
+            "log: only {} of {restored_from} pre-checkpoint slots were durably logged",
+            stitched.len()
+        ));
+    }
+
+    // Replay from the checkpoint; the log is the oracle up to the kill.
+    let mut replay_log_matches = 0usize;
+    let mut replay_log_mismatches = 0usize;
+    let mut replayed_slots = 0usize;
+    while recovered.next_slot() < cfg.slots {
+        let s = recovered.next_slot();
+        let rec = recovered.step(policy, &mut no_measure);
+        let m = SlotMetrics::of(&rec);
+        if s < kill {
+            replayed_slots += 1;
+        }
+        if let Some((_, logged)) = logged_ends.iter().find(|(ls, _)| *ls as usize == s) {
+            if *logged == m {
+                replay_log_matches += 1;
+            } else {
+                replay_log_mismatches += 1;
+            }
+        }
+        stitched.push(m);
+    }
+    let recovery_wall = t.elapsed();
+
+    let metric_mismatches = golden.iter().zip(&stitched).filter(|(g, r)| g != r).count()
+        + golden.len().abs_diff(stitched.len());
+
+    let mut audit = audit_invariants(&recovered, &stitched);
+    audit.violations.splice(0..0, driver_violations);
+    // The checkpoint-vs-run consistency the ISSUE calls "coverage": the
+    // restore point must sit on the checkpoint cadence and never after
+    // the kill.
+    if restored_from != ck_slot || restored_from > kill {
+        audit.violations.push(format!(
+            "driver: restored from slot {restored_from}, expected checkpoint slot {ck_slot} ≤ kill {kill}"
+        ));
+    }
+
+    Ok(RecoveryOutcome {
+        golden,
+        stitched,
+        restored_from_slot: restored_from,
+        replayed_slots,
+        replay_log_matches,
+        replay_log_mismatches,
+        metric_mismatches,
+        checkpoint_bytes: ck_bytes.len(),
+        log_bytes,
+        truncated_tail_bytes: tail.truncated_bytes,
+        checkpoint_wall,
+        recovery_wall,
+        audit,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{FaultEvent, FaultKind, FaultSchedule};
+    use socl_core::SoclConfig;
+
+    fn small_cfg(seed: u64) -> OnlineConfig {
+        OnlineConfig {
+            slots: 8,
+            users: 18,
+            nodes: 8,
+            fail_prob: 0.3,
+            recover_prob: 0.4,
+            seed,
+            ..OnlineConfig::default()
+        }
+    }
+
+    fn scaled_cfg(seed: u64) -> OnlineConfig {
+        OnlineConfig {
+            autoscale: Some(socl_autoscale::AutoscaleConfig {
+                min_replicas: 1,
+                stable_window: 8.0,
+                panic_window: 2.0,
+                scale_interval: 1.0,
+                down_cooldown: 2.0,
+                keep_alive: socl_autoscale::KeepAlivePolicy::Fixed(2.0),
+                ..socl_autoscale::AutoscaleConfig::default()
+            }),
+            mid_slot_fail_prob: 0.4,
+            repair: true,
+            ..small_cfg(seed)
+        }
+    }
+
+    fn policy() -> Policy {
+        Policy::Socl(SoclConfig::default())
+    }
+
+    fn run_metrics(sim: &mut OnlineSimulator, policy: &Policy) -> Vec<SlotMetrics> {
+        let mut out = Vec::new();
+        while sim.next_slot() < sim.cfg.slots {
+            let r = sim.step(policy, &mut no_measure);
+            out.push(SlotMetrics::of(&r));
+        }
+        out
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_through_bytes_bit_exactly() {
+        let mut sim = OnlineSimulator::new(scaled_cfg(11));
+        let p = policy();
+        for _ in 0..3 {
+            sim.step(&p, &mut no_measure);
+        }
+        let ck = sim.snapshot();
+        let bytes = ck.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).expect("clean image must decode");
+        assert_eq!(ck, back);
+    }
+
+    #[test]
+    fn restore_resumes_bit_identically_mid_run() {
+        let p = policy();
+        for cfg in [small_cfg(5), scaled_cfg(5)] {
+            // Golden: uninterrupted.
+            let mut golden_sim = OnlineSimulator::new(cfg.clone());
+            let golden = run_metrics(&mut golden_sim, &p);
+            // Victim: stop after 3 slots, freeze, thaw into a *fresh* sim.
+            let mut victim = OnlineSimulator::new(cfg.clone());
+            for _ in 0..3 {
+                victim.step(&p, &mut no_measure);
+            }
+            let ck = Checkpoint::from_bytes(&victim.snapshot().to_bytes())
+                .expect("checkpoint must decode");
+            drop(victim);
+            let mut thawed = OnlineSimulator::new(cfg.clone());
+            thawed.restore(&ck).expect("restore must apply");
+            assert_eq!(thawed.next_slot(), 3);
+            let suffix = run_metrics(&mut thawed, &p);
+            assert_eq!(
+                &golden[3..],
+                &suffix[..],
+                "restored run diverged from golden"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_is_observationally_identity_in_place() {
+        let p = policy();
+        let cfg = scaled_cfg(19);
+        let mut a = OnlineSimulator::new(cfg.clone());
+        let mut b = OnlineSimulator::new(cfg);
+        for _ in 0..4 {
+            a.step(&p, &mut no_measure);
+            b.step(&p, &mut no_measure);
+        }
+        // Freeze/thaw `b` in place; `a` is untouched.
+        let ck = b.snapshot();
+        b.restore(&ck).expect("self-restore must apply");
+        assert_eq!(run_metrics(&mut a, &p), run_metrics(&mut b, &p));
+    }
+
+    #[test]
+    fn corrupted_checkpoints_error_and_never_panic() {
+        let mut sim = OnlineSimulator::new(scaled_cfg(23));
+        let p = policy();
+        sim.step(&p, &mut no_measure);
+        let bytes = sim.snapshot().to_bytes();
+        // Truncation at every prefix length.
+        for cut in 0..bytes.len().min(64) {
+            assert!(Checkpoint::from_bytes(&bytes[..cut]).is_err());
+        }
+        // Single-byte corruption at a sample of positions: the trailing
+        // CRC catches every one of them.
+        for pos in (0..bytes.len()).step_by(7) {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x40;
+            assert!(
+                Checkpoint::from_bytes(&bad).is_err(),
+                "flip at {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn restore_rejects_a_checkpoint_from_another_shape() {
+        let p = policy();
+        let mut donor = OnlineSimulator::new(small_cfg(3));
+        donor.step(&p, &mut no_measure);
+        let ck = donor.snapshot();
+        // Different user count.
+        let mut other = OnlineSimulator::new(OnlineConfig {
+            users: 5,
+            ..small_cfg(3)
+        });
+        assert!(other.restore(&ck).is_err());
+        // Control-plane presence mismatch.
+        let mut scaled = OnlineSimulator::new(scaled_cfg(3));
+        assert!(scaled.restore(&ck).is_err());
+    }
+
+    #[test]
+    fn decision_log_roundtrips_and_truncates_torn_tails() {
+        let mut log = DecisionLog::new();
+        let metrics = SlotMetrics {
+            slot: 2,
+            objective_bits: 1.5f64.to_bits(),
+            cost_bits: 2.5f64.to_bits(),
+            mean_latency_bits: 0.25f64.to_bits(),
+            max_latency_bits: 0.5f64.to_bits(),
+            fallbacks: 1,
+            failed_nodes: 2,
+            mid_slot_failures: 0,
+            repair_churn: 0,
+            scale_ups: 3,
+            scale_downs: 1,
+            shed_requests: 4,
+            replicas: 17,
+        };
+        let records = vec![
+            LogRecord::CheckpointTaken { slot: 0, bytes: 99 },
+            LogRecord::SlotBegin { slot: 2 },
+            LogRecord::FaultCursor { slot: 2, cursor: 1 },
+            LogRecord::ScalerTick {
+                slot: 2,
+                ups: 3,
+                downs: 1,
+            },
+            LogRecord::Shed { slot: 2, count: 4 },
+            LogRecord::Repair { slot: 2, churn: 6 },
+            LogRecord::SlotEnd { slot: 2, metrics },
+        ];
+        for r in &records {
+            log.append(r);
+        }
+        assert_eq!(log.records().expect("clean log"), records);
+
+        // Torn tail: garbage after the last frame.
+        let mut wire = log.as_bytes().to_vec();
+        wire.extend_from_slice(&[1, 2, 3]);
+        let (clean, tail) = DecisionLog::from_bytes(&wire);
+        assert_eq!(clean.records().expect("clean prefix"), records);
+        assert_eq!(tail.clean_records, records.len());
+        assert_eq!(tail.truncated_bytes, 3);
+        assert_eq!(tail.reason, Some(TornTailReason::TruncatedFrame));
+
+        // Torn tail: a frame whose payload was corrupted in place.
+        let mut wire = log.as_bytes().to_vec();
+        let last = wire.len() - 1;
+        wire[last] ^= 0xFF;
+        let (clean, tail) = DecisionLog::from_bytes(&wire);
+        assert_eq!(
+            clean.records().expect("clean prefix").len(),
+            records.len() - 1
+        );
+        assert_eq!(tail.reason, Some(TornTailReason::ChecksumMismatch));
+    }
+
+    #[test]
+    fn kill_and_recover_matches_golden_at_every_kill_point() {
+        let p = policy();
+        let cfg = small_cfg(7);
+        for kill in 0..=cfg.slots {
+            let out = run_crash_recovery(
+                &cfg,
+                &p,
+                &RecoveryConfig {
+                    checkpoint_every: 3,
+                    kill_at_slot: kill,
+                    torn_tail: TornTail::Clean,
+                },
+            )
+            .expect("recovery must complete");
+            assert_eq!(
+                out.metric_mismatches, 0,
+                "kill at {kill}: stitched timeline diverged from golden"
+            );
+            assert_eq!(
+                out.replay_log_mismatches, 0,
+                "kill at {kill}: replay contradicted the log"
+            );
+            assert!(
+                out.audit.is_clean(),
+                "kill at {kill}: {:?}",
+                out.audit.violations
+            );
+            assert_eq!(out.golden.len(), cfg.slots);
+            assert_eq!(out.stitched.len(), cfg.slots);
+        }
+    }
+
+    #[test]
+    fn kill_and_recover_survives_torn_tails_and_control_plane_churn() {
+        let p = policy();
+        let cfg = scaled_cfg(13);
+        for torn in [TornTail::Clean, TornTail::Garbage, TornTail::PartialRecord] {
+            let out = run_crash_recovery(
+                &cfg,
+                &p,
+                &RecoveryConfig {
+                    checkpoint_every: 2,
+                    kill_at_slot: 5,
+                    torn_tail: torn,
+                },
+            )
+            .expect("recovery must complete");
+            assert_eq!(out.metric_mismatches, 0, "{torn:?}: diverged from golden");
+            assert_eq!(out.replay_log_mismatches, 0, "{torn:?}: contradicted log");
+            assert!(out.audit.is_clean(), "{torn:?}: {:?}", out.audit.violations);
+            if torn != TornTail::Clean {
+                assert!(
+                    out.truncated_tail_bytes > 0,
+                    "{torn:?}: torn tail was not detected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_works_under_a_scheduled_fault_storm() {
+        let p = policy();
+        let schedule = FaultSchedule::from_events(vec![
+            FaultEvent {
+                time: 0.0,
+                kind: FaultKind::NodeCrash(NodeId(1)),
+            },
+            FaultEvent {
+                time: 650.0,
+                kind: FaultKind::NodeRecover(NodeId(1)),
+            },
+            FaultEvent {
+                time: 900.0,
+                kind: FaultKind::LinkDegrade {
+                    link: 0,
+                    factor: 4.0,
+                },
+            },
+            FaultEvent {
+                time: 1500.0,
+                kind: FaultKind::LinkRestore { link: 0 },
+            },
+        ]);
+        let cfg = OnlineConfig {
+            faults: schedule,
+            // The schedule is the only fault source: random churn could
+            // revive node 1 before a metrics snapshot observes the outage.
+            fail_prob: 0.0,
+            recover_prob: 0.0,
+            ..small_cfg(29)
+        };
+        // Kill inside the outage window: the restored run must resume
+        // mid-schedule without replaying or skipping events.
+        let out = run_crash_recovery(
+            &cfg,
+            &p,
+            &RecoveryConfig {
+                checkpoint_every: 2,
+                kill_at_slot: 3,
+                torn_tail: TornTail::Garbage,
+            },
+        )
+        .expect("recovery must complete");
+        assert_eq!(out.metric_mismatches, 0);
+        assert!(out.audit.is_clean(), "{:?}", out.audit.violations);
+        assert!(
+            out.golden.iter().any(|m| m.failed_nodes > 0),
+            "the schedule never took a node down"
+        );
+    }
+
+    #[test]
+    fn auditor_flags_a_cooked_timeline() {
+        let p = policy();
+        let mut sim = OnlineSimulator::new(small_cfg(17));
+        let mut timeline = run_metrics(&mut sim, &p);
+        assert!(audit_invariants(&sim, &timeline).is_clean());
+        // Cook the books: claim a replica that was never billed.
+        if let Some(last) = timeline.last_mut() {
+            last.replicas += 1;
+        }
+        let report = audit_invariants(&sim, &timeline);
+        assert!(
+            report.violations.iter().any(|v| v.starts_with("billing")),
+            "billing fraud went undetected: {:?}",
+            report.violations
+        );
+    }
+}

@@ -61,9 +61,11 @@ pub mod prelude {
         TopologyKind, VgCache,
     };
     pub use socl_sim::{
-        run_testbed, FaultEvent, FaultKind, FaultPlan, FaultSchedule, FaultStats, FaultTimeline,
-        MobilityModel, OnlineConfig, OnlineSimulator, Policy, RetryPolicy, SlotRecord, Targeting,
-        TestbedConfig, TestbedResult,
+        audit_invariants, run_chaos_soak, run_crash_recovery, run_testbed, AuditReport, Checkpoint,
+        DecisionLog, FaultEvent, FaultKind, FaultPlan, FaultSchedule, FaultStats, FaultTimeline,
+        MobilityModel, OnlineConfig, OnlineSimulator, Policy, RecoveryConfig, RecoveryError,
+        RecoveryOutcome, RetryPolicy, SlotMetrics, SlotRecord, SoakCase, SoakPlan, SoakRow,
+        SoakSummary, Targeting, TestbedConfig, TestbedResult, TornTail,
     };
     pub use socl_trace::{
         cosine_similarity, jaccard_similarity, similarity_matrix, TemporalConfig, TemporalWorkload,

@@ -201,6 +201,65 @@ impl Forecaster {
     pub fn observations(&self) -> usize {
         self.seen
     }
+
+    /// Freeze the full smoothing state for checkpointing. Together with
+    /// [`Forecaster::from_state`] this round-trips bit-exactly: the fields
+    /// are the *entire* model, so a restored forecaster continues the
+    /// series as if the crash never happened.
+    pub fn state(&self) -> ForecasterState {
+        ForecasterState {
+            alpha: self.alpha,
+            beta: self.beta,
+            level: self.level,
+            trend: self.trend,
+            seen: self.seen as u64,
+        }
+    }
+
+    /// Rebuild a forecaster from a frozen state.
+    ///
+    /// # Errors
+    /// Returns a message when the smoothing factors are out of range or the
+    /// level/trend are non-finite — a checkpoint carrying such values is
+    /// corrupt, and restoring it would poison every later forecast.
+    pub fn from_state(s: ForecasterState) -> Result<Self, String> {
+        if !(s.alpha > 0.0 && s.alpha <= 1.0) {
+            return Err(format!("forecaster alpha {} out of (0, 1]", s.alpha));
+        }
+        if !(0.0..=1.0).contains(&s.beta) {
+            return Err(format!("forecaster beta {} out of [0, 1]", s.beta));
+        }
+        if !s.level.is_finite() || !s.trend.is_finite() {
+            return Err("forecaster level/trend not finite".to_string());
+        }
+        let seen =
+            usize::try_from(s.seen).map_err(|_| "forecaster seen overflows usize".to_string())?;
+        Ok(Self {
+            alpha: s.alpha,
+            beta: s.beta,
+            level: s.level,
+            trend: s.trend,
+            seen,
+        })
+    }
+}
+
+/// Frozen [`Forecaster`] smoothing state (checkpoint payload).
+///
+/// `seen` is widened to `u64` so the on-disk encoding is identical on 32-
+/// and 64-bit hosts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForecasterState {
+    /// Level smoothing factor `α ∈ (0, 1]`.
+    pub alpha: f64,
+    /// Trend smoothing factor `β ∈ [0, 1]`.
+    pub beta: f64,
+    /// Smoothed level `ℓ`.
+    pub level: f64,
+    /// Smoothed trend `b`.
+    pub trend: f64,
+    /// Observations folded in so far.
+    pub seen: u64,
 }
 
 #[cfg(test)]
@@ -248,6 +307,40 @@ mod tests {
             f.forecast(3.0).to_bits()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn forecaster_state_roundtrips_bit_exactly() {
+        let mut f = Forecaster::scaling_default();
+        for i in 0..23 {
+            f.observe(((i * 13) % 7) as f64 + 0.25);
+        }
+        let mut g = Forecaster::from_state(f.state()).unwrap();
+        assert_eq!(f.forecast(4.0).to_bits(), g.forecast(4.0).to_bits());
+        // Continuation after restore is indistinguishable from the original.
+        f.observe(9.5);
+        g.observe(9.5);
+        assert_eq!(f.forecast(1.0).to_bits(), g.forecast(1.0).to_bits());
+        assert_eq!(f.observations(), g.observations());
+    }
+
+    #[test]
+    fn forecaster_state_rejects_corrupt_values() {
+        let good = Forecaster::scaling_default().state();
+        assert!(Forecaster::from_state(ForecasterState { alpha: 0.0, ..good }).is_err());
+        assert!(Forecaster::from_state(ForecasterState { alpha: 1.5, ..good }).is_err());
+        assert!(Forecaster::from_state(ForecasterState { beta: -0.1, ..good }).is_err());
+        assert!(Forecaster::from_state(ForecasterState {
+            level: f64::NAN,
+            ..good
+        })
+        .is_err());
+        assert!(Forecaster::from_state(ForecasterState {
+            trend: f64::INFINITY,
+            ..good
+        })
+        .is_err());
+        assert!(Forecaster::from_state(good).is_ok());
     }
 
     #[test]
