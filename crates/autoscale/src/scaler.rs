@@ -130,6 +130,13 @@ pub struct Autoscaler {
     /// Cumulative service-level scale-up / scale-down events.
     up_events: u64,
     down_events: u64,
+    /// Water-fill scratch (hosts / per-cell ceilings / per-cell targets),
+    /// recycled across [`apply_total_into`](Self::apply_total_into) calls so
+    /// the per-service tick loop allocates nothing (rule `A1-hot-alloc`).
+    /// Dead between calls; excluded from checkpoints.
+    fill_hosts: Vec<NodeId>,
+    fill_ceil: Vec<u32>,
+    fill_alloc: Vec<u32>,
 }
 
 impl Autoscaler {
@@ -145,6 +152,9 @@ impl Autoscaler {
             states: (0..services).map(|_| ServiceState::new()).collect(),
             up_events: 0,
             down_events: 0,
+            fill_hosts: Vec::new(),
+            fill_ceil: Vec::new(),
+            fill_alloc: Vec::new(),
         }
     }
 
@@ -186,12 +196,14 @@ impl Autoscaler {
     ) {
         self.counts = ReplicaCounts::from_placement(placement);
         self.refresh_caps(placement, catalog, net);
+        // Seeding ignores the per-cell actions; one buffer absorbs them all.
+        let mut actions = Vec::new();
         for i in 0..self.caps.len() {
             let m = ServiceId(i as u32);
             let cap = self.caps[i];
             let floor = self.cfg.min_replicas.min(cap);
             if self.counts.total_of(m) < floor {
-                self.apply_total(m, floor, placement, catalog, net);
+                self.apply_total_into(m, floor, placement, catalog, net, &mut actions);
             }
         }
     }
@@ -414,7 +426,7 @@ impl Autoscaler {
     fn refresh_caps(&mut self, placement: &Placement, catalog: &ServiceCatalog, net: &EdgeNetwork) {
         for i in 0..self.caps.len() {
             let m = ServiceId(i as u32);
-            self.caps[i] = placement.hosts_of(m).into_iter().fold(0u32, |acc, k| {
+            self.caps[i] = placement.hosts_iter(m).fold(0u32, |acc, k| {
                 acc.saturating_add(self.cell_ceiling(catalog, net, m, k))
             });
         }
@@ -422,20 +434,7 @@ impl Autoscaler {
 
     /// Set `m`'s total replica count to `total`, water-filled across its
     /// hosts in node-id order (deterministic), each host capped at its
-    /// cell ceiling. Returns the per-cell actions taken.
-    fn apply_total(
-        &mut self,
-        m: ServiceId,
-        total: u32,
-        placement: &Placement,
-        catalog: &ServiceCatalog,
-        net: &EdgeNetwork,
-    ) -> Vec<ScalingAction> {
-        let mut actions = Vec::new();
-        self.apply_total_into(m, total, placement, catalog, net, &mut actions);
-        actions
-    }
-
+    /// cell ceiling. Per-cell actions are appended to `actions`.
     fn apply_total_into(
         &mut self,
         m: ServiceId,
@@ -445,19 +444,24 @@ impl Autoscaler {
         net: &EdgeNetwork,
         actions: &mut Vec<ScalingAction>,
     ) {
-        let hosts = placement.hosts_of(m);
-        if hosts.is_empty() {
-            return;
+        // The scratch buffers move out of `self` for the duration (they are
+        // dead between calls) so `self` stays borrowable for `cell_ceiling`
+        // and `counts` below.
+        let mut hosts = std::mem::take(&mut self.fill_hosts);
+        let mut ceilings = std::mem::take(&mut self.fill_ceil);
+        let mut alloc = std::mem::take(&mut self.fill_alloc);
+        hosts.clear();
+        hosts.extend(placement.hosts_iter(m));
+        ceilings.clear();
+        for &k in &hosts {
+            ceilings.push(self.cell_ceiling(catalog, net, m, k));
         }
-        let ceilings: Vec<u32> = hosts
-            .iter()
-            .map(|&k| self.cell_ceiling(catalog, net, m, k))
-            .collect();
         let capacity: u32 = ceilings.iter().fold(0u32, |a, &c| a.saturating_add(c));
         let mut remaining = total.min(capacity);
         // Water-fill one replica per host per round, in node-id order:
         // spreads load evenly and deterministically across hosts.
-        let mut alloc = vec![0u32; hosts.len()];
+        alloc.clear();
+        alloc.resize(hosts.len(), 0);
         while remaining > 0 {
             let mut progressed = false;
             for (a, &c) in alloc.iter_mut().zip(&ceilings) {
@@ -487,6 +491,9 @@ impl Autoscaler {
                 self.counts.set(m, k, new);
             }
         }
+        self.fill_hosts = hosts;
+        self.fill_ceil = ceilings;
+        self.fill_alloc = alloc;
     }
 }
 

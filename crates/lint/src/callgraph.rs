@@ -32,6 +32,18 @@ pub struct Edge {
     pub to: usize,
     /// 1-based line of the call site in `from`'s file.
     pub line: usize,
+    /// Syntactic loop depth of the call site inside `from`'s body.
+    pub loop_depth: usize,
+    /// Call-site id, unique across the graph: an ambiguous method call fans
+    /// out into several edges sharing one `site`, so passes can reason about
+    /// the candidate *set* instead of each maybe-target in isolation.
+    pub site: usize,
+    /// False when this edge came from a name-union over several candidate
+    /// methods — the callee is one possibility, not a known target. Taint
+    /// passes ignore this (over-approximation is the safe direction for
+    /// reachability); precision-sensitive passes like `A1-hot-alloc` only
+    /// trust an ambiguous site when *every* candidate misbehaves.
+    pub certain: bool,
 }
 
 /// The workspace call graph.
@@ -101,20 +113,30 @@ impl Graph {
 
         // Resolve call sites into edges.
         let mut edges = Vec::new();
+        let mut site = 0usize;
         for idx in 0..g.nodes.len() {
             let ctx = &ctxs[node_file_ctx[idx]];
             let calls = g.nodes[idx].item.calls.clone();
             for call in &calls {
-                for to in g.resolve(idx, call, ctx) {
+                let targets = g.resolve(idx, call, ctx);
+                if targets.is_empty() {
+                    continue;
+                }
+                let certain = targets.len() == 1;
+                for to in targets {
                     edges.push(Edge {
                         from: idx,
                         to,
                         line: call.line,
+                        loop_depth: call.loop_depth,
+                        site,
+                        certain,
                     });
                 }
+                site += 1;
             }
         }
-        edges.sort_by_key(|e| (e.from, e.to, e.line));
+        edges.sort_by_key(|e| (e.from, e.to, e.line, e.loop_depth, e.site));
         edges.dedup();
         g.fwd = vec![Vec::new(); g.nodes.len()];
         g.rev = vec![Vec::new(); g.nodes.len()];

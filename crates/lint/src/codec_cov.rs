@@ -1,0 +1,475 @@
+//! C1-codec-coverage: checkpoint encode/decode parity auditing.
+//!
+//! PR 6's bit-identical checkpoint/replay guarantee is only as strong as
+//! hand-maintained encode/decode parity: one struct field added without a
+//! matching `put_*`/`get_*` line silently corrupts recovery. This pass makes
+//! serialization drift fail lint instead.
+//!
+//! **Coverage.** A file is covered when it declares the snapshot version
+//! constant (`const CKPT_VERSION`). Inside a covered file two kinds of
+//! codec pairs are audited:
+//!
+//! - **Method pairs**: a type with a writer method (`to_bytes`/`encode`)
+//!   and a reader (`from_bytes`/`decode`) whose struct definition is found
+//!   anywhere in the workspace. Enums (tagged unions like `LogRecord`) have
+//!   no named-field definition and are skipped — their arms are exercised
+//!   by the round-trip tests instead.
+//! - **Free-fn pairs**: `put_x`/`get_x` helper pairs. These must carry a
+//!   `// LINT-CODEC: StructA[, StructB…]` marker comment above the writer
+//!   naming the structs they serialize — a missing marker is itself a
+//!   diagnostic, so new helpers cannot dodge the audit.
+//!
+//! **The parity rule.** For each audited (struct, writer, reader): every
+//! named field must be written (as a `.field` access in the writer body)
+//! and read (as a bare `field` binding/literal entry in the reader body),
+//! and the *first occurrence* of each field on both sides must follow the
+//! struct's declaration order — a length-prefixed byte format has no field
+//! tags, so order *is* the schema. A missing field is reported at the
+//! field's definition line; an order violation at the offending access.
+//!
+//! **Version discipline.** A covered file must carry a
+//! `// CKPT-SHAPE(vN): <hash>` marker whose `N` equals `CKPT_VERSION` and
+//! whose hash is the FNV-1a of all audited struct shapes. Changing any
+//! audited struct changes the hash, so lint forces the author to bump
+//! `CKPT_VERSION` *and* refresh the marker in the same change — shape
+//! drift can't land silently even when encode/decode were both updated.
+
+use crate::engine::{allow_status, AllowStatus, Diagnostic, Rule};
+use crate::lexer::{line_views, test_gated_mask, LineView};
+use crate::parser::{parse_file, tokenize, FnItem, StructDef, Tok, TokKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Writer / reader method-name pairs recognized on impl types.
+const WRITERS: [&str; 2] = ["to_bytes", "encode"];
+const READERS: [&str; 2] = ["from_bytes", "decode"];
+
+struct FileData {
+    views: Vec<LineView>,
+    toks: Vec<Tok>,
+    fns: Vec<FnItem>,
+    structs: Vec<StructDef>,
+}
+
+fn waived(views: &[LineView], line: usize) -> bool {
+    if line == 0 || line > views.len() {
+        return false;
+    }
+    matches!(
+        allow_status(views, line - 1, Rule::C1CodecCoverage),
+        AllowStatus::Allowed
+    )
+}
+
+/// 64-bit FNV-1a over the audited shape description.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// `LINT-CODEC: A, B` marker attached to the line (same line or contiguous
+/// comment block above). Returns the named structs.
+fn codec_marker(views: &[LineView], line: usize) -> Option<Vec<String>> {
+    let parse = |comment: &str| -> Option<Vec<String>> {
+        let pos = comment.find("LINT-CODEC:")?;
+        let rest = &comment[pos + "LINT-CODEC:".len()..];
+        Some(
+            rest.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect(),
+        )
+    };
+    if line == 0 || line > views.len() {
+        return None;
+    }
+    let idx = line - 1;
+    if let Some(v) = parse(&views[idx].comment) {
+        return Some(v);
+    }
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let v = &views[j];
+        if !v.is_code_blank() {
+            break;
+        }
+        if let Some(out) = parse(&v.comment) {
+            return Some(out);
+        }
+        if v.comment.trim().is_empty() && v.code.trim().is_empty() {
+            break;
+        }
+    }
+    None
+}
+
+/// `CKPT-SHAPE(vN): <hex>` marker anywhere in the file: (line, N, hex).
+fn shape_marker(views: &[LineView]) -> Option<(usize, u32, String)> {
+    for (idx, v) in views.iter().enumerate() {
+        let Some(pos) = v.comment.find("CKPT-SHAPE(v") else {
+            continue;
+        };
+        let rest = &v.comment[pos + "CKPT-SHAPE(v".len()..];
+        let close = rest.find(')')?;
+        let ver: u32 = rest[..close].trim().parse().ok()?;
+        let after = rest[close + 1..].trim_start();
+        let hex = after
+            .strip_prefix(':')
+            .map(str::trim)
+            .unwrap_or("")
+            .split_whitespace()
+            .next()
+            .unwrap_or("")
+            .to_string();
+        return Some((idx + 1, ver, hex));
+    }
+    None
+}
+
+/// Value of `const CKPT_VERSION … = N` in the token stream: (line, N).
+fn ckpt_version(toks: &[Tok]) -> Option<(usize, u32)> {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind.ident_is("CKPT_VERSION") {
+            // const CKPT_VERSION: u32 = 1;
+            let mut j = i + 1;
+            while j < toks.len() && j < i + 8 {
+                match &toks[j].kind {
+                    TokKind::Punct("=") => {
+                        if let Some(TokKind::Num(n)) = toks.get(j + 1).map(|t| &t.kind) {
+                            if let Ok(v) = n.parse::<u32>() {
+                                return Some((t.line, v));
+                            }
+                        }
+                        return None;
+                    }
+                    TokKind::Punct(";") => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+    }
+    None
+}
+
+trait IdentIs {
+    fn ident_is(&self, s: &str) -> bool;
+}
+
+impl IdentIs for TokKind {
+    fn ident_is(&self, s: &str) -> bool {
+        matches!(self, TokKind::Ident(i) if i == s)
+    }
+}
+
+/// First occurrence (name, line) of each of `fields` as a *written* field —
+/// `.name` accesses that are not method calls — in `toks[range]`.
+fn write_occurrences(toks: &[Tok], range: (usize, usize), fields: &BTreeSet<&str>) -> Vec<(String, usize)> {
+    let mut out: Vec<(String, usize)> = Vec::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let end = range.1.min(toks.len());
+    for i in range.0..end {
+        let TokKind::Ident(name) = &toks[i].kind else {
+            continue;
+        };
+        if !fields.contains(name.as_str()) || seen.contains(name) {
+            continue;
+        }
+        let prev_dot = i
+            .checked_sub(1)
+            .and_then(|p| toks.get(p))
+            .is_some_and(|t| t.kind == TokKind::Punct("."));
+        let next_call = toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Punct("("));
+        if prev_dot && !next_call {
+            seen.insert(name.clone());
+            out.push((name.clone(), toks[i].line));
+        }
+    }
+    out
+}
+
+/// First occurrence (name, line) of each of `fields` as a *read* binding —
+/// bare identifiers that are neither field projections, path segments nor
+/// calls — in `toks[range]`.
+fn read_occurrences(toks: &[Tok], range: (usize, usize), fields: &BTreeSet<&str>) -> Vec<(String, usize)> {
+    let mut out: Vec<(String, usize)> = Vec::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let end = range.1.min(toks.len());
+    for i in range.0..end {
+        let TokKind::Ident(name) = &toks[i].kind else {
+            continue;
+        };
+        if !fields.contains(name.as_str()) || seen.contains(name) {
+            continue;
+        }
+        let prev = i.checked_sub(1).and_then(|p| toks.get(p)).map(|t| &t.kind);
+        let bad_prev = matches!(prev, Some(TokKind::Punct("." | "::")));
+        let next = toks.get(i + 1).map(|t| &t.kind);
+        let is_call = matches!(next, Some(TokKind::Punct("(")))
+            || (matches!(next, Some(TokKind::Punct("!")))
+                && matches!(toks.get(i + 2).map(|t| &t.kind), Some(TokKind::Punct("(" | "[" | "{"))));
+        if !bad_prev && !is_call {
+            seen.insert(name.clone());
+            out.push((name.clone(), toks[i].line));
+        }
+    }
+    out
+}
+
+struct StructRef<'a> {
+    file: &'a str,
+    def: &'a StructDef,
+}
+
+/// Run the C1 pass over the (library) file set.
+pub fn check(files: &[(String, String)]) -> Vec<Diagnostic> {
+    let mut data: BTreeMap<&str, FileData> = BTreeMap::new();
+    for (rel, src) in files {
+        let views = line_views(src);
+        let mask = test_gated_mask(&views);
+        let toks = tokenize(&views, &mask);
+        let parsed = parse_file(rel, src);
+        data.insert(
+            rel.as_str(),
+            FileData {
+                views,
+                toks,
+                fns: parsed.fns,
+                structs: parsed.structs,
+            },
+        );
+    }
+    // Workspace struct index. First definition wins on (unlikely) name
+    // collisions; shapes are looked up by bare name because the codec
+    // bodies refer to them by bare name too.
+    let mut structs: BTreeMap<&str, StructRef> = BTreeMap::new();
+    for (rel, fd) in &data {
+        for def in &fd.structs {
+            structs
+                .entry(def.name.as_str())
+                .or_insert(StructRef { file: rel, def });
+        }
+    }
+
+    let mut out = Vec::new();
+    for (rel, fd) in &data {
+        let Some((ver_line, ver)) = ckpt_version(&fd.toks) else {
+            continue; // not a covered codec file
+        };
+        // (struct, writer fn, reader fn) triples to audit.
+        let mut audits: Vec<(&StructRef, &FnItem, &FnItem)> = Vec::new();
+        let mut audited_shapes: BTreeSet<&str> = BTreeSet::new();
+
+        // Method pairs, grouped by impl type.
+        let mut by_type: BTreeMap<&str, (Option<&FnItem>, Option<&FnItem>)> = BTreeMap::new();
+        for f in &fd.fns {
+            let Some(ty) = f.type_name.as_deref() else {
+                continue;
+            };
+            let slot = by_type.entry(ty).or_default();
+            if WRITERS.contains(&f.name.as_str()) {
+                slot.0 = Some(f);
+            } else if READERS.contains(&f.name.as_str()) {
+                slot.1 = Some(f);
+            }
+        }
+        for (ty, (w, r)) in &by_type {
+            if let (Some(w), Some(r)) = (w, r) {
+                if let Some(sr) = structs.get(ty) {
+                    if !sr.def.fields.is_empty() {
+                        audits.push((sr, w, r));
+                        audited_shapes.insert(sr.def.name.as_str());
+                    }
+                }
+            }
+        }
+
+        // Free-fn pairs `put_x`/`get_x`.
+        for f in &fd.fns {
+            if f.type_name.is_some() {
+                continue;
+            }
+            let Some(suffix) = f.name.strip_prefix("put_") else {
+                continue;
+            };
+            let getter = format!("get_{suffix}");
+            let Some(r) = fd
+                .fns
+                .iter()
+                .find(|g| g.type_name.is_none() && g.name == getter)
+            else {
+                continue;
+            };
+            match codec_marker(&fd.views, f.line) {
+                None => {
+                    if !waived(&fd.views, f.line) {
+                        out.push(Diagnostic {
+                            file: rel.to_string(),
+                            line: f.line,
+                            rule: Rule::C1CodecCoverage,
+                            message: format!(
+                                "codec pair `{}`/`{getter}` has no `LINT-CODEC:` \
+                                 marker naming the structs it serializes; add \
+                                 `// LINT-CODEC: StructName` above the writer so \
+                                 the coverage audit can see it",
+                                f.name
+                            ),
+                        });
+                    }
+                }
+                Some(names) => {
+                    for name in &names {
+                        match structs.get(name.as_str()) {
+                            Some(sr) if !sr.def.fields.is_empty() => {
+                                audits.push((sr, f, r));
+                                audited_shapes.insert(sr.def.name.as_str());
+                            }
+                            _ => {
+                                if !waived(&fd.views, f.line) {
+                                    out.push(Diagnostic {
+                                        file: rel.to_string(),
+                                        line: f.line,
+                                        rule: Rule::C1CodecCoverage,
+                                        message: format!(
+                                            "LINT-CODEC marker names `{name}`, but no \
+                                             named-field struct of that name exists in \
+                                             the linted workspace"
+                                        ),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- Field coverage + order, per audit -----------------------
+        for (sr, w, r) in &audits {
+            let fields: Vec<&str> = sr.def.fields.iter().map(|f| f.name.as_str()).collect();
+            let fset: BTreeSet<&str> = fields.iter().copied().collect();
+            let sides = [
+                ("written", w, write_occurrences(&fd.toks, w.body, &fset)),
+                ("read", r, read_occurrences(&fd.toks, r.body, &fset)),
+            ];
+            for (verb, codec_fn, got) in &sides {
+                let got_set: BTreeSet<&str> = got.iter().map(|(n, _)| n.as_str()).collect();
+                // Missing fields → field-level diagnostics at the struct def.
+                for field in &sr.def.fields {
+                    if got_set.contains(field.name.as_str()) {
+                        continue;
+                    }
+                    let def_views = &data[sr.file].views;
+                    if waived(def_views, field.line) || waived(&fd.views, codec_fn.line) {
+                        continue;
+                    }
+                    out.push(Diagnostic {
+                        file: sr.file.to_string(),
+                        line: field.line,
+                        rule: Rule::C1CodecCoverage,
+                        message: format!(
+                            "field `{}` of `{}` is never {verb} by `{}` ({rel}); \
+                             the checkpoint byte format silently drifts — wire the \
+                             field through and bump CKPT_VERSION",
+                            field.name, sr.def.name, codec_fn.name
+                        ),
+                    });
+                }
+                // Order: first occurrences must follow declaration order.
+                let expected: Vec<&str> = fields
+                    .iter()
+                    .copied()
+                    .filter(|f| got_set.contains(f))
+                    .collect();
+                for (k, (name, line)) in got.iter().enumerate() {
+                    if expected.get(k).copied() == Some(name.as_str()) {
+                        continue;
+                    }
+                    if !waived(&fd.views, *line) {
+                        out.push(Diagnostic {
+                            file: rel.to_string(),
+                            line: *line,
+                            rule: Rule::C1CodecCoverage,
+                            message: format!(
+                                "field `{name}` of `{}` {verb} out of declaration \
+                                 order by `{}` (expected `{}` here); the untagged \
+                                 byte format makes order part of the schema",
+                                sr.def.name,
+                                codec_fn.name,
+                                expected.get(k).copied().unwrap_or("<none>")
+                            ),
+                        });
+                    }
+                    break; // one order diagnostic per side is enough
+                }
+            }
+        }
+
+        // ---- Shape hash / version discipline -------------------------
+        if audits.is_empty() {
+            continue;
+        }
+        let mut shape = String::new();
+        for name in &audited_shapes {
+            let def = structs[name].def;
+            shape.push_str(name);
+            shape.push('{');
+            for (i, f) in def.fields.iter().enumerate() {
+                if i > 0 {
+                    shape.push(',');
+                }
+                shape.push_str(&f.name);
+            }
+            shape.push_str("};");
+        }
+        let hash = format!("{:016x}", fnv1a(&shape));
+        match shape_marker(&fd.views) {
+            None => {
+                if !waived(&fd.views, ver_line) {
+                    out.push(Diagnostic {
+                        file: rel.to_string(),
+                        line: ver_line,
+                        rule: Rule::C1CodecCoverage,
+                        message: format!(
+                            "covered codec file has no `CKPT-SHAPE` marker; add \
+                             `// CKPT-SHAPE(v{ver}): {hash}` next to CKPT_VERSION \
+                             so shape drift forces a version bump"
+                        ),
+                    });
+                }
+            }
+            Some((mline, mver, mhash)) => {
+                if mhash != hash && !waived(&fd.views, mline) {
+                    out.push(Diagnostic {
+                        file: rel.to_string(),
+                        line: mline,
+                        rule: Rule::C1CodecCoverage,
+                        message: format!(
+                            "checkpoint shape changed (audited shape hash {hash}, \
+                             marker records {mhash}); bump CKPT_VERSION and refresh \
+                             the marker to `CKPT-SHAPE(v{}): {hash}`",
+                            ver + 1
+                        ),
+                    });
+                } else if mver != ver && !waived(&fd.views, mline) {
+                    out.push(Diagnostic {
+                        file: rel.to_string(),
+                        line: mline,
+                        rule: Rule::C1CodecCoverage,
+                        message: format!(
+                            "CKPT-SHAPE marker says v{mver} but `const CKPT_VERSION` \
+                             is {ver}; keep the marker version in lockstep with the \
+                             constant"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}

@@ -26,12 +26,19 @@ pub enum Rule {
     T2PanicReach,
     /// Units-of-measure suffix convention over latency/objective arithmetic.
     T3Units,
+    /// Interprocedural: no allocation reachable inside a loop of a hot
+    /// entry point (APSP builds, routing DP, online per-slot step, scaler
+    /// tick, incremental cache repair).
+    A1HotAlloc,
+    /// Checkpoint codec parity: every snapshot struct field written and
+    /// read in declaration order, with shape drift forcing a version bump.
+    C1CodecCoverage,
     /// The item parser could not recover structure from a file.
     P0Parse,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 9] = [
+    pub const ALL: [Rule; 11] = [
         Rule::L1FloatCmp,
         Rule::L2PanicFree,
         Rule::L3Time,
@@ -40,6 +47,8 @@ impl Rule {
         Rule::T1NondetTaint,
         Rule::T2PanicReach,
         Rule::T3Units,
+        Rule::A1HotAlloc,
+        Rule::C1CodecCoverage,
         Rule::P0Parse,
     ];
 
@@ -54,6 +63,8 @@ impl Rule {
             Rule::T1NondetTaint => "T1-nondet-taint",
             Rule::T2PanicReach => "T2-panic-reach",
             Rule::T3Units => "T3-units",
+            Rule::A1HotAlloc => "A1-hot-alloc",
+            Rule::C1CodecCoverage => "C1-codec-coverage",
             Rule::P0Parse => "P0-parse",
         }
     }
@@ -103,6 +114,21 @@ impl Rule {
                  unit-suffix convention (`_s`, `_gb`, `_gbps`, `_gflop`, \
                  `_gflops`, …); adding seconds to gigabytes, dividing data by a \
                  non-rate, or calling a unit-ambiguous function is an error"
+            }
+            Rule::A1HotAlloc => {
+                "no allocation primitive (`Vec::new`, `vec![]`, `.collect()`, \
+                 `.clone()`, `format!`, …) may execute inside a loop of a hot \
+                 entry point (APSP builds, the routing DP, the online per-slot \
+                 step, scaler tick, incremental cache repair) — per-iteration \
+                 allocation is why the parallel hot path loses; hoist buffers \
+                 into reusable scratch structs, or waive with a barrier"
+            }
+            Rule::C1CodecCoverage => {
+                "every field of a checkpointed struct must be written and read \
+                 by its codec pair in declaration order (the untagged byte \
+                 format makes order part of the schema), and shape changes \
+                 must bump CKPT_VERSION via the CKPT-SHAPE marker — otherwise \
+                 serialization drift corrupts replay instead of failing lint"
             }
             Rule::P0Parse => {
                 "the item-level parser must be able to recover fn/impl/mod \
@@ -449,6 +475,10 @@ pub struct Passes {
     pub taint: bool,
     /// The T3 units-of-measure pass.
     pub units: bool,
+    /// The A1 hot-loop allocation pass (plus P0 parse diagnostics).
+    pub alloc: bool,
+    /// The C1 checkpoint codec-coverage pass.
+    pub codec: bool,
 }
 
 impl Default for Passes {
@@ -457,31 +487,39 @@ impl Default for Passes {
             token: true,
             taint: true,
             units: true,
+            alloc: true,
+            codec: true,
         }
     }
 }
 
+const NO_PASSES: Passes = Passes {
+    token: false,
+    taint: false,
+    units: false,
+    alloc: false,
+    codec: false,
+};
+
 impl Passes {
-    /// Parse a comma-separated `--passes` value (`token,taint,units`).
+    /// Parse a comma-separated `--passes` value (`token,taint,units,alloc,codec`).
     pub fn from_list(list: &str) -> Result<Passes, String> {
-        let mut p = Passes {
-            token: false,
-            taint: false,
-            units: false,
-        };
+        let mut p = NO_PASSES;
         for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
             match name {
                 "token" => p.token = true,
                 "taint" => p.taint = true,
                 "units" => p.units = true,
-                other => return Err(format!("unknown pass `{other}` (token, taint, units)")),
+                "alloc" => p.alloc = true,
+                "codec" => p.codec = true,
+                other => {
+                    return Err(format!(
+                        "unknown pass `{other}` (token, taint, units, alloc, codec)"
+                    ))
+                }
             }
         }
-        if p == (Passes {
-            token: false,
-            taint: false,
-            units: false,
-        }) {
+        if p == NO_PASSES {
             return Err("empty pass list".to_string());
         }
         Ok(p)
@@ -509,22 +547,34 @@ pub fn lint_files(files: &[(String, String)], passes: &Passes) -> Vec<Diagnostic
             }
         }
     }
-    if passes.taint {
-        let taint_files: Vec<(String, String)> = files
+    if passes.taint || passes.alloc || passes.codec {
+        let lib_files: Vec<(String, String)> = files
             .iter()
             .filter(|(rel, _)| classify(rel) == FileKind::Lib && !rel.starts_with("crates/lint/"))
             .cloned()
             .collect();
-        let graph = crate::callgraph::Graph::build(&taint_files);
-        for (file, line, msg) in &graph.parse_errors {
-            out.push(Diagnostic {
-                file: file.clone(),
-                line: *line,
-                rule: Rule::P0Parse,
-                message: format!("{msg}; the interprocedural passes cannot see through this file"),
-            });
+        if passes.taint || passes.alloc {
+            let graph = crate::callgraph::Graph::build(&lib_files);
+            for (file, line, msg) in &graph.parse_errors {
+                out.push(Diagnostic {
+                    file: file.clone(),
+                    line: *line,
+                    rule: Rule::P0Parse,
+                    message: format!(
+                        "{msg}; the interprocedural passes cannot see through this file"
+                    ),
+                });
+            }
+            if passes.taint {
+                out.extend(crate::taint::check(&lib_files, &graph));
+            }
+            if passes.alloc {
+                out.extend(crate::alloc::check(&lib_files, &graph));
+            }
         }
-        out.extend(crate::taint::check(&taint_files, &graph));
+        if passes.codec {
+            out.extend(crate::codec_cov::check(&lib_files));
+        }
     }
     out.sort_by(|a, b| {
         a.file

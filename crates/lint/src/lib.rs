@@ -19,6 +19,8 @@
 //! | `T1-nondet-taint` | no nondeterminism source (clock, ambient RNG, hash order, thread id, env, fs) *reachable* from a `pub` library entry point |
 //! | `T2-panic-reach`  | no panic-family call reachable from a `pub` library entry point |
 //! | `T3-units`        | suffix-declared units (`_s`, `_gb`, `_gbps`, `_gflop`, …) combine dimensionally in the latency/objective arithmetic |
+//! | `A1-hot-alloc`    | no allocation primitive executes inside a loop of a hot entry point (APSP builds, routing DP, online step, scaler tick, cache repair) |
+//! | `C1-codec-coverage` | every checkpointed struct field is written and read by its codec pair in declaration order, and shape drift forces a `CKPT_VERSION` bump |
 //! | `P0-parse`        | the item parser could structure the file (otherwise T1/T2 are blind there — reported as a finding, not a crash) |
 //!
 //! The taint passes report the *shortest call chain* from an entry point to
@@ -39,12 +41,14 @@
 //! line they sever just that edge.
 //!
 //! Run as `cargo run -p socl-lint -- check [--json] [--passes
-//! token,taint,units]`. Diagnostics use the stable format
+//! token,taint,units,alloc,codec]`. Diagnostics use the stable format
 //! `file:line:rule: message`; exit code is `0` clean / `1` violations
 //! (including `P0-parse`) / `2` internal error, so CI and editors can parse
 //! and gate on it.
 
+pub mod alloc;
 pub mod callgraph;
+pub mod codec_cov;
 pub mod engine;
 pub mod lexer;
 pub mod parser;

@@ -1,7 +1,7 @@
 //! `socl-lint` CLI.
 //!
 //! ```text
-//! socl-lint check [--root <dir>] [--json] [--passes token,taint,units]
+//! socl-lint check [--root <dir>] [--json] [--passes token,taint,units,alloc,codec]
 //!                                  lint the workspace (default command)
 //! socl-lint rules                  list rules with their rationale
 //! ```
@@ -39,7 +39,9 @@ fn main() -> ExitCode {
                         }
                     },
                     None => {
-                        eprintln!("socl-lint: --passes requires a list (token,taint,units)");
+                        eprintln!(
+                            "socl-lint: --passes requires a list (token,taint,units,alloc,codec)"
+                        );
                         return ExitCode::from(2);
                     }
                 }

@@ -247,6 +247,22 @@ pub struct CallSite {
     pub method: bool,
     /// Method call whose receiver token is `self`.
     pub recv_self: bool,
+    /// Number of enclosing syntactic loops (`for`/`while`/`while let`/
+    /// `loop`, labeled or not) around this call inside its function body.
+    pub loop_depth: usize,
+}
+
+/// One occurrence of an allocation primitive inside a function body
+/// (`Vec::new`, `vec![]`, `.collect()`, `.clone()`, `format!`, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocSite {
+    /// 1-based line of the primitive.
+    pub line: usize,
+    /// The primitive as written, for diagnostics (`Vec::with_capacity`,
+    /// `.to_vec()`, `vec!`).
+    pub what: String,
+    /// Number of enclosing syntactic loops around the site.
+    pub loop_depth: usize,
 }
 
 /// Category of a taint-source primitive.
@@ -294,14 +310,43 @@ pub struct FnItem {
     pub is_pub: bool,
     /// Call sites in the body.
     pub calls: Vec<CallSite>,
+    /// Allocation primitives in the body.
+    pub allocs: Vec<AllocSite>,
     /// Taint-source primitives in the body.
     pub sources: Vec<SourceHit>,
+    /// Token-index range of the body, `[start, end)` where `end` is the
+    /// index of the matching `}` in the file's token stream (as produced by
+    /// [`tokenize`] over [`crate::lexer::line_views`] +
+    /// [`crate::lexer::test_gated_mask`]). Passes that need raw body tokens
+    /// (codec coverage) re-tokenize the file — the stream is deterministic,
+    /// so indices line up.
+    pub body: (usize, usize),
+}
+
+/// A named-field struct definition (tuple/unit structs and enums are not
+/// recorded — the codec-coverage pass only audits named-field snapshots).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructDef {
+    pub name: String,
+    /// 1-based line of the `struct` keyword.
+    pub line: usize,
+    /// Named fields in declaration order.
+    pub fields: Vec<StructField>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructField {
+    pub name: String,
+    /// 1-based line of the field name.
+    pub line: usize,
 }
 
 /// Parse result for one file.
 #[derive(Debug, Clone, Default)]
 pub struct ParsedFile {
     pub fns: Vec<FnItem>,
+    /// Named-field struct definitions, in file order.
+    pub structs: Vec<StructDef>,
     /// `use` aliases: last segment (or `as` alias) → full path segments.
     pub uses: Vec<(String, Vec<String>)>,
     /// Structural problems: (line, message).
@@ -595,9 +640,11 @@ impl<'a> Walker<'a> {
                     }
                     self.skip_group();
                 }
+                TokKind::Ident(w) if w == "struct" => {
+                    self.parse_struct();
+                }
                 TokKind::Ident(w)
-                    if w == "struct"
-                        || w == "enum"
+                    if w == "enum"
                         || w == "union"
                         || w == "static"
                         || w == "const"
@@ -636,6 +683,93 @@ impl<'a> Walker<'a> {
                 }
                 _ => self.i += 1,
             }
+        }
+    }
+
+    /// Parse `struct Name<…> { fields }` into a [`StructDef`]. Tuple and
+    /// unit structs are skipped — they have no named fields to audit.
+    fn parse_struct(&mut self) {
+        let line = self.line();
+        self.i += 1; // `struct`
+        let name = match self.peek(0).and_then(|k| k.ident()) {
+            Some(n) => n.to_string(),
+            None => return,
+        };
+        self.i += 1;
+        // Generics / where clause, then `{ fields }`, `( … );`, or `;`.
+        loop {
+            match self.peek(0) {
+                None => return,
+                Some(TokKind::Punct("<")) => self.skip_angles(),
+                Some(TokKind::Punct("(")) => {
+                    self.skip_group(); // tuple struct body
+                }
+                Some(TokKind::Punct(";")) => {
+                    self.i += 1;
+                    return;
+                }
+                Some(TokKind::Punct("{")) => break,
+                _ => self.i += 1,
+            }
+        }
+        self.i += 1; // `{`
+        let mut fields = Vec::new();
+        // Field level: `#[attr]`* `pub`? `(restriction)`? name `:` type `,`
+        while self.i < self.toks.len() {
+            match self.peek(0) {
+                None => break,
+                Some(TokKind::Punct("}")) => {
+                    self.i += 1;
+                    break;
+                }
+                Some(TokKind::Punct("#")) => {
+                    self.i += 1;
+                    self.skip_group();
+                }
+                Some(TokKind::Punct("(")) => {
+                    self.skip_group(); // `pub(crate)` restriction
+                }
+                Some(TokKind::Ident(s)) if s == "pub" => self.i += 1,
+                Some(TokKind::Ident(f)) => {
+                    let fname = f.clone();
+                    let fline = self.line();
+                    self.i += 1;
+                    if self.peek(0).and_then(|k| k.punct()) == Some(":") {
+                        fields.push(StructField {
+                            name: fname,
+                            line: fline,
+                        });
+                        self.i += 1;
+                    }
+                    self.skip_field_type();
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.out.structs.push(StructDef { name, line, fields });
+    }
+
+    /// Skip a struct field's type up to the `,` or `}` that ends it. Angle
+    /// depth is tracked so `BTreeMap<u64, f64>`'s comma does not end the
+    /// field early.
+    fn skip_field_type(&mut self) {
+        let mut angle = 0usize;
+        while self.i < self.toks.len() {
+            match self.peek(0).and_then(|k| k.punct()) {
+                Some("<") => angle += 1,
+                Some(">") => angle = angle.saturating_sub(1),
+                Some("(") | Some("[") | Some("{") => {
+                    self.skip_group();
+                    continue;
+                }
+                Some(",") if angle == 0 => {
+                    self.i += 1;
+                    return;
+                }
+                Some("}") if angle == 0 => return, // caller consumes
+                _ => {}
+            }
+            self.i += 1;
         }
     }
 
@@ -795,7 +929,7 @@ impl<'a> Walker<'a> {
         }
         qual.push_str("::");
         qual.push_str(&name);
-        let (calls, sources, nested) = scan_body(
+        let (calls, allocs, sources, nested) = scan_body(
             self.toks,
             body_start,
             body_end,
@@ -810,7 +944,9 @@ impl<'a> Walker<'a> {
             line: fn_line,
             is_pub,
             calls,
+            allocs,
             sources,
+            body: (body_start, body_end),
         });
         // Nested `fn` items found inside the body parse as their own items.
         for (start, t_name) in nested {
@@ -825,8 +961,25 @@ impl<'a> Walker<'a> {
     }
 }
 
-/// Scan a function body token range for call sites and source primitives.
-/// Returns (calls, sources, nested fn starts).
+/// One open delimiter group during a body scan.
+struct GroupCtx {
+    /// True when this `{…}` is the body of a `for`/`while`/`loop`.
+    is_loop: bool,
+}
+
+/// Scan a function body token range for call sites, allocation primitives
+/// and source primitives. Returns (calls, allocs, sources, nested fn
+/// starts).
+///
+/// Loop depth is tracked syntactically: a `for`/`while`/`loop` keyword arms
+/// a *pending loop* at the current group-nesting level, and the next `{`
+/// opened at that same level becomes the loop body. Braces nested inside
+/// the header's parentheses (`while let Some(HeapEntry { node, .. }) = …`)
+/// sit at a deeper group level, so they never steal the pending marker;
+/// labeled loops (`'outer: loop`) work unchanged because the label tokens
+/// pass through before the keyword is seen. A `;` or group close at or
+/// below the pending level disarms it (e.g. a bare `for` in an HRTB that
+/// never grows a body).
 #[allow(clippy::type_complexity)]
 fn scan_body(
     toks: &[Tok],
@@ -835,13 +988,56 @@ fn scan_body(
     _crate_name: &str,
     _mods: &[String],
     type_name: Option<&str>,
-) -> (Vec<CallSite>, Vec<SourceHit>, Vec<(usize, Option<String>)>) {
+) -> (
+    Vec<CallSite>,
+    Vec<AllocSite>,
+    Vec<SourceHit>,
+    Vec<(usize, Option<String>)>,
+) {
     let mut calls = Vec::new();
+    let mut allocs = Vec::new();
     let mut sources = Vec::new();
     let mut nested: Vec<(usize, Option<String>)> = Vec::new();
+    let mut groups: Vec<GroupCtx> = Vec::new();
+    let mut pending_loop: Option<usize> = None;
+    let mut loop_depth = 0usize;
     let mut i = start;
     while i < end.min(toks.len()) {
         match &toks[i].kind {
+            TokKind::Punct(p @ ("(" | "[" | "{")) => {
+                let is_loop = *p == "{" && pending_loop == Some(groups.len());
+                if is_loop {
+                    pending_loop = None;
+                    loop_depth += 1;
+                }
+                groups.push(GroupCtx { is_loop });
+                i += 1;
+            }
+            TokKind::Punct(")" | "]" | "}") => {
+                if let Some(g) = groups.pop() {
+                    if g.is_loop {
+                        loop_depth -= 1;
+                    }
+                }
+                if pending_loop.is_some_and(|lvl| groups.len() < lvl) {
+                    pending_loop = None;
+                }
+                i += 1;
+            }
+            TokKind::Punct(";") => {
+                if pending_loop.is_some_and(|lvl| groups.len() <= lvl) {
+                    pending_loop = None;
+                }
+                i += 1;
+            }
+            TokKind::Ident(w) if w == "for" || w == "while" || w == "loop" => {
+                // `for<'a> …` is an HRTB, not a loop header.
+                let hrtb = w == "for" && toks.get(i + 1).and_then(|t| t.kind.punct()) == Some("<");
+                if !hrtb {
+                    pending_loop = Some(groups.len());
+                }
+                i += 1;
+            }
             TokKind::Ident(w) if w == "fn" => {
                 // Nested item: record and skip its body so its calls are not
                 // attributed to the enclosing fn.
@@ -941,6 +1137,13 @@ fn scan_body(
                             what: format!("{}!", path.join("::")),
                         });
                     }
+                    if matches!(path.last().map(String::as_str), Some("vec") | Some("format")) {
+                        allocs.push(AllocSite {
+                            line: call_line,
+                            what: format!("{}!", path.join("::")),
+                            loop_depth,
+                        });
+                    }
                     i = j + 1;
                     continue;
                 }
@@ -952,11 +1155,19 @@ fn scan_body(
                             what,
                         });
                     } else {
+                        if let Some(what) = alloc_call(&path, is_method) {
+                            allocs.push(AllocSite {
+                                line: call_line,
+                                what,
+                                loop_depth,
+                            });
+                        }
                         calls.push(CallSite {
                             line: call_line,
                             path: path.clone(),
                             method: is_method,
                             recv_self,
+                            loop_depth,
                         });
                     }
                 } else {
@@ -984,7 +1195,34 @@ fn scan_body(
             _ => i += 1,
         }
     }
-    (calls, sources, nested)
+    (calls, allocs, sources, nested)
+}
+
+/// Classify a call-path as an allocation primitive, if it is one. `.push`
+/// and `.extend` are deliberately excluded — they are the amortized-reuse
+/// idiom the A1 fixes hoist *into*. `Rc::clone`/`Arc::clone` (refcount
+/// bumps) fall through because only `new`/`with_capacity`/`from` count on
+/// the path form.
+fn alloc_call(path: &[String], is_method: bool) -> Option<String> {
+    let last = path.last()?.as_str();
+    if is_method {
+        return match last {
+            "collect" | "to_vec" | "to_owned" | "to_string" | "clone" | "insert" => {
+                Some(format!(".{last}()"))
+            }
+            _ => None,
+        };
+    }
+    let prev = path.len().checked_sub(2).map(|k| path[k].as_str())?;
+    let container = matches!(
+        prev,
+        "Vec" | "String" | "Box" | "BTreeMap" | "BTreeSet" | "VecDeque" | "Rc" | "Arc"
+    );
+    if container && matches!(last, "new" | "with_capacity" | "from") {
+        Some(path.join("::"))
+    } else {
+        None
+    }
 }
 
 fn panic_macro(path: &[String]) -> Option<SourceKind> {
@@ -1160,6 +1398,108 @@ mod tests {
             "{callees:?}"
         );
         assert!(callees.contains(&"g".to_string()), "{callees:?}");
+    }
+
+    #[test]
+    fn loop_depth_tracks_for_while_loop_nesting() {
+        let src = "fn f() {\n  setup();\n  for i in 0..n {\n    one(i);\n    while ready() {\n      two();\n    }\n  }\n  teardown();\n}";
+        let p = parse(src);
+        let depth_of = |name: &str| {
+            p.fns[0]
+                .calls
+                .iter()
+                .find(|c| c.path == [name])
+                .unwrap()
+                .loop_depth
+        };
+        assert_eq!(depth_of("setup"), 0);
+        assert_eq!(depth_of("one"), 1);
+        assert_eq!(depth_of("ready"), 1); // loop header belongs outside its own body
+        assert_eq!(depth_of("two"), 2);
+        assert_eq!(depth_of("teardown"), 0);
+    }
+
+    #[test]
+    fn labeled_loop_and_while_let_have_loop_bodies() {
+        let src = "fn f() {\n  'outer: loop {\n    inner_a();\n    while let Some(Wrap { x, .. }) = it.next() {\n      inner_b(x);\n      if x > 3 { break 'outer; }\n    }\n  }\n}";
+        let p = parse(src);
+        assert!(p.errors.is_empty(), "{:?}", p.errors);
+        let depth_of = |name: &str| {
+            p.fns[0]
+                .calls
+                .iter()
+                .find(|c| c.path == [name])
+                .unwrap()
+                .loop_depth
+        };
+        assert_eq!(depth_of("inner_a"), 1);
+        assert_eq!(depth_of("inner_b"), 2);
+    }
+
+    #[test]
+    fn hrtb_for_is_not_a_loop() {
+        let src = "fn f() {\n  let g: Box<dyn for<'a> Fn(&'a u8)> = mk();\n  { after(); }\n}";
+        let p = parse(src);
+        let after = p.fns[0].calls.iter().find(|c| c.path == ["after"]).unwrap();
+        assert_eq!(after.loop_depth, 0);
+    }
+
+    #[test]
+    fn alloc_sites_record_loop_depth() {
+        let src = "fn f() {\n  let base = Vec::with_capacity(4);\n  for i in 0..n {\n    let row = vec![0.0; n];\n    let s = x.to_vec();\n    keep.push(i);\n  }\n}";
+        let p = parse(src);
+        let allocs: Vec<(&str, usize)> = p.fns[0]
+            .allocs
+            .iter()
+            .map(|a| (a.what.as_str(), a.loop_depth))
+            .collect();
+        assert_eq!(
+            allocs,
+            vec![
+                ("Vec::with_capacity", 0),
+                ("vec!", 1),
+                (".to_vec()", 1), // `.push` is the reuse idiom, never an alloc site
+            ]
+        );
+    }
+
+    #[test]
+    fn closure_braces_do_not_change_loop_depth() {
+        let src = "fn f() {\n  let out = par_map(&xs, |x| { inner(x) });\n  for i in 0..n { looped(); }\n}";
+        let p = parse(src);
+        let depth_of = |name: &str| {
+            p.fns[0]
+                .calls
+                .iter()
+                .find(|c| c.path == [name])
+                .unwrap()
+                .loop_depth
+        };
+        assert_eq!(depth_of("inner"), 0);
+        assert_eq!(depth_of("looped"), 1);
+    }
+
+    #[test]
+    fn struct_fields_parse_in_declaration_order() {
+        let src = "pub struct Snap {\n  pub seed: u64,\n  pub(crate) table: BTreeMap<u64, Vec<f64>>,\n  #[allow(dead_code)]\n  flags: u8,\n}\nstruct Unit;\nstruct Tuple(u8, u8);";
+        let p = parse(src);
+        // Unit/tuple structs are not recorded — no named fields to audit.
+        assert_eq!(p.structs.len(), 1);
+        let s = &p.structs[0];
+        assert_eq!(s.name, "Snap");
+        let names: Vec<&str> = s.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["seed", "table", "flags"]);
+        assert_eq!(s.fields[1].line, 3);
+    }
+
+    #[test]
+    fn generic_struct_with_where_clause_parses() {
+        let src = "struct W<T> where T: Clone {\n  inner: T,\n  count: usize,\n}\nfn after() {}";
+        let p = parse(src);
+        assert_eq!(p.structs.len(), 1);
+        let names: Vec<&str> = p.structs[0].fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["inner", "count"]);
+        assert_eq!(p.fns.len(), 1); // walker resumes cleanly after the struct
     }
 
     #[test]

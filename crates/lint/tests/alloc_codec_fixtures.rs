@@ -1,0 +1,412 @@
+//! Contract tests for the A1-hot-alloc and C1-codec-coverage passes over
+//! in-memory mini-workspaces, pinning exact `(rule, file, line)` triples and
+//! the rendered call chains / remediation text. The chain is part of the
+//! linter's interface — it is what a developer follows to decide where to
+//! hoist a buffer or place a waiver barrier — so a resolution or summary
+//! change that reroutes, truncates, or drops a diagnostic must fail here.
+
+use socl_lint::engine::{lint_files, Passes};
+use socl_lint::Rule;
+
+fn alloc_only() -> Passes {
+    Passes::from_list("alloc").expect("pass list parses")
+}
+
+fn codec_only() -> Passes {
+    Passes::from_list("codec").expect("pass list parses")
+}
+
+fn files(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+    pairs
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect()
+}
+
+/// 64-bit FNV-1a, mirroring the C1 shape hash so fixtures can pin exact
+/// marker values instead of copying opaque constants.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------- A1 ----
+
+/// An allocation two hops below a `LINT-HOT(A1)` entry, reached through a
+/// labeled `while let` loop (the P0-parse constructs), is reported at the
+/// primitive with the full chain from the entry.
+#[test]
+fn a1_loop_chain_is_pinned() {
+    let ws = files(&[(
+        "crates/model/src/hotfix.rs",
+        "// LINT-HOT(A1)\n\
+         pub fn slot_step(mut jobs: Vec<usize>) -> usize {\n\
+             let mut acc = 0;\n\
+             'slots: while let Some(n) = jobs.pop() {\n\
+                 if n == 0 {\n\
+                     break 'slots;\n\
+                 }\n\
+                 acc += widen(n);\n\
+             }\n\
+             acc\n\
+         }\n\
+         fn widen(n: usize) -> usize {\n\
+             let row = vec![0u8; n];\n\
+             row.len()\n\
+         }\n",
+    )]);
+    let diags = lint_files(&ws, &alloc_only());
+    let a1: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == Rule::A1HotAlloc)
+        .collect();
+    assert_eq!(a1.len(), 1, "diags: {diags:?}");
+    assert_eq!(a1[0].file, "crates/model/src/hotfix.rs");
+    assert_eq!(a1[0].line, 13, "expected the `vec![0u8; n]` line");
+    assert!(
+        a1[0].message.contains(
+            "call chain: socl_model::hotfix::slot_step -> socl_model::hotfix::widen"
+        ),
+        "chain text changed: {}",
+        a1[0].message
+    );
+}
+
+/// A looped call leaving the covered set is flagged *at the call line* with
+/// the summary's witness — the opaque-boundary rule.
+#[test]
+fn a1_boundary_call_is_flagged_at_the_call_site() {
+    let ws = files(&[
+        (
+            "crates/model/src/hotfix.rs",
+            "use crate::helper_pool::make_row;\n\
+             // LINT-HOT(A1)\n\
+             pub fn sweep(n: usize) -> usize {\n\
+                 let mut total = 1;\n\
+                 while total < n {\n\
+                     total += make_row(total).len();\n\
+                 }\n\
+                 total\n\
+             }\n",
+        ),
+        (
+            "crates/model/src/helper_pool.rs",
+            "pub(crate) fn make_row(n: usize) -> Vec<u32> {\n\
+                 (0..n as u32).collect()\n\
+             }\n",
+        ),
+    ]);
+    let diags = lint_files(&ws, &alloc_only());
+    let a1: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == Rule::A1HotAlloc)
+        .collect();
+    assert_eq!(a1.len(), 1, "diags: {diags:?}");
+    assert_eq!(a1[0].file, "crates/model/src/hotfix.rs");
+    assert_eq!(a1[0].line, 6, "expected the `make_row(total)` call line");
+    assert!(
+        a1[0]
+            .message
+            .contains("call to `socl_model::helper_pool::make_row` allocates"),
+        "boundary message changed: {}",
+        a1[0].message
+    );
+    assert!(
+        a1[0].message.contains("`.collect()`"),
+        "witness should name the concrete primitive: {}",
+        a1[0].message
+    );
+}
+
+/// A `LINT-ALLOW(A1-hot-alloc)` on the call line is an edge barrier: the
+/// same workspace as above lints clean with the waiver in place.
+#[test]
+fn a1_waiver_is_an_edge_barrier() {
+    let ws = files(&[
+        (
+            "crates/model/src/hotfix.rs",
+            "use crate::helper_pool::make_row;\n\
+             // LINT-HOT(A1)\n\
+             pub fn sweep(n: usize) -> usize {\n\
+                 let mut total = 1;\n\
+                 while total < n {\n\
+                     // LINT-ALLOW(A1-hot-alloc): rows are pooled upstream\n\
+                     total += make_row(total).len();\n\
+                 }\n\
+                 total\n\
+             }\n",
+        ),
+        (
+            "crates/model/src/helper_pool.rs",
+            "pub(crate) fn make_row(n: usize) -> Vec<u32> {\n\
+                 (0..n as u32).collect()\n\
+             }\n",
+        ),
+    ]);
+    let diags = lint_files(&ws, &alloc_only());
+    assert_eq!(diags, Vec::new(), "waived edge must sever the finding");
+}
+
+/// The ambiguity rule: a method call that resolves to a *name union* only
+/// participates when every candidate allocates. One allocation-free
+/// candidate kills the finding; making all candidates allocate restores it.
+#[test]
+fn a1_ambiguous_union_requires_all_candidates_to_allocate() {
+    let hot = (
+        "crates/model/src/hotreg.rs",
+        "use crate::cachemap::CacheMap;\n\
+         // LINT-HOT(A1)\n\
+         pub fn hot_probe(table: &CacheMap, n: usize) -> usize {\n\
+             let mut acc = 0;\n\
+             for i in 0..n {\n\
+                 acc += table.get(i);\n\
+             }\n\
+             acc\n\
+         }\n",
+    );
+    let alloc_get = (
+        "crates/model/src/cachemap.rs",
+        "pub struct CacheMap {\n\
+             rows: Vec<Vec<u32>>,\n\
+         }\n\
+         impl CacheMap {\n\
+             pub fn get(&self, k: usize) -> usize {\n\
+                 self.rows[k].to_vec().len()\n\
+             }\n\
+         }\n",
+    );
+    // A second same-name method that does NOT allocate makes the union
+    // uncertain-and-mixed: no finding.
+    let clean_get = (
+        "crates/model/src/flatrow.rs",
+        "pub struct FlatRow {\n\
+             xs: Vec<u32>,\n\
+         }\n\
+         impl FlatRow {\n\
+             pub fn get(&self, k: usize) -> usize {\n\
+                 self.xs[k] as usize\n\
+             }\n\
+         }\n",
+    );
+    let mixed = files(&[hot, alloc_get, clean_get]);
+    let diags = lint_files(&mixed, &alloc_only());
+    assert_eq!(
+        diags,
+        Vec::new(),
+        "a mixed name-union must not pin the allocating candidate"
+    );
+
+    // Same workspace, but the second candidate allocates too — now every
+    // candidate of the site allocates and the looped call is a finding.
+    let alloc_get2 = (
+        "crates/model/src/flatrow.rs",
+        "pub struct FlatRow {\n\
+             xs: Vec<u32>,\n\
+         }\n\
+         impl FlatRow {\n\
+             pub fn get(&self, k: usize) -> usize {\n\
+                 self.xs.to_vec()[k] as usize\n\
+             }\n\
+         }\n",
+    );
+    let all_alloc = files(&[hot, alloc_get, alloc_get2]);
+    let diags = lint_files(&all_alloc, &alloc_only());
+    let a1: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == Rule::A1HotAlloc)
+        .collect();
+    assert_eq!(a1.len(), 1, "diags: {diags:?}");
+    assert_eq!(a1[0].file, "crates/model/src/hotreg.rs");
+    assert_eq!(a1[0].line, 6, "expected the `table.get(i)` call line");
+}
+
+// ---------------------------------------------------------------- C1 ----
+
+/// A correct method-pair codec with a matching shape marker lints clean.
+fn c1_frame_fixture(fields: &str, writer: &str, reader: &str, marker: &str) -> Vec<(String, String)> {
+    files(&[(
+        "crates/sim/src/ckpt.rs",
+        &format!(
+            "// {marker}\n\
+             pub const CKPT_VERSION: u32 = 1;\n\
+             pub struct Frame {{\n\
+             {fields}\
+             }}\n\
+             impl Frame {{\n\
+                 pub fn to_bytes(&self) -> Vec<u8> {{\n\
+                     let mut w = Vec::new();\n\
+             {writer}\
+                     w\n\
+                 }}\n\
+                 pub fn from_bytes(b: &[u8]) -> Frame {{\n\
+             {reader}\
+                 }}\n\
+             }}\n"
+        ),
+    )])
+}
+
+#[test]
+fn c1_clean_codec_is_clean() {
+    let marker = format!("CKPT-SHAPE(v1): {:016x}", fnv1a("Frame{a,b};"));
+    let ws = c1_frame_fixture(
+        "    pub a: u32,\n    pub b: u32,\n",
+        "        w.extend(self.a.to_le_bytes());\n\
+         \x20       w.extend(self.b.to_le_bytes());\n",
+        "        let a = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);\n\
+         \x20       let b = u32::from_le_bytes([b[4], b[5], b[6], b[7]]);\n\
+         \x20       Frame { a, b }\n",
+        &marker,
+    );
+    let diags = lint_files(&ws, &codec_only());
+    assert_eq!(diags, Vec::new(), "clean codec must produce no diagnostics");
+}
+
+/// The seeded drift mutant: an extra struct field the codec never touches
+/// fails lint with a *field-level* diagnostic on both sides.
+#[test]
+fn c1_extra_field_drift_is_caught_field_level() {
+    let marker = format!("CKPT-SHAPE(v1): {:016x}", fnv1a("Frame{a,b,c};"));
+    let ws = c1_frame_fixture(
+        "    pub a: u32,\n    pub b: u32,\n    pub c: u32,\n",
+        "        w.extend(self.a.to_le_bytes());\n\
+         \x20       w.extend(self.b.to_le_bytes());\n",
+        "        let a = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);\n\
+         \x20       let b = u32::from_le_bytes([b[4], b[5], b[6], b[7]]);\n\
+         \x20       Frame { a, b, c: 0 }\n",
+        &marker,
+    );
+    let diags = lint_files(&ws, &codec_only());
+    let c1: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == Rule::C1CodecCoverage)
+        .collect();
+    // `c` is mentioned by the reader (struct literal) but never written:
+    // exactly one field-level diagnostic, anchored at the field definition.
+    assert_eq!(c1.len(), 1, "diags: {diags:?}");
+    assert_eq!(c1[0].file, "crates/sim/src/ckpt.rs");
+    assert_eq!(c1[0].line, 6, "expected the `pub c: u32` definition line");
+    assert!(
+        c1[0]
+            .message
+            .contains("field `c` of `Frame` is never written by `to_bytes`"),
+        "drift message changed: {}",
+        c1[0].message
+    );
+}
+
+/// Writing fields out of declaration order is an error even when every
+/// field is covered — the untagged byte format makes order the schema.
+#[test]
+fn c1_order_swap_is_caught() {
+    let marker = format!("CKPT-SHAPE(v1): {:016x}", fnv1a("Frame{a,b};"));
+    let ws = c1_frame_fixture(
+        "    pub a: u32,\n    pub b: u32,\n",
+        "        w.extend(self.b.to_le_bytes());\n\
+         \x20       w.extend(self.a.to_le_bytes());\n",
+        "        let a = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);\n\
+         \x20       let b = u32::from_le_bytes([b[4], b[5], b[6], b[7]]);\n\
+         \x20       Frame { a, b }\n",
+        &marker,
+    );
+    let diags = lint_files(&ws, &codec_only());
+    let c1: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == Rule::C1CodecCoverage)
+        .collect();
+    assert_eq!(c1.len(), 1, "diags: {diags:?}");
+    assert_eq!(c1[0].line, 10, "expected the first out-of-order write line");
+    assert!(
+        c1[0]
+            .message
+            .contains("field `b` of `Frame` written out of declaration order"),
+        "order message changed: {}",
+        c1[0].message
+    );
+}
+
+/// A stale shape hash demands a version bump; a missing marker is told the
+/// exact line to add, including the computed hash.
+#[test]
+fn c1_shape_marker_forces_version_bumps() {
+    // Stale hash (recorded for the old single-field shape).
+    let stale = format!("CKPT-SHAPE(v1): {:016x}", fnv1a("Frame{a};"));
+    let ws = c1_frame_fixture(
+        "    pub a: u32,\n    pub b: u32,\n",
+        "        w.extend(self.a.to_le_bytes());\n\
+         \x20       w.extend(self.b.to_le_bytes());\n",
+        "        let a = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);\n\
+         \x20       let b = u32::from_le_bytes([b[4], b[5], b[6], b[7]]);\n\
+         \x20       Frame { a, b }\n",
+        &stale,
+    );
+    let diags = lint_files(&ws, &codec_only());
+    let c1: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == Rule::C1CodecCoverage)
+        .collect();
+    assert_eq!(c1.len(), 1, "diags: {diags:?}");
+    assert_eq!(c1[0].line, 1, "expected the marker line");
+    assert!(
+        c1[0].message.contains("bump CKPT_VERSION") && c1[0].message.contains("CKPT-SHAPE(v2)"),
+        "bump message changed: {}",
+        c1[0].message
+    );
+
+    // No marker at all: the suggestion carries the ready-to-paste line.
+    let ws = c1_frame_fixture(
+        "    pub a: u32,\n    pub b: u32,\n",
+        "        w.extend(self.a.to_le_bytes());\n\
+         \x20       w.extend(self.b.to_le_bytes());\n",
+        "        let a = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);\n\
+         \x20       let b = u32::from_le_bytes([b[4], b[5], b[6], b[7]]);\n\
+         \x20       Frame { a, b }\n",
+        "no shape marker here",
+    );
+    let diags = lint_files(&ws, &codec_only());
+    let c1: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == Rule::C1CodecCoverage)
+        .collect();
+    assert_eq!(c1.len(), 1, "diags: {diags:?}");
+    let want = format!("CKPT-SHAPE(v1): {:016x}", fnv1a("Frame{a,b};"));
+    assert!(
+        c1[0].message.contains(&want),
+        "suggestion should carry the computed hash `{want}`: {}",
+        c1[0].message
+    );
+}
+
+/// A free `put_x`/`get_x` pair without a `LINT-CODEC:` marker cannot dodge
+/// the audit: the missing marker is itself a diagnostic.
+#[test]
+fn c1_unmarked_free_pair_is_reported() {
+    let ws = files(&[(
+        "crates/sim/src/ckpt.rs",
+        "pub const CKPT_VERSION: u32 = 1;\n\
+         pub struct Pose {\n\
+             pub x: u64,\n\
+         }\n\
+         pub fn put_pose(w: &mut Vec<u8>, p: &Pose) {\n\
+             w.extend(p.x.to_le_bytes());\n\
+         }\n\
+         pub fn get_pose(b: &[u8]) -> Pose {\n\
+             let x = u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]);\n\
+             Pose { x }\n\
+         }\n",
+    )]);
+    let diags = lint_files(&ws, &codec_only());
+    let c1: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == Rule::C1CodecCoverage)
+        .collect();
+    assert!(
+        c1.iter()
+            .any(|d| d.line == 5 && d.message.contains("no `LINT-CODEC:` marker")),
+        "diags: {diags:?}"
+    );
+}

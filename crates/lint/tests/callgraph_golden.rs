@@ -114,13 +114,24 @@ fn simplex_optimize_callees() {
 }
 
 /// The routing DP prices every step through the completion-time model and
-/// the unit-suffixed accessors introduced for the T3 pass.
+/// the unit-suffixed accessors introduced for the T3 pass. Since the
+/// scratch-buffer refactor (rule A1-hot-alloc) the DP body lives in
+/// `optimal_route_with`; `optimal_route` is a thin allocating wrapper.
 #[test]
 fn optimal_route_callees() {
     let g = workspace_graph();
     assert_callees(
         &g,
         "socl_model::routing::optimal_route",
+        &[
+            "socl_model::routing::RouteScratch::new",
+            "socl_model::routing::optimal_route_with",
+        ],
+        &["socl_model::objective::evaluate"],
+    );
+    assert_callees(
+        &g,
+        "socl_model::routing::optimal_route_with",
         &[
             "socl_model::latency::completion_time",
             "socl_model::service::ServiceCatalog::compute_gflop",

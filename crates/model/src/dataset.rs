@@ -18,6 +18,29 @@ use rand::Rng;
 use rand::SeedableRng;
 use socl_net::NodeId;
 
+/// Reusable buffers for in-place chain sampling
+/// ([`DependencyDataset::sample_chain_into`] and
+/// [`PreferenceModel::sample_chain_into`](crate::preferences::PreferenceModel::sample_chain_into)).
+/// One instance amortizes every chain re-sample in a simulation run
+/// (rule `A1-hot-alloc`); contents between calls are meaningless.
+#[derive(Debug, Clone, Default)]
+pub struct ChainScratch {
+    /// Candidate chain for the current attempt.
+    pub attempt: Vec<ServiceId>,
+    /// Successor candidates of the walk's current service.
+    pub succ: Vec<u32>,
+    /// Single-service head chain (preference-guided sampling only).
+    pub head: Vec<ServiceId>,
+}
+
+impl ChainScratch {
+    /// Empty scratch; buffers grow on first use and are then recycled.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A microservice dependency graph from which request chains are sampled.
 #[derive(Debug, Clone)]
 pub struct DependencyDataset {
@@ -75,11 +98,16 @@ impl DependencyDataset {
 
     /// Direct callees of `s`.
     pub fn successors(&self, s: u32) -> Vec<u32> {
+        self.successors_iter(s).collect()
+    }
+
+    /// Direct callees of `s`, without allocating — the form hot loops use
+    /// (rule `A1-hot-alloc`).
+    pub fn successors_iter(&self, s: u32) -> impl Iterator<Item = u32> + '_ {
         self.edges
             .iter()
-            .filter(|&&(a, _)| a == s)
+            .filter(move |&&(a, _)| a == s)
             .map(|&(_, b)| b)
-            .collect()
     }
 
     fn is_acyclic(&self) -> bool {
@@ -133,18 +161,43 @@ impl DependencyDataset {
         min_len: usize,
         max_len: usize,
     ) -> Vec<ServiceId> {
+        let mut attempt = Vec::new();
+        let mut succ = Vec::new();
+        let mut out = Vec::new();
+        self.sample_chain_into(rng, min_len, max_len, &mut attempt, &mut succ, &mut out);
+        out
+    }
+
+    /// [`sample_chain`](Self::sample_chain) into caller-owned buffers, so the
+    /// online simulator's churn loop re-samples chains without allocating
+    /// (rule `A1-hot-alloc`). `attempt` and `succ` are pure scratch; the
+    /// chain is left in `out` (previous contents discarded).
+    ///
+    /// Draws from `rng` in exactly the same order as `sample_chain`, so a
+    /// seeded run produces identical chains through either entry point.
+    pub fn sample_chain_into<R: Rng>(
+        &self,
+        rng: &mut R,
+        min_len: usize,
+        max_len: usize,
+        attempt: &mut Vec<ServiceId>,
+        succ: &mut Vec<u32>,
+        out: &mut Vec<ServiceId>,
+    ) {
         assert!(!self.names.is_empty(), "empty dataset");
         let max_len = max_len.max(1);
         let min_len = min_len.clamp(1, max_len);
-        // Retry a few times to satisfy min_len; fall back to the longest seen.
-        let mut best: Vec<ServiceId> = Vec::new();
+        // Retry a few times to satisfy min_len; fall back to the longest
+        // seen, which accumulates in `out`.
+        out.clear();
         for _ in 0..8 {
             let target = rng.gen_range(min_len..=max_len);
-            let mut chain = Vec::with_capacity(target);
+            attempt.clear();
             let mut cur = *self.entries.choose(rng).unwrap_or(&0);
-            chain.push(ServiceId(cur));
-            while chain.len() < target {
-                let succ = self.successors(cur);
+            attempt.push(ServiceId(cur));
+            while attempt.len() < target {
+                succ.clear();
+                succ.extend(self.successors_iter(cur));
                 if succ.is_empty() {
                     break;
                 }
@@ -152,16 +205,16 @@ impl DependencyDataset {
                     Some(&next) => cur = next,
                     None => break,
                 }
-                chain.push(ServiceId(cur));
+                attempt.push(ServiceId(cur));
             }
-            if chain.len() >= min_len {
-                return chain;
+            if attempt.len() >= min_len {
+                std::mem::swap(out, attempt);
+                return;
             }
-            if chain.len() > best.len() {
-                best = chain;
+            if attempt.len() > out.len() {
+                std::mem::swap(out, attempt);
             }
         }
-        best
     }
 
     /// Sample a full request set: `users` requests located uniformly at

@@ -37,7 +37,7 @@ pub mod stats;
 
 pub use codec::{crc32, BinReader, BinWriter, CodecError};
 pub use contention::{link_loads, route_all_contention_aware, ContentionReport, LinkLoads};
-pub use dataset::{DependencyDataset, EshopDataset};
+pub use dataset::{ChainScratch, DependencyDataset, EshopDataset};
 pub use datasets_extra::{SockShopDataset, TrainTicketDataset};
 pub use io::{PlacementSnapshot, ScenarioSnapshot};
 pub use latency::{completion_time, CompletionBreakdown};
@@ -45,7 +45,7 @@ pub use objective::{evaluate, ConstraintReport, Evaluation};
 pub use placement::{Assignment, Placement, ReplicaCounts};
 pub use preferences::{chain_similarity, PreferenceModel};
 pub use request::{RequestConfig, UserId, UserRequest};
-pub use routing::{greedy_route, optimal_route, route_all, RouteOutcome};
+pub use routing::{greedy_route, optimal_route, optimal_route_with, route_all, RouteOutcome, RouteScratch};
 pub use scenario::{Scenario, ScenarioConfig};
 pub use service::{Microservice, ServiceCatalog, ServiceId};
 

@@ -65,11 +65,17 @@ impl Placement {
 
     /// Nodes hosting an instance of `m`.
     pub fn hosts_of(&self, m: ServiceId) -> Vec<NodeId> {
+        self.hosts_iter(m).collect()
+    }
+
+    /// Nodes hosting an instance of `m`, in ascending id order, without
+    /// allocating — the hot-loop variant of [`hosts_of`](Self::hosts_of)
+    /// (rule `A1-hot-alloc`).
+    pub fn hosts_iter(&self, m: ServiceId) -> impl Iterator<Item = NodeId> + '_ {
         let row = m.idx() * self.nodes;
         (0..self.nodes)
-            .filter(|&k| self.x[row + k])
+            .filter(move |&k| self.x[row + k])
             .map(|k| NodeId(k as u32))
-            .collect()
     }
 
     /// Number of instances of `m` across the network.
@@ -84,6 +90,14 @@ impl Placement {
             .filter(|&i| self.x[i * self.nodes + k.idx()])
             .map(|i| ServiceId(i as u32))
             .collect()
+    }
+
+    /// Number of services hosted on `k` — [`services_on`](Self::services_on)
+    /// without materializing the list.
+    pub fn services_count_on(&self, k: NodeId) -> usize {
+        (0..self.services)
+            .filter(|&i| self.x[i * self.nodes + k.idx()])
+            .count()
     }
 
     /// Total number of deployed instances.

@@ -15,7 +15,7 @@
 //!
 //! Both properties are asserted statistically in the tests.
 
-use crate::dataset::DependencyDataset;
+use crate::dataset::{ChainScratch, DependencyDataset};
 use crate::request::{RequestConfig, UserId, UserRequest};
 use crate::service::ServiceId;
 use rand::rngs::StdRng;
@@ -96,35 +96,72 @@ impl PreferenceModel {
         min_len: usize,
         max_len: usize,
     ) -> Vec<ServiceId> {
+        let mut scratch = ChainScratch::new();
+        let mut out = Vec::new();
+        self.sample_chain_into(dataset, user, rng, min_len, max_len, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`sample_chain`](Self::sample_chain) into caller-owned buffers — the
+    /// allocation-free form the online simulator's churn loop uses (rule
+    /// `A1-hot-alloc`). The chain is left in `out` (previous contents
+    /// discarded); `scratch` is recycled across calls.
+    ///
+    /// Draws from `rng` in exactly the same order as `sample_chain`, so a
+    /// seeded run produces identical chains through either entry point.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_chain_into<R: Rng>(
+        &self,
+        dataset: &DependencyDataset,
+        user: usize,
+        rng: &mut R,
+        min_len: usize,
+        max_len: usize,
+        scratch: &mut ChainScratch,
+        out: &mut Vec<ServiceId>,
+    ) {
         let max_len = max_len.max(1);
         let min_len = min_len.clamp(1, max_len);
-        let mut best: Vec<ServiceId> = Vec::new();
+        let ChainScratch {
+            attempt,
+            succ,
+            head,
+        } = scratch;
+        out.clear();
         for _ in 0..8 {
             let target = rng.gen_range(min_len..=max_len);
             // Head drawn from the dataset's entry points (its own sampler
-            // encodes them); preferences steer the walk from there.
-            let mut chain = vec![dataset.sample_chain(rng, 1, 1)[0]];
-            let mut cur = chain[0].0;
-            while chain.len() < target {
-                let succ: Vec<u32> = dataset
-                    .successors(cur)
-                    .into_iter()
-                    .filter(|&s| !chain.contains(&ServiceId(s)))
-                    .collect();
+            // encodes them); preferences steer the walk from there. The
+            // head sampler borrows `attempt`/`succ` as scratch — both are
+            // dead here and reset immediately after.
+            dataset.sample_chain_into(rng, 1, 1, attempt, succ, head);
+            attempt.clear();
+            let Some(&h) = head.first() else {
+                break;
+            };
+            attempt.push(h);
+            let mut cur = h.0;
+            while attempt.len() < target {
+                succ.clear();
+                for s in dataset.successors_iter(cur) {
+                    if !attempt.contains(&ServiceId(s)) {
+                        succ.push(s);
+                    }
+                }
                 if succ.is_empty() {
                     break;
                 }
-                cur = self.choose(user, &succ, rng);
-                chain.push(ServiceId(cur));
+                cur = self.choose(user, succ, rng);
+                attempt.push(ServiceId(cur));
             }
-            if chain.len() >= min_len {
-                return chain;
+            if attempt.len() >= min_len {
+                std::mem::swap(out, attempt);
+                return;
             }
-            if chain.len() > best.len() {
-                best = chain;
+            if attempt.len() > out.len() {
+                std::mem::swap(out, attempt);
             }
         }
-        best
     }
 
     /// Sample a full preference-driven request set over `nodes` stations.

@@ -51,6 +51,27 @@ impl RouteOutcome {
     }
 }
 
+/// Reusable buffers for the routing DP, so per-request calls in hot loops
+/// (`route_all`, the online per-slot sweep) never re-allocate the layer
+/// tables (rule `A1-hot-alloc`). All four vectors are flat: entry `i`
+/// describes host `hosts[i]`, and `off[j]..off[j+1]` is layer `j`'s slice.
+#[derive(Debug, Clone, Default)]
+pub struct RouteScratch {
+    hosts: Vec<NodeId>,
+    off: Vec<usize>,
+    cost_s: Vec<f64>,
+    back: Vec<usize>,
+}
+
+impl RouteScratch {
+    /// Empty scratch; buffers grow to the workload's high-water mark on
+    /// first use and are reused afterwards.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Latency-optimal route for `request` under `placement` (exact DP).
 pub fn optimal_route(
     request: &UserRequest,
@@ -59,73 +80,97 @@ pub fn optimal_route(
     ap: &AllPairs,
     catalog: &ServiceCatalog,
 ) -> RouteOutcome {
+    let mut scratch = RouteScratch::new();
+    optimal_route_with(&mut scratch, request, placement, net, ap, catalog)
+}
+
+/// [`optimal_route`] against caller-owned scratch buffers — the form hot
+/// loops use so the DP tables are allocated once per worker, not once per
+/// request.
+pub fn optimal_route_with(
+    scratch: &mut RouteScratch,
+    request: &UserRequest,
+    placement: &Placement,
+    net: &EdgeNetwork,
+    ap: &AllPairs,
+    catalog: &ServiceCatalog,
+) -> RouteOutcome {
     let n_layers = request.chain.len();
-    // Hosting sets per layer.
-    let mut layers: Vec<Vec<NodeId>> = Vec::with_capacity(n_layers);
+    if n_layers == 0 {
+        return RouteOutcome::CloudFallback;
+    }
+    let RouteScratch {
+        hosts,
+        off,
+        cost_s,
+        back,
+    } = scratch;
+    hosts.clear();
+    off.clear();
+    cost_s.clear();
+    back.clear();
+
+    // Hosting sets per layer, flattened.
+    off.push(0);
     for &m in &request.chain {
-        let hosts = placement.hosts_of(m);
-        if hosts.is_empty() {
+        let before = hosts.len();
+        hosts.extend(placement.hosts_iter(m));
+        if hosts.len() == before {
             return RouteOutcome::CloudFallback;
         }
-        layers.push(hosts);
+        off.push(hosts.len());
     }
 
-    // DP forward pass. cost_s[j][s] = best accumulated delay (seconds)
-    // ending with
-    // chain[j] served at layers[j][s].
-    let mut cost_s: Vec<Vec<f64>> = Vec::with_capacity(n_layers);
-    let mut back: Vec<Vec<usize>> = Vec::with_capacity(n_layers);
+    // DP forward pass. cost_s[i] = best accumulated delay (seconds) ending
+    // with chain[j] served at hosts[i], for i in layer j's slice.
 
     // Layer 0: upload + compute.
-    let first: Vec<f64> = layers[0]
-        .iter()
-        .map(|&k| {
+    for i in off[0]..off[1] {
+        let k = hosts[i];
+        cost_s.push(
             ap.transfer_time(request.location, k, request.r_in)
-                + catalog.compute_gflop(request.chain[0]) / net.compute_gflops(k)
-        })
-        .collect();
-    cost_s.push(first);
-    back.push(vec![usize::MAX; layers[0].len()]);
+                + catalog.compute_gflop(request.chain[0]) / net.compute_gflops(k),
+        );
+        back.push(usize::MAX);
+    }
 
     for j in 1..n_layers {
         let q_gflop = catalog.compute_gflop(request.chain[j]);
         let r_gb = request.edge_data[j - 1];
-        let mut row = Vec::with_capacity(layers[j].len());
-        let mut brow = Vec::with_capacity(layers[j].len());
-        for &k in &layers[j] {
+        let (p0, p1) = (off[j - 1], off[j]);
+        for i in off[j]..off[j + 1] {
+            let k = hosts[i];
             let compute_s = q_gflop / net.compute_gflops(k);
             let mut best_s = f64::INFINITY;
             let mut arg = usize::MAX;
-            for (s, &p) in layers[j - 1].iter().enumerate() {
-                let c_s = cost_s[j - 1][s] + ap.transfer_time(p, k, r_gb);
+            for p in p0..p1 {
+                let c_s = cost_s[p] + ap.transfer_time(hosts[p], k, r_gb);
                 if c_s < best_s {
                     best_s = c_s;
-                    arg = s;
+                    arg = p;
                 }
             }
-            row.push(best_s + compute_s);
-            brow.push(arg);
+            cost_s.push(best_s + compute_s);
+            back.push(arg);
         }
-        cost_s.push(row);
-        back.push(brow);
     }
 
     // Terminal: return leg along min-hop π*.
-    let (mut best_idx, mut best_total_s) = (usize::MAX, f64::INFINITY);
-    for (s, &k) in layers[n_layers - 1].iter().enumerate() {
-        let c_s = cost_s[n_layers - 1][s] + ap.return_time(k, request.location, request.r_out);
+    let (mut best_i, mut best_total_s) = (usize::MAX, f64::INFINITY);
+    for i in off[n_layers - 1]..off[n_layers] {
+        let c_s = cost_s[i] + ap.return_time(hosts[i], request.location, request.r_out);
         if c_s < best_total_s {
             best_total_s = c_s;
-            best_idx = s;
+            best_i = i;
         }
     }
 
     // Backtrack.
     let mut route = vec![NodeId(0); n_layers];
-    let mut s = best_idx;
+    let mut i = best_i;
     for j in (0..n_layers).rev() {
-        route[j] = layers[j][s];
-        s = back[j][s];
+        route[j] = hosts[i];
+        i = back[i];
     }
 
     let breakdown = completion_time(request, &route, net, ap, catalog);
@@ -156,23 +201,21 @@ pub fn greedy_route(
         } else {
             request.edge_data[j - 1]
         };
-        let hosts = placement.hosts_of(m);
-        if hosts.is_empty() {
-            return RouteOutcome::CloudFallback;
-        }
         let q_gflop = catalog.compute_gflop(m);
-        // `hosts` is non-empty (checked above); if that ever regresses we
-        // degrade to the cloud instead of panicking. Ties on cost break by
-        // node id, exactly like the old tuple comparison.
-        let Some(best) = hosts
-            .into_iter()
-            .map(|k| {
-                let c_s = ap.transfer_time(prev, k, r_gb) + q_gflop / net.compute_gflops(k);
-                (c_s, k)
-            })
-            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
-            .map(|(_, k)| k)
-        else {
+        // Scan hosts in ascending node-id order; strict `<` keeps the first
+        // (lowest-id) host on cost ties, exactly like the old
+        // `total_cmp().then(id cmp)` tuple comparison. No host at all
+        // degrades to the cloud.
+        let mut best_c = f64::INFINITY;
+        let mut best = None;
+        for k in placement.hosts_iter(m) {
+            let c_s = ap.transfer_time(prev, k, r_gb) + q_gflop / net.compute_gflops(k);
+            if best.is_none() || c_s < best_c {
+                best_c = c_s;
+                best = Some(k);
+            }
+        }
+        let Some(best) = best else {
             return RouteOutcome::CloudFallback;
         };
         route.push(best);
@@ -201,11 +244,16 @@ pub fn route_all(
     } else {
         1
     };
-    Assignment::new(socl_net::par::par_map_with(requests, threads, |r| {
-        optimal_route(r, placement, net, ap, catalog)
-            .route()
-            .map(<[NodeId]>::to_vec)
-    }))
+    Assignment::new(socl_net::par::par_map_scratch_with(
+        requests,
+        threads,
+        RouteScratch::new,
+        |scratch, r| {
+            optimal_route_with(scratch, r, placement, net, ap, catalog)
+                .route()
+                .map(<[NodeId]>::to_vec)
+        },
+    ))
 }
 
 #[cfg(test)]

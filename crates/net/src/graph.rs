@@ -123,6 +123,23 @@ pub struct Neighbor {
     pub link: usize,
 }
 
+/// Reusable DFS state for [`EdgeNetwork::is_connected_masked`], so repeated
+/// connectivity probes (one per candidate fault in the online simulator's
+/// hot loop) allocate nothing after the first call.
+#[derive(Debug, Clone, Default)]
+pub struct ConnScratch {
+    seen: Vec<bool>,
+    stack: Vec<NodeId>,
+}
+
+impl ConnScratch {
+    /// Empty scratch; buffers grow on first use and are then recycled.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The substrate topology `G(V, L)` of the edge network.
 ///
 /// Construction is additive (`add_node` / `add_link`); the adjacency structure
@@ -278,6 +295,57 @@ impl EdgeNetwork {
             }
         }
         count == self.servers.len()
+    }
+
+    /// [`is_connected`](Self::is_connected) on the subgraph keeping only
+    /// links with `alive[idx]` true, additionally dropping `extra_dead`
+    /// (pass `usize::MAX` for none) — without building the subgraph.
+    /// Reusable `scratch` keeps repeated checks (the simulator probes one
+    /// candidate link per fault event) allocation-free after the first
+    /// call (rule `A1-hot-alloc`). Links whose index is beyond `alive` are
+    /// treated as alive.
+    pub fn is_connected_masked(
+        &self,
+        alive: &[bool],
+        extra_dead: usize,
+        scratch: &mut ConnScratch,
+    ) -> bool {
+        if self.servers.is_empty() {
+            return true;
+        }
+        scratch.seen.clear();
+        scratch.seen.resize(self.servers.len(), false);
+        scratch.stack.clear();
+        scratch.stack.push(NodeId(0));
+        scratch.seen[0] = true;
+        let mut count = 1;
+        while let Some(n) = scratch.stack.pop() {
+            for nb in self.neighbors(n) {
+                let dead = nb.link == extra_dead || alive.get(nb.link) == Some(&false);
+                if !dead && !scratch.seen[nb.node.idx()] {
+                    scratch.seen[nb.node.idx()] = true;
+                    count += 1;
+                    scratch.stack.push(nb.node);
+                }
+            }
+        }
+        count == self.servers.len()
+    }
+
+    /// A copy of this network keeping only links with `alive[idx]` true.
+    /// Servers (and their ids) are preserved; masked links are absent, so
+    /// link indices are *not* comparable across the copy.
+    pub fn masked_clone(&self, alive: &[bool]) -> EdgeNetwork {
+        let mut net = EdgeNetwork::new();
+        for s in &self.servers {
+            net.push_server(s.clone());
+        }
+        for (idx, link) in self.links.iter().enumerate() {
+            if alive.get(idx).copied().unwrap_or(true) {
+                net.add_link(link.a, link.b, link.params);
+            }
+        }
+        net
     }
 
     /// Total storage across all servers, `Σ_k Φ(v_k)` — the left side of the

@@ -38,7 +38,7 @@ pub mod topology;
 pub mod virtual_graph;
 
 pub use fcmp::OrdF64;
-pub use graph::{EdgeNetwork, EdgeServer, Link, LinkParams, NodeId};
+pub use graph::{ConnScratch, EdgeNetwork, EdgeServer, Link, LinkParams, NodeId};
 pub use incremental::{ApspCache, CacheStats};
 pub use kpaths::{k_shortest_paths, WeightedPath};
 pub use par::{effective_threads, parallel_worthwhile, set_threads};

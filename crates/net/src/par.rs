@@ -134,6 +134,70 @@ where
     par_map_indexed(items.len(), |i| f(&items[i]))
 }
 
+/// Map `f` over a slice with a per-worker scratch value, preserving order.
+///
+/// `new_scratch` runs once per worker (and once on the serial path), so a
+/// fan-out over `n` items performs `threads` scratch constructions instead
+/// of `n` — the hot-loop allocation pattern `A1-hot-alloc` exists to
+/// enforce. Determinism contract: `f` must produce the same output for a
+/// given item regardless of what a previous call left in the scratch —
+/// scratch exists to recycle allocations, never to carry state — so
+/// results stay identical for any thread count, exactly like
+/// [`par_map_with`].
+pub fn par_map_scratch_with<I, T, S, N, F>(
+    items: &[I],
+    threads: usize,
+    new_scratch: N,
+    f: F,
+) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    N: Fn() -> S + Sync,
+    F: Fn(&mut S, &I) -> T + Sync,
+{
+    let n = items.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 || n <= 1 {
+        let mut scratch = new_scratch();
+        return items.iter().map(|it| f(&mut scratch, it)).collect();
+    }
+    let chunk = n.div_ceil(threads * 4).max(1);
+    let cursor = AtomicUsize::new(0);
+    let parts: Mutex<Vec<(usize, Vec<T>)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut scratch = new_scratch();
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + chunk).min(n);
+                    let out: Vec<T> = (start..end).map(|i| f(&mut scratch, &items[i])).collect();
+                    // Poison recovery: same argument as `par_map_indexed_with`.
+                    let mut guard = match parts.lock() {
+                        Ok(g) => g,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                    guard.push((start, out));
+                }
+            });
+        }
+    });
+    let mut parts = parts
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    parts.sort_by_key(|(start, _)| *start);
+    let mut out = Vec::with_capacity(n);
+    for (_, mut chunk) in parts {
+        out.append(&mut chunk);
+    }
+    debug_assert_eq!(out.len(), n);
+    out
+}
+
 /// Map `f` over a slice on an explicit thread count, preserving order.
 pub fn par_map_with<I, T, F>(items: &[I], threads: usize, f: F) -> Vec<T>
 where
@@ -171,6 +235,31 @@ mod tests {
         let serial: Vec<f64> = items.iter().map(|x| x * 2.0 + 1.0).collect();
         assert_eq!(par_map_with(&items, 5, |x| x * 2.0 + 1.0), serial);
         assert_eq!(par_map(&items, |x| x * 2.0 + 1.0), serial);
+    }
+
+    #[test]
+    fn scratch_variant_matches_iter_map_for_any_thread_count() {
+        let items: Vec<usize> = (0..513).collect();
+        let serial: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 5, 16] {
+            let got = par_map_scratch_with(
+                &items,
+                threads,
+                || Vec::<usize>::with_capacity(8),
+                |buf, &x| {
+                    // Deliberately leave state behind: the next call must
+                    // clear it, proving results don't depend on carry-over.
+                    buf.clear();
+                    buf.push(x * 3 + 1);
+                    buf.iter().copied().sum::<usize>()
+                },
+            );
+            assert_eq!(got, serial, "threads={threads}");
+        }
+        assert_eq!(
+            par_map_scratch_with(&[] as &[usize], 4, || 0u8, |_, &x| x),
+            Vec::<usize>::new()
+        );
     }
 
     #[test]

@@ -138,6 +138,10 @@ pub struct VgCache {
     memo: BTreeMap<Vec<NodeId>, Arc<VirtualGraph>>,
     hits: u64,
     misses: u64,
+    /// Dedup buffer for lookups, recycled across calls so cache *hits* —
+    /// the steady state — allocate nothing (rule `A1-hot-alloc`). On a miss
+    /// the buffer moves into the memo as the key and is replaced lazily.
+    key_scratch: Vec<NodeId>,
 }
 
 impl VgCache {
@@ -154,19 +158,23 @@ impl VgCache {
             self.memo.clear();
             self.generation = generation;
         }
-        let mut key: Vec<NodeId> = Vec::with_capacity(members.len());
+        self.key_scratch.clear();
         for &m in members {
-            if !key.contains(&m) {
-                key.push(m);
+            if !self.key_scratch.contains(&m) {
+                self.key_scratch.push(m);
             }
         }
-        if let Some(vg) = self.memo.get(&key) {
+        if let Some(vg) = self.memo.get(&self.key_scratch) {
             self.hits += 1;
             return Arc::clone(vg);
         }
         self.misses += 1;
-        let vg = Arc::new(VirtualGraph::build(&key, ap));
-        self.memo.insert(key, Arc::clone(&vg));
+        let vg = Arc::new(VirtualGraph::build(&self.key_scratch, ap));
+        // The scratch becomes the stored key; a fresh (empty) buffer takes
+        // its place and regrows on the next lookup. Misses are rare by
+        // construction, so the steady state stays allocation-free.
+        self.memo
+            .insert(std::mem::take(&mut self.key_scratch), Arc::clone(&vg));
         vg
     }
 

@@ -27,7 +27,7 @@ use socl_model::{Placement, ServiceId};
 use socl_net::{link_criticality, node_criticality, EdgeNetwork, NodeId};
 
 /// One injected fault (or the matching recovery).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultKind {
     /// The node's compute goes down: queued and in-flight work on it is
     /// lost. (Its radio/backhaul keeps forwarding — only serving stops.)
@@ -61,7 +61,7 @@ impl FaultKind {
 }
 
 /// A fault at a point in simulated time (seconds from run start).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultEvent {
     pub time: f64,
     pub kind: FaultKind,

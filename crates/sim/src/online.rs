@@ -205,6 +205,12 @@ pub struct OnlineSimulator {
     /// — the keep-alive economics bill, audited for conservation after
     /// every crash recovery.
     pub(crate) billed_replica_slots: u64,
+    /// Reusable DFS state for bridge probes — transient scratch, never
+    /// checkpointed (rule `A1-hot-alloc`).
+    pub(crate) conn_scratch: socl_net::ConnScratch,
+    /// Reusable chain-sampling buffers for the churn loop — transient
+    /// scratch, never checkpointed (rule `A1-hot-alloc`).
+    pub(crate) chain_scratch: socl_model::ChainScratch,
 }
 
 impl OnlineSimulator {
@@ -248,6 +254,8 @@ impl OnlineSimulator {
             next_slot: 0,
             fault_cursor: 0,
             billed_replica_slots: 0,
+            conn_scratch: socl_net::ConnScratch::new(),
+            chain_scratch: socl_model::ChainScratch::new(),
         }
     }
 
@@ -282,18 +290,13 @@ impl OnlineSimulator {
     }
 
     /// True when removing every currently-dead link *plus* `extra` keeps the
-    /// substrate connected.
-    fn connected_without(&self, extra: usize) -> bool {
-        let mut net = socl_net::EdgeNetwork::new();
-        for k in self.base.net.node_ids() {
-            net.push_server(self.base.net.server(k).clone());
-        }
-        for (idx, link) in self.base.net.links().iter().enumerate() {
-            if self.alive_links[idx] && idx != extra {
-                net.add_link(link.a, link.b, link.params);
-            }
-        }
-        net.is_connected()
+    /// substrate connected. Probes the masked substrate in place — no
+    /// subgraph is materialized, and the DFS buffers are recycled across
+    /// calls (rule `A1-hot-alloc`).
+    fn connected_without(&mut self, extra: usize) -> bool {
+        self.base
+            .net
+            .is_connected_masked(&self.alive_links, extra, &mut self.conn_scratch)
     }
 
     /// The fixed substrate scenario (topology, catalog, knobs).
@@ -311,7 +314,7 @@ impl OnlineSimulator {
         let window_end = (self.next_slot as f64 + 1.0) * self.cfg.slot_secs;
         while self.fault_cursor < self.cfg.faults.len() {
             let ev = match self.cfg.faults.events().get(self.fault_cursor) {
-                Some(ev) if ev.time < window_end => ev.clone(),
+                Some(ev) if ev.time < window_end => *ev,
                 _ => break,
             };
             self.fault_cursor += 1;
@@ -440,28 +443,34 @@ impl OnlineSimulator {
         for (h, (req, &loc)) in self.requests.iter_mut().zip(&self.locations).enumerate() {
             req.location = loc;
             if self.rng.gen::<f64>() < self.cfg.rechain_prob {
-                let chain = match &self.preferences {
-                    Some(prefs) => prefs.sample_chain(
+                // Chains are re-sampled straight into the request's own
+                // buffers; `chain_scratch` is recycled across users and
+                // slots (rule `A1-hot-alloc`). Draw order matches the
+                // allocating samplers exactly, so seeded runs are unchanged.
+                match &self.preferences {
+                    Some(prefs) => prefs.sample_chain_into(
                         &self.dataset,
                         h,
                         &mut self.rng,
                         req_cfg.chain_len.0,
                         req_cfg.chain_len.1,
+                        &mut self.chain_scratch,
+                        &mut req.chain,
                     ),
-                    None => self.dataset.sample_chain(
+                    None => self.dataset.sample_chain_into(
                         &mut self.rng,
                         req_cfg.chain_len.0,
                         req_cfg.chain_len.1,
+                        &mut self.chain_scratch.attempt,
+                        &mut self.chain_scratch.succ,
+                        &mut req.chain,
                     ),
-                };
-                let edge_data = (0..chain.len().saturating_sub(1))
-                    .map(|_| {
-                        self.rng
-                            .gen_range(req_cfg.edge_data.0..=req_cfg.edge_data.1)
-                    })
-                    .collect();
-                req.chain = chain;
-                req.edge_data = edge_data;
+                }
+                req.edge_data.clear();
+                for _ in 0..req.chain.len().saturating_sub(1) {
+                    req.edge_data
+                        .push(self.rng.gen_range(req_cfg.edge_data.0..=req_cfg.edge_data.1));
+                }
             }
         }
 
@@ -483,17 +492,8 @@ impl OnlineSimulator {
             .collect();
         self.apsp.sync_rates(&desired);
         if self.alive_links.iter().any(|&a| !a) {
-            let mut net = socl_net::EdgeNetwork::new();
-            for k in self.base.net.node_ids() {
-                net.push_server(self.base.net.server(k).clone());
-            }
-            for (idx, link) in self.base.net.links().iter().enumerate() {
-                if self.alive_links[idx] {
-                    net.add_link(link.a, link.b, link.params);
-                }
-            }
             sc.ap = self.apsp.all_pairs().clone();
-            sc.net = net;
+            sc.net = self.base.net.masked_clone(&self.alive_links);
         }
         for i in 0..self.cfg.nodes {
             if !self.alive[i] {
@@ -601,7 +601,7 @@ impl OnlineSimulator {
                         if !self.alive[i] {
                             continue;
                         }
-                        let hosted = placement.services_on(NodeId(i as u32)).len();
+                        let hosted = placement.services_count_on(NodeId(i as u32));
                         if victim == usize::MAX || hosted > most {
                             victim = i;
                             most = hosted;

@@ -44,6 +44,7 @@ use std::time::Duration;
 /// Checkpoint format tag (`b"SCKP"` little-endian).
 const CKPT_MAGIC: u32 = u32::from_le_bytes(*b"SCKP");
 /// Checkpoint format version understood by this build.
+// CKPT-SHAPE(v1): 5709c643363a0312
 const CKPT_VERSION: u32 = 1;
 /// Upper bound on any decoded sequence length — a corrupt length field
 /// must never turn into a multi-gigabyte allocation.
@@ -106,6 +107,7 @@ pub struct Checkpoint {
     pub scaler: Option<ScalerState>,
 }
 
+// LINT-CODEC: RngState
 fn put_rng(w: &mut BinWriter, s: &RngState) {
     w.put_raw(&s.seed);
     w.put_u64(s.stream);
@@ -124,6 +126,7 @@ fn get_rng(r: &mut BinReader<'_>) -> Result<RngState, CodecError> {
     })
 }
 
+// LINT-CODEC: UserRequest
 fn put_request(w: &mut BinWriter, req: &UserRequest) {
     w.put_u32(req.id.0);
     w.put_u32(req.location.0);
@@ -157,6 +160,7 @@ fn get_request(r: &mut BinReader<'_>) -> Result<UserRequest, CodecError> {
     })
 }
 
+// LINT-CODEC: ScalerState, ServiceStateSnapshot, ForecasterState
 fn put_scaler(w: &mut BinWriter, s: &ScalerState) {
     w.put_usize(s.services);
     w.put_usize(s.nodes);

@@ -37,7 +37,7 @@ fn every_pass_is_individually_clean() {
     // instead of burying it in a combined report.
     let cwd = std::env::current_dir().expect("cwd");
     let root = find_workspace_root(&cwd).expect("workspace root not found");
-    for sel in ["token", "taint", "units"] {
+    for sel in ["token", "taint", "units", "alloc", "codec"] {
         let passes = Passes::from_list(sel).expect("pass list parses");
         let diags = lint_workspace_passes(&root, &passes).expect("workspace walk failed");
         assert!(
