@@ -1,0 +1,351 @@
+//! SERVE — sustained decision throughput, decision latency, and the
+//! crash/shard determinism gates of the sharded control-plane service.
+//!
+//! Drives `socl::serve::SoclServe` with a flash-crowd feed sized to
+//! overload the drain budget around the spike, so the run exercises both
+//! backpressure paths (queue-full sheds and admission sheds) while the
+//! bulk of the horizon measures steady-state throughput. On top of the
+//! timing, the bench re-runs the workload at shard count 1 (the decision
+//! stream must be bit-identical) and kills one shard mid-run with a torn
+//! WAL tail (the restored, replayed state must match a never-crashed
+//! golden run bit for bit).
+//!
+//! ```sh
+//! cargo run --release -p socl-bench --bin serve              # measure + write BENCH_serve.json
+//! cargo run --release -p socl-bench --bin serve -- --check   # compare against committed JSON
+//! ```
+//!
+//! `--check` fails (exit 1) when a *deterministic* guarantee regressed:
+//! the decision/arrival counts drifting from the committed baseline, a
+//! conservation or invariant violation, the shard-1 stream diverging, or
+//! the kill-and-restore run not stitching back bit-identically.
+//! Wall-clock fields (decisions/s, tick and route latency) are
+//! machine-relative and informational only.
+
+use socl::model::{RouteOutcome, RouteScratch};
+use socl::prelude::*;
+use std::time::Instant;
+
+const BASELINE: &str = "BENCH_serve.json";
+
+/// Ticks the service runs.
+const TICKS: u32 = 60;
+/// Tick the victim run's shard is killed at.
+const KILL_AT: u32 = 46;
+/// Shard killed in the crash-recovery leg.
+const KILL_SHARD: usize = 1;
+/// Routing-probe sample size for the per-decision latency estimate.
+const PROBE_SAMPLES: usize = 2000;
+/// Absolute ceiling on a serialized region checkpoint.
+const CKPT_BYTES_CAP: usize = 256 * 1024;
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        nodes: 24,
+        regions: 4,
+        shards: 4,
+        feed: FeedConfig {
+            users: 200_000,
+            shape: TemporalConfig::flash_crowd(),
+            arrivals_per_tick: 300.0,
+            seed: 0xFEED ^ 17,
+            ..FeedConfig::default()
+        },
+        ..ServeConfig::small(17)
+    }
+}
+
+struct Measured {
+    totals: ServeTotals,
+    violations: usize,
+    shard_invariant: bool,
+    stitched_equal: bool,
+    oracle_mismatches: usize,
+    replayed_ticks: u32,
+    wal_bytes: usize,
+    checkpoint_bytes_max: usize,
+    // Wall-clock (informational).
+    decisions_per_sec: f64,
+    tick_ms_mean: f64,
+    tick_ms_p99: f64,
+    route_us_p99: f64,
+    wall_s: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted
+        .get(idx.min(sorted.len() - 1))
+        .copied()
+        .unwrap_or(0.0)
+}
+
+fn measure() -> Measured {
+    let wall = Instant::now();
+    println!(
+        "# SERVE: {} users over {} nodes / {} regions / {} shards, flash-crowd, {TICKS} ticks",
+        config().feed.users,
+        config().nodes,
+        config().regions,
+        config().shards
+    );
+
+    // Golden run: throughput + latency + the reference decision stream.
+    let mut golden = SoclServe::new(config());
+    let mut tick_ms: Vec<f64> = Vec::with_capacity(TICKS as usize);
+    let run_clock = Instant::now();
+    for _ in 0..TICKS {
+        let t0 = Instant::now();
+        golden.step();
+        tick_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let run_secs = run_clock.elapsed().as_secs_f64();
+    let totals = golden.totals();
+    let violations = socl::serve::audit_serve(&golden).len();
+    let golden_digests: Vec<Vec<u64>> = golden.digest_timeline().to_vec();
+    let golden_final = golden.snapshot_all();
+
+    // Per-decision latency: serial probes of the routing DP against the
+    // live placement (the unit of work one admitted request costs).
+    let mut scratch = RouteScratch::new();
+    let mut route_us: Vec<f64> = Vec::with_capacity(PROBE_SAMPLES);
+    let mut edge_probes = 0usize;
+    for i in 0..PROBE_SAMPLES {
+        let req = golden.probe_request((i * 97) as u32);
+        let t0 = Instant::now();
+        let outcome = golden.probe_route(&mut scratch, &req);
+        route_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        if matches!(outcome, RouteOutcome::Edge { .. }) {
+            edge_probes += 1;
+        }
+    }
+    println!("routing probes: {edge_probes}/{PROBE_SAMPLES} edge-served");
+
+    // Shard invariance: one shard must reproduce the stream exactly.
+    let mut single = SoclServe::new(ServeConfig {
+        shards: 1,
+        ..config()
+    });
+    single.run(TICKS);
+    let shard_invariant = single.digest_timeline() == golden_digests.as_slice()
+        && single.snapshot_all() == golden_final;
+
+    // Kill-and-restore: crash one shard mid-spike with a torn WAL tail,
+    // replay, run to the end, and demand bit-identical stitched state.
+    let mut victim = SoclServe::new(config());
+    victim.run(KILL_AT);
+    let (oracle_mismatches, replayed_ticks) =
+        match victim.kill_and_restore(KILL_SHARD, TornTail::PartialRecord) {
+            Ok(r) => (r.oracle_mismatches, r.replayed_ticks),
+            Err(e) => {
+                eprintln!("kill_and_restore failed: {e}");
+                std::process::exit(1);
+            }
+        };
+    victim.run(TICKS - KILL_AT);
+    let stitched_equal = victim.snapshot_all() == golden_final
+        && victim.digest_timeline() == golden_digests.as_slice();
+
+    tick_ms.sort_by(f64::total_cmp);
+    route_us.sort_by(f64::total_cmp);
+    let m = Measured {
+        totals,
+        violations,
+        shard_invariant,
+        stitched_equal,
+        oracle_mismatches,
+        replayed_ticks,
+        wal_bytes: golden.wal_bytes(),
+        checkpoint_bytes_max: golden.max_checkpoint_bytes(),
+        decisions_per_sec: totals.decided as f64 / run_secs.max(1e-9),
+        tick_ms_mean: tick_ms.iter().sum::<f64>() / tick_ms.len().max(1) as f64,
+        tick_ms_p99: percentile(&tick_ms, 0.99),
+        route_us_p99: percentile(&route_us, 0.99),
+        wall_s: wall.elapsed().as_secs_f64(),
+    };
+    println!(
+        "{} arrivals -> {} decided ({} cloud), {} queue-shed, {} admission-shed, {} queued",
+        m.totals.arrivals,
+        m.totals.decided,
+        m.totals.cloud_fallbacks,
+        m.totals.shed_queue,
+        m.totals.shed_admission,
+        m.totals.queued
+    );
+    println!(
+        "{:.0} decisions/s; tick mean {:.2} ms p99 {:.2} ms; route p99 {:.1} us; \
+         peak queue {}; {} violations; shard_invariant {}; stitched_equal {} \
+         ({} replayed, {} oracle mismatches); wall {:.2}s",
+        m.decisions_per_sec,
+        m.tick_ms_mean,
+        m.tick_ms_p99,
+        m.route_us_p99,
+        m.totals.queue_peak,
+        m.violations,
+        m.shard_invariant,
+        m.stitched_equal,
+        m.replayed_ticks,
+        m.oracle_mismatches,
+        m.wall_s
+    );
+    m
+}
+
+fn conservation_holds(t: &ServeTotals) -> bool {
+    t.arrivals == t.decided + t.shed_queue + t.shed_admission + t.queued
+}
+
+fn render_json(m: &Measured) -> String {
+    let t = &m.totals;
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"serve\",\n");
+    out.push_str(&format!("  \"ticks\": {TICKS},\n"));
+    out.push_str(&format!("  \"arrivals\": {},\n", t.arrivals));
+    out.push_str(&format!("  \"decisions\": {},\n", t.decided));
+    out.push_str(&format!("  \"cloud_fallbacks\": {},\n", t.cloud_fallbacks));
+    out.push_str(&format!("  \"shed_queue\": {},\n", t.shed_queue));
+    out.push_str(&format!("  \"shed_admission\": {},\n", t.shed_admission));
+    out.push_str(&format!("  \"queued_at_end\": {},\n", t.queued));
+    out.push_str(&format!(
+        "  \"shed_conservation\": {},\n",
+        conservation_holds(t)
+    ));
+    out.push_str(&format!("  \"queue_depth_peak\": {},\n", t.queue_peak));
+    out.push_str(&format!("  \"violations\": {},\n", m.violations));
+    out.push_str(&format!("  \"shard_invariant\": {},\n", m.shard_invariant));
+    out.push_str(&format!("  \"stitched_equal\": {},\n", m.stitched_equal));
+    out.push_str(&format!(
+        "  \"oracle_mismatches\": {},\n",
+        m.oracle_mismatches
+    ));
+    out.push_str(&format!("  \"replayed_ticks\": {},\n", m.replayed_ticks));
+    out.push_str(&format!("  \"wal_bytes\": {},\n", m.wal_bytes));
+    out.push_str(&format!(
+        "  \"checkpoint_bytes_max\": {},\n",
+        m.checkpoint_bytes_max
+    ));
+    out.push_str("  \"wall_clock\": {\n");
+    out.push_str(&format!(
+        "    \"decisions_per_sec\": {:.0},\n",
+        m.decisions_per_sec
+    ));
+    out.push_str(&format!("    \"tick_ms_mean\": {:.3},\n", m.tick_ms_mean));
+    out.push_str(&format!("    \"tick_ms_p99\": {:.3},\n", m.tick_ms_p99));
+    out.push_str(&format!("    \"route_us_p99\": {:.2},\n", m.route_us_p99));
+    out.push_str(&format!("    \"wall_s\": {:.2}\n", m.wall_s));
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Extract the number following `"key":` in a flat JSON text.
+fn find_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn check(baseline_path: &str) -> i32 {
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            return 1;
+        }
+    };
+    let m = measure();
+    let mut failed = false;
+    let mut gate = |name: &str, ok: bool, detail: String| {
+        println!(
+            "check: {name} {detail} -> {}",
+            if ok { "ok" } else { "FAILED" }
+        );
+        failed |= !ok;
+    };
+    // Deterministic equality against the committed baseline: the decision
+    // stream is a pure function of the configuration.
+    for (key, current) in [
+        ("arrivals", m.totals.arrivals as f64),
+        ("decisions", m.totals.decided as f64),
+        ("shed_queue", m.totals.shed_queue as f64),
+        ("shed_admission", m.totals.shed_admission as f64),
+    ] {
+        match find_number(&baseline, key) {
+            Some(base) => gate(
+                key,
+                current == base,
+                format!("current {current:.0} baseline {base:.0}"),
+            ),
+            None => gate(key, false, "baseline key missing".into()),
+        }
+    }
+    gate(
+        "shed_conservation",
+        conservation_holds(&m.totals),
+        format!(
+            "arrivals {} = decided {} + shed {} + queued {}",
+            m.totals.arrivals,
+            m.totals.decided,
+            m.totals.shed_queue + m.totals.shed_admission,
+            m.totals.queued
+        ),
+    );
+    gate(
+        "violations",
+        m.violations == 0,
+        format!("current {}", m.violations),
+    );
+    gate(
+        "shard_invariant",
+        m.shard_invariant,
+        "1-shard stream vs 4-shard stream".into(),
+    );
+    gate(
+        "stitched_equal",
+        m.stitched_equal && m.oracle_mismatches == 0,
+        format!(
+            "replayed {} tick(s), {} oracle mismatch(es)",
+            m.replayed_ticks, m.oracle_mismatches
+        ),
+    );
+    gate(
+        "checkpoint_cap",
+        m.checkpoint_bytes_max <= CKPT_BYTES_CAP,
+        format!("current {} cap {CKPT_BYTES_CAP}", m.checkpoint_bytes_max),
+    );
+    let base_viol = find_number(&baseline, "violations").unwrap_or(f64::NAN);
+    gate(
+        "baseline_clean",
+        base_viol == 0.0,
+        format!("baseline violations {base_viol}"),
+    );
+    i32::from(failed)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--check") {
+        let path = args
+            .iter()
+            .position(|a| a == "--check")
+            .and_then(|i| args.get(i + 1))
+            .filter(|a| !a.starts_with('-'))
+            .map_or(BASELINE, String::as_str);
+        std::process::exit(check(path));
+    }
+    let m = measure();
+    if m.violations > 0 || !m.shard_invariant || !m.stitched_equal || m.oracle_mismatches > 0 {
+        eprintln!("refusing to write a dirty baseline (violations or divergence present)");
+        std::process::exit(1);
+    }
+    let json = render_json(&m);
+    std::fs::write(BASELINE, &json).expect("write BENCH_serve.json");
+    println!("wrote {BASELINE}");
+}

@@ -32,6 +32,10 @@ USAGE:
                 [--checkpoint-every N] [--guided N] [--torn MODE,..]
                 [--no-schedules] [--fail-prob P] [--mid-slot-fail-prob P]
                 [--recover-prob P] [--repair] [autoscaler flags]
+  socl serve    [--nodes N] [--regions R] [--shards S] [--users U]
+                [--ticks T] [--rate R] [--shape flash|diurnal] [--seed S]
+                [--policy socl|rp|jdr] [--kill-shard K] [--kill-at T]
+                [--torn clean|garbage|partial] [--csv]
   socl export   [--nodes N] [--users U] [--seed S] [--solve]
   socl help
 
@@ -57,7 +61,15 @@ run is killed at a slot boundary, restored from its last checkpoint, the
 decision-log suffix is replayed (torn tails truncated, never trusted),
 and the recovered timeline must match the uninterrupted run bit for bit
 and pass the invariant auditor; any violation fails the command. Torn
-modes for --torn: clean, garbage, partial (default all three).";
+modes for --torn: clean, garbage, partial (default all three).
+`serve` runs the sharded control-plane service: a persistent event loop
+that partitions the base-station graph into regions, streams a synthetic
+user population through bounded per-region queues into the admission
+controller, routes admitted chains against an epoch-refreshed placement,
+and journals every region to a checkpoint + WAL substrate. Optional
+--kill-shard K --kill-at T kills shard K at tick T and restores it from
+its checkpoint, replaying the WAL; the stitched state must be
+bit-identical to never having crashed.";
 
 fn scenario_from(args: &Args) -> Result<Scenario, String> {
     let nodes: usize = args.get("nodes", 10)?;
@@ -863,6 +875,114 @@ pub fn chaos(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `socl serve` — run the sharded control-plane service.
+pub fn serve(args: &Args) -> Result<(), String> {
+    let seed: u64 = args.get("seed", 42)?;
+    let ticks: u32 = args.get("ticks", 60)?;
+    let kill_shard: i64 = args.get("kill-shard", -1)?;
+    let kill_at: u32 = args.get("kill-at", 0)?;
+    let csv = args.flag("csv");
+    let shape = match args.get_str("shape", "flash").as_str() {
+        "flash" => TemporalConfig::flash_crowd(),
+        "diurnal" => TemporalConfig::diurnal(),
+        other => return Err(format!("unknown --shape `{other}`")),
+    };
+    let torn = match args.get_str("torn", "partial").as_str() {
+        "clean" => TornTail::Clean,
+        "garbage" => TornTail::Garbage,
+        "partial" => TornTail::PartialRecord,
+        other => return Err(format!("unknown --torn `{other}`")),
+    };
+    let cfg = ServeConfig {
+        nodes: args.get("nodes", 16)?,
+        regions: args.get("regions", 4)?,
+        shards: args.get("shards", 4)?,
+        policy: policy_from(args)?,
+        feed: FeedConfig {
+            users: args.get("users", 100_000)?,
+            shape,
+            arrivals_per_tick: args.get("rate", 500.0)?,
+            seed: seed ^ 0x5EED,
+            ..FeedConfig::default()
+        },
+        ..ServeConfig::small(seed)
+    };
+    if cfg.nodes == 0 || cfg.regions == 0 || cfg.shards == 0 || ticks == 0 {
+        return Err("--nodes, --regions, --shards, and --ticks must be positive".into());
+    }
+    if kill_shard >= 0 && (kill_at == 0 || kill_at > ticks) {
+        return Err("--kill-at must be in 1..=--ticks when --kill-shard is given".into());
+    }
+    let shards = cfg.shards;
+    let mut serve = SoclServe::new(cfg);
+    println!(
+        "serve: {} nodes in {} regions on {} shards, {} users, policy {}, {} ticks",
+        serve.config().nodes,
+        serve.region_map().regions(),
+        shards,
+        serve.feed().config().users,
+        serve.config().policy.name(),
+        ticks
+    );
+    if csv {
+        println!("tick,arrivals,decided,shed_queue,shed_admission,queued");
+    }
+    let watch = Stopwatch::start();
+    for tick in 1..=ticks {
+        let s = serve.step();
+        if csv {
+            println!(
+                "{},{},{},{},{},{}",
+                s.tick, s.arrivals, s.decided, s.shed_queue, s.shed_admission, s.queued
+            );
+        }
+        if kill_shard >= 0 && tick == kill_at {
+            let report = serve.kill_and_restore(kill_shard as usize, torn)?;
+            println!(
+                "killed shard {kill_shard} at tick {tick}: regions {:?} restored from \
+                 checkpoint {} ({} tick(s) replayed, {} torn byte(s), {} oracle mismatch(es))",
+                report.killed_regions,
+                report.checkpoint_tick,
+                report.replayed_ticks,
+                report.torn_bytes,
+                report.oracle_mismatches
+            );
+            if report.oracle_mismatches > 0 {
+                return Err("replay diverged from the WAL oracle".into());
+            }
+        }
+    }
+    let secs = watch.elapsed_secs();
+    let t = serve.totals();
+    println!(
+        "{} arrivals, {} decided ({} cloud fallback), {} shed (queue {} + admission {}), \
+         {} still queued; peak queue depth {}",
+        t.arrivals,
+        t.decided,
+        t.cloud_fallbacks,
+        t.shed_queue + t.shed_admission,
+        t.shed_queue,
+        t.shed_admission,
+        t.queued,
+        t.queue_peak
+    );
+    println!(
+        "{:.0} decisions/s over {ticks} ticks; WAL {} B, largest checkpoint {} B",
+        t.decided as f64 / secs.max(1e-9),
+        serve.wal_bytes(),
+        serve.max_checkpoint_bytes()
+    );
+    let violations = audit_serve(&serve);
+    if !violations.is_empty() {
+        for v in &violations {
+            println!("violation: {v}");
+        }
+        return Err(format!("{} invariant violation(s)", violations.len()));
+    }
+    println!("invariant audit clean");
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -897,6 +1017,45 @@ mod tests {
     #[test]
     fn testbed_runs_small() {
         testbed(&args(&["--users", "10", "--epochs", "1", "--seed", "4"])).unwrap();
+    }
+
+    #[test]
+    fn serve_runs_tiny_with_kill_and_restore() {
+        serve(&args(&[
+            "--nodes",
+            "8",
+            "--regions",
+            "2",
+            "--shards",
+            "2",
+            "--users",
+            "2000",
+            "--rate",
+            "40",
+            "--ticks",
+            "6",
+            "--kill-shard",
+            "1",
+            "--kill-at",
+            "4",
+            "--seed",
+            "9",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn serve_rejects_bad_shape_and_kill_window() {
+        assert!(serve(&args(&["--shape", "sawtooth"])).is_err());
+        assert!(serve(&args(&[
+            "--kill-shard",
+            "0",
+            "--kill-at",
+            "99",
+            "--ticks",
+            "5"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //! socl chaos    [--nodes N] [--users U] [--slots K] [--policy socl|rp|jdr]
 //!               [--seeds S1,S2,..] [--kill-slots K1,K2,..]
 //!               [--checkpoint-every N] [--guided N] [--torn MODE,..]
+//! socl serve    [--nodes N] [--regions R] [--shards S] [--users U]
+//!               [--ticks T] [--rate R] [--shape flash|diurnal] [--seed S]
+//!               [--policy socl|rp|jdr] [--kill-shard K] [--kill-at T]
+//!               [--torn clean|garbage|partial] [--csv]
 //! ```
 //!
 //! Every command additionally accepts the global `--threads N` flag, which
@@ -71,6 +75,7 @@ fn run(argv: &[String]) -> i32 {
         "trace" => commands::trace(&args),
         "resilience" => commands::resilience(&args),
         "chaos" => commands::chaos(&args),
+        "serve" => commands::serve(&args),
         "export" => commands::export(&args),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);

@@ -169,7 +169,11 @@ impl IdentIs for TokKind {
 
 /// First occurrence (name, line) of each of `fields` as a *written* field —
 /// `.name` accesses that are not method calls — in `toks[range]`.
-fn write_occurrences(toks: &[Tok], range: (usize, usize), fields: &BTreeSet<&str>) -> Vec<(String, usize)> {
+fn write_occurrences(
+    toks: &[Tok],
+    range: (usize, usize),
+    fields: &BTreeSet<&str>,
+) -> Vec<(String, usize)> {
     let mut out: Vec<(String, usize)> = Vec::new();
     let mut seen: BTreeSet<String> = BTreeSet::new();
     let end = range.1.min(toks.len());
@@ -184,7 +188,9 @@ fn write_occurrences(toks: &[Tok], range: (usize, usize), fields: &BTreeSet<&str
             .checked_sub(1)
             .and_then(|p| toks.get(p))
             .is_some_and(|t| t.kind == TokKind::Punct("."));
-        let next_call = toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Punct("("));
+        let next_call = toks
+            .get(i + 1)
+            .is_some_and(|t| t.kind == TokKind::Punct("("));
         if prev_dot && !next_call {
             seen.insert(name.clone());
             out.push((name.clone(), toks[i].line));
@@ -196,7 +202,11 @@ fn write_occurrences(toks: &[Tok], range: (usize, usize), fields: &BTreeSet<&str
 /// First occurrence (name, line) of each of `fields` as a *read* binding —
 /// bare identifiers that are neither field projections, path segments nor
 /// calls — in `toks[range]`.
-fn read_occurrences(toks: &[Tok], range: (usize, usize), fields: &BTreeSet<&str>) -> Vec<(String, usize)> {
+fn read_occurrences(
+    toks: &[Tok],
+    range: (usize, usize),
+    fields: &BTreeSet<&str>,
+) -> Vec<(String, usize)> {
     let mut out: Vec<(String, usize)> = Vec::new();
     let mut seen: BTreeSet<String> = BTreeSet::new();
     let end = range.1.min(toks.len());
@@ -212,7 +222,10 @@ fn read_occurrences(toks: &[Tok], range: (usize, usize), fields: &BTreeSet<&str>
         let next = toks.get(i + 1).map(|t| &t.kind);
         let is_call = matches!(next, Some(TokKind::Punct("(")))
             || (matches!(next, Some(TokKind::Punct("!")))
-                && matches!(toks.get(i + 2).map(|t| &t.kind), Some(TokKind::Punct("(" | "[" | "{"))));
+                && matches!(
+                    toks.get(i + 2).map(|t| &t.kind),
+                    Some(TokKind::Punct("(" | "[" | "{"))
+                ));
         if !bad_prev && !is_call {
             seen.insert(name.clone());
             out.push((name.clone(), toks[i].line));

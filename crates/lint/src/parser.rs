@@ -1137,7 +1137,10 @@ fn scan_body(
                             what: format!("{}!", path.join("::")),
                         });
                     }
-                    if matches!(path.last().map(String::as_str), Some("vec") | Some("format")) {
+                    if matches!(
+                        path.last().map(String::as_str),
+                        Some("vec") | Some("format")
+                    ) {
                         allocs.push(AllocSite {
                             line: call_line,
                             what: format!("{}!", path.join("::")),
@@ -1497,7 +1500,11 @@ mod tests {
         let src = "struct W<T> where T: Clone {\n  inner: T,\n  count: usize,\n}\nfn after() {}";
         let p = parse(src);
         assert_eq!(p.structs.len(), 1);
-        let names: Vec<&str> = p.structs[0].fields.iter().map(|f| f.name.as_str()).collect();
+        let names: Vec<&str> = p.structs[0]
+            .fields
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect();
         assert_eq!(names, vec!["inner", "count"]);
         assert_eq!(p.fns.len(), 1); // walker resumes cleanly after the struct
     }

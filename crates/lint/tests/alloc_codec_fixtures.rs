@@ -68,9 +68,9 @@ fn a1_loop_chain_is_pinned() {
     assert_eq!(a1[0].file, "crates/model/src/hotfix.rs");
     assert_eq!(a1[0].line, 13, "expected the `vec![0u8; n]` line");
     assert!(
-        a1[0].message.contains(
-            "call chain: socl_model::hotfix::slot_step -> socl_model::hotfix::widen"
-        ),
+        a1[0]
+            .message
+            .contains("call chain: socl_model::hotfix::slot_step -> socl_model::hotfix::widen"),
         "chain text changed: {}",
         a1[0].message
     );
@@ -227,7 +227,12 @@ fn a1_ambiguous_union_requires_all_candidates_to_allocate() {
 // ---------------------------------------------------------------- C1 ----
 
 /// A correct method-pair codec with a matching shape marker lints clean.
-fn c1_frame_fixture(fields: &str, writer: &str, reader: &str, marker: &str) -> Vec<(String, String)> {
+fn c1_frame_fixture(
+    fields: &str,
+    writer: &str,
+    reader: &str,
+    marker: &str,
+) -> Vec<(String, String)> {
     files(&[(
         "crates/sim/src/ckpt.rs",
         &format!(

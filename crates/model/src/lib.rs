@@ -45,7 +45,9 @@ pub use objective::{evaluate, ConstraintReport, Evaluation};
 pub use placement::{Assignment, Placement, ReplicaCounts};
 pub use preferences::{chain_similarity, PreferenceModel};
 pub use request::{RequestConfig, UserId, UserRequest};
-pub use routing::{greedy_route, optimal_route, optimal_route_with, route_all, RouteOutcome, RouteScratch};
+pub use routing::{
+    greedy_route, optimal_route, optimal_route_with, route_all, RouteOutcome, RouteScratch,
+};
 pub use scenario::{Scenario, ScenarioConfig};
 pub use service::{Microservice, ServiceCatalog, ServiceId};
 

@@ -1,0 +1,76 @@
+//! socl-serve: the sharded control-plane service.
+//!
+//! A long-running, deterministic event loop that exposes the repo's
+//! placement, routing, and autoscale decisions as a service: a streaming
+//! request feed ([`feed`]) pushes load through per-region bounded queues
+//! ([`queue`]) into region-sharded worlds ([`shard`]) partitioned from
+//! the base-station graph ([`region`]); the event loop ([`service`])
+//! drains, admits, routes, and scales each tick, journaling every
+//! region's decisions to a checkpoint + WAL substrate ([`wal`]) so a
+//! killed shard restores and replays to bit-identical state.
+//!
+//! Concurrency runs entirely on the deterministic pool (`socl_net::par`);
+//! there is no async runtime, no wall clock, and no hash-order iteration
+//! in the decision path, so the decision stream is identical for any
+//! shard count and any thread count.
+
+pub mod feed;
+pub mod queue;
+pub mod region;
+pub mod service;
+pub mod shard;
+pub mod wal;
+
+pub use feed::{FeedConfig, LoadFeed};
+pub use queue::BoundedQueue;
+pub use region::RegionMap;
+pub use service::{DecisionEvent, RestoreReport, ServeConfig, ServeTotals, SoclServe, TickSummary};
+pub use shard::{Pending, RegionState, IN_FLIGHT_TICKS, RING_SLOTS};
+pub use wal::{RegionCheckpoint, RegionWal, TickRecord};
+
+/// Audit the service's conservation and accounting invariants; returns
+/// human-readable violations (empty = healthy).
+///
+/// Checked per region, every call:
+/// - arrivals = decided + queue sheds + admission sheds + still queued;
+/// - the expiry ring's scheduled departures equal the in-flight level for
+///   every service;
+/// - the queue never exceeds its capacity;
+/// - cloud fallbacks never exceed decisions.
+#[must_use]
+pub fn audit_serve(serve: &SoclServe) -> Vec<String> {
+    let mut violations = Vec::new();
+    for st in serve.regions() {
+        let r = st.id;
+        let accounted = st.decided + st.shed_queue + st.shed_admission + st.queue.len() as u64;
+        if st.arrivals != accounted {
+            violations.push(format!(
+                "region {r}: arrivals {} != decided+shed+queued {accounted}",
+                st.arrivals
+            ));
+        }
+        for m in 0..st.services() {
+            let scheduled = st.ring_sum(m);
+            let level = st.in_flight.get(m).copied().unwrap_or(0);
+            if scheduled != level {
+                violations.push(format!(
+                    "region {r}: service {m}: ring sum {scheduled} != in-flight {level}"
+                ));
+            }
+        }
+        if st.queue.len() > st.queue.capacity() {
+            violations.push(format!(
+                "region {r}: queue depth {} exceeds capacity {}",
+                st.queue.len(),
+                st.queue.capacity()
+            ));
+        }
+        if st.cloud_fallbacks > st.decided {
+            violations.push(format!(
+                "region {r}: cloud fallbacks {} exceed decisions {}",
+                st.cloud_fallbacks, st.decided
+            ));
+        }
+    }
+    violations
+}

@@ -1,0 +1,110 @@
+//! Bounded MPSC-style ingest queues with explicit backpressure.
+//!
+//! Every region owns one [`BoundedQueue`] between the request feed and the
+//! admission controller. The queue never grows past its capacity: a push
+//! against a full queue *returns the item* so the caller must account for
+//! it (the conservation law the backpressure proptest pins: every arrival
+//! is decided, shed with an explicit outcome, or still queued — nothing is
+//! silently dropped).
+
+/// Fixed-capacity FIFO. `push` on a full queue is an error carrying the
+/// rejected item back to the producer.
+#[derive(Debug, Clone)]
+pub struct BoundedQueue<T> {
+    items: std::collections::VecDeque<T>,
+    cap: usize,
+    high_watermark: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Empty queue holding at most `cap` items (`cap` is clamped to ≥ 1).
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self {
+            items: std::collections::VecDeque::with_capacity(cap),
+            cap,
+            high_watermark: 0,
+        }
+    }
+
+    /// Enqueue, or hand the item back when the queue is at capacity.
+    ///
+    /// # Errors
+    /// `Err(item)` when full — the caller owns the shed accounting.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() >= self.cap {
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.high_watermark = self.high_watermark.max(self.items.len());
+        Ok(())
+    }
+
+    /// Dequeue the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Current depth.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Capacity ceiling.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Deepest the queue has ever been.
+    #[must_use]
+    pub fn high_watermark(&self) -> usize {
+        self.high_watermark
+    }
+
+    /// Reset the high-watermark statistic (restore paths set it from a
+    /// checkpoint instead of inheriting the fresh queue's history).
+    pub fn set_high_watermark(&mut self, hw: usize) {
+        self.high_watermark = hw;
+    }
+
+    /// Iterate queued items front to back (checkpoint serialization).
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_backpressure() {
+        let mut q = BoundedQueue::new(2);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.push(3).is_ok());
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.high_watermark(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert!(q.push(7).is_ok());
+        assert_eq!(q.push(8), Err(8));
+    }
+}

@@ -1,0 +1,349 @@
+//! Durable state for the service boundary: per-region checkpoints and
+//! write-ahead tick records, on the PR 6 recovery substrate.
+//!
+//! Both artifacts ride the lifted `socl-sim::recovery` machinery: the WAL
+//! uses the same `[len][crc][payload]` framing (torn tails truncate, never
+//! replay), scaler state uses the same codec as the simulator's own
+//! checkpoints, and the checkpoint image carries the same
+//! magic + version + trailing-CRC envelope discipline.
+//!
+//! The [`TickRecord`] is deliberately minimal: the *local* half of a
+//! region's evolution (arrivals, drains, routes, sheds) is a pure function
+//! of the feed and the restored state, so it is re-derived during replay;
+//! only the *remote* in-flight additions — stitched chain stages hosted
+//! here but decided elsewhere — plus the oracle fields (digest, counters)
+//! that prove the replay honest go to disk.
+
+use socl_autoscale::ScalerState;
+use socl_model::{crc32, BinReader, BinWriter, CodecError};
+use socl_sim::recovery::{frame_append, get_scaler_state, put_scaler_state, scan_frames};
+use socl_sim::TailReport;
+
+/// Checkpoint format tag (`b"SRGN"` little-endian).
+const CKPT_MAGIC: u32 = u32::from_le_bytes(*b"SRGN");
+/// Region-checkpoint format version understood by this build.
+// CKPT-SHAPE(v1): 2783521b7bd4231a
+const CKPT_VERSION: u32 = 1;
+/// Upper bound on any decoded sequence length (corruption guard).
+const MAX_SEQ: usize = 1 << 24;
+
+fn get_seq_len(r: &mut BinReader<'_>) -> Result<usize, CodecError> {
+    let n = r.get_usize()?;
+    if n > MAX_SEQ {
+        return Err(CodecError::Malformed("sequence length over limit"));
+    }
+    Ok(n)
+}
+
+/// One tick of one region in the write-ahead log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TickRecord {
+    /// The tick this record closes (1-based).
+    pub tick: u32,
+    /// Per-service in-flight units added this tick by remote origin
+    /// regions (cross-shard chain stitching).
+    pub remote_add: Vec<u32>,
+    /// Arrivals homed to the region this tick.
+    pub arrivals: u32,
+    /// Decisions issued this tick.
+    pub decided: u32,
+    /// Queue-full sheds this tick.
+    pub shed_queue: u32,
+    /// Admission sheds this tick.
+    pub shed_admission: u32,
+    /// Region digest after the tick — the replay oracle.
+    pub digest: u64,
+}
+
+impl TickRecord {
+    /// Serialize into `w` (field order is the struct declaration order).
+    pub fn encode(&self, w: &mut BinWriter) {
+        w.put_u32(self.tick);
+        w.put_u32_slice(&self.remote_add);
+        w.put_u32(self.arrivals);
+        w.put_u32(self.decided);
+        w.put_u32(self.shed_queue);
+        w.put_u32(self.shed_admission);
+        w.put_u64(self.digest);
+    }
+
+    /// Decode a record written by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    /// [`CodecError`] on truncation or a length over the safety bound.
+    pub fn decode(payload: &[u8]) -> Result<Self, CodecError> {
+        let mut r = BinReader::new(payload);
+        let rec = Self {
+            tick: r.get_u32()?,
+            remote_add: r.get_u32_vec()?,
+            arrivals: r.get_u32()?,
+            decided: r.get_u32()?,
+            shed_queue: r.get_u32()?,
+            shed_admission: r.get_u32()?,
+            digest: r.get_u64()?,
+        };
+        if rec.remote_add.len() > MAX_SEQ {
+            return Err(CodecError::Malformed("remote_add over limit"));
+        }
+        if !r.is_done() {
+            return Err(CodecError::Malformed("trailing bytes in tick record"));
+        }
+        Ok(rec)
+    }
+}
+
+/// A region's append-only WAL: framed [`TickRecord`]s.
+#[derive(Debug, Clone, Default)]
+pub struct RegionWal {
+    buf: Vec<u8>,
+}
+
+impl RegionWal {
+    /// Empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Serialized size in bytes.
+    #[must_use]
+    pub fn len_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Append one framed record.
+    pub fn append(&mut self, record: &TickRecord) {
+        let mut w = BinWriter::new();
+        record.encode(&mut w);
+        frame_append(&mut self.buf, w.as_bytes());
+    }
+
+    /// The raw wire bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Rebuild from wire bytes, truncating a torn or corrupted tail at
+    /// the first bad frame (the shared torn-tail discipline).
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8]) -> (Self, TailReport) {
+        let (clean_end, report) =
+            scan_frames(bytes, &|payload| TickRecord::decode(payload).is_ok());
+        let wal = Self {
+            buf: bytes.get(..clean_end).unwrap_or_default().to_vec(),
+        };
+        (wal, report)
+    }
+
+    /// Decode every record in the (clean) log.
+    ///
+    /// # Errors
+    /// [`CodecError`] on a bad frame — impossible for logs built by
+    /// [`append`](Self::append) or returned from [`from_bytes`](Self::from_bytes).
+    pub fn records(&self) -> Result<Vec<TickRecord>, CodecError> {
+        socl_sim::recovery::frame_payloads(&self.buf)?
+            .into_iter()
+            .map(TickRecord::decode)
+            .collect()
+    }
+}
+
+/// A frozen image of one region's complete mutable state at a tick
+/// boundary, exactly sufficient to restore and replay bit-identically.
+/// Queued requests are stored as `(user, arrival tick)` pairs — the feed
+/// re-synthesizes the full request deterministically on restore.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionCheckpoint {
+    /// Region id.
+    pub region: u32,
+    /// Last completed tick this image reflects.
+    pub tick: u32,
+    /// Queued `(user, arrival_tick)` pairs, front to back.
+    pub pending: Vec<(u32, u32)>,
+    /// Queue depth high-watermark.
+    pub queue_high_watermark: u64,
+    /// Full autoscaler state (PR 6 scaler codec).
+    pub scaler: ScalerState,
+    /// In-flight concurrency per service.
+    pub in_flight: Vec<u32>,
+    /// Expiry ring, `RING_SLOTS × services` flattened.
+    pub ring: Vec<u32>,
+    /// Lifetime arrival count.
+    pub arrivals: u64,
+    /// Lifetime decision count.
+    pub decided: u64,
+    /// Lifetime queue-full sheds.
+    pub shed_queue: u64,
+    /// Lifetime admission sheds.
+    pub shed_admission: u64,
+    /// Lifetime cloud fallbacks.
+    pub cloud_fallbacks: u64,
+    /// Decision digest after `tick`.
+    pub digest: u64,
+}
+
+impl RegionCheckpoint {
+    /// Serialize to the versioned wire format: magic, version, payload,
+    /// trailing CRC-32 over everything before it.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = BinWriter::new();
+        w.put_u32(CKPT_MAGIC);
+        w.put_u32(CKPT_VERSION);
+        w.put_u32(self.region);
+        w.put_u32(self.tick);
+        w.put_usize(self.pending.len());
+        for &(user, tick) in &self.pending {
+            w.put_u32(user);
+            w.put_u32(tick);
+        }
+        w.put_u64(self.queue_high_watermark);
+        put_scaler_state(&mut w, &self.scaler);
+        w.put_u32_slice(&self.in_flight);
+        w.put_u32_slice(&self.ring);
+        w.put_u64(self.arrivals);
+        w.put_u64(self.decided);
+        w.put_u64(self.shed_queue);
+        w.put_u64(self.shed_admission);
+        w.put_u64(self.cloud_fallbacks);
+        w.put_u64(self.digest);
+        let crc = crc32(w.as_bytes());
+        w.put_u32(crc);
+        w.into_bytes()
+    }
+
+    /// Decode and verify an image produced by [`to_bytes`](Self::to_bytes).
+    ///
+    /// # Errors
+    /// [`CodecError`] on a bad magic/version, truncation, an over-limit
+    /// sequence length, or a trailing-CRC mismatch.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        if bytes.len() < 4 {
+            return Err(CodecError::Malformed("checkpoint too short"));
+        }
+        let body_len = bytes.len() - 4;
+        let body = bytes.get(..body_len).unwrap_or_default();
+        let stored = {
+            let mut r = BinReader::new(bytes.get(body_len..).unwrap_or_default());
+            r.get_u32()?
+        };
+        let computed = crc32(body);
+        if stored != computed {
+            return Err(CodecError::BadChecksum { stored, computed });
+        }
+        let mut r = BinReader::new(body);
+        let magic = r.get_u32()?;
+        if magic != CKPT_MAGIC {
+            return Err(CodecError::Malformed("bad checkpoint magic"));
+        }
+        let version = r.get_u32()?;
+        if version != CKPT_VERSION {
+            return Err(CodecError::Malformed("unsupported checkpoint version"));
+        }
+        let region = r.get_u32()?;
+        let tick = r.get_u32()?;
+        let n_pending = get_seq_len(&mut r)?;
+        let mut pending = Vec::with_capacity(n_pending);
+        for _ in 0..n_pending {
+            pending.push((r.get_u32()?, r.get_u32()?));
+        }
+        let ck = Self {
+            region,
+            tick,
+            pending,
+            queue_high_watermark: r.get_u64()?,
+            scaler: get_scaler_state(&mut r)?,
+            in_flight: r.get_u32_vec()?,
+            ring: r.get_u32_vec()?,
+            arrivals: r.get_u64()?,
+            decided: r.get_u64()?,
+            shed_queue: r.get_u64()?,
+            shed_admission: r.get_u64()?,
+            cloud_fallbacks: r.get_u64()?,
+            digest: r.get_u64()?,
+        };
+        if ck.in_flight.len() > MAX_SEQ || ck.ring.len() > MAX_SEQ {
+            return Err(CodecError::Malformed("grid length over limit"));
+        }
+        if !r.is_done() {
+            return Err(CodecError::Malformed("trailing bytes in checkpoint"));
+        }
+        Ok(ck)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socl_autoscale::{AutoscaleConfig, Autoscaler};
+
+    fn checkpoint() -> RegionCheckpoint {
+        let scaler = Autoscaler::new(AutoscaleConfig::default(), 0.5, 3, 6);
+        RegionCheckpoint {
+            region: 2,
+            tick: 9,
+            pending: vec![(4, 8), (17, 9)],
+            queue_high_watermark: 5,
+            scaler: scaler.state(),
+            in_flight: vec![1, 0, 3],
+            ring: vec![0; 15],
+            arrivals: 40,
+            decided: 31,
+            shed_queue: 2,
+            shed_admission: 5,
+            cloud_fallbacks: 1,
+            digest: 0xDEAD_BEEF,
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrips() {
+        let ck = checkpoint();
+        let bytes = ck.to_bytes();
+        let back = RegionCheckpoint::from_bytes(&bytes).expect("roundtrip");
+        assert_eq!(ck, back);
+    }
+
+    #[test]
+    fn checkpoint_rejects_corruption() {
+        let ck = checkpoint();
+        let mut bytes = ck.to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        assert!(RegionCheckpoint::from_bytes(&bytes).is_err());
+        assert!(RegionCheckpoint::from_bytes(&bytes[..8]).is_err());
+    }
+
+    #[test]
+    fn wal_roundtrips_and_truncates_torn_tail() {
+        let mut wal = RegionWal::new();
+        for t in 1..=3u32 {
+            wal.append(&TickRecord {
+                tick: t,
+                remote_add: vec![0, t, 0],
+                arrivals: 10 + t,
+                decided: 8,
+                shed_queue: 1,
+                shed_admission: 1,
+                digest: u64::from(t) * 99,
+            });
+        }
+        let (back, report) = RegionWal::from_bytes(wal.as_bytes());
+        assert_eq!(report.clean_records, 3);
+        assert_eq!(report.truncated_bytes, 0);
+        assert!(report.reason.is_none());
+        assert_eq!(
+            back.records().expect("clean"),
+            wal.records().expect("clean")
+        );
+
+        // Torn tail: cut the last record mid-frame.
+        let bytes = wal.as_bytes();
+        let torn = &bytes[..bytes.len() - 5];
+        let (prefix, report) = RegionWal::from_bytes(torn);
+        assert_eq!(report.clean_records, 2);
+        assert!(report.reason.is_some());
+        assert_eq!(prefix.records().expect("clean").len(), 2);
+    }
+}

@@ -1,0 +1,232 @@
+//! Property tests for the sharded service:
+//!
+//! * **Partition equivalence** — with no resource limit binding (generous
+//!   queues and drain budget, admission disabled), the per-user routing
+//!   decisions of an N-region, M-shard run are identical to the unsharded
+//!   single-world run, for chains confined within one region and for
+//!   chains spanning regions alike. Regions group work; they must never
+//!   change it.
+//! * **Shard-count invariance** — with every limit binding (tiny queues,
+//!   admission on), the full digest timeline and final serialized state
+//!   are identical for any shard count: shards are execution workers, not
+//!   semantics.
+//! * **Backpressure conservation** — under queue-full bursts no request
+//!   is silently dropped: every arrival is decided, shed with an explicit
+//!   outcome, or still queued, and the invariant auditor stays clean.
+//!
+//! Each property lives in a plain function so the fixed-seed pins below
+//! execute the same code deterministically; the `proptest!` wrappers
+//! explore the parameter space on top.
+
+use proptest::prelude::*;
+use socl_autoscale::AdmissionPolicy;
+use socl_serve::{audit_serve, DecisionEvent, FeedConfig, ServeConfig, SoclServe};
+
+/// A configuration where no queue, budget, or admission limit can bind:
+/// decisions depend only on the feed and the placement, which are both
+/// independent of the partition.
+fn unconstrained(seed: u64, users: usize, regions: usize, shards: usize) -> ServeConfig {
+    let mut cfg = ServeConfig::small(seed);
+    cfg.nodes = 12;
+    cfg.regions = regions;
+    cfg.shards = shards;
+    cfg.queue_cap_per_station = 10_000;
+    cfg.drain_per_station = 10_000;
+    cfg.autoscale.admission = AdmissionPolicy {
+        enabled: false,
+        ..cfg.autoscale.admission
+    };
+    cfg.feed = FeedConfig {
+        users,
+        arrivals_per_tick: 40.0,
+        seed: seed ^ 0xFEED,
+        ..FeedConfig::default()
+    };
+    cfg
+}
+
+/// A configuration where every limit binds: tiny queues, tiny drain
+/// budget, admission on, heavy arrivals.
+fn constrained(seed: u64, shards: usize, queue_cap: usize, drain: usize, rate: f64) -> ServeConfig {
+    let mut cfg = ServeConfig::small(seed);
+    cfg.shards = shards;
+    cfg.queue_cap_per_station = queue_cap;
+    cfg.drain_per_station = drain;
+    cfg.feed = FeedConfig {
+        users: 700,
+        arrivals_per_tick: rate,
+        seed: seed ^ 0xFEED,
+        ..FeedConfig::default()
+    };
+    cfg
+}
+
+/// Run `ticks` with capture on and return the decisions sorted by
+/// `(tick, user)` — the partition-independent canonical order.
+fn captured_decisions(mut serve: SoclServe, ticks: u32) -> Vec<DecisionEvent> {
+    serve.enable_capture();
+    serve.run(ticks);
+    let mut events = serve.take_captured();
+    events.sort_by_key(|e| (e.tick, e.user));
+    events
+}
+
+/// Count `(confined, spanning)` multi-stage routes against the partition
+/// of `reference`.
+fn classify_routes(events: &[DecisionEvent], reference: &SoclServe) -> (usize, usize) {
+    let map = reference.region_map();
+    let mut confined = 0usize;
+    let mut spanning = 0usize;
+    for e in events {
+        let Some(&first) = e.route.first() else {
+            continue;
+        };
+        if e.route.len() < 2 {
+            continue;
+        }
+        let r0 = map.region_of(first);
+        if e.route.iter().all(|&h| map.region_of(h) == r0) {
+            confined += 1;
+        } else {
+            spanning += 1;
+        }
+    }
+    (confined, spanning)
+}
+
+/// Partition equivalence: identical per-user decisions for the 1-region
+/// single world and the `regions`-region, `shards`-shard service.
+/// Returns `(confined, spanning)` route counts for coverage assertions.
+fn check_partition_equivalence(seed: u64, regions: usize, shards: usize) -> (usize, usize) {
+    let ticks = 5;
+    let users = 800;
+    let single = captured_decisions(SoclServe::new(unconstrained(seed, users, 1, 1)), ticks);
+    let reference = SoclServe::new(unconstrained(seed, users, regions, shards));
+    let sharded = captured_decisions(
+        SoclServe::new(unconstrained(seed, users, regions, shards)),
+        ticks,
+    );
+    assert!(!single.is_empty(), "no decisions to compare (seed {seed})");
+    assert_eq!(
+        single, sharded,
+        "decisions diverged: seed {seed}, {regions} regions, {shards} shards"
+    );
+    let (confined, spanning) = classify_routes(&sharded, &reference);
+    assert!(
+        confined + spanning > 0,
+        "no multi-stage routes among {} decisions (seed {seed})",
+        sharded.len()
+    );
+    (confined, spanning)
+}
+
+/// Shard-count invariance under binding limits: digest timeline and
+/// final serialized state identical for 1 and `shards` shards.
+fn check_shard_invariance(seed: u64, shards: usize) {
+    let mut one = SoclServe::new(constrained(seed, 1, 3, 2, 120.0));
+    let mut many = SoclServe::new(constrained(seed, shards, 3, 2, 120.0));
+    one.run(6);
+    many.run(6);
+    assert_eq!(
+        one.digest_timeline(),
+        many.digest_timeline(),
+        "digest timelines diverged: seed {seed}, {shards} shards"
+    );
+    assert_eq!(
+        one.snapshot_all(),
+        many.snapshot_all(),
+        "final state diverged: seed {seed}, {shards} shards"
+    );
+}
+
+/// Backpressure conservation: every arrival decided, explicitly shed, or
+/// still queued; invariant audit clean.
+fn check_backpressure_conservation(
+    seed: u64,
+    queue_cap: usize,
+    drain: usize,
+    rate: f64,
+    ticks: u32,
+) {
+    let mut serve = SoclServe::new(constrained(seed, 4, queue_cap, drain, rate));
+    serve.run(ticks);
+    let t = serve.totals();
+    assert!(t.arrivals > 0, "burst produced no arrivals (seed {seed})");
+    assert_eq!(
+        t.arrivals,
+        t.decided + t.shed_queue + t.shed_admission + t.queued,
+        "conservation violated: arrivals {} decided {} shed_queue {} shed_admission {} \
+         queued {} (seed {seed})",
+        t.arrivals,
+        t.decided,
+        t.shed_queue,
+        t.shed_admission,
+        t.queued
+    );
+    let violations = audit_serve(&serve);
+    assert!(violations.is_empty(), "violations: {violations:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn partitioned_run_matches_single_world(
+        seed in 0u64..500,
+        regions in 2usize..=4,
+        shards in 1usize..=4,
+    ) {
+        check_partition_equivalence(seed, regions, shards);
+    }
+
+    #[test]
+    fn shard_count_is_invisible_under_load(
+        seed in 0u64..500,
+        shards in 2usize..=4,
+    ) {
+        check_shard_invariance(seed, shards);
+    }
+
+    #[test]
+    fn backpressure_conserves_every_request(
+        seed in 0u64..500,
+        queue_cap in 1usize..=4,
+        drain in 1usize..=3,
+        rate in 100.0f64..400.0,
+        ticks in 3u32..=8,
+    ) {
+        check_backpressure_conservation(seed, queue_cap, drain, rate, ticks);
+    }
+}
+
+/// Deterministic pins: run each property at fixed seeds so the checks
+/// execute even where the proptest driver is unavailable, and so the
+/// partition-equivalence sample is known to contain both a chain
+/// confined to one region and a chain spanning two.
+#[test]
+fn partition_equivalence_pinned_covers_both_chain_kinds() {
+    let mut confined_total = 0usize;
+    let mut spanning_total = 0usize;
+    for seed in [17u64, 101, 333] {
+        let (confined, spanning) = check_partition_equivalence(seed, 3, 3);
+        confined_total += confined;
+        spanning_total += spanning;
+    }
+    assert!(confined_total > 0, "no region-confined chain in any sample");
+    assert!(spanning_total > 0, "no region-spanning chain in any sample");
+}
+
+#[test]
+fn shard_invariance_pinned() {
+    for seed in [5u64, 88, 421] {
+        check_shard_invariance(seed, 3);
+        check_shard_invariance(seed, 4);
+    }
+}
+
+#[test]
+fn backpressure_conservation_pinned() {
+    check_backpressure_conservation(9, 1, 1, 350.0, 6);
+    check_backpressure_conservation(77, 2, 2, 180.0, 8);
+    check_backpressure_conservation(123, 4, 3, 120.0, 4);
+}

@@ -52,7 +52,8 @@ pub use mobility::MobilityModel;
 pub use online::{ControlPlaneDisabled, OnlineConfig, OnlineSimulator, SlotRecord};
 pub use policy::Policy;
 pub use recovery::{
-    audit_invariants, run_crash_recovery, AuditReport, Checkpoint, DecisionLog, LogRecord,
+    audit_invariants, frame_append, frame_payloads, get_scaler_state, put_scaler_state,
+    run_crash_recovery, scan_frames, AuditReport, Checkpoint, DecisionLog, LogRecord,
     RecoveryConfig, RecoveryError, RecoveryOutcome, RestoreError, RngState, SlotMetrics,
     TailReport, TornTail, TornTailReason,
 };

@@ -468,8 +468,10 @@ impl OnlineSimulator {
                 }
                 req.edge_data.clear();
                 for _ in 0..req.chain.len().saturating_sub(1) {
-                    req.edge_data
-                        .push(self.rng.gen_range(req_cfg.edge_data.0..=req_cfg.edge_data.1));
+                    req.edge_data.push(
+                        self.rng
+                            .gen_range(req_cfg.edge_data.0..=req_cfg.edge_data.1),
+                    );
                 }
             }
         }

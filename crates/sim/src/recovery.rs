@@ -160,8 +160,13 @@ fn get_request(r: &mut BinReader<'_>) -> Result<UserRequest, CodecError> {
     })
 }
 
+/// Serialize a full [`ScalerState`] (counts, caps, per-service windows,
+/// forecaster, cooldowns) into `w`. Public so services layered above the
+/// simulator — the socl-serve control plane — checkpoint their per-region
+/// autoscalers through the exact codec this module's own [`Checkpoint`]
+/// uses, instead of re-deriving the wire format.
 // LINT-CODEC: ScalerState, ServiceStateSnapshot, ForecasterState
-fn put_scaler(w: &mut BinWriter, s: &ScalerState) {
+pub fn put_scaler_state(w: &mut BinWriter, s: &ScalerState) {
     w.put_usize(s.services);
     w.put_usize(s.nodes);
     w.put_u32_slice(&s.counts);
@@ -199,7 +204,12 @@ fn get_seq_len(r: &mut BinReader<'_>) -> Result<usize, CodecError> {
     Ok(n)
 }
 
-fn get_scaler(r: &mut BinReader<'_>) -> Result<ScalerState, CodecError> {
+/// Decode a [`ScalerState`] written by [`put_scaler_state`].
+///
+/// # Errors
+/// [`CodecError`] on truncated input or a sequence length over the
+/// [`MAX_SEQ`] safety bound.
+pub fn get_scaler_state(r: &mut BinReader<'_>) -> Result<ScalerState, CodecError> {
     let services = r.get_usize()?;
     let nodes = r.get_usize()?;
     let counts = r.get_u32_vec()?;
@@ -269,7 +279,7 @@ impl Checkpoint {
             None => w.put_u8(0),
             Some(s) => {
                 w.put_u8(1);
-                put_scaler(&mut w, s);
+                put_scaler_state(&mut w, s);
             }
         }
         let digest = crc32(w.as_bytes());
@@ -325,7 +335,7 @@ impl Checkpoint {
         let mobility_rng = get_rng(&mut r)?;
         let scaler = match r.get_u8()? {
             0 => None,
-            1 => Some(get_scaler(&mut r)?),
+            1 => Some(get_scaler_state(&mut r)?),
             _ => return Err(CodecError::Malformed("scaler presence flag")),
         };
         if !r.is_done() {
@@ -777,6 +787,96 @@ pub struct TailReport {
     pub reason: Option<TornTailReason>,
 }
 
+/// Append one `[u32 payload_len][u32 crc32(payload)][payload]` frame to a
+/// write-ahead log buffer — the wire framing shared by [`DecisionLog`] and
+/// every other WAL layered on this substrate (the socl-serve per-region
+/// logs). Keeping the framing in one place means a torn tail means the
+/// same thing to every log in the workspace.
+pub fn frame_append(buf: &mut Vec<u8>, payload: &[u8]) {
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+}
+
+/// Scan framed bytes front to back, validating each frame's length and
+/// checksum and judging payload well-formedness with `decode_ok`. Returns
+/// the byte length of the clean prefix and a [`TailReport`] describing
+/// what (if anything) was cut and why — the torn-tail discipline: a bad
+/// frame truncates, it is never replayed.
+pub fn scan_frames(bytes: &[u8], decode_ok: &dyn Fn(&[u8]) -> bool) -> (usize, TailReport) {
+    let mut clean_end = 0usize;
+    let mut clean_records = 0usize;
+    let mut reason = None;
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let Some(header) = bytes.get(pos..pos + 8) else {
+            reason = Some(TornTailReason::TruncatedFrame);
+            break;
+        };
+        let (len_b, crc_b) = header.split_at(4);
+        let len = len_b.try_into().map(u32::from_le_bytes).unwrap_or(u32::MAX) as usize;
+        let stored = crc_b.try_into().map(u32::from_le_bytes).unwrap_or(0);
+        let Some(payload) = bytes.get(pos + 8..pos + 8 + len) else {
+            reason = Some(TornTailReason::TruncatedFrame);
+            break;
+        };
+        if crc32(payload) != stored {
+            reason = Some(TornTailReason::ChecksumMismatch);
+            break;
+        }
+        if !decode_ok(payload) {
+            reason = Some(TornTailReason::MalformedRecord);
+            break;
+        }
+        pos += 8 + len;
+        clean_end = pos;
+        clean_records += 1;
+    }
+    (
+        clean_end,
+        TailReport {
+            clean_records,
+            truncated_bytes: bytes.len() - clean_end,
+            reason,
+        },
+    )
+}
+
+/// Split a fully clean framed buffer into its payload slices. Intended for
+/// buffers already truncated by [`scan_frames`]; a malformed frame is a
+/// hard [`CodecError`], not a tail to cut.
+///
+/// # Errors
+/// [`CodecError`] on a truncated header/payload or a checksum mismatch.
+pub fn frame_payloads(bytes: &[u8]) -> Result<Vec<&[u8]>, CodecError> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let header = bytes
+            .get(pos..pos + 8)
+            .ok_or(CodecError::Malformed("log frame header"))?;
+        let (len_b, crc_b) = header.split_at(4);
+        let len = len_b
+            .try_into()
+            .map(u32::from_le_bytes)
+            .map_err(|_| CodecError::Malformed("log frame length"))? as usize;
+        let stored = crc_b
+            .try_into()
+            .map(u32::from_le_bytes)
+            .map_err(|_| CodecError::Malformed("log frame crc"))?;
+        let payload = bytes
+            .get(pos + 8..pos + 8 + len)
+            .ok_or(CodecError::Malformed("log frame payload"))?;
+        let computed = crc32(payload);
+        if computed != stored {
+            return Err(CodecError::BadChecksum { stored, computed });
+        }
+        out.push(payload);
+        pos += 8 + len;
+    }
+    Ok(out)
+}
+
 /// Append-only write-ahead log. Each record is framed
 /// `[u32 payload_len][u32 crc32(payload)][payload]`, so a torn tail is
 /// detected — and truncated, never replayed — at the first frame whose
@@ -803,11 +903,7 @@ impl DecisionLog {
     pub fn append(&mut self, record: &LogRecord) {
         let mut w = BinWriter::new();
         record.encode(&mut w);
-        let payload = w.into_bytes();
-        self.buf
-            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        self.buf.extend_from_slice(&crc32(&payload).to_le_bytes());
-        self.buf.extend_from_slice(&payload);
+        frame_append(&mut self.buf, w.as_bytes());
     }
 
     /// The raw wire bytes (what a durable log file would contain).
@@ -827,45 +923,11 @@ impl DecisionLog {
     /// prefix; the report says how much was cut and why.
     #[must_use]
     pub fn from_bytes(bytes: &[u8]) -> (Self, TailReport) {
-        let mut clean_end = 0usize;
-        let mut clean_records = 0usize;
-        let mut reason = None;
-        let mut pos = 0usize;
-        while pos < bytes.len() {
-            let Some(header) = bytes.get(pos..pos + 8) else {
-                reason = Some(TornTailReason::TruncatedFrame);
-                break;
-            };
-            let (len_b, crc_b) = header.split_at(4);
-            let len = len_b.try_into().map(u32::from_le_bytes).unwrap_or(u32::MAX) as usize;
-            let stored = crc_b.try_into().map(u32::from_le_bytes).unwrap_or(0);
-            let Some(payload) = bytes.get(pos + 8..pos + 8 + len) else {
-                reason = Some(TornTailReason::TruncatedFrame);
-                break;
-            };
-            if crc32(payload) != stored {
-                reason = Some(TornTailReason::ChecksumMismatch);
-                break;
-            }
-            if LogRecord::decode(payload).is_err() {
-                reason = Some(TornTailReason::MalformedRecord);
-                break;
-            }
-            pos += 8 + len;
-            clean_end = pos;
-            clean_records += 1;
-        }
+        let (clean_end, report) = scan_frames(bytes, &|payload| LogRecord::decode(payload).is_ok());
         let log = Self {
             buf: bytes.get(..clean_end).unwrap_or_default().to_vec(),
         };
-        (
-            log,
-            TailReport {
-                clean_records,
-                truncated_bytes: bytes.len() - clean_end,
-                reason,
-            },
-        )
+        (log, report)
     }
 
     /// Decode every record in the (clean) log.
@@ -875,35 +937,10 @@ impl DecisionLog {
     /// logs built by [`append`](Self::append) or returned from
     /// [`from_bytes`](Self::from_bytes).
     pub fn records(&self) -> Result<Vec<LogRecord>, CodecError> {
-        let mut out = Vec::new();
-        let mut pos = 0usize;
-        while pos < self.buf.len() {
-            let header = self
-                .buf
-                .get(pos..pos + 8)
-                .ok_or(CodecError::Malformed("log frame header"))?;
-            let (len_b, crc_b) = header.split_at(4);
-            let len = len_b
-                .try_into()
-                .map(u32::from_le_bytes)
-                .map_err(|_| CodecError::Malformed("log frame length"))?
-                as usize;
-            let stored = crc_b
-                .try_into()
-                .map(u32::from_le_bytes)
-                .map_err(|_| CodecError::Malformed("log frame crc"))?;
-            let payload = self
-                .buf
-                .get(pos + 8..pos + 8 + len)
-                .ok_or(CodecError::Malformed("log frame payload"))?;
-            let computed = crc32(payload);
-            if computed != stored {
-                return Err(CodecError::BadChecksum { stored, computed });
-            }
-            out.push(LogRecord::decode(payload)?);
-            pos += 8 + len;
-        }
-        Ok(out)
+        frame_payloads(&self.buf)?
+            .into_iter()
+            .map(LogRecord::decode)
+            .collect()
     }
 }
 

@@ -23,6 +23,7 @@
 //! | [`autoscale`] | socl-autoscale | serverless control plane: autoscaling, keep-alive, admission |
 //! | [`baselines`] | socl-baselines | RP, JDR, GC-OG |
 //! | [`sim`] | socl-sim | online simulator + testbed emulator |
+//! | [`serve`] | socl-serve | sharded control-plane service + load feed |
 //! | [`trace`] | socl-trace | synthetic Alibaba-like traces |
 
 pub use socl_autoscale as autoscale;
@@ -32,6 +33,7 @@ pub use socl_ilp as ilp;
 pub use socl_milp as milp;
 pub use socl_model as model;
 pub use socl_net as net;
+pub use socl_serve as serve;
 pub use socl_sim as sim;
 pub use socl_trace as trace;
 
@@ -60,12 +62,18 @@ pub mod prelude {
         LinkParams, NodeId, OrdF64, PathMetric, ShortestPaths, Stopwatch, TopologyConfig,
         TopologyKind, VgCache,
     };
+    pub use socl_serve::{
+        audit_serve, BoundedQueue, DecisionEvent, FeedConfig, LoadFeed, RegionCheckpoint,
+        RegionMap, RegionState, RegionWal, RestoreReport, ServeConfig, ServeTotals, SoclServe,
+        TickRecord, TickSummary,
+    };
     pub use socl_sim::{
         audit_invariants, run_chaos_soak, run_crash_recovery, run_testbed, AuditReport, Checkpoint,
         DecisionLog, FaultEvent, FaultKind, FaultPlan, FaultSchedule, FaultStats, FaultTimeline,
-        MobilityModel, OnlineConfig, OnlineSimulator, Policy, RecoveryConfig, RecoveryError,
-        RecoveryOutcome, RetryPolicy, SlotMetrics, SlotRecord, SoakCase, SoakPlan, SoakRow,
-        SoakSummary, Targeting, TestbedConfig, TestbedResult, TornTail,
+        LogRecord, MobilityModel, OnlineConfig, OnlineSimulator, Policy, RecoveryConfig,
+        RecoveryError, RecoveryOutcome, RestoreError, RetryPolicy, RngState, SlotMetrics,
+        SlotRecord, SoakCase, SoakError, SoakPlan, SoakRow, SoakSummary, TailReport, Targeting,
+        TestbedConfig, TestbedResult, TornTail, TornTailReason,
     };
     pub use socl_trace::{
         cosine_similarity, jaccard_similarity, similarity_matrix, TemporalConfig, TemporalWorkload,

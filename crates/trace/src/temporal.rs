@@ -47,6 +47,41 @@ impl Default for TemporalConfig {
     }
 }
 
+impl TemporalConfig {
+    /// A flash-crowd shape: flat load with one sharp, tall spike around
+    /// 60% of the horizon plus frequent secondary bursts — the overload
+    /// scenario the serve bench drives admission shedding with.
+    #[must_use]
+    pub fn flash_crowd() -> Self {
+        Self {
+            intervals: 120,
+            base_rate: 40.0,
+            peak_centers: vec![0.6],
+            peak_heights: vec![6.0],
+            peak_widths: vec![0.04],
+            noise: 0.1,
+            burst_prob: 0.08,
+            burst_height: 3.0,
+        }
+    }
+
+    /// A diurnal shape: two broad daily peaks, mild noise, no bursts —
+    /// the steady-state scenario for sustained-throughput measurement.
+    #[must_use]
+    pub fn diurnal() -> Self {
+        Self {
+            intervals: 120,
+            base_rate: 40.0,
+            peak_centers: vec![0.3, 0.8],
+            peak_heights: vec![1.8, 2.4],
+            peak_widths: vec![0.12, 0.1],
+            noise: 0.08,
+            burst_prob: 0.0,
+            burst_height: 0.0,
+        }
+    }
+}
+
 /// A generated request-volume series.
 #[derive(Debug, Clone)]
 pub struct TemporalWorkload {
