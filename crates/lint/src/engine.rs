@@ -33,12 +33,25 @@ pub enum Rule {
     /// Checkpoint codec parity: every snapshot struct field written and
     /// read in declaration order, with shape drift forcing a version bump.
     C1CodecCoverage,
+    /// Lock discipline: no second lock while a guard is live, no guard
+    /// held across a pool dispatch or loop-allocating call, no hoistable
+    /// lock inside a sequential loop.
+    X1LockDiscipline,
+    /// Closures dispatched to the pool may share mutable state only
+    /// through the index-tagged Mutex bucket or per-worker scratch.
+    X2CaptureDisjoint,
+    /// Parallel aggregation must be index-tagged and re-sorted before the
+    /// collection's contents escape.
+    X3OrderRestore,
+    /// A `LINT-ALLOW`/`LINT-HOT` marker whose removal changes no
+    /// diagnostic (reported by `--stale-waivers`).
+    W0StaleWaiver,
     /// The item parser could not recover structure from a file.
     P0Parse,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 11] = [
+    pub const ALL: [Rule; 15] = [
         Rule::L1FloatCmp,
         Rule::L2PanicFree,
         Rule::L3Time,
@@ -49,6 +62,10 @@ impl Rule {
         Rule::T3Units,
         Rule::A1HotAlloc,
         Rule::C1CodecCoverage,
+        Rule::X1LockDiscipline,
+        Rule::X2CaptureDisjoint,
+        Rule::X3OrderRestore,
+        Rule::W0StaleWaiver,
         Rule::P0Parse,
     ];
 
@@ -65,6 +82,10 @@ impl Rule {
             Rule::T3Units => "T3-units",
             Rule::A1HotAlloc => "A1-hot-alloc",
             Rule::C1CodecCoverage => "C1-codec-coverage",
+            Rule::X1LockDiscipline => "X1-lock-discipline",
+            Rule::X2CaptureDisjoint => "X2-capture-disjoint",
+            Rule::X3OrderRestore => "X3-order-restore",
+            Rule::W0StaleWaiver => "W0-stale-waiver",
             Rule::P0Parse => "P0-parse",
         }
     }
@@ -129,6 +150,34 @@ impl Rule {
                  format makes order part of the schema), and shape changes \
                  must bump CKPT_VERSION via the CKPT-SHAPE marker — otherwise \
                  serialization drift corrupts replay instead of failing lint"
+            }
+            Rule::X1LockDiscipline => {
+                "lock hygiene: a second `.lock()` while a guard is live orders \
+                 locks implicitly (deadlock hazard), a guard held across a call \
+                 that dispatches to the pool or allocates in a loop serializes \
+                 or deadlocks the workers, and a lock inside a sequential loop \
+                 is reacquired every iteration — drop/scope guards tightly and \
+                 hoist loop-invariant locks"
+            }
+            Rule::X2CaptureDisjoint => {
+                "closures dispatched to the pool (`par_map*`, scoped `.spawn`) \
+                 may share mutable state only through the index-tagged Mutex \
+                 bucket pattern or per-worker scratch; any other mutable \
+                 capture — or a captured fn with interior mutability — makes \
+                 the write interleaving scheduler-dependent"
+            }
+            Rule::X3OrderRestore => {
+                "parallel aggregation into a shared collection must push \
+                 `(index, value)` tuples and re-sort by the tag before the \
+                 contents escape (the `par.rs` idiom); anything else is a \
+                 determinism hole the taint pass cannot see, because the \
+                 scheduler itself is the nondeterminism source"
+            }
+            Rule::W0StaleWaiver => {
+                "a `LINT-ALLOW`/`LINT-HOT` marker that no longer suppresses \
+                 any diagnostic is dead weight that hides future violations \
+                 at the same site; `--stale-waivers` re-runs the passes with \
+                 each marker masked and reports the ones that change nothing"
             }
             Rule::P0Parse => {
                 "the item-level parser must be able to recover fn/impl/mod \
@@ -479,6 +528,12 @@ pub struct Passes {
     pub alloc: bool,
     /// The C1 checkpoint codec-coverage pass.
     pub codec: bool,
+    /// The X1 lock-discipline pass (plus P0 parse diagnostics).
+    pub lock: bool,
+    /// The X2 spawn-capture-disjointness pass (plus P0 parse diagnostics).
+    pub capture: bool,
+    /// The X3 order-restoring-reduction pass (plus P0 parse diagnostics).
+    pub order: bool,
 }
 
 impl Default for Passes {
@@ -489,6 +544,9 @@ impl Default for Passes {
             units: true,
             alloc: true,
             codec: true,
+            lock: true,
+            capture: true,
+            order: true,
         }
     }
 }
@@ -499,10 +557,14 @@ const NO_PASSES: Passes = Passes {
     units: false,
     alloc: false,
     codec: false,
+    lock: false,
+    capture: false,
+    order: false,
 };
 
 impl Passes {
-    /// Parse a comma-separated `--passes` value (`token,taint,units,alloc,codec`).
+    /// Parse a comma-separated `--passes` value
+    /// (`token,taint,units,alloc,codec,lock,capture,order`).
     pub fn from_list(list: &str) -> Result<Passes, String> {
         let mut p = NO_PASSES;
         for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
@@ -512,9 +574,13 @@ impl Passes {
                 "units" => p.units = true,
                 "alloc" => p.alloc = true,
                 "codec" => p.codec = true,
+                "lock" => p.lock = true,
+                "capture" => p.capture = true,
+                "order" => p.order = true,
                 other => {
                     return Err(format!(
-                        "unknown pass `{other}` (token, taint, units, alloc, codec)"
+                        "unknown pass `{other}` (token, taint, units, alloc, codec, \
+                         lock, capture, order)"
                     ))
                 }
             }
@@ -523,6 +589,11 @@ impl Passes {
             return Err("empty pass list".to_string());
         }
         Ok(p)
+    }
+
+    /// Does this selection need the workspace call graph?
+    fn needs_graph(&self) -> bool {
+        self.taint || self.alloc || self.lock || self.capture || self.order
     }
 }
 
@@ -547,13 +618,13 @@ pub fn lint_files(files: &[(String, String)], passes: &Passes) -> Vec<Diagnostic
             }
         }
     }
-    if passes.taint || passes.alloc || passes.codec {
+    if passes.needs_graph() || passes.codec {
         let lib_files: Vec<(String, String)> = files
             .iter()
             .filter(|(rel, _)| classify(rel) == FileKind::Lib && !rel.starts_with("crates/lint/"))
             .cloned()
             .collect();
-        if passes.taint || passes.alloc {
+        if passes.needs_graph() {
             let graph = crate::callgraph::Graph::build(&lib_files);
             for (file, line, msg) in &graph.parse_errors {
                 out.push(Diagnostic {
@@ -570,6 +641,18 @@ pub fn lint_files(files: &[(String, String)], passes: &Passes) -> Vec<Diagnostic
             }
             if passes.alloc {
                 out.extend(crate::alloc::check(&lib_files, &graph));
+            }
+            if passes.lock || passes.capture || passes.order {
+                let summ = crate::conc::Summaries::build(&graph);
+                if passes.lock {
+                    out.extend(crate::lock::check(&lib_files, &graph, &summ));
+                }
+                if passes.capture {
+                    out.extend(crate::capture::check(&lib_files, &graph, &summ));
+                }
+                if passes.order {
+                    out.extend(crate::reduction::check(&lib_files, &graph));
+                }
             }
         }
         if passes.codec {
@@ -596,6 +679,13 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
 
 /// [`lint_workspace`] with an explicit pass selection.
 pub fn lint_workspace_passes(root: &Path, passes: &Passes) -> Result<Vec<Diagnostic>, String> {
+    Ok(lint_files(&workspace_files(root)?, passes))
+}
+
+/// The `(workspace-relative path, source)` pairs the workspace walk lints:
+/// every `.rs` file under `crates/*/src`, skipping hidden dirs, `target/`
+/// and `fixtures/`.
+pub fn workspace_files(root: &Path) -> Result<Vec<(String, String)>, String> {
     let crates_dir = root.join("crates");
     if !crates_dir.is_dir() {
         return Err(format!(
@@ -625,7 +715,91 @@ pub fn lint_workspace_passes(root: &Path, passes: &Passes) -> Result<Vec<Diagnos
         let src = std::fs::read_to_string(&f).map_err(|e| format!("read {}: {e}", f.display()))?;
         pairs.push((rel, src));
     }
-    Ok(lint_files(&pairs, passes))
+    Ok(pairs)
+}
+
+/// Stale-waiver detection: re-run the selected passes with one
+/// `LINT-ALLOW(...)`/`LINT-HOT(...)` marker masked at a time; a marker
+/// whose masking leaves the diagnostic set bit-identical suppresses
+/// nothing and is reported as `W0-stale-waiver` at its line.
+///
+/// The mask is length-preserving (`LINT-` → `SKIP-` inside the comment),
+/// so every other diagnostic keeps its exact line/column and the
+/// before/after sets compare cleanly. Markers are only looked for in
+/// comments (via the lexer's line views), only in `Lib`/`Bin` files, and
+/// never inside `crates/lint/` itself — the linter's sources and docs
+/// mention markers by name without meaning them.
+pub fn stale_waivers(files: &[(String, String)], passes: &Passes) -> Vec<Diagnostic> {
+    let baseline = lint_files(files, passes);
+    let mut out = Vec::new();
+    for (fi, (rel, src)) in files.iter().enumerate() {
+        if classify(rel) == FileKind::Test || rel.starts_with("crates/lint/") {
+            continue;
+        }
+        let views = line_views(src);
+        // Byte offset of each line start in `src`, to map (line, col) hits
+        // back into the raw source.
+        let mut line_starts = vec![0usize];
+        for (pos, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(pos + 1);
+            }
+        }
+        for (idx, view) in views.iter().enumerate() {
+            let Some(&ls) = line_starts.get(idx) else {
+                continue;
+            };
+            let line_end = line_starts.get(idx + 1).copied().unwrap_or(src.len());
+            let raw = &src[ls..line_end];
+            for marker in ["LINT-ALLOW(", "LINT-HOT("] {
+                if !view.comment.contains(marker) {
+                    continue;
+                }
+                let mut from = 0usize;
+                while let Some(col) = raw[from..].find(marker) {
+                    let col = from + col;
+                    from = col + marker.len();
+                    // `view.code` blanks comment bytes in place (same byte
+                    // length as the raw line), so a comment-resident marker
+                    // has whitespace at its column — a code- or
+                    // string-resident lookalike does not survive both tests.
+                    let in_code = view
+                        .code
+                        .as_bytes()
+                        .get(col)
+                        .is_some_and(|b| !b.is_ascii_whitespace());
+                    if in_code {
+                        continue;
+                    }
+                    let at = ls + col;
+                    let mut masked = src.clone();
+                    masked.replace_range(at..at + 5, "SKIP-");
+                    let mut trial: Vec<(String, String)> = files.to_vec();
+                    trial[fi].1 = masked;
+                    if lint_files(&trial, passes) == baseline {
+                        out.push(Diagnostic {
+                            file: rel.clone(),
+                            line: idx + 1,
+                            rule: Rule::W0StaleWaiver,
+                            message: format!(
+                                "stale `{}...)` marker: masking it changes no \
+                                 diagnostic under the selected passes — delete it \
+                                 (dead waivers hide future violations at this site)",
+                                &marker[..marker.len() - 1]
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    out
+}
+
+/// [`stale_waivers`] over the workspace at `root`.
+pub fn stale_waivers_workspace(root: &Path, passes: &Passes) -> Result<Vec<Diagnostic>, String> {
+    Ok(stale_waivers(&workspace_files(root)?, passes))
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {

@@ -21,6 +21,10 @@
 //! | `T3-units`        | suffix-declared units (`_s`, `_gb`, `_gbps`, `_gflop`, …) combine dimensionally in the latency/objective arithmetic |
 //! | `A1-hot-alloc`    | no allocation primitive executes inside a loop of a hot entry point (APSP builds, routing DP, online step, scaler tick, cache repair) |
 //! | `C1-codec-coverage` | every checkpointed struct field is written and read by its codec pair in declaration order, and shape drift forces a `CKPT_VERSION` bump |
+//! | `X1-lock-discipline` | no second `.lock()` while a guard is live, no guard held across a pool dispatch or loop-allocating call, no lock inside a sequential loop |
+//! | `X2-capture-disjoint` | closures dispatched to the pool share mutable state only through the index-tagged `Mutex` bucket or per-worker scratch patterns |
+//! | `X3-order-restore` | parallel aggregation into a shared collection is index-tagged and re-sorted before the contents escape |
+//! | `W0-stale-waiver` | (via `--stale-waivers`) every `LINT-ALLOW`/`LINT-HOT` marker still suppresses at least one diagnostic |
 //! | `P0-parse`        | the item parser could structure the file (otherwise T1/T2 are blind there — reported as a finding, not a crash) |
 //!
 //! The taint passes report the *shortest call chain* from an entry point to
@@ -41,17 +45,24 @@
 //! line they sever just that edge.
 //!
 //! Run as `cargo run -p socl-lint -- check [--json] [--passes
-//! token,taint,units,alloc,codec]`. Diagnostics use the stable format
-//! `file:line:rule: message`; exit code is `0` clean / `1` violations
-//! (including `P0-parse`) / `2` internal error, so CI and editors can parse
-//! and gate on it.
+//! token,taint,units,alloc,codec,lock,capture,order] [--stale-waivers]`.
+//! Diagnostics use the stable format `file:line:rule: message`; exit code
+//! is `0` clean / `1` violations (including `P0-parse`) / `2` internal
+//! error, so CI and editors can parse and gate on it. `--stale-waivers`
+//! swaps the check for the waiver audit: each `LINT-ALLOW`/`LINT-HOT`
+//! marker is masked in turn and re-linted; markers that change nothing are
+//! reported as `W0-stale-waiver`.
 
 pub mod alloc;
 pub mod callgraph;
+pub mod capture;
 pub mod codec_cov;
+pub mod conc;
 pub mod engine;
 pub mod lexer;
+pub mod lock;
 pub mod parser;
+pub mod reduction;
 pub mod taint;
 pub mod units;
 

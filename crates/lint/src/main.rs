@@ -1,8 +1,12 @@
 //! `socl-lint` CLI.
 //!
 //! ```text
-//! socl-lint check [--root <dir>] [--json] [--passes token,taint,units,alloc,codec]
-//!                                  lint the workspace (default command)
+//! socl-lint check [--root <dir>] [--json]
+//!                 [--passes token,taint,units,alloc,codec,lock,capture,order]
+//!                 [--stale-waivers]
+//!                                  lint the workspace (default command);
+//!                                  with --stale-waivers, audit the
+//!                                  LINT-ALLOW/LINT-HOT markers instead
 //! socl-lint rules                  list rules with their rationale
 //! ```
 //!
@@ -12,7 +16,7 @@
 //! the stable `file:line:rule: message` format — or as a JSON array with
 //! `--json` — and errors go to stderr.
 
-use socl_lint::engine::{lint_workspace_passes, render_json, Passes};
+use socl_lint::engine::{lint_workspace_passes, render_json, stale_waivers_workspace, Passes};
 use socl_lint::{find_workspace_root, Rule};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -22,12 +26,14 @@ fn main() -> ExitCode {
     let mut cmd: Option<&str> = None;
     let mut root: Option<PathBuf> = None;
     let mut json = false;
+    let mut stale = false;
     let mut passes = Passes::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "check" | "rules" if cmd.is_none() => cmd = Some(args[i].as_str()),
             "--json" => json = true,
+            "--stale-waivers" => stale = true,
             "--passes" => {
                 i += 1;
                 match args.get(i) {
@@ -40,7 +46,8 @@ fn main() -> ExitCode {
                     },
                     None => {
                         eprintln!(
-                            "socl-lint: --passes requires a list (token,taint,units,alloc,codec)"
+                            "socl-lint: --passes requires a list \
+                             (token,taint,units,alloc,codec,lock,capture,order)"
                         );
                         return ExitCode::from(2);
                     }
@@ -95,7 +102,12 @@ fn main() -> ExitCode {
                     }
                 }
             };
-            match lint_workspace_passes(&root, &passes) {
+            let result = if stale {
+                stale_waivers_workspace(&root, &passes)
+            } else {
+                lint_workspace_passes(&root, &passes)
+            };
+            match result {
                 Ok(diags) => {
                     if json {
                         println!("{}", render_json(&diags));

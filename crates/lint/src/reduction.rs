@@ -1,0 +1,128 @@
+//! X3-order-restore: parallel aggregation into a shared collection must
+//! be **index-tagged** and **re-sorted** before the collection's contents
+//! escape — the `Mutex<Vec<(usize, Vec<T>)>>` + `sort_by_key` idiom of
+//! `socl_net::par` and `socl_serve`'s shard buckets.
+//!
+//! Workers finish in scheduler order. A bare `guard.push(value)` from a
+//! dispatched closure therefore produces a permutation that varies run to
+//! run — a determinism hole T1 cannot see, because no nondeterminism
+//! *source* (clock, RNG, hash order) is involved; the scheduler itself is
+//! the source. Two findings close it:
+//!
+//! * an **untagged aggregation**: a dispatched closure pushes plain values
+//!   (not `(index, value)` tuples) into a captured, locked collection;
+//! * a **missing re-sort**: the aggregation is index-tagged, but no
+//!   `sort*`/`sort_by_key` on the same collection follows the dispatch in
+//!   the dispatching function — tags nobody sorts by restore nothing.
+//!
+//! `extend`/`append` count as tagged (they splice whole runs whose
+//! internal order the producing worker fixed); the tag discipline then
+//! lives on whatever produced the runs.
+//!
+//! Waivers: `LINT-ALLOW(X3-order-restore)` on the aggregation line (for
+//! untagged pushes) or the dispatch line (for missing re-sorts).
+
+use crate::callgraph::Graph;
+use crate::engine::{allow_status, AllowStatus, Diagnostic, Rule};
+use crate::lexer::{line_views, LineView};
+use crate::parser::SyncKind;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn waived(views: &BTreeMap<&str, Vec<LineView>>, file: &str, line: usize) -> bool {
+    let Some(v) = views.get(file) else {
+        return false;
+    };
+    if line == 0 || line > v.len() {
+        return false;
+    }
+    matches!(
+        allow_status(v, line - 1, Rule::X3OrderRestore),
+        AllowStatus::Allowed
+    )
+}
+
+/// Run the X3 pass. `files` must be the set the graph was built from.
+pub fn check(files: &[(String, String)], graph: &Graph) -> Vec<Diagnostic> {
+    let views: BTreeMap<&str, Vec<LineView>> = files
+        .iter()
+        .map(|(rel, src)| (rel.as_str(), line_views(src)))
+        .collect();
+
+    let mut out = Vec::new();
+    let mut emitted: BTreeSet<(String, usize, String)> = BTreeSet::new();
+    for node in graph.nodes.iter() {
+        let item = &node.item;
+        for s in &item.sync {
+            if !matches!(s.kind, SyncKind::Dispatch | SyncKind::Spawn) {
+                continue;
+            }
+            for &ci in &s.closures {
+                let closure = &item.closures[ci];
+                for cap in &closure.captures {
+                    if !cap.locked || cap.aggregates.is_empty() {
+                        continue;
+                    }
+                    let mut any_tagged = false;
+                    for agg in &cap.aggregates {
+                        if agg.tagged {
+                            any_tagged = true;
+                            continue;
+                        }
+                        if waived(&views, &node.file, agg.line)
+                            || !emitted.insert((node.file.clone(), agg.line, cap.name.clone()))
+                        {
+                            continue;
+                        }
+                        out.push(Diagnostic {
+                            file: node.file.clone(),
+                            line: agg.line,
+                            rule: Rule::X3OrderRestore,
+                            message: format!(
+                                "untagged parallel aggregation: closure dispatched \
+                                 via `{}` (line {}) pushes plain values into `{}` — \
+                                 completion order is scheduler-dependent; push \
+                                 `(index, value)` tuples and `sort_by_key` the \
+                                 collection after the dispatch, or justify with \
+                                 `LINT-ALLOW({})`",
+                                s.what,
+                                s.line,
+                                cap.name,
+                                Rule::X3OrderRestore.id()
+                            ),
+                        });
+                    }
+                    // Tagged pushes need a deterministic re-sort on the same
+                    // collection after the dispatch, in this function.
+                    if any_tagged {
+                        let sorted = item.sync.iter().any(|t| {
+                            t.kind == SyncKind::Sort && t.tok > s.tok && t.recv == cap.name
+                        });
+                        if sorted
+                            || waived(&views, &node.file, s.line)
+                            || !emitted.insert((node.file.clone(), s.line, cap.name.clone()))
+                        {
+                            continue;
+                        }
+                        out.push(Diagnostic {
+                            file: node.file.clone(),
+                            line: s.line,
+                            rule: Rule::X3OrderRestore,
+                            message: format!(
+                                "index-tagged aggregation into `{}` is never re-sorted \
+                                 after the `{}` dispatch — tags nobody sorts by do not \
+                                 restore order; `{}.sort_by_key(|(i, _)| *i)` before \
+                                 the contents escape, or justify with \
+                                 `LINT-ALLOW({})`",
+                                cap.name,
+                                s.what,
+                                cap.name,
+                                Rule::X3OrderRestore.id()
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}

@@ -15,6 +15,7 @@
 //!   the primitive they encapsulate;
 //! - at a **call line**, `LINT-ALLOW(T1-nondet-taint)` breaks that edge, so
 //!   a caller can vouch for one call without blessing the callee globally.
+//!
 //! T2 accepts `T2-panic-reach` and the legacy `L2-panic-free` the same way.
 
 use crate::callgraph::Graph;

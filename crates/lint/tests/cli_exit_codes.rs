@@ -112,6 +112,30 @@ fn json_mode_on_clean_workspace_is_an_empty_array() {
 }
 
 #[test]
+fn stale_waivers_mode_keeps_the_exit_contract() {
+    // A dead waiver is a violation in audit mode only: plain `check`
+    // exits 0 on the same tree.
+    let root = exitcase("stale_waiver");
+    let plain = check(&root, &[]);
+    assert_eq!(plain.status.code(), Some(0), "{plain:?}");
+    let audit = check(&root, &["--stale-waivers"]);
+    assert_eq!(audit.status.code(), Some(1), "{audit:?}");
+    let stdout = String::from_utf8_lossy(&audit.stdout);
+    assert!(
+        stdout.contains("crates/m/src/lib.rs:6:W0-stale-waiver:"),
+        "{stdout}"
+    );
+    // A tree with only load-bearing waivers audits clean.
+    let clean = check(&exitcase("clean"), &["--stale-waivers"]);
+    assert_eq!(clean.status.code(), Some(0), "{clean:?}");
+    // The audit honors --json like the ordinary check.
+    let json = check(&root, &["--stale-waivers", "--json"]);
+    assert_eq!(json.status.code(), Some(1), "{json:?}");
+    let stdout = String::from_utf8_lossy(&json.stdout);
+    assert!(stdout.contains("\"rule\": \"W0-stale-waiver\""), "{stdout}");
+}
+
+#[test]
 fn pass_selection_limits_the_rules() {
     // Token-only: the L2 hit remains, the interprocedural T2 twin is gone.
     let out = check(&exitcase("violation"), &["--passes", "token"]);

@@ -1,0 +1,194 @@
+//! Fixture-driven contract tests for the concurrency-discipline passes
+//! (`X1-lock-discipline`, `X2-capture-disjoint`, `X3-order-restore`) and
+//! the `--stale-waivers` audit.
+//!
+//! Each `bad_x*.rs` fixture is a mutant of a sanctioned idiom — the
+//! double-lock, the guard held across a dispatch, the sort-removal mutant
+//! of the index-tagged bucket — and these tests pin the *exact*
+//! `(line, rule)` pairs plus the load-bearing message fragments (witness
+//! chains, capture names), so detection changes show up as precise diffs.
+
+use socl_lint::engine::{lint_files, stale_waivers, Passes};
+use socl_lint::{Diagnostic, Rule};
+
+/// Lint `src` as a library file with only the passes in `list` enabled.
+fn lint_with(name: &str, src: &str, list: &str) -> Vec<Diagnostic> {
+    let files = vec![(format!("crates/model/src/{name}"), src.to_string())];
+    lint_files(&files, &Passes::from_list(list).expect("pass list"))
+}
+
+fn lines_rules(diags: &[Diagnostic]) -> Vec<(usize, Rule)> {
+    diags.iter().map(|d| (d.line, d.rule)).collect()
+}
+
+#[test]
+fn x1_lock_discipline_is_pinned() {
+    let diags = lint_with("bad_x1.rs", include_str!("fixtures/bad_x1.rs"), "lock");
+    assert_eq!(
+        lines_rules(&diags),
+        vec![
+            (8, Rule::X1LockDiscipline),  // second lock while `g` live
+            (15, Rule::X1LockDiscipline), // par_map dispatch while `g` live
+            (25, Rule::X1LockDiscipline), // call to fan_out (dispatches)
+            (34, Rule::X1LockDiscipline), // lock inside a sequential loop
+        ],
+        "{diags:#?}"
+    );
+    // The double lock names both guards so the order is auditable.
+    assert!(
+        diags[0].message.contains("guard `g` over `a`"),
+        "{}",
+        diags[0].message
+    );
+    // The interprocedural finding carries the witness chain to the sink.
+    assert!(diags[2].message.contains("fan_out"), "{}", diags[2].message);
+    assert!(
+        diags[2].message.contains("dispatches to the pool"),
+        "{}",
+        diags[2].message
+    );
+    // The in-loop lock is a hoisting hint, not a deadlock claim.
+    assert!(diags[3].message.contains("hoist"), "{}", diags[3].message);
+    // `waived_double_lock` (line 44) is suppressed by its waiver.
+    assert!(diags.iter().all(|d| d.line < 40), "{diags:#?}");
+}
+
+#[test]
+fn x2_capture_disjoint_is_pinned() {
+    let diags = lint_with("bad_x2.rs", include_str!("fixtures/bad_x2.rs"), "capture");
+    assert_eq!(
+        lines_rules(&diags),
+        vec![
+            (18, Rule::X2CaptureDisjoint), // `total += …` in spawned closure
+            (25, Rule::X2CaptureDisjoint), // captured `bump` takes a lock
+        ],
+        "{diags:#?}"
+    );
+    assert!(
+        diags[0].message.contains("mutates captured `total`"),
+        "{}",
+        diags[0].message
+    );
+    // The call-resolution finding names the callee and its lock witness.
+    assert!(
+        diags[1].message.contains("captured `bump`"),
+        "{}",
+        diags[1].message
+    );
+    assert!(
+        diags[1].message.contains("takes a lock"),
+        "{}",
+        diags[1].message
+    );
+    // `waived_mutating_capture` is suppressed by its waiver.
+    assert!(diags.iter().all(|d| d.line < 28), "{diags:#?}");
+}
+
+#[test]
+fn x3_order_restore_is_pinned() {
+    let diags = lint_with("bad_x3.rs", include_str!("fixtures/bad_x3.rs"), "order");
+    assert_eq!(
+        lines_rules(&diags),
+        vec![
+            (11, Rule::X3OrderRestore), // untagged push into `parts`
+            (21, Rule::X3OrderRestore), // sort-removal mutant: no re-sort
+        ],
+        "{diags:#?}"
+    );
+    assert!(
+        diags[0]
+            .message
+            .contains("pushes plain values into `parts`"),
+        "{}",
+        diags[0].message
+    );
+    // The missing-sort mutant names the exact fix, field-precisely.
+    assert!(
+        diags[1].message.contains("parts.sort_by_key(|(i, _)| *i)"),
+        "{}",
+        diags[1].message
+    );
+    // `waived_untagged` is suppressed by its waiver.
+    assert!(diags.iter().all(|d| d.line < 30), "{diags:#?}");
+}
+
+#[test]
+fn sanctioned_idioms_lint_clean() {
+    let diags = lint_with(
+        "conc_clean.rs",
+        include_str!("fixtures/conc_clean.rs"),
+        "lock,capture,order",
+    );
+    assert_eq!(diags, Vec::new(), "sanctioned idioms must lint clean");
+}
+
+#[test]
+fn x2_ambiguity_gate_requires_unanimous_candidates() {
+    // Two workspace fns named `poke`: one locks, one does not. The
+    // bare-name union is not unanimous, so the captured-call finding must
+    // stay silent — same gate as PR 8's A1.
+    let locking = r#"
+use std::sync::Mutex;
+static S: Mutex<u32> = Mutex::new(0);
+pub fn poke(n: u32) -> u32 {
+    let mut g = S.lock().unwrap();
+    *g += n;
+    *g
+}
+"#;
+    let pure = "pub fn poke(n: u32) -> u32 {\n    n + 1\n}\n";
+    let dispatch = "pub fn run(xs: &[u32], poke: impl Fn(u32) -> u32 + Sync) -> Vec<u32> {\n    par_map(xs, |x| poke(*x))\n}\n";
+    let ambiguous = vec![
+        ("crates/model/src/a.rs".to_string(), locking.to_string()),
+        ("crates/model/src/b.rs".to_string(), pure.to_string()),
+        ("crates/model/src/run.rs".to_string(), dispatch.to_string()),
+    ];
+    let passes = Passes::from_list("capture").unwrap();
+    assert_eq!(lint_files(&ambiguous, &passes), Vec::new());
+
+    // Drop the pure twin: the union becomes unanimous and the finding fires.
+    let unanimous = vec![ambiguous[0].clone(), ambiguous[2].clone()];
+    let diags = lint_files(&unanimous, &passes);
+    assert_eq!(
+        lines_rules(&diags),
+        vec![(2, Rule::X2CaptureDisjoint)],
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn stale_waiver_audit_separates_live_from_dead() {
+    let live = "pub fn f(x: Option<u32>) -> u32 {\n    \
+                // LINT-ALLOW(L2-panic-free): fixture — always Some here.\n    \
+                x.unwrap()\n}\n";
+    let dead = "pub fn g(x: u32) -> u32 {\n    \
+                // LINT-ALLOW(L2-panic-free): nothing on the next line panics.\n    \
+                x + 1\n}\n";
+    let files = vec![
+        ("crates/model/src/w1.rs".to_string(), live.to_string()),
+        ("crates/model/src/w2.rs".to_string(), dead.to_string()),
+    ];
+    let diags = stale_waivers(&files, &Passes::default());
+    assert_eq!(
+        lines_rules(&diags),
+        vec![(2, Rule::W0StaleWaiver)],
+        "{diags:#?}"
+    );
+    assert_eq!(diags[0].file, "crates/model/src/w2.rs");
+    assert!(diags[0].message.contains("stale"), "{}", diags[0].message);
+}
+
+#[test]
+fn stale_waiver_audit_skips_tests_and_the_linter_itself() {
+    let dead = "pub fn g(x: u32) -> u32 {\n    \
+                // LINT-ALLOW(L2-panic-free): dead waiver.\n    \
+                x + 1\n}\n";
+    for path in ["crates/model/tests/t.rs", "crates/lint/src/x.rs"] {
+        let files = vec![(path.to_string(), dead.to_string())];
+        assert_eq!(
+            stale_waivers(&files, &Passes::default()),
+            Vec::new(),
+            "{path} must be exempt from the waiver audit"
+        );
+    }
+}

@@ -1,0 +1,8 @@
+//! Exit-code fixture: clean code carrying one dead waiver — `check`
+//! exits 0, `check --stale-waivers` exits 1 with a `W0-stale-waiver`.
+
+/// Add two seconds quantities.
+pub fn sum_s(a_s: f64, b_s: f64) -> f64 {
+    // LINT-ALLOW(L2-panic-free): dead waiver — nothing below panics.
+    a_s + b_s
+}

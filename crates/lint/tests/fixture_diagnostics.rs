@@ -172,9 +172,10 @@ fn diagnostic_display_format_is_stable() {
 
 #[test]
 fn workspace_dogfood_is_clean() {
-    // The repository itself must satisfy its own invariants. Integration
-    // tests run with the package directory (or workspace root) as cwd;
-    // walk upward to the workspace root either way.
+    // The repository itself must satisfy its own invariants — all eight
+    // passes, including the X concurrency suite. Integration tests run
+    // with the package directory (or workspace root) as cwd; walk upward
+    // to the workspace root either way.
     let cwd = std::env::current_dir().expect("cwd");
     let root = socl_lint::find_workspace_root(&cwd).expect("workspace root not found");
     let diags = lint_workspace(&root).expect("workspace walk failed");
@@ -183,6 +184,27 @@ fn workspace_dogfood_is_clean() {
         "workspace has {} violation(s):\n{}",
         diags.len(),
         diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn workspace_waivers_are_all_load_bearing() {
+    // Every committed `LINT-ALLOW`/`LINT-HOT` marker must still suppress
+    // at least one diagnostic; dead waivers hide future violations.
+    let cwd = std::env::current_dir().expect("cwd");
+    let root = socl_lint::find_workspace_root(&cwd).expect("workspace root not found");
+    let stale =
+        socl_lint::engine::stale_waivers_workspace(&root, &socl_lint::engine::Passes::default())
+            .expect("workspace walk failed");
+    assert!(
+        stale.is_empty(),
+        "workspace has {} stale waiver(s):\n{}",
+        stale.len(),
+        stale
             .iter()
             .map(|d| d.to_string())
             .collect::<Vec<_>>()

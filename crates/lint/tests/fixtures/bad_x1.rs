@@ -1,0 +1,46 @@
+//! X1 fixture: one lock-discipline violation per function, plus a waived
+//! twin. Linted by `concurrency_fixtures.rs` with only the `lock` pass
+//! enabled, so the `unwrap()`s here stay out of the pinned output.
+use std::sync::Mutex;
+
+pub fn double_lock(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let g = a.lock().unwrap();
+    let h = b.lock().unwrap();
+    *g + *h
+}
+
+pub fn guard_across_dispatch(m: &Mutex<u32>, xs: &[u32]) -> Vec<u32> {
+    let g = m.lock().unwrap();
+    let base = *g;
+    par_map(xs, |x| *x + base)
+}
+
+fn fan_out(xs: &[u32]) -> Vec<u32> {
+    par_map(xs, |x| *x + 1)
+}
+
+pub fn guard_across_call(m: &Mutex<u32>, xs: &[u32]) -> Vec<u32> {
+    let g = m.lock().unwrap();
+    let keep = *g;
+    let out = fan_out(xs);
+    drop(g);
+    let _ = keep;
+    out
+}
+
+pub fn lock_in_loop(m: &Mutex<u32>, xs: &[u32]) -> u32 {
+    let mut total = 0;
+    for x in xs {
+        let g = m.lock().unwrap();
+        total += *g + *x;
+    }
+    total
+}
+
+pub fn waived_double_lock(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let g = a.lock().unwrap();
+    // LINT-ALLOW(X1-lock-discipline): fixed a-then-b order is documented at
+    // every call site; this fixture pins the waiver-barrier semantics.
+    let h = b.lock().unwrap();
+    *g + *h
+}

@@ -1,0 +1,38 @@
+//! X2 fixture: capture-disjointness violations. Linted with only the
+//! `capture` pass enabled. `bump` locks a global, so a dispatched closure
+//! calling a captured `bump` serializes the workers on hidden state.
+use std::sync::Mutex;
+
+static TALLY: Mutex<u32> = Mutex::new(0);
+
+pub fn bump(n: u32) -> u32 {
+    let mut g = TALLY.lock().unwrap();
+    *g += n;
+    *g
+}
+
+pub fn mutating_capture(xs: &[u32]) -> u32 {
+    let mut total = 0;
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            total += xs.len() as u32;
+        });
+    });
+    total
+}
+
+pub fn hidden_serialization(xs: &[u32], bump: impl Fn(u32) -> u32 + Sync) -> Vec<u32> {
+    par_map(xs, |x| bump(*x))
+}
+
+pub fn waived_mutating_capture(xs: &[u32]) -> u32 {
+    let mut total = 0;
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            // LINT-ALLOW(X2-capture-disjoint): single worker; the scope
+            // joins before `total` is read again.
+            total += xs.len() as u32;
+        });
+    });
+    total
+}

@@ -1,0 +1,41 @@
+//! X3 fixture: order-restoring-reduction violations. Linted with only the
+//! `order` pass enabled. `tagged_unsorted` is the sort-removal mutant of
+//! the sanctioned `(index, value)` + `sort_by_key` bucket idiom.
+use std::sync::Mutex;
+
+pub fn untagged(xs: &[u32]) -> Vec<u32> {
+    let parts: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let mut g = parts.lock().unwrap();
+            g.push(xs.len() as u32);
+        });
+    });
+    parts.into_inner().unwrap()
+}
+
+pub fn tagged_unsorted(xs: &[u32]) -> Vec<(usize, u32)> {
+    let parts: Mutex<Vec<(usize, u32)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for (i, x) in xs.iter().enumerate() {
+            scope.spawn(move || {
+                let mut g = parts.lock().unwrap();
+                g.push((i, *x));
+            });
+        }
+    });
+    parts.into_inner().unwrap()
+}
+
+pub fn waived_untagged(xs: &[u32]) -> Vec<u32> {
+    let parts: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let mut g = parts.lock().unwrap();
+            // LINT-ALLOW(X3-order-restore): single worker, single push —
+            // there is no completion order to restore.
+            g.push(xs.len() as u32);
+        });
+    });
+    parts.into_inner().unwrap()
+}

@@ -1,0 +1,34 @@
+//! Clean fixture for the X passes: the sanctioned idioms exactly as
+//! `socl_net::par` writes them — index-tagged Mutex bucket drained by
+//! `lock_recover`, re-sorted before escape, and per-worker scratch.
+use std::sync::{Mutex, MutexGuard};
+
+pub fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+pub fn tagged_sorted(xs: &[u32]) -> Vec<(usize, u32)> {
+    let parts: Mutex<Vec<(usize, u32)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for (i, x) in xs.iter().enumerate() {
+            scope.spawn(move || {
+                let mut g = lock_recover(&parts);
+                g.push((i, *x));
+            });
+        }
+    });
+    let mut parts = parts.into_inner().unwrap_or_else(|p| p.into_inner());
+    parts.sort_by_key(|(i, _)| *i);
+    parts
+}
+
+pub fn scratch_workers(xs: &[u32]) -> Vec<u32> {
+    par_map_scratch_with(xs, 4, Vec::new, |scratch: &mut Vec<u32>, x: &u32| {
+        scratch.clear();
+        scratch.push(*x + 1);
+        scratch[0]
+    })
+}

@@ -125,8 +125,7 @@ pub fn optimal_route_with(
     // with chain[j] served at hosts[i], for i in layer j's slice.
 
     // Layer 0: upload + compute.
-    for i in off[0]..off[1] {
-        let k = hosts[i];
+    for &k in &hosts[off[0]..off[1]] {
         cost_s.push(
             ap.transfer_time(request.location, k, request.r_in)
                 + catalog.compute_gflop(request.chain[0]) / net.compute_gflops(k),

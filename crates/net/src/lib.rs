@@ -41,7 +41,7 @@ pub use fcmp::OrdF64;
 pub use graph::{ConnScratch, EdgeNetwork, EdgeServer, Link, LinkParams, NodeId};
 pub use incremental::{ApspCache, CacheStats};
 pub use kpaths::{k_shortest_paths, WeightedPath};
-pub use par::{effective_threads, parallel_worthwhile, set_threads};
+pub use par::{effective_threads, lock_recover, parallel_worthwhile, set_threads};
 pub use paths::{AllPairs, PathMetric, ShortestPaths};
 pub use resilience::{link_criticality, node_criticality, FailureImpact};
 pub use time::Stopwatch;

@@ -40,7 +40,7 @@ use socl_core::SoclConfig;
 use socl_model::{
     optimal_route_with, Placement, RouteOutcome, RouteScratch, ScenarioConfig, ServiceCatalog,
 };
-use socl_net::par::{par_map_indexed_with, par_map_scratch_with};
+use socl_net::par::{lock_recover, par_map_indexed_with, par_map_scratch_with};
 use socl_net::{effective_threads, AllPairs, EdgeNetwork};
 use socl_sim::Policy;
 use std::collections::VecDeque;
@@ -194,6 +194,10 @@ pub struct RestoreReport {
     pub oracle_mismatches: usize,
 }
 
+/// One region's bounded cross-region send history:
+/// `(tick, [(target region, service)])` per retained tick.
+type OutboxHistory = VecDeque<(u32, Vec<(u32, u32)>)>;
+
 /// The sharded control-plane service.
 #[derive(Debug)]
 pub struct SoclServe {
@@ -215,7 +219,7 @@ pub struct SoclServe {
     /// cross-region in-flight charges, bounded to the recovery window.
     /// Head state — it survives shard kills, which is what lets a torn
     /// WAL tail be reconstructed from the peers that sent the traffic.
-    outbox: Vec<VecDeque<(u32, Vec<(u32, u32)>)>>,
+    outbox: Vec<OutboxHistory>,
     /// Per-region digest after every executed tick (the stitched-timeline
     /// equality witness).
     digest_timeline: Vec<Vec<u64>>,
@@ -257,10 +261,7 @@ fn sharded<T: Send>(
     let shard_outs: Vec<Vec<(usize, T)>> = par_map_indexed_with(shards, threads, |s| {
         // A poisoned lock would mean `f` panicked on another worker; the
         // scope join re-raises that, so recovering here is sound.
-        let mut guard = match buckets[s].lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        };
+        let mut guard = lock_recover(&buckets[s]);
         guard.iter_mut().map(|(i, st)| (*i, f(st))).collect()
     });
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
